@@ -1,0 +1,38 @@
+//! Fig 1 — IPv4 host coverage by scan origin (2 probes).
+//!
+//! Each origin sees a distinct set of hosts; SSH origins see ~10% fewer
+//! ground-truth hosts than HTTP(S).
+
+use originscan_bench::{bench_world, header, paper_says, run_main};
+use originscan_core::coverage::mean_coverage;
+use originscan_core::report::{pct, Table};
+use originscan_netmodel::{OriginId, Protocol};
+
+fn main() {
+    header(
+        "Figure 1",
+        "IPv4 host coverage by scan origin (2 probes, mean of 3 trials)",
+    );
+    paper_says(&[
+        "academic origins average 97.2% of HTTP(S); Censys 92.5%",
+        "SSH origins see ~10% fewer hosts than HTTP(S)",
+        "no origin exceeds 98% HTTP / 99% HTTPS / 92% SSH in any trial",
+    ]);
+    let world = bench_world();
+    let results = run_main(world, &Protocol::ALL);
+    let mut t = Table::new(
+        ["origin"].into_iter().map(String::from).chain(
+            Protocol::ALL.iter().map(|p| p.to_string()),
+        ),
+    );
+    for &o in &OriginId::MAIN {
+        t.row(
+            [o.to_string()].into_iter().chain(
+                Protocol::ALL
+                    .iter()
+                    .map(|&p| pct(mean_coverage(&results, p, o))),
+            ),
+        );
+    }
+    println!("{}", t.render());
+}

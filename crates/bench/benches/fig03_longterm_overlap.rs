@@ -1,0 +1,31 @@
+//! Fig 3 — long-term inaccessibility among origins: from how many origins
+//! is each long-term-missing host inaccessible?
+
+use originscan_bench::{bench_world, header, paper_says, run_main};
+use originscan_core::classify::Class;
+use originscan_core::exclusivity::miss_overlap_histogram;
+use originscan_core::report::{count, pct, Table};
+use originscan_netmodel::Protocol;
+
+fn main() {
+    header("Figure 3", "number of origins from which long-term hosts are inaccessible");
+    paper_says(&[
+        "excluding Censys, ~47% of long-term inaccessible hosts are",
+        "inaccessible from only one origin",
+    ]);
+    let world = bench_world();
+    let results = run_main(world, &Protocol::ALL);
+    let mut t = Table::new(["protocol", "1", "2", "3", "4", "5", "6", "7", "1-origin share"]);
+    for &proto in &Protocol::ALL {
+        let panel = results.panel(proto);
+        let hist = miss_overlap_histogram(&panel, Class::LongTerm);
+        let total: usize = hist.iter().sum();
+        t.row(
+            [proto.to_string()]
+                .into_iter()
+                .chain(hist.iter().map(|&h| count(h)))
+                .chain([pct(hist[0] as f64 / total.max(1) as f64)]),
+        );
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,29 @@
+//! Fig 5 — long-term inaccessible ASes: counts of ASes ≥50% / ≥75% /
+//! 100% inaccessible per origin.
+
+use originscan_bench::{bench_world, header, paper_says, run_main};
+use originscan_core::asdist::lost_as_counts;
+use originscan_core::report::Table;
+use originscan_netmodel::{OriginId, Protocol};
+
+fn main() {
+    header("Figure 5", "count of mostly/fully long-term inaccessible ASes per origin");
+    paper_says(&[
+        "Brazil suffers the largest number of completely (100%) inaccessible",
+        "ASes: ~1.4x Censys and ~6.5x US1 (US finance/health blocking)",
+    ]);
+    let world = bench_world();
+    let results = run_main(world, &[Protocol::Http]);
+    let panel = results.panel(Protocol::Http);
+    let mut t = Table::new(["origin", "100%", ">=75%", ">=50%"]);
+    for (oi, o) in OriginId::MAIN.iter().enumerate() {
+        let c = lost_as_counts(world, &panel, oi, 2);
+        t.row([
+            o.to_string(),
+            c.full.to_string(),
+            c.at_least_75.to_string(),
+            c.at_least_50.to_string(),
+        ]);
+    }
+    println!("HTTP:\n{}", t.render());
+}

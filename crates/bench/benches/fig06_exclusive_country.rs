@@ -1,0 +1,37 @@
+//! Fig 6 — exclusively accessible HTTP hosts by (origin country ×
+//! destination country).
+
+use originscan_bench::{bench_world, header, paper_says, run_main};
+use originscan_core::exclusivity::{exclusive_by_country, within_country_exclusive_fraction};
+use originscan_core::report::Table;
+use originscan_netmodel::{OriginId, Protocol};
+
+fn main() {
+    header("Figure 6", "exclusively accessible HTTP hosts by country");
+    paper_says(&[
+        "~1.1% of Japanese and ~2% of Australian HTTP hosts are only",
+        "accessible from within the country; JP's exclusives include",
+        "US-geolocated hosts of a Japan-registered provider (Gateway Inc)",
+    ]);
+    let world = bench_world();
+    let results = run_main(world, &[Protocol::Http]);
+    let panel = results.panel(Protocol::Http);
+    // Exclude US64 as the paper does; US1 stands in for the US + Censys.
+    let origins: Vec<OriginId> = OriginId::MAIN
+        .into_iter()
+        .filter(|&o| o != OriginId::Us64 && o != OriginId::Censys)
+        .collect();
+    let mut t = Table::new(["origin", "top dest countries (count)", "within-country excl. frac"]);
+    for &o in &origins {
+        let oi = results.origin_index(o);
+        let by_cc = exclusive_by_country(world, &panel, oi);
+        let tops: Vec<String> = by_cc
+            .iter()
+            .take(4)
+            .map(|(c, n)| format!("{c}:{n}"))
+            .collect();
+        let frac = within_country_exclusive_fraction(world, &panel, oi);
+        t.row([o.to_string(), tops.join(" "), format!("{:.2}%", frac * 100.0)]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,29 @@
+//! Fig 7 — AS distribution of exclusively accessible HTTP hosts.
+
+use originscan_bench::{bench_world, header, paper_says, run_main};
+use originscan_core::exclusivity::exclusive_by_as;
+use originscan_core::report::Table;
+use originscan_netmodel::{OriginId, Protocol};
+
+fn main() {
+    header("Figure 7", "ASes holding each origin's exclusively accessible hosts");
+    paper_says(&[
+        "AU: >80% in WebCentral; JP: 40% Bekkoame + 29% NTT;",
+        "BR's exclusives are mostly in WA K-20 (US educational ISP)",
+    ]);
+    let world = bench_world();
+    let results = run_main(world, &[Protocol::Http]);
+    let panel = results.panel(Protocol::Http);
+    let mut t = Table::new(["origin", "top ASes (count)"]);
+    for &o in &OriginId::MAIN {
+        let oi = results.origin_index(o);
+        let by_as = exclusive_by_as(world, &panel, oi);
+        let tops: Vec<String> = by_as
+            .iter()
+            .take(3)
+            .map(|(n, c)| format!("{n}:{c}"))
+            .collect();
+        t.row([o.to_string(), tops.join("  ")]);
+    }
+    println!("{}", t.render());
+}

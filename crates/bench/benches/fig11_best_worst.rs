@@ -1,0 +1,47 @@
+//! Fig 11 — consistent best and worst scan origins relative to
+//! destination ASes, and where the consistently-worst origin's hosts live.
+
+use originscan_bench::{bench_world, header, paper_says, run_main};
+use originscan_core::report::{pct, Table};
+use originscan_core::transient::{consistent_worst_countries, origin_stability};
+use originscan_netmodel::{OriginId, Protocol};
+
+fn main() {
+    header("Figure 11 / §5.1", "origin stability across trials");
+    paper_says(&[
+        "<5% of ASes have a consistent best origin; ~10% a consistent worst;",
+        "for ~23% of ASes the best origin in one trial is the worst in another;",
+        "Australia is the consistent worst origin for 72% of such ASes,",
+        "with affected hosts concentrated in Russia and the US",
+    ]);
+    let world = bench_world();
+    let results = run_main(world, &[Protocol::Http]);
+    let panel = results.panel(Protocol::Http);
+    let st = origin_stability(world, &panel, 10);
+    println!("ASes analyzed (>=10 GT hosts): {}", st.ases);
+    println!(
+        "consistent best: {} ({}), consistent worst: {} ({}), best-flips-to-worst: {} ({})\n",
+        st.consistent_best,
+        pct(st.consistent_best as f64 / st.ases.max(1) as f64),
+        st.consistent_worst,
+        pct(st.consistent_worst as f64 / st.ases.max(1) as f64),
+        st.best_flips_to_worst,
+        pct(st.best_flips_to_worst as f64 / st.ases.max(1) as f64),
+    );
+
+    let mut t = Table::new(["origin", "consistent-worst ASes", "share"]);
+    let total: usize = st.worst_origin_counts.iter().sum();
+    for (oi, o) in OriginId::MAIN.iter().enumerate() {
+        t.row([
+            o.to_string(),
+            st.worst_origin_counts[oi].to_string(),
+            pct(st.worst_origin_counts[oi] as f64 / total.max(1) as f64),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let au = results.origin_index(OriginId::Australia);
+    let cc = consistent_worst_countries(world, &panel, au, 10);
+    let tops: Vec<String> = cc.iter().take(6).map(|(c, n)| format!("{c}:{n}")).collect();
+    println!("hosts in ASes where AU is consistently worst, by country: {}", tops.join(" "));
+}

@@ -1,0 +1,67 @@
+//! Fig 15 / §7 — multi-origin coverage of HTTP hosts, single- and
+//! double-probe, for k = 1..4 origins, plus the correlated-vs-iid loss
+//! ablation.
+
+use originscan_bench::{bench_world, header, paper_says, run_main, timed};
+use originscan_core::experiment::{Experiment, ExperimentConfig};
+use originscan_core::multiorigin::{combo_sweep, single_ip_roster, ProbePolicy};
+use originscan_core::report::{pct2, Table};
+use originscan_netmodel::{OriginId, Protocol, WorldConfig};
+
+fn main() {
+    header("Figure 15", "multi-origin HTTP coverage (box-plot statistics)");
+    paper_says(&[
+        "1 origin: median 95.5% (1 probe), 96.9% (2 probes);",
+        "2 origins: 98.3% / 98.9%; 3 origins: 99.1% / 99.4% with sigma=0.08%;",
+        "1 probe from 2 origins beats 2 probes from 1 origin",
+    ]);
+    let world = bench_world();
+    let results = run_main(world, &[Protocol::Http]);
+    let roster = single_ip_roster(&results);
+
+    let mut t = Table::new(["k", "probes", "min", "q1", "median", "q3", "max", "σ", "best combo"]);
+    for k in 1..=4usize {
+        for (policy, label) in [(ProbePolicy::Single, "1"), (ProbePolicy::Double, "2")] {
+            let d = combo_sweep(&results, Protocol::Http, &roster, k, policy);
+            let s = d.summary();
+            t.row([
+                k.to_string(),
+                label.to_string(),
+                pct2(s.min),
+                pct2(s.q1),
+                pct2(s.median),
+                pct2(s.q3),
+                pct2(s.max),
+                format!("{:.3}%", d.std_dev() * 100.0),
+                d.best.0.iter().map(|o| o.to_string()).collect::<Vec<_>>().join("-"),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    // Ablation: the same sweep under forced-i.i.d. loss — the regime the
+    // original 2012 coverage estimate assumed.
+    println!("ablation: uniform (i.i.d.) loss world — the 2012 assumption");
+    let mut wc = WorldConfig::small(originscan_bench::WORLD_SEED);
+    if std::env::var("ORIGINSCAN_SCALE").as_deref() == Ok("tiny") {
+        wc = WorldConfig::tiny(originscan_bench::WORLD_SEED);
+    }
+    wc.uniform_loss = true;
+    let uworld = wc.build();
+    let ucfg = ExperimentConfig {
+        origins: OriginId::MAIN.to_vec(),
+        protocols: vec![Protocol::Http],
+        trials: 3,
+        ..ExperimentConfig::default()
+    };
+    let uresults = timed("uniform-loss experiment", || Experiment::new(&uworld, ucfg).run());
+    let uroster = single_ip_roster(&uresults);
+    let mut t = Table::new(["k", "probes", "median"]);
+    for (policy, label) in [(ProbePolicy::Single, "1"), (ProbePolicy::Double, "2")] {
+        let d = combo_sweep(&uresults, Protocol::Http, &uroster, 1, policy);
+        t.row(["1".to_string(), label.to_string(), pct2(d.summary().median)]);
+    }
+    println!("{}", t.render());
+    println!("(under i.i.d. loss the second probe closes most of the 1-probe gap;");
+    println!(" under the measured correlated loss it does not — §7's key point)");
+}

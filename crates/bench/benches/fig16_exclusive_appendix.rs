@@ -1,0 +1,35 @@
+//! Fig 16 (Appendix C) — exclusively accessible hosts by country, for
+//! HTTPS and SSH (the Fig 6 analogs).
+
+use originscan_bench::{bench_world, header, paper_says, run_main};
+use originscan_core::exclusivity::{exclusive_by_country, within_country_exclusive_fraction};
+use originscan_core::report::Table;
+use originscan_netmodel::{OriginId, Protocol};
+
+fn main() {
+    header("Figure 16", "exclusively accessible hosts by country (HTTPS, SSH)");
+    paper_says(&[
+        "origins within a country typically have better accessibility than",
+        "external origins; the effect is weaker than for HTTP",
+    ]);
+    let world = bench_world();
+    let results = run_main(world, &[Protocol::Https, Protocol::Ssh]);
+    for &proto in &[Protocol::Https, Protocol::Ssh] {
+        let panel = results.panel(proto);
+        let origins: Vec<OriginId> = OriginId::MAIN
+            .into_iter()
+            .filter(|&o| o != OriginId::Us64 && o != OriginId::Censys)
+            .collect();
+        let mut t =
+            Table::new(["origin", "top dest countries (count)", "within-country excl. frac"]);
+        for &o in &origins {
+            let oi = results.origin_index(o);
+            let by_cc = exclusive_by_country(world, &panel, oi);
+            let tops: Vec<String> =
+                by_cc.iter().take(4).map(|(c, n)| format!("{c}:{n}")).collect();
+            let frac = within_country_exclusive_fraction(world, &panel, oi);
+            t.row([o.to_string(), tops.join(" "), format!("{:.2}%", frac * 100.0)]);
+        }
+        println!("{proto}:\n{}", t.render());
+    }
+}

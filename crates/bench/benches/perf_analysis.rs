@@ -1,0 +1,29 @@
+//! Criterion: analysis-pipeline throughput (classification, exclusivity,
+//! panel construction) over a real experiment's matrices.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use originscan_core::classify::class_counts;
+use originscan_core::exclusivity::exclusive_counts;
+use originscan_core::experiment::{Experiment, ExperimentConfig};
+use originscan_netmodel::{OriginId, Protocol, WorldConfig};
+
+fn bench_analysis(c: &mut Criterion) {
+    let world = WorldConfig::tiny(7).build();
+    let cfg = ExperimentConfig {
+        origins: OriginId::MAIN.to_vec(),
+        protocols: vec![Protocol::Http],
+        trials: 3,
+        ..ExperimentConfig::default()
+    };
+    let results = Experiment::new(&world, cfg).run();
+    let panel = results.panel(Protocol::Http);
+    let mut g = c.benchmark_group("analysis");
+    g.throughput(Throughput::Elements((panel.len() * panel.origins.len()) as u64));
+    g.bench_function("panel_construction", |b| b.iter(|| results.panel(Protocol::Http)));
+    g.bench_function("classification", |b| b.iter(|| class_counts(&panel)));
+    g.bench_function("exclusivity", |b| b.iter(|| exclusive_counts(&panel)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion: throughput of the ZMap cyclic-group address permutation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use originscan_scanner::cyclic::Cycle;
+
+fn bench_permutation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cyclic_permutation");
+    for size in [1u64 << 16, 1 << 20, 1 << 24] {
+        g.throughput(Throughput::Elements(size));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let cycle = Cycle::new(size, 0xfeed);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for a in cycle.iter() {
+                    acc = acc.wrapping_add(a);
+                }
+                acc
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    c.bench_function("cycle_construction_2^24", |b| {
+        b.iter(|| Cycle::new(1 << 24, std::hint::black_box(12345)))
+    });
+}
+
+criterion_group!(benches, bench_permutation, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion: end-to-end probe throughput through the full simulated
+//! network model.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use originscan_core::experiment::TRIAL_DURATION_S;
+use originscan_netmodel::{OriginId, Protocol, SimNet, WorldConfig};
+use originscan_scanner::engine::{run_scan, ScanConfig};
+
+fn bench_scan(c: &mut Criterion) {
+    let world = WorldConfig::tiny(7).build();
+    let origins = [OriginId::Us1];
+    let net = SimNet::new(&world, &origins, TRIAL_DURATION_S);
+    let mut g = c.benchmark_group("scan");
+    g.throughput(Throughput::Elements(world.space() * 2));
+    for proto in Protocol::ALL {
+        g.bench_function(format!("2probe_{proto}"), |b| {
+            b.iter(|| {
+                let cfg = ScanConfig::new(world.space(), proto, 99);
+                run_scan(&net, &cfg)
+            })
+        });
+    }
+    // Wire-check mode: every packet round-trips through byte encodings.
+    g.bench_function("2probe_HTTP_wirecheck", |b| {
+        b.iter(|| {
+            let mut cfg = ScanConfig::new(world.space(), Protocol::Http, 99);
+            cfg.wire_check = true;
+            run_scan(&net, &cfg)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

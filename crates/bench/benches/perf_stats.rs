@@ -1,0 +1,45 @@
+//! Criterion: statistics kernels (McNemar, Spearman, burst detection).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use originscan_stats::mcnemar::{mcnemar_test, PairedCounts};
+use originscan_stats::spearman::spearman;
+use originscan_stats::timeseries::detect_bursts;
+
+fn bench_mcnemar(c: &mut Criterion) {
+    c.bench_function("mcnemar_accumulate_1M", |b| {
+        b.iter(|| {
+            let mut counts = PairedCounts::default();
+            for i in 0u64..1_000_000 {
+                counts.record(i % 97 != 0, i % 89 != 0);
+            }
+            mcnemar_test(&counts)
+        })
+    });
+}
+
+fn bench_spearman(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..10_000).map(|i| ((i * 2654435761u64) % 1000) as f64).collect();
+    let ys: Vec<f64> = (0..10_000).map(|i| ((i * 40503u64) % 1000) as f64).collect();
+    let mut g = c.benchmark_group("spearman");
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    g.bench_function("10k_pairs_with_ties", |b| b.iter(|| spearman(&xs, &ys)));
+    g.finish();
+}
+
+fn bench_bursts(c: &mut Criterion) {
+    // 10k origin-AS series of 21 hours each.
+    let series: Vec<Vec<f64>> = (0..10_000)
+        .map(|i| (0..21).map(|h| ((i * 31 + h * 7) % 13) as f64).collect())
+        .collect();
+    c.bench_function("burst_detection_10k_series", |b| {
+        b.iter(|| {
+            series
+                .iter()
+                .map(|s| detect_bursts(s, 4, 2.0).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_mcnemar, bench_spearman, bench_bursts);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! §3 — McNemar significance tests between all origin pairs, with
+//! Bonferroni correction (the paper's statistical validation that origins
+//! really do see different host sets).
+
+use originscan_bench::{bench_world, header, paper_says, run_main};
+use originscan_core::coverage::mcnemar_all_pairs;
+use originscan_core::report::Table;
+use originscan_netmodel::Protocol;
+
+fn main() {
+    header("§3 significance", "pairwise McNemar tests, Bonferroni-corrected");
+    paper_says(&[
+        "statistically significant differences (p < 0.001) between all",
+        "pairs of scan origins in all trials, for every protocol",
+    ]);
+    let world = bench_world();
+    let results = run_main(world, &Protocol::ALL);
+    let mut t = Table::new(["protocol", "tests", "significant", "corrected α", "max p"]);
+    for &proto in &Protocol::ALL {
+        let (tests, alpha) = mcnemar_all_pairs(&results, proto, 0.001);
+        let sig = tests.iter().filter(|x| x.result.p_value < alpha).count();
+        let max_p = tests.iter().map(|x| x.result.p_value).fold(0.0, f64::max);
+        t.row([
+            proto.to_string(),
+            tests.len().to_string(),
+            sig.to_string(),
+            format!("{alpha:.2e}"),
+            format!("{max_p:.2e}"),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,35 @@
+//! Table 1 — breakdown of origins responsible for hosts exclusively
+//! (in)accessible from a single origin.
+
+use originscan_bench::{bench_world, header, paper_says, run_main};
+use originscan_core::exclusivity::exclusive_counts;
+use originscan_core::report::Table;
+use originscan_netmodel::{OriginId, Protocol};
+
+fn main() {
+    header("Table 1", "% of exclusively accessible / inaccessible hosts per origin");
+    paper_says(&[
+        "US64 sees the most exclusively accessible hosts (33.8% HTTP)",
+        "Censys has the most exclusively inaccessible hosts (83.4% HTTP)",
+    ]);
+    let world = bench_world();
+    let results = run_main(world, &Protocol::ALL);
+    let mut t = Table::new(
+        ["row"].into_iter().map(String::from).chain(OriginId::MAIN.iter().map(|o| o.to_string())),
+    );
+    for &proto in &Protocol::ALL {
+        let panel = results.panel(proto);
+        let (acc, inacc) = exclusive_counts(&panel).percentages();
+        t.row(
+            [format!("Acc. {proto}%")]
+                .into_iter()
+                .chain(acc.iter().map(|v| format!("{v:.1}"))),
+        );
+        t.row(
+            [format!("Inacc. {proto}%")]
+                .into_iter()
+                .chain(inacc.iter().map(|v| format!("{v:.1}"))),
+        );
+    }
+    println!("{}", t.render());
+}

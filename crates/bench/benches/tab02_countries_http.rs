@@ -1,0 +1,61 @@
+//! Table 2 — countries with the most long-term inaccessible HTTP hosts,
+//! tiered by country size, with the dominant-AS coloring.
+
+use originscan_bench::{bench_world, header, paper_says, run_main};
+use originscan_core::country::{countries_above, country_stats, host_count_vs_inaccessible, tiered_table};
+use originscan_core::report::{count, Table};
+use originscan_netmodel::{OriginId, Protocol};
+
+fn main() {
+    header("Table 2", "countries with the most long-term inaccessible HTTP hosts");
+    paper_says(&[
+        "43% of Bangladesh and 27% of South Africa inaccessible from Censys",
+        "(both dominated by DXTL); 50 countries lose >10% somewhere, 19 >25%",
+        "Spearman rho = 0.92 between country host count and inaccessible count",
+    ]);
+    let world = bench_world();
+    let results = run_main(world, &[Protocol::Http]);
+    let panel = results.panel(Protocol::Http);
+    let stats = country_stats(world, &panel);
+
+    if let Some(r) = host_count_vs_inaccessible(&stats) {
+        println!("Spearman(host count, inaccessible count): rho={:.2}, p={:.1e}", r.rho, r.p_value);
+    }
+    println!(
+        ">10%: {} countries, >25%: {} countries\n",
+        countries_above(&stats, 10.0).len(),
+        countries_above(&stats, 25.0).len()
+    );
+
+    // Tier thresholds scale with the world: fractions of total GT hosts.
+    let total: usize = stats.iter().map(|s| s.hosts).sum();
+    let tiers = [total / 60, total / 600, total / 6000, 1];
+    for (bucket, label) in tiered_table(&stats, &tiers, 5)
+        .into_iter()
+        .zip(["largest countries", "large", "medium", "small"])
+    {
+        let mut t = Table::new(
+            ["country", "hosts"]
+                .into_iter()
+                .map(String::from)
+                .chain(OriginId::MAIN.iter().map(|o| o.to_string()))
+                .chain(["maj.ASes (worst)".to_string()]),
+        );
+        for s in bucket {
+            let worst = s
+                .inaccessible_pct
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            t.row(
+                [s.country.code().to_string(), count(s.hosts)]
+                    .into_iter()
+                    .chain(s.inaccessible_pct.iter().map(|p| format!("{p:.1}")))
+                    .chain([s.majority_ases[worst].to_string()]),
+            );
+        }
+        println!("tier: {label}\n{}", t.render());
+    }
+}

@@ -1,0 +1,43 @@
+//! Table 5 (Appendix B) — countries with the most long-term inaccessible
+//! HTTPS and SSH hosts (the Table 2 analogs).
+
+use originscan_bench::{bench_world, header, paper_says, run_main};
+use originscan_core::country::{country_stats, tiered_table};
+use originscan_core::report::{count, Table};
+use originscan_netmodel::{OriginId, Protocol};
+
+fn main() {
+    header("Table 5", "countries with the most long-term inaccessible HTTPS/SSH hosts");
+    paper_says(&[
+        "HTTPS: ZA 21.6% and BD 14.3% inaccessible from Censys;",
+        "SSH: broad losses in CN/KR/IT from single-IP origins (Alibaba, IDS)",
+    ]);
+    let world = bench_world();
+    let results = run_main(world, &[Protocol::Https, Protocol::Ssh]);
+    for &proto in &[Protocol::Https, Protocol::Ssh] {
+        let panel = results.panel(proto);
+        let stats = country_stats(world, &panel);
+        let total: usize = stats.iter().map(|s| s.hosts).sum();
+        let tiers = [total / 60, total / 600, total / 6000, 1];
+        println!("{proto}:");
+        for (bucket, label) in tiered_table(&stats, &tiers, 5)
+            .into_iter()
+            .zip(["largest countries", "large", "medium", "small"])
+        {
+            let mut t = Table::new(
+                ["country", "hosts"]
+                    .into_iter()
+                    .map(String::from)
+                    .chain(OriginId::MAIN.iter().map(|o| o.to_string())),
+            );
+            for s in bucket {
+                t.row(
+                    [s.country.code().to_string(), count(s.hosts)]
+                        .into_iter()
+                        .chain(s.inaccessible_pct.iter().map(|p| format!("{p:.1}"))),
+                );
+            }
+            println!("tier: {label}\n{}", t.render());
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Diagnostic: attribute every missed ground-truth host to the first
+//! model cause that explains it (blocking, IDS, persistent path failure,
+//! burst, correlated flakiness, L7-stage failure, double probe drop).
+//!
+//! This is the calibration loop's main tool: compare the attribution mix
+//! against the paper's §3–§6 narrative when tuning model parameters.
+//!
+//! ```sh
+//! cargo run -p originscan-bench --bin calibrate --release [tiny|small|medium]
+//! ```
+
+use originscan_core::experiment::{Experiment, ExperimentConfig, TRIAL_DURATION_S};
+use originscan_core::report::Table;
+use originscan_netmodel::policy::{self, Block};
+use originscan_netmodel::{burst, path, OriginId, Protocol, WorldConfig};
+
+fn main() {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "tiny".into());
+    let world = match scale.as_str() {
+        "small" => WorldConfig::small(2020).build(),
+        "medium" => WorldConfig::medium(2020).build(),
+        _ => WorldConfig::tiny(2020).build(),
+    };
+    let cfg = ExperimentConfig {
+        origins: OriginId::MAIN.to_vec(),
+        protocols: Protocol::ALL.to_vec(),
+        trials: 3,
+        ..Default::default()
+    };
+    let r = Experiment::new(&world, cfg).run();
+    for proto in Protocol::ALL {
+        let m = r.matrix(proto, 0);
+        println!("\n{proto} ground truth (trial 1): {} hosts", m.len());
+        let mut t = Table::new([
+            "origin", "blocked", "ids", "persist", "burst", "flaky", "l7flaky", "drop2", "other",
+        ]);
+        for (oi, origin) in OriginId::MAIN.iter().enumerate() {
+            let mut c = [0usize; 8];
+            for (i, &addr) in m.addrs.iter().enumerate() {
+                if m.outcomes[oi][i].l7_success() {
+                    continue;
+                }
+                let asr = world.as_of(addr);
+                let time = f64::from(m.hour[i]) / 21.0 * TRIAL_DURATION_S;
+                let p = path::path_params(&world, *origin, asr, proto, 0);
+                let cause = if policy::block_status(&world, *origin, addr, proto, 0) != Block::None {
+                    0
+                } else if policy::ids::blocked(&world, *origin, asr, proto, 0, time, TRIAL_DURATION_S) {
+                    1
+                } else if path::host_persistent_unreachable(&world, *origin, addr, p.persistent_f) {
+                    2
+                } else if burst::in_burst(&world, *origin, addr, asr.index, proto, 0, time, TRIAL_DURATION_S) {
+                    3
+                } else if path::host_flaky(&world, *origin, addr, proto, 0, time, p.flaky_q) {
+                    4
+                } else if path::l7_flaky(&world, *origin, addr, proto, 0, p.flaky_q) {
+                    5
+                } else if (0..2).all(|pi| path::probe_drops(&world, *origin, addr, proto, 0, pi, p.drop_p)) {
+                    6
+                } else {
+                    7 // MaxStartups/Alibaba refusals land here for SSH
+                };
+                c[cause] += 1;
+            }
+            t.row(
+                [origin.to_string()].into_iter().chain(c.iter().map(|x| x.to_string())),
+            );
+        }
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,97 @@
+//! # originscan-bench
+//!
+//! Shared harness for the reproduction benches. Every table and figure of
+//! the paper has a `harness = false` bench target under `benches/` that
+//! rebuilds the experiment and prints paper-style rows next to the
+//! paper's reported values; `EXPERIMENTS.md` records the comparison.
+//!
+//! Scale control: set `ORIGINSCAN_SCALE` to `tiny`, `small` (default),
+//! `medium`, or `full`; the world seed is fixed so runs are comparable.
+
+use originscan_core::experiment::{Experiment, ExperimentConfig};
+use originscan_core::results::ExperimentResults;
+use originscan_netmodel::{OriginId, Protocol, World, WorldConfig};
+use std::time::Instant;
+
+/// The fixed world seed used by all reproduction benches.
+pub const WORLD_SEED: u64 = 2020;
+
+/// Build the bench world at the scale selected by `ORIGINSCAN_SCALE`.
+///
+/// The world is leaked: bench binaries are one-shot processes and the
+/// analyses borrow the world for their whole life.
+pub fn bench_world() -> &'static World {
+    let seed = WORLD_SEED;
+    let cfg = match std::env::var("ORIGINSCAN_SCALE").as_deref() {
+        Ok("tiny") => WorldConfig::tiny(seed),
+        Ok("medium") => WorldConfig::medium(seed),
+        Ok("full") => WorldConfig::full(seed),
+        _ => WorldConfig::small(seed),
+    };
+    let t = Instant::now();
+    let world = Box::leak(Box::new(cfg.build()));
+    eprintln!(
+        "[world] {} addresses, {} ASes, {} HTTP hosts ({:.1}s)",
+        world.space(),
+        world.ases.len(),
+        world.host_count(Protocol::Http),
+        t.elapsed().as_secs_f64()
+    );
+    world
+}
+
+/// Run the main study (7 origins, 3 trials) for the given protocols.
+pub fn run_main<'w>(world: &'w World, protocols: &[Protocol]) -> ExperimentResults<'w> {
+    let cfg = ExperimentConfig {
+        origins: OriginId::MAIN.to_vec(),
+        protocols: protocols.to_vec(),
+        trials: 3,
+        probes: 2,
+        ..ExperimentConfig::default()
+    };
+    timed("experiment", || Experiment::new(world, cfg).run())
+}
+
+/// Run the §7 follow-up experiment (8 origins, HTTP, 2 trials).
+pub fn run_follow_up(world: &World) -> ExperimentResults<'_> {
+    timed("follow-up experiment", || {
+        Experiment::new(world, ExperimentConfig::follow_up(0xF011)).run()
+    })
+}
+
+/// Run a closure, printing its wall time to stderr.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let t = Instant::now();
+    let out = f();
+    eprintln!("[{label}] {:.1}s", t.elapsed().as_secs_f64());
+    out
+}
+
+/// Print a section header for a reproduced artifact.
+pub fn header(id: &str, caption: &str) {
+    println!("\n================================================================");
+    println!("{id} — {caption}");
+    println!("================================================================");
+}
+
+/// Print the paper's reported values for side-by-side comparison.
+pub fn paper_says(lines: &[&str]) {
+    println!("paper reports:");
+    for l in lines {
+        println!("  | {l}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_world_builds_default_scale() {
+        // Guard against env leakage in test runners.
+        std::env::remove_var("ORIGINSCAN_SCALE");
+        let w = bench_world();
+        assert_eq!(w.space(), 4096 * 256);
+    }
+}

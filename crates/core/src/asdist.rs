@@ -1,0 +1,149 @@
+//! AS-level distribution of long-term inaccessibility (Figs 4, 5).
+
+use crate::classify::{classify, Class};
+use crate::results::Panel;
+use originscan_netmodel::World;
+use std::collections::HashMap;
+
+/// Long-term inaccessible hosts of one origin, grouped by AS.
+/// Returns `(as_name, lost_hosts, as_ground_truth_hosts)`, sorted by
+/// `lost_hosts` descending.
+pub fn longterm_by_as(
+    world: &World,
+    panel: &Panel,
+    origin_idx: usize,
+) -> Vec<(String, usize, usize)> {
+    let mut lost: HashMap<u32, usize> = HashMap::new();
+    let mut total: HashMap<u32, usize> = HashMap::new();
+    for u in 0..panel.len() {
+        let ai = world.as_index_of(panel.addrs[u]);
+        *total.entry(ai).or_default() += 1;
+        if classify(panel, origin_idx, u) == Class::LongTerm {
+            *lost.entry(ai).or_default() += 1;
+        }
+    }
+    let mut v: Vec<(String, usize, usize)> = lost
+        .into_iter()
+        .map(|(ai, l)| (world.ases[ai as usize].name.clone(), l, total[&ai]))
+        .collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+/// Fig 4's headline number: the share of an origin's long-term
+/// inaccessible hosts held by its top `k` ASes (the paper: 67 % of
+/// Censys's missing HTTP hosts sit in just three ASes).
+pub fn top_k_concentration(by_as: &[(String, usize, usize)], k: usize) -> f64 {
+    let total: usize = by_as.iter().map(|(_, l, _)| l).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let top: usize = by_as.iter().take(k).map(|(_, l, _)| l).sum();
+    top as f64 / total as f64
+}
+
+/// Fig 5: per-origin counts of ASes that are ≥ 50 %, ≥ 75 %, and 100 %
+/// long-term inaccessible. Only ASes with at least `min_hosts` ground
+/// truth hosts are counted (the paper requires ≥ 2 consistent hosts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LostAsCounts {
+    /// ASes fully (100 %) inaccessible.
+    pub full: usize,
+    /// ASes at least 75 % inaccessible.
+    pub at_least_75: usize,
+    /// ASes at least 50 % inaccessible.
+    pub at_least_50: usize,
+}
+
+/// Compute Fig 5 for one origin.
+pub fn lost_as_counts(
+    world: &World,
+    panel: &Panel,
+    origin_idx: usize,
+    min_hosts: usize,
+) -> LostAsCounts {
+    let by_as = longterm_by_as(world, panel, origin_idx);
+    let mut out = LostAsCounts::default();
+    for (_, lost, total) in by_as {
+        if total < min_hosts {
+            continue;
+        }
+        let f = lost as f64 / total as f64;
+        if f >= 1.0 {
+            out.full += 1;
+        }
+        if f >= 0.75 {
+            out.at_least_75 += 1;
+        }
+        if f >= 0.5 {
+            out.at_least_50 += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Experiment, ExperimentConfig};
+    use originscan_netmodel::{OriginId, Protocol, WorldConfig};
+
+    fn panel(world: &World) -> Panel {
+        let cfg = ExperimentConfig {
+            origins: OriginId::MAIN.to_vec(),
+            protocols: vec![Protocol::Http],
+            trials: 3,
+            ..Default::default()
+        };
+        Experiment::new(world, cfg).run().panel(Protocol::Http)
+    }
+
+    #[test]
+    fn censys_losses_concentrated_in_blockers() {
+        let world = WorldConfig::small(41).build();
+        let p = panel(&world);
+        let cen = p.origins.iter().position(|&o| o == OriginId::Censys).unwrap();
+        let by_as = longterm_by_as(&world, &p, cen);
+        assert!(!by_as.is_empty());
+        // DXTL / EGI / Enzu should rank at the very top.
+        let top3: Vec<&str> = by_as.iter().take(3).map(|(n, _, _)| n.as_str()).collect();
+        for name in ["DXTL Tseung Kwan O Service", "Enzu", "EGI Hosting"] {
+            assert!(top3.contains(&name), "{name} not in top3: {top3:?}");
+        }
+        let conc = top_k_concentration(&by_as, 3);
+        assert!((0.3..0.95).contains(&conc), "top-3 concentration {conc}");
+        // Academic origins' losses are more evenly spread.
+        let jp = p.origins.iter().position(|&o| o == OriginId::Japan).unwrap();
+        let jp_by_as = longterm_by_as(&world, &p, jp);
+        let jp_conc = top_k_concentration(&jp_by_as, 3);
+        assert!(jp_conc < conc, "JP concentration {jp_conc} vs CEN {conc}");
+    }
+
+    #[test]
+    fn brazil_loses_most_full_ases() {
+        // Fig 5: Brazil suffers the largest number of 100% inaccessible
+        // ASes (US finance/health blocking + Eastern-European hosters).
+        let world = WorldConfig::small(41).build();
+        let p = panel(&world);
+        let counts: Vec<LostAsCounts> = (0..p.origins.len())
+            .map(|oi| lost_as_counts(&world, &p, oi, 2))
+            .collect();
+        let br = p.origins.iter().position(|&o| o == OriginId::Brazil).unwrap();
+        let us64 = p.origins.iter().position(|&o| o == OriginId::Us64).unwrap();
+        assert!(
+            counts[br].full > counts[us64].full,
+            "BR {:?} vs US64 {:?}",
+            counts[br],
+            counts[us64]
+        );
+        // Monotone: full ⊆ 75% ⊆ 50%.
+        for c in &counts {
+            assert!(c.full <= c.at_least_75 && c.at_least_75 <= c.at_least_50);
+        }
+    }
+
+    #[test]
+    fn concentration_of_empty_is_zero() {
+        assert_eq!(top_k_concentration(&[], 3), 0.0);
+    }
+}

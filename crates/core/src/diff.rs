@@ -1,0 +1,197 @@
+//! First-class scan diffing.
+//!
+//! The paper's method reduces to comparing scans: same trial across
+//! origins (origin bias), same origin across trials (churn + transients).
+//! This module diffs two scan-record sets under the paper's ground-truth
+//! rule (the universe is the union of L7-completed hosts), runs McNemar's
+//! test on the paired outcomes, and — when a [`World`] is available —
+//! attributes each side's exclusive hosts to ASes.
+
+use originscan_netmodel::World;
+use originscan_scanner::engine::HostScanRecord;
+use originscan_stats::mcnemar::{mcnemar_test, McNemarResult, PairedCounts};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Result of diffing two scans.
+#[derive(Debug, Clone)]
+pub struct ScanDiff {
+    /// Hosts completing L7 in both scans.
+    pub both: usize,
+    /// Hosts only the first scan completed.
+    pub only_a: Vec<u32>,
+    /// Hosts only the second scan completed.
+    pub only_b: Vec<u32>,
+    /// McNemar's test over the paired outcomes.
+    pub mcnemar: McNemarResult,
+}
+
+impl ScanDiff {
+    /// Size of the shared universe (union of successes).
+    pub fn universe(&self) -> usize {
+        self.both + self.only_a.len() + self.only_b.len()
+    }
+
+    /// Coverage of the universe by side A (resp. B).
+    pub fn coverage(&self) -> (f64, f64) {
+        let n = self.universe().max(1) as f64;
+        (
+            (self.both + self.only_a.len()) as f64 / n,
+            (self.both + self.only_b.len()) as f64 / n,
+        )
+    }
+}
+
+/// Diff two scans by their L7-successful host sets.
+pub fn diff_records(a: &[HostScanRecord], b: &[HostScanRecord]) -> ScanDiff {
+    let sa: BTreeSet<u32> = a.iter().filter(|r| r.l7_success()).map(|r| r.addr).collect();
+    let sb: BTreeSet<u32> = b.iter().filter(|r| r.l7_success()).map(|r| r.addr).collect();
+    let mut counts = PairedCounts::default();
+    let mut only_a = Vec::new();
+    let mut only_b = Vec::new();
+    let mut both = 0usize;
+    for &addr in sa.union(&sb) {
+        let (ina, inb) = (sa.contains(&addr), sb.contains(&addr));
+        counts.record(ina, inb);
+        match (ina, inb) {
+            (true, true) => both += 1,
+            (true, false) => only_a.push(addr),
+            (false, true) => only_b.push(addr),
+            (false, false) => unreachable!("address from the union"),
+        }
+    }
+    ScanDiff { both, only_a, only_b, mcnemar: mcnemar_test(&counts) }
+}
+
+/// Attribute a host list to ASes: `(as_name, count)`, descending.
+pub fn by_as(world: &World, hosts: &[u32]) -> Vec<(String, usize)> {
+    let mut m: BTreeMap<u32, usize> = BTreeMap::new();
+    for &h in hosts {
+        *m.entry(world.as_index_of(h)).or_default() += 1;
+    }
+    let mut v: Vec<(String, usize)> = m
+        .into_iter()
+        .map(|(ai, c)| (world.ases[ai as usize].name.clone(), c))
+        .collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+/// Render a human-readable diff report.
+pub fn render(diff: &ScanDiff, label_a: &str, label_b: &str, world: Option<&World>) -> String {
+    use crate::report::{count, pct, Table};
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let (ca, cb) = diff.coverage();
+    let _ = writeln!(
+        out,
+        "universe {} hosts | {label_a}: {} ({}) | {label_b}: {} ({}) | shared {}",
+        count(diff.universe()),
+        count(diff.both + diff.only_a.len()),
+        pct(ca),
+        count(diff.both + diff.only_b.len()),
+        pct(cb),
+        count(diff.both),
+    );
+    let _ = writeln!(
+        out,
+        "McNemar: χ² = {:.2}, p = {:.3e} over {} discordant hosts{}",
+        diff.mcnemar.statistic,
+        diff.mcnemar.p_value,
+        count(diff.mcnemar.discordant as usize),
+        if diff.mcnemar.p_value < 0.001 { " — significantly different views" } else { "" },
+    );
+    if let Some(world) = world {
+        for (label, hosts) in [(label_a, &diff.only_a), (label_b, &diff.only_b)] {
+            if hosts.is_empty() {
+                continue;
+            }
+            let mut t = Table::new(["AS", "hosts"]);
+            for (name, c) in by_as(world, hosts).into_iter().take(8) {
+                t.row([name, c.to_string()]);
+            }
+            let _ = writeln!(out, "\nhosts only {label} reached, by AS:\n{}", t.render());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use originscan_netmodel::{OriginId, Protocol, SimNet, WorldConfig};
+    use originscan_scanner::engine::{run_scan, ScanConfig};
+    use originscan_scanner::zgrab::{L7Detail, L7Outcome};
+
+    fn rec(addr: u32, ok: bool) -> HostScanRecord {
+        HostScanRecord {
+            addr,
+            synack_mask: 0b11,
+            got_rst: false,
+            response_time_s: 0.0,
+            l7: if ok {
+                L7Outcome::Success(L7Detail::Http { code: 200 })
+            } else {
+                L7Outcome::Timeout
+            },
+            l7_attempts: 1,
+        }
+    }
+
+    #[test]
+    fn basic_partition() {
+        let a = vec![rec(1, true), rec(2, true), rec(3, false), rec(4, true)];
+        let b = vec![rec(2, true), rec(3, true), rec(5, true)];
+        let d = diff_records(&a, &b);
+        assert_eq!(d.both, 1); // addr 2
+        assert_eq!(d.only_a, vec![1, 4]);
+        assert_eq!(d.only_b, vec![3, 5]);
+        assert_eq!(d.universe(), 5);
+        let (ca, cb) = d.coverage();
+        assert!((ca - 0.6).abs() < 1e-12);
+        assert!((cb - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_scans_not_significant() {
+        let a = vec![rec(1, true), rec(2, true)];
+        let d = diff_records(&a, &a.clone());
+        assert_eq!(d.mcnemar.p_value, 1.0);
+        assert!(d.only_a.is_empty() && d.only_b.is_empty());
+    }
+
+    #[test]
+    fn two_origin_diff_finds_censys_blocking() {
+        let world = WorldConfig::tiny(31).build();
+        let origins = [OriginId::Japan, OriginId::Censys];
+        let net = SimNet::new(&world, &origins, 75_600.0);
+        let scan = |idx: u16| {
+            let mut cfg = ScanConfig::new(world.space(), Protocol::Http, 9);
+            cfg.origin = idx;
+            cfg.concurrent_origins = 2;
+            run_scan(&net, &cfg)
+        };
+        let jp = scan(0);
+        let cen = scan(1);
+        let d = diff_records(&jp.records, &cen.records);
+        // Japan sees clearly more than Censys; the diff is significant.
+        assert!(
+            d.only_a.len() * 2 > d.only_b.len() * 3,
+            "{} vs {}",
+            d.only_a.len(),
+            d.only_b.len()
+        );
+        assert!(d.mcnemar.p_value < 0.001);
+        // AS attribution names a known Censys blocker among the top rows.
+        let top: Vec<String> =
+            by_as(&world, &d.only_a).into_iter().take(6).map(|(n, _)| n).collect();
+        assert!(
+            top.iter().any(|n| n.contains("DXTL") || n.contains("Enzu") || n == "EGI Hosting"),
+            "top ASes: {top:?}"
+        );
+        // Rendering mentions both the universe and the attribution.
+        let text = render(&d, "JP", "CEN", Some(&world));
+        assert!(text.contains("universe"));
+        assert!(text.contains("only JP reached"));
+    }
+}

@@ -1,0 +1,191 @@
+//! The per-trial ground-truth matrix.
+//!
+//! §2 "Limitations": *ground truth* for a trial is the set of hosts that
+//! completed an application-layer handshake with **any** origin in that
+//! trial. [`TrialMatrix`] stores that host list (sorted), each host's scan
+//! hour (the same for every origin, because the scanners share a seed),
+//! and the packed outcome of every origin's attempt.
+
+use crate::outcome::HostOutcome;
+use originscan_netmodel::{OriginId, Protocol, World};
+use originscan_scanner::engine::ScanOutput;
+use std::collections::HashMap;
+
+/// Hour grid of the paper's burst analysis (21-hour trials).
+pub const SCAN_HOURS: u8 = 21;
+
+/// Condensed results of one (protocol, trial) across all origins.
+#[derive(Debug, Clone)]
+pub struct TrialMatrix {
+    /// Protocol scanned.
+    pub protocol: Protocol,
+    /// Trial index (0-based).
+    pub trial: u8,
+    /// Ground-truth addresses, sorted ascending.
+    pub addrs: Vec<u32>,
+    /// Scan hour (0..21) of each ground-truth host.
+    pub hour: Vec<u8>,
+    /// `outcomes[origin][host_idx]`, aligned with the experiment's origin
+    /// roster and `addrs`.
+    pub outcomes: Vec<Vec<HostOutcome>>,
+}
+
+impl TrialMatrix {
+    /// Condense raw scan outputs into a matrix.
+    pub fn build(
+        _world: &World,
+        protocol: Protocol,
+        trial: u8,
+        origins: &[OriginId],
+        outputs: &[ScanOutput],
+        duration_s: f64,
+    ) -> TrialMatrix {
+        assert_eq!(origins.len(), outputs.len());
+        // Ground truth: union of L7-successful addresses.
+        let mut gt: Vec<u32> = Vec::new();
+        for out in outputs {
+            gt.extend(out.records.iter().filter(|r| r.l7_success()).map(|r| r.addr));
+        }
+        gt.sort_unstable();
+        gt.dedup();
+        let index: HashMap<u32, u32> =
+            gt.iter().enumerate().map(|(i, &a)| (a, i as u32)).collect();
+
+        // Scan hour per host: identical across origins (shared seed), so
+        // take it from whichever origin recorded a response first.
+        let mut hour = vec![u8::MAX; gt.len()];
+        let mut outcomes = vec![vec![HostOutcome::MISSED; gt.len()]; origins.len()];
+        for (oi, out) in outputs.iter().enumerate() {
+            for r in &out.records {
+                if let Some(&i) = index.get(&r.addr) {
+                    outcomes[oi][i as usize] = HostOutcome::from_record(r);
+                    if hour[i as usize] == u8::MAX {
+                        let h = (r.response_time_s / duration_s * f64::from(SCAN_HOURS))
+                            .floor()
+                            .min(f64::from(SCAN_HOURS - 1)) as u8;
+                        hour[i as usize] = h;
+                    }
+                }
+            }
+        }
+        // Hosts only reached by origins whose record lacked a timestamped
+        // response never happen (being in GT means someone succeeded), but
+        // guard anyway.
+        for h in &mut hour {
+            if *h == u8::MAX {
+                *h = 0;
+            }
+        }
+        TrialMatrix { protocol, trial, addrs: gt, hour, outcomes }
+    }
+
+    /// Number of ground-truth hosts.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True when the trial saw no hosts at all.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Index of `addr` in the ground-truth list.
+    pub fn index_of(&self, addr: u32) -> Option<usize> {
+        self.addrs.binary_search(&addr).ok()
+    }
+
+    /// Hosts an origin completed the L7 handshake with.
+    pub fn seen_count(&self, origin_idx: usize) -> usize {
+        self.outcomes[origin_idx].iter().filter(|o| o.l7_success()).count()
+    }
+
+    /// Hosts an origin would have seen with a single-probe scan.
+    pub fn seen_count_one_probe(&self, origin_idx: usize) -> usize {
+        self.outcomes[origin_idx].iter().filter(|o| o.one_probe_success()).count()
+    }
+
+    /// Iterate `(host_idx, addr, outcome)` for one origin.
+    pub fn iter_origin(
+        &self,
+        origin_idx: usize,
+    ) -> impl Iterator<Item = (usize, u32, HostOutcome)> + '_ {
+        self.outcomes[origin_idx]
+            .iter()
+            .enumerate()
+            .map(move |(i, &o)| (i, self.addrs[i], o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use originscan_netmodel::WorldConfig;
+    use originscan_scanner::engine::{HostScanRecord, ScanSummary};
+    use originscan_scanner::zgrab::{L7Detail, L7Outcome};
+
+    fn rec(addr: u32, mask: u8, ok: bool, t: f64) -> HostScanRecord {
+        HostScanRecord {
+            addr,
+            synack_mask: mask,
+            got_rst: false,
+            response_time_s: t,
+            l7: if ok {
+                L7Outcome::Success(L7Detail::Http { code: 200 })
+            } else {
+                L7Outcome::Timeout
+            },
+            l7_attempts: 1,
+        }
+    }
+
+    fn output(records: Vec<HostScanRecord>) -> ScanOutput {
+        ScanOutput { records, summary: ScanSummary::default() }
+    }
+
+    #[test]
+    fn ground_truth_is_union_of_l7_successes() {
+        let world = WorldConfig::tiny(1).build();
+        let o1 = output(vec![rec(10, 0b11, true, 100.0), rec(20, 0b01, false, 200.0)]);
+        let o2 = output(vec![rec(20, 0b11, true, 210.0), rec(30, 0b11, true, 300.0)]);
+        let m = TrialMatrix::build(
+            &world,
+            Protocol::Http,
+            0,
+            &[OriginId::Us1, OriginId::Japan],
+            &[o1, o2],
+            75_600.0,
+        );
+        assert_eq!(m.addrs, vec![10, 20, 30]);
+        // Origin 0 saw 10; L4-responded to 20 but failed L7; missed 30.
+        assert_eq!(m.seen_count(0), 1);
+        assert_eq!(m.seen_count(1), 2);
+        let o0_20 = m.outcomes[0][m.index_of(20).unwrap()];
+        assert!(o0_20.l4_responsive() && !o0_20.l7_success());
+        let o0_30 = m.outcomes[0][m.index_of(30).unwrap()];
+        assert_eq!(o0_30, HostOutcome::MISSED);
+    }
+
+    #[test]
+    fn hours_derived_from_response_time() {
+        let world = WorldConfig::tiny(1).build();
+        let dur = 75_600.0;
+        let o1 = output(vec![rec(5, 0b11, true, 0.0), rec(6, 0b11, true, dur * 0.5), rec(7, 0b11, true, dur * 0.999)]);
+        let m = TrialMatrix::build(&world, Protocol::Http, 0, &[OriginId::Us1], &[o1], dur);
+        assert_eq!(m.hour, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn empty_outputs_empty_matrix() {
+        let world = WorldConfig::tiny(1).build();
+        let m = TrialMatrix::build(
+            &world,
+            Protocol::Ssh,
+            1,
+            &[OriginId::Us1],
+            &[output(vec![])],
+            75_600.0,
+        );
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+}

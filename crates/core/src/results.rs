@@ -1,0 +1,269 @@
+//! Experiment results: the trial matrices plus cross-trial panels.
+
+use crate::experiment::ExperimentConfig;
+use crate::matrix::TrialMatrix;
+use crate::outcome::HostOutcome;
+use originscan_netmodel::{OriginId, Protocol, World};
+use std::collections::HashMap;
+
+/// All data produced by one experiment.
+#[derive(Debug)]
+pub struct ExperimentResults<'w> {
+    world: &'w World,
+    cfg: ExperimentConfig,
+    matrices: Vec<TrialMatrix>,
+}
+
+/// Coverage of one origin in one trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coverage {
+    /// Ground-truth hosts the origin completed L7 with.
+    pub seen: usize,
+    /// Size of the trial's ground truth.
+    pub ground_truth: usize,
+}
+
+impl Coverage {
+    /// Seen fraction (1.0 for an empty ground truth).
+    pub fn fraction(&self) -> f64 {
+        if self.ground_truth == 0 {
+            1.0
+        } else {
+            self.seen as f64 / self.ground_truth as f64
+        }
+    }
+}
+
+impl<'w> ExperimentResults<'w> {
+    pub(crate) fn new(
+        world: &'w World,
+        cfg: ExperimentConfig,
+        matrices: Vec<TrialMatrix>,
+    ) -> Self {
+        Self { world, cfg, matrices }
+    }
+
+    /// The world scanned.
+    pub fn world(&self) -> &'w World {
+        self.world
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// All matrices, ordered by (protocol, trial).
+    pub fn matrices(&self) -> &[TrialMatrix] {
+        &self.matrices
+    }
+
+    /// The matrix for one (protocol, trial).
+    pub fn matrix(&self, proto: Protocol, trial: u8) -> &TrialMatrix {
+        self.matrices
+            .iter()
+            .find(|m| m.protocol == proto && m.trial == trial)
+            .expect("no such (protocol, trial) in this experiment")
+    }
+
+    /// Index of an origin in the roster.
+    pub fn origin_index(&self, origin: OriginId) -> usize {
+        self.cfg
+            .origins
+            .iter()
+            .position(|&o| o == origin)
+            .expect("origin not part of this experiment")
+    }
+
+    /// Coverage (2-probe, i.e. as scanned) of `origin` in one trial.
+    pub fn coverage(&self, proto: Protocol, trial: u8, origin: OriginId) -> Coverage {
+        let m = self.matrix(proto, trial);
+        Coverage { seen: m.seen_count(self.origin_index(origin)), ground_truth: m.len() }
+    }
+
+    /// Coverage under the simulated single-probe scan.
+    pub fn coverage_one_probe(&self, proto: Protocol, trial: u8, origin: OriginId) -> Coverage {
+        let m = self.matrix(proto, trial);
+        Coverage {
+            seen: m.seen_count_one_probe(self.origin_index(origin)),
+            ground_truth: m.len(),
+        }
+    }
+
+    /// Build the cross-trial panel for one protocol.
+    pub fn panel(&self, proto: Protocol) -> Panel {
+        let trials: Vec<&TrialMatrix> =
+            self.matrices.iter().filter(|m| m.protocol == proto).collect();
+        assert!(!trials.is_empty(), "protocol not scanned");
+        Panel::build(proto, &self.cfg.origins, &trials)
+    }
+}
+
+/// Cross-trial union view for one protocol: who was present when, and who
+/// saw whom. This is the substrate for the §3 missing-host taxonomy.
+#[derive(Debug)]
+pub struct Panel {
+    /// Protocol.
+    pub protocol: Protocol,
+    /// Origin roster (same order as the experiment).
+    pub origins: Vec<OriginId>,
+    /// Number of trials.
+    pub trials: u8,
+    /// Union of ground-truth addresses across trials, sorted.
+    pub addrs: Vec<u32>,
+    /// Bit `t` set ⇔ host was in trial `t`'s ground truth.
+    pub present: Vec<u8>,
+    /// `seen[origin][host]`: bit `t` set ⇔ origin completed L7 in trial t.
+    pub seen: Vec<Vec<u8>>,
+    /// Position of each union host in each trial matrix (`u32::MAX` if the
+    /// host was absent from that trial).
+    pub trial_pos: Vec<Vec<u32>>,
+}
+
+impl Panel {
+    fn build(protocol: Protocol, origins: &[OriginId], trials: &[&TrialMatrix]) -> Panel {
+        let mut union: Vec<u32> = Vec::new();
+        for m in trials {
+            union.extend_from_slice(&m.addrs);
+        }
+        union.sort_unstable();
+        union.dedup();
+        let index: HashMap<u32, u32> =
+            union.iter().enumerate().map(|(i, &a)| (a, i as u32)).collect();
+
+        let n = union.len();
+        let mut present = vec![0u8; n];
+        let mut seen = vec![vec![0u8; n]; origins.len()];
+        let mut trial_pos = vec![vec![u32::MAX; n]; trials.len()];
+        for (t, m) in trials.iter().enumerate() {
+            for (pos, &addr) in m.addrs.iter().enumerate() {
+                let u = index[&addr] as usize;
+                present[u] |= 1 << t;
+                trial_pos[t][u] = pos as u32;
+                for (oi, col) in m.outcomes.iter().enumerate() {
+                    if col[pos].l7_success() {
+                        seen[oi][u] |= 1 << t;
+                    }
+                }
+            }
+        }
+        Panel {
+            protocol,
+            origins: origins.to_vec(),
+            trials: trials.len() as u8,
+            addrs: union,
+            present,
+            seen,
+            trial_pos,
+        }
+    }
+
+    /// Number of union hosts.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True when no host was ever seen.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Trials in which host `u` was present (bit count).
+    pub fn present_trials(&self, u: usize) -> u32 {
+        u32::from(self.present[u]).count_ones()
+    }
+
+    /// Trials in which `origin` saw host `u` while it was present.
+    pub fn seen_trials(&self, origin_idx: usize, u: usize) -> u32 {
+        u32::from(self.seen[origin_idx][u] & self.present[u]).count_ones()
+    }
+
+    /// The outcome of `origin` for union host `u` in `trial`, if present.
+    pub fn outcome_in_trial(
+        &self,
+        matrices: &[TrialMatrix],
+        origin_idx: usize,
+        u: usize,
+        trial: u8,
+    ) -> Option<HostOutcome> {
+        let pos = self.trial_pos[trial as usize][u];
+        if pos == u32::MAX {
+            return None;
+        }
+        let m = matrices
+            .iter()
+            .find(|m| m.protocol == self.protocol && m.trial == trial)?;
+        Some(m.outcomes[origin_idx][pos as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Experiment, ExperimentConfig};
+    use originscan_netmodel::WorldConfig;
+
+    fn results(world: &World) -> ExperimentResults<'_> {
+        let cfg = ExperimentConfig {
+            origins: vec![OriginId::Us1, OriginId::Japan, OriginId::Censys],
+            protocols: vec![Protocol::Http],
+            trials: 3,
+            ..Default::default()
+        };
+        Experiment::new(world, cfg).run()
+    }
+
+    #[test]
+    fn coverage_bounds() {
+        let world = WorldConfig::tiny(13).build();
+        let r = results(&world);
+        for t in 0..3 {
+            for &o in &[OriginId::Us1, OriginId::Japan, OriginId::Censys] {
+                let c = r.coverage(Protocol::Http, t, o);
+                assert!(c.seen <= c.ground_truth);
+                assert!(c.fraction() > 0.5, "{o} trial {t}: {}", c.fraction());
+                let c1 = r.coverage_one_probe(Protocol::Http, t, o);
+                assert!(c1.seen <= c.seen, "1-probe can never beat 2-probe");
+            }
+        }
+    }
+
+    #[test]
+    fn panel_consistent_with_matrices() {
+        let world = WorldConfig::tiny(13).build();
+        let r = results(&world);
+        let p = r.panel(Protocol::Http);
+        assert_eq!(p.trials, 3);
+        // Every trial's GT count equals the presence bits.
+        for t in 0..3u8 {
+            let m = r.matrix(Protocol::Http, t);
+            let present_t =
+                (0..p.len()).filter(|&u| p.present[u] & (1 << t) != 0).count();
+            assert_eq!(present_t, m.len());
+            // Seen counts match.
+            for (oi, _) in p.origins.iter().enumerate() {
+                let seen_t = (0..p.len())
+                    .filter(|&u| p.seen[oi][u] & (1 << t) != 0)
+                    .count();
+                assert_eq!(seen_t, m.seen_count(oi));
+            }
+        }
+        // seen implies present.
+        for oi in 0..p.origins.len() {
+            for u in 0..p.len() {
+                assert_eq!(p.seen[oi][u] & !p.present[u], 0, "seen without presence");
+            }
+        }
+    }
+
+    #[test]
+    fn union_contains_churn() {
+        // With churn, the union across trials should exceed any single
+        // trial's ground truth.
+        let world = WorldConfig::tiny(13).build();
+        let r = results(&world);
+        let p = r.panel(Protocol::Http);
+        let max_trial = (0..3).map(|t| r.matrix(Protocol::Http, t).len()).max().unwrap();
+        assert!(p.len() > max_trial, "union {} vs max trial {max_trial}", p.len());
+    }
+}

@@ -1,0 +1,359 @@
+//! Transient-loss structure across origins (Figs 8, 9, 11; Table 3).
+
+use crate::classify::{classify, Class};
+use crate::results::Panel;
+use originscan_netmodel::geo::Country;
+use originscan_netmodel::World;
+use std::collections::HashMap;
+
+/// Per-(AS, origin) transient loss rate: transiently missed host-trials
+/// over present host-trials.
+#[derive(Debug, Clone)]
+pub struct AsTransientLoss {
+    /// AS display name.
+    pub as_name: String,
+    /// Ground-truth hosts in the AS (union across trials).
+    pub hosts: usize,
+    /// Per-origin transient loss rate in `[0, 1]`.
+    pub rate: Vec<f64>,
+    /// Per-origin count of transiently missed hosts.
+    pub missed: Vec<usize>,
+}
+
+impl AsTransientLoss {
+    /// Largest pairwise rate difference (Table 3's Δ, as a fraction).
+    pub fn delta(&self) -> f64 {
+        let max = self.rate.iter().cloned().fold(0.0, f64::max);
+        let min = self.rate.iter().cloned().fold(1.0, f64::min);
+        (max - min).max(0.0)
+    }
+
+    /// Missed-host difference between worst and best origin (Table 3's
+    /// "Diff").
+    pub fn diff(&self) -> usize {
+        let max = self.missed.iter().copied().max().unwrap_or(0);
+        let min = self.missed.iter().copied().min().unwrap_or(0);
+        max - min
+    }
+
+    /// Worst/best miss ratio (Table 3's "Ratio"; missed counts clamped to
+    /// ≥ 1 so the ratio stays finite, as the paper's huge ratios suggest).
+    pub fn ratio(&self) -> f64 {
+        let max = self.missed.iter().copied().max().unwrap_or(0);
+        let min = self.missed.iter().copied().min().unwrap_or(0);
+        max as f64 / min.max(1) as f64
+    }
+}
+
+/// Compute transient loss per AS for every origin.
+pub fn transient_by_as(world: &World, panel: &Panel) -> Vec<AsTransientLoss> {
+    let n_origins = panel.origins.len();
+    let mut hosts_by_as: HashMap<u32, Vec<usize>> = HashMap::new();
+    for u in 0..panel.len() {
+        hosts_by_as.entry(world.as_index_of(panel.addrs[u])).or_default().push(u);
+    }
+    let mut out = Vec::new();
+    for (ai, hosts) in hosts_by_as {
+        let mut rate = Vec::with_capacity(n_origins);
+        let mut missed = Vec::with_capacity(n_origins);
+        for oi in 0..n_origins {
+            let m = hosts
+                .iter()
+                .filter(|&&u| classify(panel, oi, u) == Class::Transient)
+                .count();
+            missed.push(m);
+            rate.push(m as f64 / hosts.len() as f64);
+        }
+        out.push(AsTransientLoss {
+            as_name: world.ases[ai as usize].name.clone(),
+            hosts: hosts.len(),
+            rate,
+            missed,
+        });
+    }
+    out.sort_by_key(|a| std::cmp::Reverse(a.hosts));
+    out
+}
+
+/// Table 3: the ASes with the largest *absolute* miss-count spread,
+/// restricted to the `top_by_hosts` largest ASes (the paper's candidates
+/// are all within the top-100 by host count).
+pub fn largest_spread_ases(
+    mut by_as: Vec<AsTransientLoss>,
+    top_by_hosts: usize,
+    rows: usize,
+) -> Vec<AsTransientLoss> {
+    by_as.truncate(top_by_hosts); // already sorted by hosts desc
+    by_as.sort_by_key(|a| std::cmp::Reverse(a.diff()));
+    by_as.truncate(rows);
+    by_as
+}
+
+/// Fig 9: per-AS max pairwise transient-rate difference, returned with
+/// the AS host count for size weighting.
+pub fn rate_spread_distribution(by_as: &[AsTransientLoss]) -> Vec<(f64, usize)> {
+    by_as.iter().map(|a| (a.delta(), a.hosts)).collect()
+}
+
+/// Origin-stability analysis (§5.1 / Fig 11) over per-trial miss counts.
+#[derive(Debug, Clone, Default)]
+pub struct Stability {
+    /// ASes (with ≥ `min_hosts`) analyzed.
+    pub ases: usize,
+    /// ASes whose best origin is the same in every trial.
+    pub consistent_best: usize,
+    /// ASes whose worst origin is the same in every trial.
+    pub consistent_worst: usize,
+    /// ASes where some trial's best origin is another trial's worst.
+    pub best_flips_to_worst: usize,
+    /// For ASes with a consistent worst origin: which origin it is
+    /// (index → count).
+    pub worst_origin_counts: Vec<usize>,
+}
+
+/// Compute §5.1 stability. `min_hosts` filters tiny ASes where one host
+/// flips rankings.
+pub fn origin_stability(world: &World, panel: &Panel, min_hosts: usize) -> Stability {
+    let n_origins = panel.origins.len();
+    let trials = panel.trials;
+    let mut hosts_by_as: HashMap<u32, Vec<usize>> = HashMap::new();
+    for u in 0..panel.len() {
+        hosts_by_as.entry(world.as_index_of(panel.addrs[u])).or_default().push(u);
+    }
+    let mut st = Stability { worst_origin_counts: vec![0; n_origins], ..Default::default() };
+    for (_, hosts) in hosts_by_as {
+        if hosts.len() < min_hosts {
+            continue;
+        }
+        // Per-trial per-origin *transient* miss counts (long-term blocking
+        // is a separate phenomenon; §5.1 ranks origins by transient loss).
+        // Only a *strictly unique* minimum/maximum counts as the trial's
+        // best/worst origin — an AS where every origin ties (e.g. zero
+        // misses) carries no ranking information.
+        let mut best: Vec<Option<usize>> = Vec::new();
+        let mut worst: Vec<Option<usize>> = Vec::new();
+        let mut any_present = false;
+        for t in 0..trials {
+            let bit = 1u8 << t;
+            let mut miss = vec![0usize; n_origins];
+            let mut present = 0usize;
+            for &u in &hosts {
+                if panel.present[u] & bit == 0 {
+                    continue;
+                }
+                present += 1;
+                for (oi, m) in miss.iter_mut().enumerate() {
+                    if panel.seen[oi][u] & bit == 0
+                        && classify(panel, oi, u) == Class::Transient
+                    {
+                        *m += 1;
+                    }
+                }
+            }
+            if present == 0 {
+                best.push(None);
+                worst.push(None);
+                continue;
+            }
+            any_present = true;
+            let bmin = *miss.iter().min().expect("origins non-empty");
+            let bmax = *miss.iter().max().expect("origins non-empty");
+            best.push(if bmin < bmax && miss.iter().filter(|&&m| m == bmin).count() == 1 {
+                miss.iter().position(|&m| m == bmin)
+            } else {
+                None
+            });
+            worst.push(if bmax > bmin && miss.iter().filter(|&&m| m == bmax).count() == 1 {
+                miss.iter().position(|&m| m == bmax)
+            } else {
+                None
+            });
+        }
+        if !any_present || best.len() < 2 {
+            continue;
+        }
+        st.ases += 1;
+        if best.iter().all(|b| b.is_some()) && best.iter().all(|&b| b == best[0]) {
+            st.consistent_best += 1;
+        }
+        if worst.iter().all(|w| w.is_some()) && worst.iter().all(|&w| w == worst[0]) {
+            st.consistent_worst += 1;
+            st.worst_origin_counts[worst[0].expect("checked")] += 1;
+        }
+        // §5.1's flip: the strict best origin of one trial is the strict
+        // worst of a different trial.
+        let flips = (0..best.len()).any(|t1| {
+            best[t1].is_some_and(|b| {
+                (0..worst.len()).any(|t2| t1 != t2 && worst[t2] == Some(b))
+            })
+        });
+        if flips {
+            st.best_flips_to_worst += 1;
+        }
+    }
+    st
+}
+
+/// Country breakdown of the hosts in ASes for which `origin` is the
+/// consistent worst (Fig 11b).
+pub fn consistent_worst_countries(
+    world: &World,
+    panel: &Panel,
+    origin_idx: usize,
+    min_hosts: usize,
+) -> Vec<(Country, usize)> {
+    let trials = panel.trials;
+    let n_origins = panel.origins.len();
+    let mut hosts_by_as: HashMap<u32, Vec<usize>> = HashMap::new();
+    for u in 0..panel.len() {
+        hosts_by_as.entry(world.as_index_of(panel.addrs[u])).or_default().push(u);
+    }
+    let mut counts: HashMap<Country, usize> = HashMap::new();
+    for (_, hosts) in hosts_by_as {
+        if hosts.len() < min_hosts {
+            continue;
+        }
+        let mut worst = Vec::new();
+        for t in 0..trials {
+            let bit = 1u8 << t;
+            let mut miss = vec![0usize; n_origins];
+            for &u in &hosts {
+                if panel.present[u] & bit == 0 {
+                    continue;
+                }
+                for (oi, m) in miss.iter_mut().enumerate() {
+                    if panel.seen[oi][u] & bit == 0
+                        && classify(panel, oi, u) == Class::Transient
+                    {
+                        *m += 1;
+                    }
+                }
+            }
+            let bmax = *miss.iter().max().expect("non-empty");
+            // Require a strict worst to avoid ties counting as "consistent".
+            if miss.iter().filter(|&&m| m == bmax).count() == 1 && bmax > 0 {
+                worst.push(miss.iter().position(|&m| m == bmax).unwrap());
+            } else {
+                worst.push(usize::MAX);
+            }
+        }
+        if worst.iter().all(|&w| w == origin_idx) {
+            for &u in &hosts {
+                *counts.entry(world.country_of(panel.addrs[u])).or_default() += 1;
+            }
+        }
+    }
+    let mut v: Vec<(Country, usize)> = counts.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Experiment, ExperimentConfig};
+    use originscan_netmodel::{OriginId, Protocol, WorldConfig};
+
+    fn setup(world: &World, proto: Protocol) -> Panel {
+        let cfg = ExperimentConfig {
+            origins: OriginId::MAIN.to_vec(),
+            protocols: vec![proto],
+            trials: 3,
+            ..Default::default()
+        };
+        Experiment::new(world, cfg).run().panel(proto)
+    }
+
+    #[test]
+    fn rates_bounded_and_counts_match() {
+        let world = WorldConfig::tiny(43).build();
+        let p = setup(&world, Protocol::Http);
+        for a in transient_by_as(&world, &p) {
+            for (r, m) in a.rate.iter().zip(&a.missed) {
+                assert!((0.0..=1.0).contains(r));
+                assert!(*m <= a.hosts);
+            }
+            assert!(a.delta() <= 1.0);
+            assert!(a.ratio() >= 1.0 || a.diff() == 0);
+        }
+    }
+
+    #[test]
+    fn spread_table_sorted_by_diff() {
+        let world = WorldConfig::small(43).build();
+        let p = setup(&world, Protocol::Http);
+        let top = largest_spread_ases(transient_by_as(&world, &p), 100, 6);
+        assert!(top.len() <= 6);
+        assert!(top.windows(2).all(|w| w[0].diff() >= w[1].diff()));
+        // The big spread ASes should include a China or special-path AS.
+        let names: Vec<&str> = top.iter().map(|a| a.as_name.as_str()).collect();
+        assert!(
+            names.iter().any(|n| n.contains("Alibaba")
+                || n.contains("China")
+                || n.contains("Telecom Italia")
+                || n.contains("ABCDE")
+                || n.contains("Tencent")),
+            "top spread ASes: {names:?}"
+        );
+    }
+
+    #[test]
+    fn stability_fractions_sane() {
+        let world = WorldConfig::small(43).build();
+        let p = setup(&world, Protocol::Http);
+        let st = origin_stability(&world, &p, 10);
+        assert!(st.ases > 20);
+        assert!(st.consistent_best <= st.ases);
+        assert!(st.consistent_worst <= st.ases);
+        // §5.1: best origins are unstable — fewer than 5% of ASes keep a
+        // consistent (strictly unique) best across trials. We allow a bit
+        // more at reduced scale.
+        assert!(
+            (st.consistent_best as f64) < 0.20 * st.ases as f64,
+            "consistent best {} of {}",
+            st.consistent_best,
+            st.ases
+        );
+        // Flips exist (about 23% of ASes in the paper) but are not
+        // universal.
+        let flip_frac = st.best_flips_to_worst as f64 / st.ases as f64;
+        assert!(
+            (0.01..0.7).contains(&flip_frac),
+            "flip fraction {flip_frac} ({} of {})",
+            st.best_flips_to_worst,
+            st.ases
+        );
+    }
+
+    #[test]
+    fn australia_often_consistent_worst() {
+        let world = WorldConfig::small(43).build();
+        let p = setup(&world, Protocol::Http);
+        let st = origin_stability(&world, &p, 10);
+        let au = p.origins.iter().position(|&o| o == OriginId::Australia).unwrap();
+        let total: usize = st.worst_origin_counts.iter().sum();
+        if total >= 5 {
+            let au_share = st.worst_origin_counts[au] as f64 / total as f64;
+            assert!(
+                au_share >= 0.25,
+                "AU consistent-worst share {au_share} ({:?})",
+                st.worst_origin_counts
+            );
+        }
+    }
+
+    #[test]
+    fn au_worst_countries_include_russia_or_kazakhstan() {
+        let world = WorldConfig::small(43).build();
+        let p = setup(&world, Protocol::Http);
+        let au = p.origins.iter().position(|&o| o == OriginId::Australia).unwrap();
+        let cc = consistent_worst_countries(&world, &p, au, 10);
+        if !cc.is_empty() {
+            let names: Vec<&str> = cc.iter().take(4).map(|(c, _)| c.code()).collect();
+            assert!(
+                names.contains(&"RU") || names.contains(&"KZ") || names.contains(&"US"),
+                "AU-worst countries: {names:?}"
+            );
+        }
+    }
+}

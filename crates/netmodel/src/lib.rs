@@ -1,0 +1,48 @@
+//! # originscan-netmodel
+//!
+//! A deterministic synthetic Internet for reproducing "On the Origin of
+//! Scanning" (IMC 2020) without seven vantage points or permission to
+//! probe four billion strangers.
+//!
+//! The real study scans the live IPv4 space; we substitute a scaled,
+//! generated universe in which *every causal mechanism the paper
+//! identifies is modelled explicitly*:
+//!
+//! * [`world`] / [`asn`] / [`geo`] — countries, Zipf-sized categorized
+//!   ASes (including ~40 *named* ASes the paper's findings hinge on),
+//!   /24-granular geolocation (with multi-country providers and anycast
+//!   noise), per-category service densities, trial-to-trial churn.
+//! * [`origin`] — the seven main vantage points plus the §7 follow-up
+//!   origins, each with geography, site collocation, source-IP count, and
+//!   scanning reputation.
+//! * [`path`] — correlated transient loss, independent packet drop, and
+//!   persistent unreachability per (origin, AS, trial).
+//! * [`burst`] — hour-scale localized outages (§5.3).
+//! * [`policy`] — reputation blocking, geographic restrictions,
+//!   rate-triggered IDS, Alibaba's temporal SSH RST, and OpenSSH
+//!   `MaxStartups` refusals (§4, §6).
+//! * [`netimpl`] — ties it all together behind the scanner's
+//!   [`originscan_scanner::target::Network`] trait.
+//! * [`rng`] — the counter-based determinism everything relies on.
+//!
+//! Determinism contract: any two evaluations with the same `WorldConfig`
+//! agree on every observable, regardless of threading or call order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asn;
+pub mod burst;
+pub mod geo;
+pub mod host;
+pub mod netimpl;
+pub mod origin;
+pub mod path;
+pub mod policy;
+pub mod rng;
+pub mod world;
+
+pub use host::Protocol;
+pub use netimpl::SimNet;
+pub use origin::{OriginId, OriginSpec, Reputation};
+pub use world::{World, WorldConfig};

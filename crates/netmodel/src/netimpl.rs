@@ -1,0 +1,353 @@
+//! `SimNet`: the simulated Internet as seen through a scanner's NIC.
+//!
+//! Implements [`originscan_scanner::target::Network`] for a [`World`]: a
+//! SYN probe traverses, in order, host existence → churn → long-term
+//! policy → persistent path failure → temporal blocking (IDS) → burst
+//! outages → correlated transient flakiness → independent packet drop.
+//! The L7 handshake re-derives the same state (the keys exclude the probe
+//! index, so both probes and the L7 connection agree on the host's fate)
+//! and then applies the SSH-specific mechanisms (Alibaba RST,
+//! MaxStartups) before serving protocol-correct bytes produced with the
+//! `originscan-wire` codecs.
+
+use crate::burst;
+use crate::host::{self, Protocol};
+use crate::origin::OriginId;
+use crate::path;
+use crate::policy::{self, alibaba, geo_restrict, ids, maxstartups, Block};
+use crate::rng::Tag;
+use crate::world::World;
+use originscan_scanner::target::{CloseKind, L7Ctx, L7Reply, Network, ProbeCtx, SynReply};
+use originscan_wire::tcp::TcpHeader;
+
+/// The simulated network an experiment scans.
+#[derive(Debug, Clone, Copy)]
+pub struct SimNet<'w> {
+    world: &'w World,
+    /// Maps the scanner's opaque `ctx.origin` index to an origin.
+    origins: &'w [OriginId],
+    /// Simulated scan duration (time normalization for temporal models).
+    duration_s: f64,
+}
+
+/// Probability that an address hosting a *different* protocol's service
+/// answers this port with a RST (machine up, port closed).
+const CLOSED_PORT_RST_P: f64 = 0.20;
+
+impl<'w> SimNet<'w> {
+    /// Wrap a world for scanning by the given origin roster.
+    pub fn new(world: &'w World, origins: &'w [OriginId], duration_s: f64) -> Self {
+        assert!(!origins.is_empty());
+        assert!(duration_s > 0.0);
+        Self { world, origins, duration_s }
+    }
+
+    /// The wrapped world.
+    pub fn world(&self) -> &'w World {
+        self.world
+    }
+
+    /// The scan duration used for temporal models.
+    pub fn duration_s(&self) -> f64 {
+        self.duration_s
+    }
+
+    fn origin(&self, idx: u16) -> OriginId {
+        self.origins[idx as usize]
+    }
+
+    /// Shared host-state decision: is the host reachable from this origin
+    /// at this time, and if not, how does the failure manifest?
+    fn host_state(
+        &self,
+        o: OriginId,
+        addr: u32,
+        proto: Protocol,
+        trial: u8,
+        time_s: f64,
+    ) -> HostState {
+        let w = self.world;
+        if !w.is_host(proto, addr) {
+            // Machine may still exist running another service: closed port.
+            let other_service = Protocol::ALL
+                .into_iter()
+                .any(|p| p != proto && w.is_host(p, addr) && w.alive(p, addr, trial));
+            if other_service
+                && w.det().bernoulli(Tag::ClosedPort, &[u64::from(addr), host::proto_key(proto)], CLOSED_PORT_RST_P)
+            {
+                return HostState::ClosedPort;
+            }
+            return HostState::Absent;
+        }
+        if !w.alive(proto, addr, trial) {
+            return HostState::Absent;
+        }
+        let asr = w.as_of(addr);
+        match policy::block_status(w, o, addr, proto, trial) {
+            Block::DropL4 => return HostState::SilentlyFiltered,
+            Block::DropL7 => return HostState::L7Filtered,
+            Block::None => {}
+        }
+        if ids::blocked(w, o, asr, proto, trial, time_s, self.duration_s) {
+            return HostState::SilentlyFiltered;
+        }
+        let params = path::path_params(w, o, asr, proto, trial);
+        if path::host_persistent_unreachable(w, o, addr, params.persistent_f) {
+            return HostState::SilentlyFiltered;
+        }
+        if burst::in_burst(w, o, addr, asr.index, proto, trial, time_s, self.duration_s) {
+            return HostState::TransientlyDown;
+        }
+        if path::host_flaky(w, o, addr, proto, trial, time_s, params.flaky_q) {
+            return HostState::TransientlyDown;
+        }
+        HostState::Reachable { drop_p: params.drop_p, flaky_q: params.flaky_q }
+    }
+}
+
+/// Reachability state of an address for one (origin, protocol, trial).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum HostState {
+    /// No such host (or offline this trial).
+    Absent,
+    /// Machine up, this port closed: answers RST.
+    ClosedPort,
+    /// Long-term filtered at L4, or persistently unreachable.
+    SilentlyFiltered,
+    /// Long-term filtered, but the filter acts above TCP.
+    L7Filtered,
+    /// Transiently down for this origin for the whole scan.
+    TransientlyDown,
+    /// Reachable, subject to independent per-probe drop.
+    Reachable {
+        /// Per-probe independent drop probability.
+        drop_p: f64,
+        /// The flakiness level (reused for L7-stage failures).
+        flaky_q: f64,
+    },
+}
+
+impl Network for SimNet<'_> {
+    fn syn(&self, ctx: &ProbeCtx, probe: &TcpHeader) -> SynReply {
+        let o = self.origin(ctx.origin);
+        match self.host_state(o, ctx.dst, ctx.protocol, ctx.trial, ctx.time_s) {
+            HostState::Absent | HostState::SilentlyFiltered | HostState::TransientlyDown => {
+                SynReply::Silent
+            }
+            HostState::ClosedPort => SynReply::Rst(TcpHeader::rst_reply(probe)),
+            HostState::L7Filtered | HostState::Reachable { .. } => {
+                let drop_p = match self.host_state(o, ctx.dst, ctx.protocol, ctx.trial, ctx.time_s)
+                {
+                    HostState::Reachable { drop_p, .. } => drop_p,
+                    _ => 0.0,
+                };
+                // The probe (or its reply) can still drop independently.
+                if path::probe_drops(
+                    self.world,
+                    o,
+                    ctx.dst,
+                    ctx.protocol,
+                    ctx.trial,
+                    ctx.probe_idx,
+                    drop_p,
+                ) {
+                    return SynReply::Silent;
+                }
+                let isn = self.world.det().hash(
+                    Tag::ServerAttr,
+                    &[99, u64::from(ctx.dst), u64::from(ctx.trial)],
+                ) as u32;
+                SynReply::SynAck(TcpHeader::syn_ack_reply(probe, isn))
+            }
+        }
+    }
+
+    fn l7(&self, ctx: &L7Ctx, _request: &[u8]) -> L7Reply {
+        let w = self.world;
+        let o = self.origin(ctx.origin);
+        let addr = ctx.dst;
+        let proto = ctx.protocol;
+        match self.host_state(o, addr, proto, ctx.trial, ctx.time_s) {
+            HostState::Absent | HostState::SilentlyFiltered | HostState::TransientlyDown => {
+                // The engine only calls l7 after a SYN-ACK; if the state
+                // says unreachable, the connection stalls out.
+                L7Reply::Timeout
+            }
+            HostState::ClosedPort => L7Reply::ConnClosed(CloseKind::Rst),
+            HostState::L7Filtered => L7Reply::Timeout,
+            HostState::Reachable { flaky_q, .. } => {
+                let asr = w.as_of(addr);
+                // L7-stage transient failure: the host is in this state
+                // for the whole scan (attempt-independent), so it is
+                // checked before the per-attempt mechanisms below —
+                // otherwise retries would flip hosts between failure
+                // categories. §6 contrasts the close/drop mix: most
+                // transiently lost HTTP(S) hosts drop silently, some fail
+                // here after the TCP handshake.
+                if path::l7_flaky(w, o, addr, proto, ctx.trial, flaky_q) {
+                    let u = w.det().uniform(
+                        Tag::CloseKind,
+                        &[7, u64::from(addr), u64::from(ctx.trial), o.key()],
+                    );
+                    return if u < 0.55 {
+                        L7Reply::Timeout
+                    } else if u < 0.80 {
+                        L7Reply::ConnClosed(CloseKind::Rst)
+                    } else {
+                        L7Reply::ConnClosed(CloseKind::FinAck)
+                    };
+                }
+                // Alibaba's temporal SSH blocking: RST right after the
+                // TCP handshake, network-wide.
+                if proto == Protocol::Ssh
+                    && alibaba::rst_after_handshake(w, o, asr, ctx.trial, ctx.time_s, self.duration_s)
+                {
+                    return L7Reply::ConnClosed(CloseKind::Rst);
+                }
+                // MaxStartups probabilistic refusal (per attempt).
+                if proto == Protocol::Ssh
+                    && maxstartups::refuses(
+                        w,
+                        o,
+                        asr,
+                        addr,
+                        ctx.trial,
+                        ctx.attempt,
+                        ctx.concurrent_origins,
+                    )
+                {
+                    // sshd usually closes the TCP connection cleanly.
+                    let kind = if w.det().bernoulli(
+                        Tag::CloseKind,
+                        &[u64::from(addr), u64::from(ctx.attempt)],
+                        0.85,
+                    ) {
+                        CloseKind::FinAck
+                    } else {
+                        CloseKind::Rst
+                    };
+                    return L7Reply::ConnClosed(kind);
+                }
+                // Success: serve protocol-correct bytes.
+                let asr_tags_br_only = geo_restrict::is_br_only_page_host(asr);
+                match proto {
+                    Protocol::Http => {
+                        let (code, reason, body) = if asr_tags_br_only {
+                            (403u16, "Forbidden", "Blocked Site")
+                        } else {
+                            (host::http_status(w.det(), addr), "OK", "")
+                        };
+                        let line = originscan_wire::http::StatusLine {
+                            minor_version: 1,
+                            code,
+                            reason: reason.to_string(),
+                        };
+                        L7Reply::Data(line.emit(body))
+                    }
+                    Protocol::Https => {
+                        let sh = originscan_wire::tls::ServerHello {
+                            version: originscan_wire::tls::VERSION_TLS12,
+                            cipher_suite: host::tls_cipher(w.det(), addr),
+                        };
+                        L7Reply::Data(sh.emit(u64::from(addr)))
+                    }
+                    Protocol::Ssh => {
+                        L7Reply::Data(host::ssh_banner(host::ssh_impl(w.det(), addr)))
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use originscan_scanner::engine::{run_scan, ScanConfig};
+
+    fn world() -> World {
+        WorldConfig::tiny(99).build()
+    }
+
+    const MAIN: &[OriginId] = &[
+        OriginId::Australia,
+        OriginId::Brazil,
+        OriginId::Germany,
+        OriginId::Japan,
+        OriginId::Us1,
+        OriginId::Us64,
+        OriginId::Censys,
+    ];
+
+    fn scan(w: &World, origin_idx: u16, proto: Protocol, trial: u8) -> originscan_scanner::ScanOutput {
+        let net = SimNet::new(w, MAIN, 75_600.0);
+        let mut cfg = ScanConfig::new(w.space(), proto, 1000 + u64::from(trial));
+        cfg.origin = origin_idx;
+        cfg.trial = trial;
+        cfg.concurrent_origins = MAIN.len() as u8;
+        cfg.wire_check = true;
+        run_scan(&net, &cfg)
+    }
+
+    #[test]
+    fn end_to_end_scan_sees_most_hosts() {
+        let w = world();
+        let out = scan(&w, 4, Protocol::Http, 0); // US1
+        let deployed_alive = w
+            .hosts(Protocol::Http)
+            .iter()
+            .filter(|&&h| w.alive(Protocol::Http, h, 0))
+            .count();
+        let seen = out.records.iter().filter(|r| r.l7_success()).count();
+        let frac = seen as f64 / deployed_alive as f64;
+        assert!(frac > 0.85, "US1 saw only {frac} of live HTTP hosts");
+        assert!(frac < 1.0, "some loss must occur");
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let w = world();
+        let a = scan(&w, 0, Protocol::Ssh, 1);
+        let b = scan(&w, 0, Protocol::Ssh, 1);
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn censys_sees_fewer_http_hosts_than_japan() {
+        let w = world();
+        let cen = scan(&w, 6, Protocol::Http, 0).summary.l7_successes;
+        let jp = scan(&w, 3, Protocol::Http, 0).summary.l7_successes;
+        assert!(cen < jp, "Censys {cen} vs Japan {jp}");
+    }
+
+    #[test]
+    fn ssh_lossier_than_http() {
+        let w = world();
+        let live = |p: Protocol| {
+            w.hosts(p).iter().filter(|&&h| w.alive(p, h, 0)).count() as f64
+        };
+        let frac = |p: Protocol, idx: u16| {
+            scan(&w, idx, p, 0).summary.l7_successes as f64 / live(p)
+        };
+        let http = frac(Protocol::Http, 3);
+        let ssh = frac(Protocol::Ssh, 3);
+        assert!(ssh < http, "SSH coverage {ssh} should trail HTTP {http}");
+    }
+
+    #[test]
+    fn closed_ports_produce_validated_rsts() {
+        let w = world();
+        let out = scan(&w, 4, Protocol::Ssh, 0);
+        let rst_only = out.records.iter().filter(|r| r.got_rst && !r.l4_responsive()).count();
+        assert!(rst_only > 0, "expected some closed-port RSTs");
+    }
+
+    #[test]
+    fn l7_replies_parse_with_wire_codecs() {
+        let w = world();
+        let out = scan(&w, 1, Protocol::Https, 2);
+        let ok = out.records.iter().filter(|r| r.l7_success()).count();
+        assert!(ok > 0, "TLS handshakes should complete (codec round-trip)");
+    }
+}

@@ -1,0 +1,99 @@
+//! Destination-side policies: everything that *deliberately* hides hosts
+//! from particular scan origins.
+//!
+//! §4 of the paper decomposes long-term inaccessibility into reputation
+//! blocking ([`reputation`]), geographic restrictions ([`geo_restrict`]),
+//! and rate-triggered intrusion detection ([`ids`]); §6 adds the two
+//! SSH-specific mechanisms ([`alibaba`], [`maxstartups`]). Each module
+//! implements one mechanism; [`block_status`] combines the long-term ones
+//! into a single verdict for the network implementation.
+
+pub mod alibaba;
+pub mod geo_restrict;
+pub mod ids;
+pub mod maxstartups;
+pub mod reputation;
+
+use crate::host::Protocol;
+use crate::origin::OriginId;
+use crate::rng::Tag;
+use crate::world::World;
+
+/// Long-term blocking verdict for one (origin, host) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Block {
+    /// Not blocked.
+    None,
+    /// Dropped at layer 4: the SYN is silently discarded (92 % of
+    /// long-term-inaccessible HTTP(S) hosts are L4-unresponsive).
+    DropL4,
+    /// Allowed through the TCP handshake but the application connection
+    /// goes nowhere (the remaining ~8 %: L7-level filtering).
+    DropL7,
+}
+
+/// Combined long-term blocking decision (reputation + geography).
+///
+/// Temporal mechanisms (IDS, Alibaba) and probabilistic ones
+/// (MaxStartups) are separate because they depend on scan time, trial, or
+/// attempt; the network implementation consults them directly.
+pub fn block_status(
+    world: &World,
+    origin: OriginId,
+    addr: u32,
+    proto: Protocol,
+    trial: u8,
+) -> Block {
+    let asr = world.as_of(addr);
+    let blocked = reputation::blocks(world, origin, asr, addr, proto, trial)
+        || geo_restrict::blocks(world, origin, asr, addr);
+    if !blocked {
+        return Block::None;
+    }
+    // Split blocked hosts into L4-silent vs L7-filtered, stably per host.
+    if world.det().bernoulli(Tag::Block, &[90, u64::from(addr)], 0.92) {
+        Block::DropL4
+    } else {
+        Block::DropL7
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    #[test]
+    fn block_split_mostly_l4() {
+        let world = WorldConfig::tiny(8).build();
+        // Pick hosts in an AS that blocks Censys outright.
+        let dxtl = world.as_by_name("DXTL Tseung Kwan O Service").unwrap();
+        let lo = dxtl.first_slash24 * 256;
+        let hi = lo + dxtl.n_slash24 * 256;
+        let mut l4 = 0u32;
+        let mut l7 = 0u32;
+        let mut none = 0u32;
+        for addr in lo..hi {
+            match block_status(&world, OriginId::Censys, addr, Protocol::Http, 0) {
+                Block::DropL4 => l4 += 1,
+                Block::DropL7 => l7 += 1,
+                Block::None => none += 1,
+            }
+        }
+        // DXTL blocks >99.99% of hosts; a stray unblocked address is fine.
+        assert!(none <= 1, "DXTL must block Censys almost everywhere ({none} open)");
+        let frac = f64::from(l4) / f64::from(l4 + l7);
+        assert!((frac - 0.92).abs() < 0.05, "L4 fraction {frac}");
+    }
+
+    #[test]
+    fn unblocked_origin_sees_none() {
+        let world = WorldConfig::tiny(8).build();
+        let dxtl = world.as_by_name("DXTL Tseung Kwan O Service").unwrap();
+        let addr = dxtl.first_slash24 * 256 + 7;
+        assert_eq!(
+            block_status(&world, OriginId::Japan, addr, Protocol::Http, 0),
+            Block::None
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests: world-generation invariants must hold for every seed.
+
+use originscan_netmodel::policy::{self, Block};
+use originscan_netmodel::{OriginId, Protocol, WorldConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The /24 space is fully allocated to ASes, contiguously.
+    #[test]
+    fn space_fully_allocated(seed: u64) {
+        let w = WorldConfig::tiny(seed).build();
+        let mut next = 0u32;
+        for a in &w.ases {
+            prop_assert_eq!(a.first_slash24, next);
+            next += a.n_slash24;
+        }
+        prop_assert_eq!(next, w.config.slash24s);
+    }
+
+    /// Host lists are sorted, deduplicated, and inside the space.
+    #[test]
+    fn host_lists_well_formed(seed: u64) {
+        let w = WorldConfig::tiny(seed).build();
+        for p in Protocol::ALL {
+            let hosts = w.hosts(p);
+            prop_assert!(hosts.windows(2).all(|x| x[0] < x[1]));
+            prop_assert!(hosts.iter().all(|&h| u64::from(h) < w.space()));
+            for &h in hosts.iter().step_by(7) {
+                prop_assert!(w.is_host(p, h));
+            }
+        }
+    }
+
+    /// Long-term block decisions are stable across trials for non-ramping
+    /// policies, and the L4/L7 manifestation is stable per host.
+    #[test]
+    fn blocking_is_a_function_of_identity(seed: u64, addr_salt in 0u32..1000) {
+        let w = WorldConfig::tiny(seed).build();
+        let addr = addr_salt % (w.space() as u32);
+        for o in [OriginId::Censys, OriginId::Brazil, OriginId::Us64] {
+            let a = policy::block_status(&w, o, addr, Protocol::Https, 0);
+            let b = policy::block_status(&w, o, addr, Protocol::Https, 0);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// US1 and US64 share address-space reputation: any *reputation*
+    /// block that hits one hits the other (their differences come from
+    /// IDS evasion and path randomness, not static blocking).
+    #[test]
+    fn us1_us64_share_static_blocking(seed: u64, addr_salt in 0u32..4000) {
+        let w = WorldConfig::tiny(seed).build();
+        let addr = addr_salt % (w.space() as u32);
+        let a = policy::block_status(&w, OriginId::Us1, addr, Protocol::Http, 1);
+        let b = policy::block_status(&w, OriginId::Us64, addr, Protocol::Http, 1);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Censys never sees DXTL; everyone who is not Censys-reputation does
+    /// (modulo the independent per-host channel).
+    #[test]
+    fn dxtl_invariant(seed: u64) {
+        let w = WorldConfig::tiny(seed).build();
+        let dxtl = w.as_by_name("DXTL Tseung Kwan O Service").unwrap();
+        let lo = dxtl.first_slash24 * 256;
+        let blocked = (lo..lo + 256)
+            .filter(|&a| policy::block_status(&w, OriginId::Censys, a, Protocol::Http, 0) != Block::None)
+            .count();
+        prop_assert!(blocked >= 255, "{blocked}/256 blocked");
+    }
+
+    /// Worlds with different seeds differ somewhere observable.
+    #[test]
+    fn seeds_matter(seed in 0u64..1_000_000) {
+        let a = WorldConfig::tiny(seed).build();
+        let b = WorldConfig::tiny(seed + 1).build();
+        prop_assert_ne!(a.hosts(Protocol::Http), b.hosts(Protocol::Http));
+    }
+}

@@ -1,0 +1,383 @@
+//! ZMap's address-iteration scheme: a random permutation of the scanned
+//! address space from a cyclic multiplicative group.
+//!
+//! ZMap scans addresses in a pseudorandom order so probes to any single
+//! destination network are spread across the whole scan (avoiding
+//! saturating links and tripping rate alarms), while using O(1) state: it
+//! iterates the multiplicative group of integers modulo a prime `p`
+//! slightly larger than the address space, `x_{i+1} = g · x_i mod p`,
+//! where `g` is a generator of the group. Every integer in `[1, p-1]`
+//! appears exactly once per cycle; values beyond the space are skipped.
+//!
+//! Real ZMap fixes `p = 2^32 + 15`. Our simulated universes are smaller
+//! and configurable, so [`Cycle::new`] finds the smallest prime ≥ the
+//! requested size + 1 and derives a deterministic generator from the scan
+//! seed. Two scanners constructed with the same `(size, seed)` visit
+//! addresses in the identical order — the paper's synchronized multi-origin
+//! methodology depends on exactly this property.
+
+/// Deterministic Miller-Rabin primality test, exact for all `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^s.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        s += 1;
+    }
+    // This witness set is exact for n < 3.3 * 10^24 (covers u64).
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = mod_pow(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mod_mul(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// `(a * b) mod m` without overflow.
+#[inline]
+pub fn mod_mul(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `base^exp mod m` by square-and-multiply.
+pub fn mod_pow(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    if m == 1 {
+        return 0;
+    }
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mod_mul(acc, base, m);
+        }
+        base = mod_mul(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Smallest prime ≥ `n`.
+pub fn next_prime(mut n: u64) -> u64 {
+    if n <= 2 {
+        return 2;
+    }
+    if n.is_multiple_of(2) {
+        n += 1;
+    }
+    while !is_prime(n) {
+        n += 2;
+    }
+    n
+}
+
+/// Distinct prime factors by trial division (sufficient for the ≤ 2^34
+/// group orders we construct).
+pub fn prime_factors(mut n: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut d = 2u64;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            out.push(d);
+            while n.is_multiple_of(d) {
+                n /= d;
+            }
+        }
+        d += if d == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// Find the smallest primitive root modulo prime `p`.
+pub fn primitive_root(p: u64) -> u64 {
+    if p == 2 {
+        return 1;
+    }
+    let factors = prime_factors(p - 1);
+    'cand: for g in 2..p {
+        for &q in &factors {
+            if mod_pow(g, (p - 1) / q, p) == 1 {
+                continue 'cand;
+            }
+        }
+        return g;
+    }
+    unreachable!("every prime has a primitive root");
+}
+
+/// A full-cycle pseudorandom permutation of `0..size`.
+#[derive(Debug, Clone)]
+pub struct Cycle {
+    /// Number of elements permuted.
+    size: u64,
+    /// The prime modulus (> size).
+    prime: u64,
+    /// Group generator for this scan (seed-derived power of the smallest
+    /// primitive root).
+    generator: u64,
+    /// First group element visited (seed-derived).
+    start: u64,
+}
+
+impl Cycle {
+    /// Construct the permutation of `0..size` determined by `seed`.
+    ///
+    /// Panics if `size` is 0.
+    pub fn new(size: u64, seed: u64) -> Self {
+        assert!(size > 0, "cannot permute an empty space");
+        // Group elements are 1..prime; element e maps to address e-1.
+        let prime = next_prime(size + 1);
+        let root = primitive_root(prime);
+        // A power r^k is itself a generator iff gcd(k, p-1) = 1. Derive k
+        // from the seed and bump it until coprime.
+        let order = prime - 1;
+        let mut k = seed % order;
+        if k == 0 {
+            k = 1;
+        }
+        while gcd(k, order) != 1 {
+            k += 1;
+        }
+        let generator = mod_pow(root, k, prime);
+        // The start point is any element; derive from the seed too.
+        let start = 1 + (seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) % order);
+        Self { size, prime, generator, start }
+    }
+
+    /// Number of addresses in the permuted space.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// The prime modulus chosen for this space.
+    pub fn prime(&self) -> u64 {
+        self.prime
+    }
+
+    /// Iterate the full permutation: yields every value in `0..size`
+    /// exactly once, in pseudorandom order.
+    pub fn iter(&self) -> CycleIter {
+        CycleIter {
+            cycle: self.clone(),
+            current: self.start,
+            remaining_group: self.prime - 1,
+        }
+    }
+
+    /// Iterate one shard of `total` (ZMap's `--shards`/`--shard`):
+    /// shard `i` visits the i-th, (i+total)-th, … elements of the global
+    /// permutation, so shards partition the space exactly.
+    pub fn iter_shard(&self, shard: u64, total: u64) -> ShardIter {
+        assert!(total > 0 && shard < total, "invalid shard spec");
+        // Advance the start by `shard` steps, then step by g^total.
+        let start = mod_mul(self.start, mod_pow(self.generator, shard, self.prime), self.prime);
+        let stride = mod_pow(self.generator, total, self.prime);
+        let order = self.prime - 1;
+        let steps = order / total + u64::from(shard < order % total);
+        ShardIter { prime: self.prime, size: self.size, stride, current: start, remaining: steps }
+    }
+}
+
+/// Iterator over a full [`Cycle`].
+#[derive(Debug, Clone)]
+pub struct CycleIter {
+    cycle: Cycle,
+    current: u64,
+    remaining_group: u64,
+}
+
+impl Iterator for CycleIter {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        while self.remaining_group > 0 {
+            let element = self.current;
+            self.current = mod_mul(self.current, self.cycle.generator, self.cycle.prime);
+            self.remaining_group -= 1;
+            let addr = element - 1;
+            if addr < self.cycle.size {
+                return Some(addr);
+            }
+        }
+        None
+    }
+}
+
+/// Iterator over one shard of a [`Cycle`].
+#[derive(Debug, Clone)]
+pub struct ShardIter {
+    prime: u64,
+    size: u64,
+    stride: u64,
+    current: u64,
+    remaining: u64,
+}
+
+impl Iterator for ShardIter {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        while self.remaining > 0 {
+            let element = self.current;
+            self.current = mod_mul(self.current, self.stride, self.prime);
+            self.remaining -= 1;
+            let addr = element - 1;
+            if addr < self.size {
+                return Some(addr);
+            }
+        }
+        None
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn primality_spot_checks() {
+        assert!(is_prime(2) && is_prime(3) && is_prime(65537));
+        assert!(is_prime(4_294_967_311)); // 2^32 + 15, real ZMap's modulus
+        assert!(!is_prime(1) && !is_prime(0) && !is_prime(4_294_967_297)); // F5 = 641 * 6700417
+        assert!(!is_prime(3215031751)); // strong pseudoprime to bases 2,3,5,7
+    }
+
+    #[test]
+    fn next_prime_values() {
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(90), 97);
+        assert_eq!(next_prime(1 << 16), 65537);
+    }
+
+    #[test]
+    fn factors_of_group_orders() {
+        assert_eq!(prime_factors(65536), vec![2]);
+        assert_eq!(prime_factors(96), vec![2, 3]);
+        assert_eq!(prime_factors(97), vec![97]);
+        assert_eq!(prime_factors(1), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn primitive_root_generates_whole_group() {
+        let p = 101u64;
+        let g = primitive_root(p);
+        let mut seen = HashSet::new();
+        let mut x = 1u64;
+        for _ in 0..p - 1 {
+            x = mod_mul(x, g, p);
+            seen.insert(x);
+        }
+        assert_eq!(seen.len() as u64, p - 1);
+    }
+
+    #[test]
+    fn permutation_is_bijective() {
+        for size in [1u64, 2, 10, 97, 1000, 65536] {
+            let c = Cycle::new(size, 0xfeed);
+            let visited: Vec<u64> = c.iter().collect();
+            assert_eq!(visited.len() as u64, size, "size {size}");
+            let set: HashSet<u64> = visited.iter().copied().collect();
+            assert_eq!(set.len() as u64, size);
+            assert!(visited.iter().all(|&a| a < size));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_order() {
+        let a: Vec<u64> = Cycle::new(5000, 42).iter().collect();
+        let b: Vec<u64> = Cycle::new(5000, 42).iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<u64> = Cycle::new(5000, 1).iter().collect();
+        let b: Vec<u64> = Cycle::new(5000, 2).iter().collect();
+        assert_ne!(a, b);
+        // ... but both are permutations of the same set.
+        let sa: HashSet<u64> = a.into_iter().collect();
+        let sb: HashSet<u64> = b.into_iter().collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn order_is_scrambled() {
+        // Not a strict randomness test: just assert the permutation is far
+        // from the identity (ZMap's whole point).
+        let v: Vec<u64> = Cycle::new(10_000, 7).iter().collect();
+        let in_place = v.iter().enumerate().filter(|(i, &a)| *i as u64 == a).count();
+        assert!(in_place < 10, "{in_place} fixed points is suspicious");
+    }
+
+    #[test]
+    fn shards_partition_space() {
+        let c = Cycle::new(10_007, 99);
+        for total in [1u64, 2, 3, 7] {
+            let mut all = Vec::new();
+            for s in 0..total {
+                all.extend(c.iter_shard(s, total));
+            }
+            assert_eq!(all.len() as u64, c.size(), "total {total}");
+            let set: HashSet<u64> = all.into_iter().collect();
+            assert_eq!(set.len() as u64, c.size());
+        }
+    }
+
+    #[test]
+    fn shard_zero_of_one_equals_full_iteration() {
+        let c = Cycle::new(4096, 5);
+        let full: Vec<u64> = c.iter().collect();
+        let sharded: Vec<u64> = c.iter_shard(0, 1).collect();
+        assert_eq!(full, sharded);
+    }
+
+    #[test]
+    fn shards_interleave_global_order() {
+        let c = Cycle::new(977, 3);
+        let full: Vec<u64> = c.iter().collect();
+        let s0: Vec<u64> = c.iter_shard(0, 2).collect();
+        let s1: Vec<u64> = c.iter_shard(1, 2).collect();
+        // Shard elements appear in the same relative order as the full
+        // permutation (the skip of out-of-range group elements makes exact
+        // even/odd positions unaligned, so check subsequence order).
+        assert!(is_subsequence(&s0, &full));
+        assert!(is_subsequence(&s1, &full));
+    }
+
+    fn is_subsequence(sub: &[u64], full: &[u64]) -> bool {
+        let mut it = full.iter();
+        sub.iter().all(|s| it.any(|f| f == s))
+    }
+}

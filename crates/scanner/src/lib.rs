@@ -1,0 +1,40 @@
+//! # originscan-scanner
+//!
+//! A ZMap + ZGrab style scanning pipeline, generic over the network it
+//! probes.
+//!
+//! The paper's methodology (§2) runs, from each origin, a ZMap TCP SYN
+//! scan of the full IPv4 space with 2 back-to-back probes per address and
+//! a shared seed across origins, immediately followed by a ZGrab
+//! application-layer handshake with every L4-responsive host. This crate
+//! reimplements that pipeline:
+//!
+//! * [`cyclic`] — ZMap's O(1)-state pseudorandom address permutation over
+//!   a multiplicative cyclic group, with shard support.
+//! * [`blocklist`] — CIDR exclusion lists, synchronized across origins.
+//! * [`rate`] — token-bucket pacing mapped onto simulated time.
+//! * [`target`] — the [`target::Network`] trait the scanner probes
+//!   through (implemented by `originscan-netmodel` for the simulated
+//!   Internet), plus probe/reply types.
+//! * [`engine`] — the scan loop: stateless validation-tagged SYNs,
+//!   validated-reply collection, L7 follow-up.
+//! * [`zgrab`] — HTTP / TLS / SSH handshake drivers with the retry policy
+//!   §6 of the paper evaluates.
+//! * [`output`] — ZMap-style CSV serialization of scan records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocklist;
+pub mod cyclic;
+pub mod engine;
+pub mod output;
+pub mod rate;
+pub mod target;
+pub mod zgrab;
+
+pub use blocklist::{Blocklist, Cidr};
+pub use cyclic::Cycle;
+pub use engine::{run_scan, HostScanRecord, ScanConfig, ScanOutput, ScanSummary};
+pub use target::{CloseKind, L7Ctx, L7Reply, Network, ProbeCtx, Protocol, SynReply};
+pub use zgrab::{GrabResult, L7Detail, L7Outcome, SshSoftware};

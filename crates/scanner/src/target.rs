@@ -1,0 +1,151 @@
+//! The boundary between the scanner and the network it probes.
+//!
+//! The scanner is generic over a [`Network`]: the live Internet for real
+//! ZMap, or the deterministic simulated Internet in `originscan-netmodel`
+//! here. The trait is synchronous and `&self` — implementations must be
+//! pure functions of the probe context (plus their own precomputed state),
+//! which is what makes whole experiments reproducible and trivially
+//! parallelizable.
+
+use originscan_wire::tcp::TcpHeader;
+
+/// Scanned application protocols, with their well-known ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Protocol {
+    /// HTTP on TCP/80 (`GET /`).
+    Http,
+    /// HTTPS on TCP/443 (TLS 1.2 ClientHello → ServerHello).
+    Https,
+    /// SSH on TCP/22 (identification-string exchange).
+    Ssh,
+}
+
+impl Protocol {
+    /// The destination port probed for this protocol.
+    pub fn port(self) -> u16 {
+        match self {
+            Protocol::Http => 80,
+            Protocol::Https => 443,
+            Protocol::Ssh => 22,
+        }
+    }
+
+    /// All protocols the study scans, in the paper's order.
+    pub const ALL: [Protocol; 3] = [Protocol::Http, Protocol::Https, Protocol::Ssh];
+
+    /// Short display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Http => "HTTP",
+            Protocol::Https => "HTTPS",
+            Protocol::Ssh => "SSH",
+        }
+    }
+}
+
+impl core::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything the network needs to know about one SYN probe.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeCtx {
+    /// Opaque origin index assigned by the experiment runner.
+    pub origin: u16,
+    /// Which of the origin's source addresses sent this probe.
+    pub src_ip: u32,
+    /// Destination address (index into the simulated space).
+    pub dst: u32,
+    /// Protocol being scanned (fixes the destination port).
+    pub protocol: Protocol,
+    /// Simulated seconds since the start of the scan.
+    pub time_s: f64,
+    /// Probe sequence within the back-to-back burst (0 or 1).
+    pub probe_idx: u8,
+    /// Trial number (0-based).
+    pub trial: u8,
+}
+
+/// What came back (to the scanner's NIC) in answer to a SYN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynReply {
+    /// A SYN-ACK segment (possibly spoofed — the engine validates it).
+    SynAck(TcpHeader),
+    /// A RST segment: port closed or connection refused by a middlebox.
+    Rst(TcpHeader),
+    /// Nothing: host absent, probe or reply dropped, or silently filtered.
+    Silent,
+}
+
+/// Context for an application-layer handshake attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct L7Ctx {
+    /// Opaque origin index.
+    pub origin: u16,
+    /// Source address used for the connection.
+    pub src_ip: u32,
+    /// Destination address.
+    pub dst: u32,
+    /// Protocol (and so destination port).
+    pub protocol: Protocol,
+    /// Simulated seconds since the start of the scan.
+    pub time_s: f64,
+    /// Trial number (0-based).
+    pub trial: u8,
+    /// Retry attempt number, 0 for the first try.
+    pub attempt: u8,
+    /// Origins concurrently scanning this host (the paper's §6: shared
+    /// seeds mean all origins hit a host near-simultaneously, which raises
+    /// OpenSSH `MaxStartups` refusal rates).
+    pub concurrent_origins: u8,
+}
+
+/// How a TCP connection ended without application data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseKind {
+    /// Peer sent RST after the TCP handshake (Alibaba's SSH blocking).
+    Rst,
+    /// Peer sent FIN-ACK after the TCP handshake (MaxStartups refusals).
+    FinAck,
+}
+
+/// What the application-layer connection produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum L7Reply {
+    /// Bytes from the server (status line / ServerHello / ident string).
+    Data(Vec<u8>),
+    /// The server closed the connection without sending data.
+    ConnClosed(CloseKind),
+    /// The connection timed out (SYN-ACKed at L4, then silence).
+    Timeout,
+}
+
+/// A probed network: answers SYNs and application handshakes.
+pub trait Network: Sync {
+    /// Deliver `probe` (a SYN built by the engine) and return the reply.
+    fn syn(&self, ctx: &ProbeCtx, probe: &TcpHeader) -> SynReply;
+
+    /// Open a connection and send `request`; returns the server's answer.
+    fn l7(&self, ctx: &L7Ctx, request: &[u8]) -> L7Reply;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_match_paper() {
+        assert_eq!(Protocol::Http.port(), 80);
+        assert_eq!(Protocol::Https.port(), 443);
+        assert_eq!(Protocol::Ssh.port(), 22);
+    }
+
+    #[test]
+    fn names_and_order() {
+        let names: Vec<&str> = Protocol::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["HTTP", "HTTPS", "SSH"]);
+        assert_eq!(Protocol::Https.to_string(), "HTTPS");
+    }
+}

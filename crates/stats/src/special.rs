@@ -1,0 +1,283 @@
+//! Special functions: error function, log-gamma, regularized incomplete
+//! gamma. Accuracy targets are modest (~1e-9 relative), which is far more
+//! than the p-value thresholds in the paper (p < 0.001) require.
+
+/// Error function, via the Abramowitz & Stegun 7.1.26-style rational
+/// approximation refined with one continued-fraction correction.
+///
+/// Maximum absolute error ≈ 1.2e-7 from the base approximation; we instead
+/// use the higher-precision series/continued-fraction split on `erf` via
+/// the incomplete gamma identity `erf(x) = P(1/2, x^2)` for x ≥ 0.
+pub fn erf(x: f64) -> f64 {
+    if x < 0.0 {
+        -erf(-x)
+    } else {
+        lower_regularized_gamma(0.5, x * x)
+    }
+}
+
+/// Complementary error function.
+pub fn erfc(x: f64) -> f64 {
+    1.0 - erf(x)
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7, n = 9).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients from the standard g=7, 9-term Lanczos fit.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + 7.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// Regularized lower incomplete gamma function P(a, x).
+///
+/// Uses the series expansion for `x < a + 1` and the continued fraction for
+/// the complement otherwise (Numerical Recipes' `gammp` split).
+pub fn lower_regularized_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "shape must be positive");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+pub fn upper_regularized_gamma(a: f64, x: f64) -> f64 {
+    1.0 - lower_regularized_gamma(a, x)
+}
+
+/// Series representation of P(a, x), valid for x < a + 1.
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued-fraction representation of Q(a, x), valid for x ≥ a + 1
+/// (modified Lentz's method).
+fn gamma_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Regularized incomplete beta function I_x(a, b), via the standard
+/// continued-fraction evaluation (Numerical Recipes `betai`).
+pub fn regularized_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "shapes must be positive");
+    assert!((0.0..=1.0).contains(&x), "x out of [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let front = (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
+        + a * x.ln()
+        + b * (1.0 - x).ln())
+    .exp();
+    // Use the symmetry relation so the continued fraction converges fast.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
+            + a * x.ln()
+            + b * (1.0 - x).ln())
+        .exp()
+            * beta_cf(b, a, 1.0 - x)
+            / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..300 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-14 {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from standard tables.
+        close(erf(0.0), 0.0, 1e-12);
+        close(erf(0.5), 0.5204998778, 1e-8);
+        close(erf(1.0), 0.8427007929, 1e-8);
+        close(erf(2.0), 0.9953222650, 1e-8);
+        close(erf(-1.0), -0.8427007929, 1e-8);
+        close(erf(6.0), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn erfc_complements() {
+        for x in [0.1, 0.7, 1.3, 2.9] {
+            close(erf(x) + erfc(x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_factorials() {
+        // Γ(n) = (n-1)!
+        close(ln_gamma(1.0), 0.0, 1e-10);
+        close(ln_gamma(2.0), 0.0, 1e-10);
+        close(ln_gamma(5.0), 24f64.ln(), 1e-10);
+        close(ln_gamma(11.0), 3628800f64.ln(), 1e-9);
+        // Γ(1/2) = sqrt(pi)
+        close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-10);
+    }
+
+    #[test]
+    fn incomplete_gamma_limits() {
+        close(lower_regularized_gamma(2.5, 0.0), 0.0, 1e-15);
+        close(lower_regularized_gamma(2.5, 1e9), 1.0, 1e-12);
+        // P(1, x) = 1 - e^{-x}
+        for x in [0.2, 1.0, 3.0, 10.0] {
+            close(lower_regularized_gamma(1.0, x), 1.0 - (-x).exp(), 1e-10);
+        }
+    }
+
+    #[test]
+    fn incomplete_gamma_monotone_in_x() {
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let x = i as f64 * 0.2;
+            let p = lower_regularized_gamma(3.0, x);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn beta_reference() {
+        // I_x(1, 1) = x (uniform CDF).
+        for x in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            close(regularized_beta(1.0, 1.0, x), x, 1e-12);
+        }
+        // I_x(2, 2) = 3x^2 - 2x^3.
+        for x in [0.1, 0.4, 0.7] {
+            close(regularized_beta(2.0, 2.0, x), 3.0 * x * x - 2.0 * x * x * x, 1e-10);
+        }
+        // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+        close(
+            regularized_beta(2.5, 0.7, 0.3),
+            1.0 - regularized_beta(0.7, 2.5, 0.7),
+            1e-10,
+        );
+    }
+
+    #[test]
+    fn upper_plus_lower_is_one() {
+        for a in [0.5, 1.0, 4.2] {
+            for x in [0.3, 2.0, 9.0] {
+                close(
+                    lower_regularized_gamma(a, x) + upper_regularized_gamma(a, x),
+                    1.0,
+                    1e-12,
+                );
+            }
+        }
+    }
+}

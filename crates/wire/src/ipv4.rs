@@ -1,0 +1,173 @@
+//! IPv4 header construction and parsing.
+//!
+//! Only the fields a TCP SYN scanner touches are modelled; options are
+//! intentionally unsupported (ZMap never sends them, and the simulated
+//! network never generates them).
+
+use crate::checksum::{self, Accumulator};
+use crate::ParseError;
+
+/// Length of the option-less IPv4 header.
+pub const HEADER_LEN: usize = 20;
+
+/// Default TTL used by the scanner (matches ZMap's default of 255).
+pub const DEFAULT_TTL: u8 = 255;
+
+/// Protocol number for TCP.
+pub const PROTO_TCP: u8 = 6;
+
+/// A parsed or to-be-serialized IPv4 header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Total length of the datagram, header included.
+    pub total_len: u16,
+    /// Identification field (ZMap re-purposes this for debugging; we send 0).
+    pub ident: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol number ([`PROTO_TCP`] for everything we send).
+    pub protocol: u8,
+    /// Source address as a host-order u32.
+    pub src: u32,
+    /// Destination address as a host-order u32.
+    pub dst: u32,
+}
+
+impl Ipv4Header {
+    /// Build a header for a TCP datagram carrying `payload_len` bytes.
+    pub fn for_tcp(src: u32, dst: u32, payload_len: usize) -> Self {
+        Self {
+            total_len: (HEADER_LEN + payload_len) as u16,
+            ident: 0,
+            ttl: DEFAULT_TTL,
+            protocol: PROTO_TCP,
+            src,
+            dst,
+        }
+    }
+
+    /// Serialize into exactly [`HEADER_LEN`] bytes with a valid checksum.
+    pub fn emit(&self) -> [u8; HEADER_LEN] {
+        let mut b = [0u8; HEADER_LEN];
+        b[0] = 0x45; // version 4, IHL 5
+        b[1] = 0; // DSCP/ECN
+        b[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        b[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        b[6..8].copy_from_slice(&[0x40, 0x00]); // DF set, no fragmentation
+        b[8] = self.ttl;
+        b[9] = self.protocol;
+        // checksum at [10..12] computed over the header with the field zeroed
+        b[12..16].copy_from_slice(&self.src.to_be_bytes());
+        b[16..20].copy_from_slice(&self.dst.to_be_bytes());
+        let csum = checksum::checksum(&b);
+        b[10..12].copy_from_slice(&csum.to_be_bytes());
+        b
+    }
+
+    /// Parse and checksum-verify a header from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        if buf.len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        if buf[0] >> 4 != 4 {
+            return Err(ParseError::Malformed);
+        }
+        let ihl = usize::from(buf[0] & 0x0f) * 4;
+        if ihl != HEADER_LEN {
+            // Options unsupported by design.
+            return Err(ParseError::Malformed);
+        }
+        if !checksum::verify(&buf[..HEADER_LEN]) {
+            return Err(ParseError::BadChecksum);
+        }
+        Ok(Self {
+            total_len: u16::from_be_bytes([buf[2], buf[3]]),
+            ident: u16::from_be_bytes([buf[4], buf[5]]),
+            ttl: buf[8],
+            protocol: buf[9],
+            src: u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]),
+            dst: u32::from_be_bytes([buf[16], buf[17], buf[18], buf[19]]),
+        })
+    }
+
+    /// Contribution of the TCP/UDP pseudo-header to a payload checksum.
+    pub fn pseudo_header_sum(&self, payload_len: u16) -> Accumulator {
+        let mut acc = Accumulator::new();
+        acc.add_u32(self.src);
+        acc.add_u32(self.dst);
+        acc.add_u16(u16::from(self.protocol));
+        acc.add_u16(payload_len);
+        acc
+    }
+}
+
+/// Render a host-order u32 as dotted-quad for diagnostics.
+pub fn fmt_addr(addr: u32) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        addr >> 24,
+        (addr >> 16) & 0xff,
+        (addr >> 8) & 0xff,
+        addr & 0xff
+    )
+}
+
+/// Parse a dotted-quad address into a host-order u32.
+pub fn parse_addr(s: &str) -> Option<u32> {
+    let mut parts = s.split('.');
+    let mut addr = 0u32;
+    for _ in 0..4 {
+        let octet: u32 = parts.next()?.parse().ok()?;
+        if octet > 255 {
+            return None;
+        }
+        addr = (addr << 8) | octet;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let h = Ipv4Header::for_tcp(0x0a000001, 0xc0a80101, 24);
+        let bytes = h.emit();
+        let parsed = Ipv4Header::parse(&bytes).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(parsed.total_len as usize, HEADER_LEN + 24);
+    }
+
+    #[test]
+    fn corrupt_checksum_rejected() {
+        let mut bytes = Ipv4Header::for_tcp(1, 2, 0).emit();
+        bytes[15] ^= 0xff;
+        assert_eq!(Ipv4Header::parse(&bytes), Err(ParseError::BadChecksum));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = Ipv4Header::for_tcp(1, 2, 0).emit();
+        assert_eq!(Ipv4Header::parse(&bytes[..10]), Err(ParseError::Truncated));
+    }
+
+    #[test]
+    fn non_v4_rejected() {
+        let mut bytes = Ipv4Header::for_tcp(1, 2, 0).emit();
+        bytes[0] = 0x65;
+        assert_eq!(Ipv4Header::parse(&bytes), Err(ParseError::Malformed));
+    }
+
+    #[test]
+    fn addr_formatting() {
+        assert_eq!(fmt_addr(0xc0a80101), "192.168.1.1");
+        assert_eq!(parse_addr("192.168.1.1"), Some(0xc0a80101));
+        assert_eq!(parse_addr("1.2.3"), None);
+        assert_eq!(parse_addr("1.2.3.256"), None);
+        assert_eq!(parse_addr("1.2.3.4.5"), None);
+    }
+}

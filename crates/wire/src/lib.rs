@@ -1,0 +1,69 @@
+//! # originscan-wire
+//!
+//! Wire-format codecs used by the `originscan` scanner.
+//!
+//! This crate implements, from scratch, the small set of packet formats a
+//! ZMap + ZGrab style scanning pipeline touches:
+//!
+//! * [`ipv4`] — IPv4 header construction and parsing with RFC 1071
+//!   checksums.
+//! * [`tcp`] — TCP header construction and parsing, including the SYN
+//!   probes ZMap emits (MSS option) and the checksum over the IPv4
+//!   pseudo-header.
+//! * [`validation`] — ZMap's stateless *validation* scheme: the scanner
+//!   keeps no per-target state, so it encodes a MAC of the flow 4-tuple in
+//!   the SYN's sequence number and verifies `ack = seq + 1` on the
+//!   SYN-ACK. We implement the MAC with [SipHash-1-3](siphash).
+//! * [`http`] — the `GET /` request and status-line parsing used by the
+//!   HTTP handshake.
+//! * [`tls`] — a minimal TLS 1.2 record/handshake codec: the ClientHello
+//!   (with modern-Chrome cipher suites, as in the paper's methodology) and
+//!   ServerHello parsing.
+//! * [`ssh`] — the SSH identification-string exchange (the paper's SSH
+//!   handshake terminates after the protocol version exchange).
+//! * [`pcap`] — classic libpcap capture files (LINKTYPE_RAW), so
+//!   simulated scans can be inspected in Wireshark/tcpdump.
+//!
+//! Everything here is deterministic, allocation-light, and independent of
+//! the rest of the workspace; the scanner drives these codecs against the
+//! simulated network in `originscan-netmodel`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod http;
+pub mod ipv4;
+pub mod pcap;
+pub mod siphash;
+pub mod ssh;
+pub mod tcp;
+pub mod tls;
+pub mod validation;
+
+pub use ipv4::Ipv4Header;
+pub use tcp::{TcpFlags, TcpHeader};
+pub use validation::Validator;
+
+/// Errors produced when parsing wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer is shorter than the fixed header demands.
+    Truncated,
+    /// A version / magic / length field holds an unsupported value.
+    Malformed,
+    /// The checksum over the buffer does not verify.
+    BadChecksum,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParseError::Truncated => write!(f, "buffer truncated"),
+            ParseError::Malformed => write!(f, "malformed field"),
+            ParseError::BadChecksum => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

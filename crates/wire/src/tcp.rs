@@ -1,0 +1,277 @@
+//! TCP header construction and parsing.
+//!
+//! Supports exactly what a SYN scanner needs: SYN probes carrying an MSS
+//! option (as ZMap sends), and parsing of SYN-ACK / RST / FIN-ACK replies,
+//! with checksums computed over the IPv4 pseudo-header.
+
+use crate::ipv4::Ipv4Header;
+use crate::ParseError;
+
+/// Length of an option-less TCP header.
+pub const HEADER_LEN: usize = 20;
+
+/// Length of the 4-byte MSS option ZMap appends to SYNs.
+pub const MSS_OPTION_LEN: usize = 4;
+
+/// The MSS value advertised in probes (ZMap's default).
+pub const PROBE_MSS: u16 = 1460;
+
+/// TCP flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag.
+    pub const FIN: u8 = 0x01;
+    /// SYN flag.
+    pub const SYN: u8 = 0x02;
+    /// RST flag.
+    pub const RST: u8 = 0x04;
+    /// PSH flag.
+    pub const PSH: u8 = 0x08;
+    /// ACK flag.
+    pub const ACK: u8 = 0x10;
+
+    /// A pure SYN.
+    pub fn syn() -> Self {
+        Self(Self::SYN)
+    }
+    /// A SYN-ACK.
+    pub fn syn_ack() -> Self {
+        Self(Self::SYN | Self::ACK)
+    }
+    /// A RST (optionally with ACK, as most stacks send).
+    pub fn rst_ack() -> Self {
+        Self(Self::RST | Self::ACK)
+    }
+    /// A FIN-ACK.
+    pub fn fin_ack() -> Self {
+        Self(Self::FIN | Self::ACK)
+    }
+
+    /// Is the SYN bit set?
+    pub fn is_syn(self) -> bool {
+        self.0 & Self::SYN != 0
+    }
+    /// Is the ACK bit set?
+    pub fn is_ack(self) -> bool {
+        self.0 & Self::ACK != 0
+    }
+    /// Is the RST bit set?
+    pub fn is_rst(self) -> bool {
+        self.0 & Self::RST != 0
+    }
+    /// Is the FIN bit set?
+    pub fn is_fin(self) -> bool {
+        self.0 & Self::FIN != 0
+    }
+    /// Is this exactly a SYN-ACK?
+    pub fn is_syn_ack(self) -> bool {
+        self.is_syn() && self.is_ack() && !self.is_rst()
+    }
+}
+
+/// A TCP header (options restricted to the probe MSS option).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number (carries the ZMap validation MAC in probes).
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: TcpFlags,
+    /// Advertised receive window.
+    pub window: u16,
+    /// Whether an MSS option is attached.
+    pub mss: Option<u16>,
+}
+
+impl TcpHeader {
+    /// Build the SYN probe ZMap sends: validation MAC as the sequence
+    /// number, window 65535, MSS 1460.
+    pub fn syn_probe(src_port: u16, dst_port: u16, validation_seq: u32) -> Self {
+        Self {
+            src_port,
+            dst_port,
+            seq: validation_seq,
+            ack: 0,
+            flags: TcpFlags::syn(),
+            window: 65535,
+            mss: Some(PROBE_MSS),
+        }
+    }
+
+    /// Build the SYN-ACK a listening host answers with.
+    pub fn syn_ack_reply(probe: &TcpHeader, server_isn: u32) -> Self {
+        Self {
+            src_port: probe.dst_port,
+            dst_port: probe.src_port,
+            seq: server_isn,
+            ack: probe.seq.wrapping_add(1),
+            flags: TcpFlags::syn_ack(),
+            window: 65535,
+            mss: Some(PROBE_MSS),
+        }
+    }
+
+    /// Build the RST a closed port (or a blocking middlebox) answers with.
+    pub fn rst_reply(probe: &TcpHeader) -> Self {
+        Self {
+            src_port: probe.dst_port,
+            dst_port: probe.src_port,
+            seq: 0,
+            ack: probe.seq.wrapping_add(1),
+            flags: TcpFlags::rst_ack(),
+            window: 0,
+            mss: None,
+        }
+    }
+
+    /// Header length on the wire, including options.
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + if self.mss.is_some() { MSS_OPTION_LEN } else { 0 }
+    }
+
+    /// Serialize, computing the checksum over `ip`'s pseudo-header.
+    pub fn emit(&self, ip: &Ipv4Header) -> Vec<u8> {
+        let len = self.wire_len();
+        let mut b = vec![0u8; len];
+        b[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        b[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        b[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        b[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        b[12] = ((len / 4) as u8) << 4;
+        b[13] = self.flags.0;
+        b[14..16].copy_from_slice(&self.window.to_be_bytes());
+        // checksum at [16..18]
+        if let Some(mss) = self.mss {
+            b[20] = 2; // kind: MSS
+            b[21] = 4; // length
+            b[22..24].copy_from_slice(&mss.to_be_bytes());
+        }
+        let mut acc = ip.pseudo_header_sum(len as u16);
+        acc.add_bytes(&b);
+        let csum = acc.finish();
+        b[16..18].copy_from_slice(&csum.to_be_bytes());
+        b
+    }
+
+    /// Parse and checksum-verify a segment received under `ip`.
+    pub fn parse(buf: &[u8], ip: &Ipv4Header) -> Result<Self, ParseError> {
+        if buf.len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let data_off = usize::from(buf[12] >> 4) * 4;
+        if data_off < HEADER_LEN || data_off > buf.len() {
+            return Err(ParseError::Malformed);
+        }
+        let mut acc = ip.pseudo_header_sum(buf.len() as u16);
+        acc.add_bytes(buf);
+        if acc.finish() != 0 {
+            return Err(ParseError::BadChecksum);
+        }
+        let mut mss = None;
+        let mut opts = &buf[HEADER_LEN..data_off];
+        while !opts.is_empty() {
+            match opts[0] {
+                0 => break,            // end of options
+                1 => opts = &opts[1..], // NOP
+                2 => {
+                    if opts.len() < 4 || opts[1] != 4 {
+                        return Err(ParseError::Malformed);
+                    }
+                    mss = Some(u16::from_be_bytes([opts[2], opts[3]]));
+                    opts = &opts[4..];
+                }
+                _ => {
+                    // Unknown option: skip by its length byte.
+                    if opts.len() < 2 {
+                        return Err(ParseError::Malformed);
+                    }
+                    let l = usize::from(opts[1]);
+                    if l < 2 || l > opts.len() {
+                        return Err(ParseError::Malformed);
+                    }
+                    opts = &opts[l..];
+                }
+            }
+        }
+        Ok(Self {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            ack: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+            flags: TcpFlags(buf[13]),
+            window: u16::from_be_bytes([buf[14], buf[15]]),
+            mss,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip() -> Ipv4Header {
+        Ipv4Header::for_tcp(0x0a000001, 0x08080808, HEADER_LEN + MSS_OPTION_LEN)
+    }
+
+    #[test]
+    fn syn_probe_roundtrip() {
+        let probe = TcpHeader::syn_probe(40000, 443, 0xdeadbeef);
+        let bytes = probe.emit(&ip());
+        assert_eq!(bytes.len(), 24);
+        let parsed = TcpHeader::parse(&bytes, &ip()).unwrap();
+        assert_eq!(parsed, probe);
+        assert!(parsed.flags.is_syn() && !parsed.flags.is_ack());
+        assert_eq!(parsed.mss, Some(PROBE_MSS));
+    }
+
+    #[test]
+    fn syn_ack_acks_probe_seq_plus_one() {
+        let probe = TcpHeader::syn_probe(40000, 80, 41);
+        let reply = TcpHeader::syn_ack_reply(&probe, 7);
+        assert_eq!(reply.ack, 42);
+        assert!(reply.flags.is_syn_ack());
+        assert_eq!(reply.src_port, 80);
+        assert_eq!(reply.dst_port, 40000);
+    }
+
+    #[test]
+    fn rst_reply_flags() {
+        let probe = TcpHeader::syn_probe(40000, 22, u32::MAX);
+        let rst = TcpHeader::rst_reply(&probe);
+        assert!(rst.flags.is_rst());
+        assert_eq!(rst.ack, 0); // wrapping_add(1) on u32::MAX
+    }
+
+    #[test]
+    fn checksum_corruption_detected() {
+        let probe = TcpHeader::syn_probe(1, 2, 3);
+        let mut bytes = probe.emit(&ip());
+        bytes[5] ^= 0x40;
+        assert_eq!(TcpHeader::parse(&bytes, &ip()), Err(ParseError::BadChecksum));
+    }
+
+    #[test]
+    fn bad_data_offset_rejected() {
+        let probe = TcpHeader::syn_probe(1, 2, 3);
+        let mut bytes = probe.emit(&ip());
+        bytes[12] = 0x10; // data offset 4 words < minimum 5
+        assert!(TcpHeader::parse(&bytes, &ip()).is_err());
+    }
+
+    #[test]
+    fn optionless_header_parses() {
+        let rst = TcpHeader::rst_reply(&TcpHeader::syn_probe(9, 10, 11));
+        let ip = Ipv4Header::for_tcp(0x08080808, 0x0a000001, HEADER_LEN);
+        let bytes = rst.emit(&ip);
+        assert_eq!(bytes.len(), HEADER_LEN);
+        let parsed = TcpHeader::parse(&bytes, &ip).unwrap();
+        assert_eq!(parsed, rst);
+    }
+}

@@ -1,0 +1,196 @@
+//! Minimal TLS 1.2 record and handshake codec.
+//!
+//! The paper's HTTPS handshake is a TLS 1.2 ClientHello advertising the
+//! cipher suites of then-modern Chrome; a host counts as reachable when it
+//! answers with a parseable ServerHello selecting one of them. We implement
+//! just that slice of TLS: record framing, ClientHello emission, and
+//! ServerHello parsing. No key exchange or encryption — the scan closes the
+//! connection after the hello exchange.
+
+use crate::ParseError;
+
+/// TLS record content type for handshake messages.
+pub const CONTENT_HANDSHAKE: u8 = 22;
+/// TLS record content type for alerts.
+pub const CONTENT_ALERT: u8 = 21;
+/// Wire version for TLS 1.2.
+pub const VERSION_TLS12: u16 = 0x0303;
+
+/// Handshake message type: ClientHello.
+pub const HS_CLIENT_HELLO: u8 = 1;
+/// Handshake message type: ServerHello.
+pub const HS_SERVER_HELLO: u8 = 2;
+
+/// The TLS 1.2 cipher suites modern Chrome offered at the time of the
+/// study (GREASE omitted), in Chrome's preference order.
+pub const CHROME_TLS12_SUITES: [u16; 11] = [
+    0xc02b, // ECDHE-ECDSA-AES128-GCM-SHA256
+    0xc02f, // ECDHE-RSA-AES128-GCM-SHA256
+    0xc02c, // ECDHE-ECDSA-AES256-GCM-SHA384
+    0xc030, // ECDHE-RSA-AES256-GCM-SHA384
+    0xcca9, // ECDHE-ECDSA-CHACHA20-POLY1305
+    0xcca8, // ECDHE-RSA-CHACHA20-POLY1305
+    0xc013, // ECDHE-RSA-AES128-CBC-SHA
+    0xc014, // ECDHE-RSA-AES256-CBC-SHA
+    0x009c, // RSA-AES128-GCM-SHA256
+    0x002f, // RSA-AES128-CBC-SHA
+    0x0035, // RSA-AES256-CBC-SHA
+];
+
+/// Emit a complete ClientHello record.
+///
+/// `random` seeds the 32-byte client random deterministically (the
+/// simulator derives it from the flow); real entropy is irrelevant since
+/// the handshake is aborted after the ServerHello.
+pub fn client_hello(random: u64) -> Vec<u8> {
+    let mut body = Vec::with_capacity(128);
+    body.extend_from_slice(&VERSION_TLS12.to_be_bytes());
+    // 32-byte client random expanded from the seed.
+    for i in 0..4u64 {
+        body.extend_from_slice(&random.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i).to_be_bytes());
+    }
+    body.push(0); // empty session id
+    let suites_len = (CHROME_TLS12_SUITES.len() * 2) as u16;
+    body.extend_from_slice(&suites_len.to_be_bytes());
+    for s in CHROME_TLS12_SUITES {
+        body.extend_from_slice(&s.to_be_bytes());
+    }
+    body.push(1); // one compression method:
+    body.push(0); //   null
+    body.extend_from_slice(&0u16.to_be_bytes()); // no extensions
+
+    frame_handshake(HS_CLIENT_HELLO, &body)
+}
+
+/// Wrap a handshake body in handshake + record headers.
+fn frame_handshake(hs_type: u8, body: &[u8]) -> Vec<u8> {
+    let mut hs = Vec::with_capacity(body.len() + 9);
+    hs.push(hs_type);
+    let len = body.len() as u32;
+    hs.extend_from_slice(&len.to_be_bytes()[1..]); // 24-bit length
+    hs.extend_from_slice(body);
+
+    let mut rec = Vec::with_capacity(hs.len() + 5);
+    rec.push(CONTENT_HANDSHAKE);
+    rec.extend_from_slice(&VERSION_TLS12.to_be_bytes());
+    rec.extend_from_slice(&(hs.len() as u16).to_be_bytes());
+    rec.extend_from_slice(&hs);
+    rec
+}
+
+/// The fields of a ServerHello the scanner records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerHello {
+    /// Negotiated protocol version.
+    pub version: u16,
+    /// Selected cipher suite.
+    pub cipher_suite: u16,
+}
+
+impl ServerHello {
+    /// Emit a ServerHello record selecting `cipher_suite` (used by the
+    /// simulated servers).
+    pub fn emit(&self, random: u64) -> Vec<u8> {
+        let mut body = Vec::with_capacity(64);
+        body.extend_from_slice(&self.version.to_be_bytes());
+        for i in 0..4u64 {
+            body.extend_from_slice(&random.wrapping_add(i).to_be_bytes());
+        }
+        body.push(0); // empty session id
+        body.extend_from_slice(&self.cipher_suite.to_be_bytes());
+        body.push(0); // null compression
+        frame_handshake(HS_SERVER_HELLO, &body)
+    }
+
+    /// Parse a ServerHello from a record buffer.
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        if buf.len() < 5 {
+            return Err(ParseError::Truncated);
+        }
+        if buf[0] == CONTENT_ALERT {
+            return Err(ParseError::Malformed); // alert instead of hello
+        }
+        if buf[0] != CONTENT_HANDSHAKE {
+            return Err(ParseError::Malformed);
+        }
+        let rec_len = usize::from(u16::from_be_bytes([buf[3], buf[4]]));
+        let rec = buf.get(5..5 + rec_len).ok_or(ParseError::Truncated)?;
+        if rec.len() < 4 || rec[0] != HS_SERVER_HELLO {
+            return Err(ParseError::Malformed);
+        }
+        let hs_len = usize::from(rec[1]) << 16 | usize::from(rec[2]) << 8 | usize::from(rec[3]);
+        let body = rec.get(4..4 + hs_len).ok_or(ParseError::Truncated)?;
+        // version(2) random(32) sid_len(1) ...
+        if body.len() < 35 {
+            return Err(ParseError::Truncated);
+        }
+        let version = u16::from_be_bytes([body[0], body[1]]);
+        let sid_len = usize::from(body[34]);
+        let after_sid = body.get(35 + sid_len..).ok_or(ParseError::Truncated)?;
+        if after_sid.len() < 3 {
+            return Err(ParseError::Truncated);
+        }
+        let cipher_suite = u16::from_be_bytes([after_sid[0], after_sid[1]]);
+        Ok(Self { version, cipher_suite })
+    }
+
+    /// Did the server pick a suite the ClientHello actually offered?
+    pub fn suite_is_offered(&self) -> bool {
+        CHROME_TLS12_SUITES.contains(&self.cipher_suite)
+    }
+}
+
+/// Emit a fatal TLS alert record (e.g. `handshake_failure` = 40), as sent
+/// by simulated servers that refuse the offered suites.
+pub fn alert(description: u8) -> Vec<u8> {
+    vec![CONTENT_ALERT, 0x03, 0x03, 0x00, 0x02, 2 /* fatal */, description]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_hello_framing() {
+        let ch = client_hello(42);
+        assert_eq!(ch[0], CONTENT_HANDSHAKE);
+        assert_eq!(u16::from_be_bytes([ch[1], ch[2]]), VERSION_TLS12);
+        let rec_len = usize::from(u16::from_be_bytes([ch[3], ch[4]]));
+        assert_eq!(rec_len, ch.len() - 5);
+        assert_eq!(ch[5], HS_CLIENT_HELLO);
+    }
+
+    #[test]
+    fn server_hello_roundtrip() {
+        let sh = ServerHello { version: VERSION_TLS12, cipher_suite: 0xc02f };
+        let bytes = sh.emit(7);
+        let parsed = ServerHello::parse(&bytes).unwrap();
+        assert_eq!(parsed, sh);
+        assert!(parsed.suite_is_offered());
+    }
+
+    #[test]
+    fn unoffered_suite_detected() {
+        let sh = ServerHello { version: VERSION_TLS12, cipher_suite: 0x1301 };
+        assert!(!ServerHello::parse(&sh.emit(0)).unwrap().suite_is_offered());
+    }
+
+    #[test]
+    fn alert_is_not_a_hello() {
+        assert_eq!(ServerHello::parse(&alert(40)), Err(ParseError::Malformed));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let sh = ServerHello { version: VERSION_TLS12, cipher_suite: 0xc02b };
+        let bytes = sh.emit(1);
+        for cut in [0, 3, 8, bytes.len() - 1] {
+            assert!(ServerHello::parse(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn http_response_is_not_tls() {
+        assert!(ServerHello::parse(b"HTTP/1.1 400 Bad Request\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests: every wire codec must round-trip losslessly for
+//! arbitrary field values, and checksums must catch corruption.
+
+use originscan_wire::http::StatusLine;
+use originscan_wire::ipv4::Ipv4Header;
+use originscan_wire::ssh::ServerIdent;
+use originscan_wire::tcp::{TcpFlags, TcpHeader};
+use originscan_wire::tls::{ServerHello, CHROME_TLS12_SUITES, VERSION_TLS12};
+use originscan_wire::validation::Validator;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ipv4_header_roundtrip(src: u32, dst: u32, payload in 0usize..1400, ttl in 1u8..=255) {
+        let mut h = Ipv4Header::for_tcp(src, dst, payload);
+        h.ttl = ttl;
+        let parsed = Ipv4Header::parse(&h.emit()).unwrap();
+        prop_assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn ipv4_single_bit_corruption_detected(src: u32, dst: u32, bit in 0usize..160) {
+        let h = Ipv4Header::for_tcp(src, dst, 0);
+        let mut bytes = h.emit();
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        // Either the checksum or a structural check must reject it (a flip
+        // in the version/IHL nibble hits the Malformed path).
+        prop_assert!(Ipv4Header::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn tcp_header_roundtrip(
+        src: u32, dst: u32,
+        sport: u16, dport: u16,
+        seq: u32, ack: u32,
+        flag_bits in 0u8..32,
+        window: u16,
+        mss in proptest::option::of(1u16..=9000),
+    ) {
+        let h = TcpHeader {
+            src_port: sport,
+            dst_port: dport,
+            seq,
+            ack,
+            flags: TcpFlags(flag_bits),
+            window,
+            mss,
+        };
+        let ip = Ipv4Header::for_tcp(src, dst, h.wire_len());
+        let parsed = TcpHeader::parse(&h.emit(&ip), &ip).unwrap();
+        prop_assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn tcp_corruption_detected(seq: u32, bit in 0usize..(24 * 8)) {
+        let probe = TcpHeader::syn_probe(40000, 443, seq);
+        let ip = Ipv4Header::for_tcp(1, 2, probe.wire_len());
+        let mut bytes = probe.emit(&ip);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(TcpHeader::parse(&bytes, &ip).is_err());
+    }
+
+    #[test]
+    fn validation_accepts_genuine_rejects_mutated(
+        seed: u64, src: u32, dst: u32, sport: u16, delta in 1u32..u32::MAX,
+    ) {
+        let v = Validator::from_seed(seed);
+        let seq = v.probe_seq(src, dst, sport, 443);
+        let probe = TcpHeader::syn_probe(sport, 443, seq);
+        let mut reply = TcpHeader::syn_ack_reply(&probe, 12345);
+        prop_assert!(v.check_reply(&reply, src, dst));
+        reply.ack = reply.ack.wrapping_add(delta);
+        prop_assert!(!v.check_reply(&reply, src, dst));
+    }
+
+    #[test]
+    fn status_line_roundtrip(minor in 0u8..=1, code in 100u16..600, reason in "[ -~]{0,30}") {
+        // Reason phrases are free-form printable ASCII.
+        let sl = StatusLine { minor_version: minor, code, reason: reason.clone() };
+        let parsed = StatusLine::parse(&sl.emit("body")).unwrap();
+        prop_assert_eq!(parsed, sl);
+    }
+
+    #[test]
+    fn server_hello_roundtrip(i in 0usize..CHROME_TLS12_SUITES.len(), random: u64) {
+        let sh = ServerHello { version: VERSION_TLS12, cipher_suite: CHROME_TLS12_SUITES[i] };
+        let parsed = ServerHello::parse(&sh.emit(random)).unwrap();
+        prop_assert_eq!(parsed, sh);
+        prop_assert!(parsed.suite_is_offered());
+    }
+
+    #[test]
+    fn ssh_ident_roundtrip(
+        software in "[a-zA-Z0-9_.]{1,20}",
+        comment in proptest::option::of("[a-zA-Z0-9 .+-]{1,20}"),
+    ) {
+        // Comments must not start with a space-splitting ambiguity; the
+        // generator above guarantees non-empty tokens.
+        let ident = ServerIdent {
+            proto_version: "2.0".to_string(),
+            software: software.clone(),
+            comment: comment.clone().map(|c| c.trim().to_string()).filter(|c| !c.is_empty()),
+        };
+        let parsed = ServerIdent::parse(&ident.emit()).unwrap();
+        prop_assert_eq!(parsed.software, ident.software);
+        prop_assert_eq!(parsed.proto_version, "2.0");
+    }
+
+    #[test]
+    fn truncated_buffers_never_panic(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Parsers must reject or accept, never panic, on arbitrary bytes.
+        let _ = Ipv4Header::parse(&data);
+        let _ = StatusLine::parse(&data);
+        let _ = ServerIdent::parse(&data);
+        let _ = ServerHello::parse(&data);
+        let ip = Ipv4Header::for_tcp(1, 2, data.len());
+        let _ = TcpHeader::parse(&data, &ip);
+    }
+}

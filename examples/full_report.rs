@@ -1,0 +1,34 @@
+//! Full report: run the complete study at a chosen scale and print every
+//! headline analysis in one document.
+//!
+//! ```sh
+//! cargo run --release --example full_report            # tiny, fast
+//! cargo run --release --example full_report -- small   # the bench scale
+//! ```
+
+use originscan::core::summary::full_report;
+use originscan::core::{Experiment, ExperimentConfig};
+use originscan::netmodel::{OriginId, Protocol, WorldConfig};
+
+fn main() {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "tiny".into());
+    let world = match scale.as_str() {
+        "small" => WorldConfig::small(2020).build(),
+        "medium" => WorldConfig::medium(2020).build(),
+        _ => WorldConfig::tiny(2020).build(),
+    };
+    let cfg = ExperimentConfig {
+        origins: OriginId::MAIN.to_vec(),
+        protocols: Protocol::ALL.to_vec(),
+        trials: 3,
+        ..ExperimentConfig::default()
+    };
+    eprintln!(
+        "running {} origins × {} protocols × 3 trials over {} addresses...",
+        cfg.origins.len(),
+        cfg.protocols.len(),
+        world.space()
+    );
+    let results = Experiment::new(&world, cfg).run();
+    print!("{}", full_report(&results));
+}

@@ -1,0 +1,90 @@
+//! The `originscan` command-line tool: run the study, dump scan records,
+//! or inspect the simulated Internet. See `originscan help`.
+
+use originscan::cli::{parse, Command, RunArgs, USAGE};
+use originscan::core::diff::{diff_records, render};
+use originscan::core::experiment::{Experiment, ExperimentConfig};
+use originscan::core::summary::full_report;
+use originscan::scanner::output::from_csv_all;
+use originscan::netmodel::{SimNet, World};
+use originscan::scanner::engine::{run_scan, ScanConfig};
+use originscan::scanner::output::to_csv_all;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok(Command::Help) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Inventory { scale, seed }) => {
+            let world = scale.config(seed).build();
+            print!("{}", world.inventory_tsv());
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Report(run)) => {
+            let world = run.scale.config(run.seed).build();
+            let results = Experiment::new(&world, experiment_config(&run)).run();
+            print!("{}", full_report(&results));
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Scan(run)) => {
+            let world = run.scale.config(run.seed).build();
+            scan_to_csv(&world, &run);
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Diff { a, b, scale, seed }) => {
+            let (ra, rb) = match (std::fs::read_to_string(&a), std::fs::read_to_string(&b)) {
+                (Ok(x), Ok(y)) => (from_csv_all(&x), from_csv_all(&y)),
+                (Err(e), _) => {
+                    eprintln!("error: cannot read {a}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                (_, Err(e)) => {
+                    eprintln!("error: cannot read {b}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let world = scale.config(seed).build();
+            let d = diff_records(&ra, &rb);
+            print!("{}", render(&d, &a, &b, Some(&world)));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn experiment_config(run: &RunArgs) -> ExperimentConfig {
+    ExperimentConfig {
+        origins: run.origins.clone(),
+        protocols: run.protocols.clone(),
+        trials: run.trials,
+        probes: run.probes,
+        probe_delay_s: run.probe_delay_s,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Scan each requested protocol once from the first origin and emit CSV.
+fn scan_to_csv(world: &World, run: &RunArgs) {
+    let net = SimNet::new(world, &run.origins, 21.0 * 3600.0);
+    for &proto in &run.protocols {
+        let mut cfg = ScanConfig::new(world.space(), proto, run.seed);
+        cfg.probes = run.probes;
+        cfg.probe_delay_s = run.probe_delay_s;
+        cfg.concurrent_origins = run.origins.len() as u8;
+        let out = run_scan(&net, &cfg);
+        eprintln!(
+            "# {} {proto}: {} probes sent, {} responsive, {} completed L7",
+            run.origins[0],
+            out.summary.probes_sent,
+            out.records.len(),
+            out.summary.l7_successes
+        );
+        print!("{}", to_csv_all(&out.records));
+    }
+}

@@ -1,0 +1,54 @@
+//! # originscan
+//!
+//! A faithful, laptop-scale reproduction of **"On the Origin of Scanning:
+//! The Impact of Location on Internet-Wide Scans"** (Wan et al., ACM IMC
+//! 2020) as a Rust library.
+//!
+//! The paper measures how the network a scan *originates from* biases the
+//! set of hosts an Internet-wide IPv4 scan can see. This workspace rebuilds
+//! the entire measurement apparatus against a deterministic simulated
+//! Internet:
+//!
+//! * [`netmodel`] — the synthetic IPv4 universe: countries, ASes, /24
+//!   networks, hosts, churn, scan origins, path loss, burst outages, and
+//!   every blocking mechanism §4–§6 of the paper identifies.
+//! * [`scanner`] — a ZMap-style stateless SYN scanner (cyclic-group address
+//!   permutation, stateless validation, blocklists, sharding) plus
+//!   ZGrab-style HTTP/TLS/SSH application handshakes.
+//! * [`wire`] — the packet codecs underneath the scanner.
+//! * [`stats`] — the statistical machinery: McNemar's test, Spearman's ρ,
+//!   chi-square / normal CDFs, burst outlier detection, quantiles.
+//! * [`core`] — the experiment runner and every analysis in the paper:
+//!   coverage, transient/long-term classification, exclusivity, country and
+//!   AS breakdowns, packet-loss estimation, SSH behaviour, and multi-origin
+//!   coverage.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use originscan::core::experiment::{Experiment, ExperimentConfig};
+//! use originscan::netmodel::world::WorldConfig;
+//! use originscan::netmodel::origin::OriginId;
+//! use originscan::netmodel::host::Protocol;
+//!
+//! // A small world: 2^16 addresses, deterministic from the seed.
+//! let world = WorldConfig::tiny(7).build();
+//! let cfg = ExperimentConfig {
+//!     origins: vec![OriginId::Us1, OriginId::Japan],
+//!     protocols: vec![Protocol::Http],
+//!     trials: 2,
+//!     probes: 2,
+//!     ..ExperimentConfig::default()
+//! };
+//! let results = Experiment::new(&world, cfg).run();
+//! let cov = results.coverage(Protocol::Http, 0, OriginId::Us1);
+//! assert!(cov.fraction() > 0.8, "origin should see most ground-truth hosts");
+//! ```
+
+pub mod cli;
+
+pub use originscan_core as core;
+pub use originscan_netmodel as netmodel;
+pub use originscan_scanner as scanner;
+pub use originscan_stats as stats;
+pub use originscan_wire as wire;

@@ -1,0 +1,25 @@
+//! Scan-output archival: a full scan's records survive the CSV round
+//! trip byte-for-byte, so results can be stored and re-analyzed offline
+//! like real ZMap output.
+
+use originscan::netmodel::{OriginId, Protocol, SimNet, WorldConfig};
+use originscan::scanner::engine::{run_scan, ScanConfig};
+use originscan::scanner::output::{from_csv_all, to_csv_all, HEADER};
+
+#[test]
+fn full_scan_roundtrips_through_csv() {
+    let world = WorldConfig::tiny(62).build();
+    let origins = [OriginId::Germany];
+    let net = SimNet::new(&world, &origins, 75_600.0);
+    for proto in [Protocol::Http, Protocol::Ssh] {
+        let mut cfg = ScanConfig::new(world.space(), proto, 5);
+        cfg.l7_retries = 2; // exercise the attempts column
+        let out = run_scan(&net, &cfg);
+        assert!(!out.records.is_empty());
+        let doc = to_csv_all(&out.records);
+        assert!(doc.starts_with(HEADER));
+        assert_eq!(doc.lines().count(), out.records.len() + 1);
+        let back = from_csv_all(&doc);
+        assert_eq!(back, out.records, "{proto}");
+    }
+}
