@@ -21,9 +21,10 @@ fn main() {
     let world = bench_world();
     let results = run_main(world, &Protocol::ALL);
     let mut t = Table::new(
-        ["origin"].into_iter().map(String::from).chain(
-            Protocol::ALL.iter().map(|p| p.to_string()),
-        ),
+        ["origin"]
+            .into_iter()
+            .map(String::from)
+            .chain(Protocol::ALL.iter().map(|p| p.to_string())),
     );
     for &o in &OriginId::MAIN {
         t.row(

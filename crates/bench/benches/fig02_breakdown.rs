@@ -22,7 +22,12 @@ fn main() {
     for &proto in &Protocol::ALL {
         let panel = results.panel(proto);
         let mut t = Table::new([
-            "origin", "trial", "transient", "long-term", "unknown", "burst-share",
+            "origin",
+            "trial",
+            "transient",
+            "long-term",
+            "unknown",
+            "burst-share",
         ]);
         for (oi, o) in OriginId::MAIN.iter().enumerate() {
             for trial in 0..3u8 {

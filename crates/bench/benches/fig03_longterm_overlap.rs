@@ -8,14 +8,27 @@ use originscan_core::report::{count, pct, Table};
 use originscan_netmodel::Protocol;
 
 fn main() {
-    header("Figure 3", "number of origins from which long-term hosts are inaccessible");
+    header(
+        "Figure 3",
+        "number of origins from which long-term hosts are inaccessible",
+    );
     paper_says(&[
         "excluding Censys, ~47% of long-term inaccessible hosts are",
         "inaccessible from only one origin",
     ]);
     let world = bench_world();
     let results = run_main(world, &Protocol::ALL);
-    let mut t = Table::new(["protocol", "1", "2", "3", "4", "5", "6", "7", "1-origin share"]);
+    let mut t = Table::new([
+        "protocol",
+        "1",
+        "2",
+        "3",
+        "4",
+        "5",
+        "6",
+        "7",
+        "1-origin share",
+    ]);
     for &proto in &Protocol::ALL {
         let panel = results.panel(proto);
         let hist = miss_overlap_histogram(&panel, Class::LongTerm);

@@ -7,7 +7,10 @@ use originscan_core::report::{count, pct, Table};
 use originscan_netmodel::{OriginId, Protocol};
 
 fn main() {
-    header("Figure 4", "AS concentration of long-term inaccessible hosts");
+    header(
+        "Figure 4",
+        "AS concentration of long-term inaccessible hosts",
+    );
     paper_says(&[
         "HTTP: DXTL, EGI, and Enzu hold 67% of Censys's long-term missing",
         "hosts while holding <4% of global HTTP hosts",
@@ -17,7 +20,14 @@ fn main() {
     let results = run_main(world, &[Protocol::Http, Protocol::Https]);
     for &proto in &[Protocol::Http, Protocol::Https] {
         let panel = results.panel(proto);
-        let mut t = Table::new(["origin", "top AS", "2nd", "3rd", "top-3 share", "lost total"]);
+        let mut t = Table::new([
+            "origin",
+            "top AS",
+            "2nd",
+            "3rd",
+            "top-3 share",
+            "lost total",
+        ]);
         for (oi, o) in OriginId::MAIN.iter().enumerate() {
             let by_as = longterm_by_as(world, &panel, oi);
             let total: usize = by_as.iter().map(|(_, l, _)| l).sum();

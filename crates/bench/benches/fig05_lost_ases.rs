@@ -7,7 +7,10 @@ use originscan_core::report::Table;
 use originscan_netmodel::{OriginId, Protocol};
 
 fn main() {
-    header("Figure 5", "count of mostly/fully long-term inaccessible ASes per origin");
+    header(
+        "Figure 5",
+        "count of mostly/fully long-term inaccessible ASes per origin",
+    );
     paper_says(&[
         "Brazil suffers the largest number of completely (100%) inaccessible",
         "ASes: ~1.4x Censys and ~6.5x US1 (US finance/health blocking)",

@@ -21,7 +21,11 @@ fn main() {
         .into_iter()
         .filter(|&o| o != OriginId::Us64 && o != OriginId::Censys)
         .collect();
-    let mut t = Table::new(["origin", "top dest countries (count)", "within-country excl. frac"]);
+    let mut t = Table::new([
+        "origin",
+        "top dest countries (count)",
+        "within-country excl. frac",
+    ]);
     for &o in &origins {
         let oi = results.origin_index(o);
         let by_cc = exclusive_by_country(world, &panel, oi);
@@ -31,7 +35,11 @@ fn main() {
             .map(|(c, n)| format!("{c}:{n}"))
             .collect();
         let frac = within_country_exclusive_fraction(world, &panel, oi);
-        t.row([o.to_string(), tops.join(" "), format!("{:.2}%", frac * 100.0)]);
+        t.row([
+            o.to_string(),
+            tops.join(" "),
+            format!("{:.2}%", frac * 100.0),
+        ]);
     }
     println!("{}", t.render());
 }

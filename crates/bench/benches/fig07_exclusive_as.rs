@@ -6,7 +6,10 @@ use originscan_core::report::Table;
 use originscan_netmodel::{OriginId, Protocol};
 
 fn main() {
-    header("Figure 7", "ASes holding each origin's exclusively accessible hosts");
+    header(
+        "Figure 7",
+        "ASes holding each origin's exclusively accessible hosts",
+    );
     paper_says(&[
         "AU: >80% in WebCentral; JP: 40% Bekkoame + 29% NTT;",
         "BR's exclusives are mostly in WA K-20 (US educational ISP)",

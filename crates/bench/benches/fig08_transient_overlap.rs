@@ -8,7 +8,10 @@ use originscan_core::report::{count, pct, Table};
 use originscan_netmodel::Protocol;
 
 fn main() {
-    header("Figure 8", "number of origins missing each transiently inaccessible host");
+    header(
+        "Figure 8",
+        "number of origins missing each transiently inaccessible host",
+    );
     paper_says(&[
         "about two thirds of transiently inaccessible HTTP(S) hosts are",
         "missed by only one origin; SSH misses overlap across origins more",
@@ -16,7 +19,17 @@ fn main() {
     ]);
     let world = bench_world();
     let results = run_main(world, &Protocol::ALL);
-    let mut t = Table::new(["protocol", "1", "2", "3", "4", "5", "6", "7", "1-origin share"]);
+    let mut t = Table::new([
+        "protocol",
+        "1",
+        "2",
+        "3",
+        "4",
+        "5",
+        "6",
+        "7",
+        "1-origin share",
+    ]);
     for &proto in &Protocol::ALL {
         let panel = results.panel(proto);
         let hist = miss_overlap_histogram(&panel, Class::Transient);

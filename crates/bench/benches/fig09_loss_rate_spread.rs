@@ -8,7 +8,10 @@ use originscan_netmodel::Protocol;
 use originscan_stats::descriptive::Ecdf;
 
 fn main() {
-    header("Figure 9", "CDF of per-AS transient-loss-rate spread between origins");
+    header(
+        "Figure 9",
+        "CDF of per-AS transient-loss-rate spread between origins",
+    );
     paper_says(&[
         "loss rates are identical across origins for ~half of ASes;",
         "for ~40% of ASes the spread exceeds 1%, for 16-25% it exceeds 10%",

@@ -9,7 +9,10 @@ use originscan_core::report::{pct2, Table};
 use originscan_netmodel::{OriginId, Protocol};
 
 fn main() {
-    header("Figure 10 / §5.2", "transient host loss vs packet-drop estimates");
+    header(
+        "Figure 10 / §5.2",
+        "transient host loss vs packet-drop estimates",
+    );
     paper_says(&[
         "global drop estimates: 0.44-1.6% depending on origin and trial;",
         "Australia highest; drop vs transient loss Spearman rho = 0.40-0.52;",
@@ -19,7 +22,14 @@ fn main() {
     let results = run_main(world, &[Protocol::Http]);
     let panel = results.panel(Protocol::Http);
 
-    let mut t = Table::new(["origin", "drop t1", "drop t2", "drop t3", "both-lost", "rho(drop,transient)"]);
+    let mut t = Table::new([
+        "origin",
+        "drop t1",
+        "drop t2",
+        "drop t3",
+        "both-lost",
+        "rho(drop,transient)",
+    ]);
     for (oi, o) in OriginId::MAIN.iter().enumerate() {
         let drops: Vec<String> = (0..3u8)
             .map(|tr| pct2(global_drop_estimate(results.matrix(Protocol::Http, tr), oi)))
@@ -40,7 +50,11 @@ fn main() {
     println!("{}", t.render());
 
     // The three Fig 10 panels: per-origin (drop, transient) pairs.
-    for name in ["HZ Alibaba Advertising", "Telecom Italia", "ABCDE Group Company Limited"] {
+    for name in [
+        "HZ Alibaba Advertising",
+        "Telecom Italia",
+        "ABCDE Group Company Limited",
+    ] {
         let pts = loss_points_for_as(world, &panel, results.matrices(), name);
         let mut t = Table::new(["origin", "trial", "drop", "transient"]);
         for p in pts {

@@ -43,5 +43,8 @@ fn main() {
     let au = results.origin_index(OriginId::Australia);
     let cc = consistent_worst_countries(world, &panel, au, 10);
     let tops: Vec<String> = cc.iter().take(6).map(|(c, n)| format!("{c}:{n}")).collect();
-    println!("hosts in ASes where AU is consistently worst, by country: {}", tops.join(" "));
+    println!(
+        "hosts in ASes where AU is consistently worst, by country: {}",
+        tops.join(" ")
+    );
 }

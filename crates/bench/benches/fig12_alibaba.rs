@@ -7,7 +7,10 @@ use originscan_core::ssh::hourly_rst_fraction;
 use originscan_netmodel::{OriginId, Protocol};
 
 fn main() {
-    header("Figure 12", "Alibaba's RST-after-handshake signature over scan hours");
+    header(
+        "Figure 12",
+        "Alibaba's RST-after-handshake signature over scan hours",
+    );
     paper_says(&[
         "Alibaba detects single-IP scans ~2/3 into trial 1 and immediately",
         "RSTs every SSH connection network-wide; detection times vary",
@@ -18,7 +21,10 @@ fn main() {
     for trial in 0..3u8 {
         let m = results.matrix(Protocol::Ssh, trial);
         let mut t = Table::new(
-            ["hour"].into_iter().map(String::from).chain(OriginId::MAIN.iter().map(|o| o.to_string())),
+            ["hour"]
+                .into_iter()
+                .map(String::from)
+                .chain(OriginId::MAIN.iter().map(|o| o.to_string())),
         );
         let series: Vec<Vec<f64>> = (0..OriginId::MAIN.len())
             .map(|oi| hourly_rst_fraction(world, m, oi, "HZ Alibaba Advertising"))
@@ -30,6 +36,10 @@ fn main() {
                     .chain(series.iter().map(|s| format!("{:.2}", s[h]))),
             );
         }
-        println!("trial {} (hourly RST fraction in HZ Alibaba):\n{}", trial + 1, t.render());
+        println!(
+            "trial {} (hourly RST fraction in HZ Alibaba):\n{}",
+            trial + 1,
+            t.render()
+        );
     }
 }

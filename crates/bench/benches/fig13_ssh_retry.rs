@@ -8,7 +8,10 @@ use originscan_core::ssh::{retry_sweep, top_transient_ssh_ases};
 use originscan_netmodel::{OriginId, Protocol};
 
 fn main() {
-    header("Figure 13", "SSH handshake success vs retry budget (from US1)");
+    header(
+        "Figure 13",
+        "SSH handshake success vs retry budget (from US1)",
+    );
     paper_says(&[
         "retrying the handshake up to 8 times completes with ~90% of",
         "responding IPs in EGI Hosting and Psychz Networks",
@@ -16,10 +19,15 @@ fn main() {
     let world = bench_world();
     let results = run_main(world, &[Protocol::Ssh]);
     let panel = results.panel(Protocol::Ssh);
-    let candidates = timed("top-AS selection", || top_transient_ssh_ases(world, &panel, 10));
+    let candidates = timed("top-AS selection", || {
+        top_transient_ssh_ases(world, &panel, 10)
+    });
 
     let mut t = Table::new(
-        ["AS"].into_iter().map(String::from).chain((0..=8).map(|k| format!("r={k}"))),
+        ["AS"]
+            .into_iter()
+            .map(String::from)
+            .chain((0..=8).map(|k| format!("r={k}"))),
     );
     for name in &candidates {
         if let Some(sweep) = retry_sweep(world, OriginId::Us1, name, 8, 0) {

@@ -18,7 +18,13 @@ fn main() {
     let results = run_main(world, &[Protocol::Ssh, Protocol::Http]);
     for trial in 0..3u8 {
         let m = results.matrix(Protocol::Ssh, trial);
-        let mut t = Table::new(["origin", "Alibaba temporal", "probabilistic", "other", "mech share"]);
+        let mut t = Table::new([
+            "origin",
+            "Alibaba temporal",
+            "probabilistic",
+            "other",
+            "mech share",
+        ]);
         for (oi, o) in OriginId::MAIN.iter().enumerate() {
             let b = ssh_miss_breakdown(world, m, oi);
             let mech = b.temporal_blocking + b.probabilistic_blocking;

@@ -9,7 +9,10 @@ use originscan_core::report::{pct2, Table};
 use originscan_netmodel::{OriginId, Protocol, WorldConfig};
 
 fn main() {
-    header("Figure 15", "multi-origin HTTP coverage (box-plot statistics)");
+    header(
+        "Figure 15",
+        "multi-origin HTTP coverage (box-plot statistics)",
+    );
     paper_says(&[
         "1 origin: median 95.5% (1 probe), 96.9% (2 probes);",
         "2 origins: 98.3% / 98.9%; 3 origins: 99.1% / 99.4% with sigma=0.08%;",
@@ -19,7 +22,17 @@ fn main() {
     let results = run_main(world, &[Protocol::Http]);
     let roster = single_ip_roster(&results);
 
-    let mut t = Table::new(["k", "probes", "min", "q1", "median", "q3", "max", "σ", "best combo"]);
+    let mut t = Table::new([
+        "k",
+        "probes",
+        "min",
+        "q1",
+        "median",
+        "q3",
+        "max",
+        "σ",
+        "best combo",
+    ]);
     for k in 1..=4usize {
         for (policy, label) in [(ProbePolicy::Single, "1"), (ProbePolicy::Double, "2")] {
             let d = combo_sweep(&results, Protocol::Http, &roster, k, policy);
@@ -33,7 +46,12 @@ fn main() {
                 pct2(s.q3),
                 pct2(s.max),
                 format!("{:.3}%", d.std_dev() * 100.0),
-                d.best.0.iter().map(|o| o.to_string()).collect::<Vec<_>>().join("-"),
+                d.best
+                    .0
+                    .iter()
+                    .map(|o| o.to_string())
+                    .collect::<Vec<_>>()
+                    .join("-"),
             ]);
         }
     }
@@ -54,7 +72,9 @@ fn main() {
         trials: 3,
         ..ExperimentConfig::default()
     };
-    let uresults = timed("uniform-loss experiment", || Experiment::new(&uworld, ucfg).run());
+    let uresults = timed("uniform-loss experiment", || {
+        Experiment::new(&uworld, ucfg).run().unwrap()
+    });
     let uroster = single_ip_roster(&uresults);
     let mut t = Table::new(["k", "probes", "median"]);
     for (policy, label) in [(ProbePolicy::Single, "1"), (ProbePolicy::Double, "2")] {

@@ -7,7 +7,10 @@ use originscan_core::report::Table;
 use originscan_netmodel::{OriginId, Protocol};
 
 fn main() {
-    header("Figure 16", "exclusively accessible hosts by country (HTTPS, SSH)");
+    header(
+        "Figure 16",
+        "exclusively accessible hosts by country (HTTPS, SSH)",
+    );
     paper_says(&[
         "origins within a country typically have better accessibility than",
         "external origins; the effect is weaker than for HTTP",
@@ -20,15 +23,25 @@ fn main() {
             .into_iter()
             .filter(|&o| o != OriginId::Us64 && o != OriginId::Censys)
             .collect();
-        let mut t =
-            Table::new(["origin", "top dest countries (count)", "within-country excl. frac"]);
+        let mut t = Table::new([
+            "origin",
+            "top dest countries (count)",
+            "within-country excl. frac",
+        ]);
         for &o in &origins {
             let oi = results.origin_index(o);
             let by_cc = exclusive_by_country(world, &panel, oi);
-            let tops: Vec<String> =
-                by_cc.iter().take(4).map(|(c, n)| format!("{c}:{n}")).collect();
+            let tops: Vec<String> = by_cc
+                .iter()
+                .take(4)
+                .map(|(c, n)| format!("{c}:{n}"))
+                .collect();
             let frac = within_country_exclusive_fraction(world, &panel, oi);
-            t.row([o.to_string(), tops.join(" "), format!("{:.2}%", frac * 100.0)]);
+            t.row([
+                o.to_string(),
+                tops.join(" "),
+                format!("{:.2}%", frac * 100.0),
+            ]);
         }
         println!("{proto}:\n{}", t.render());
     }

@@ -19,14 +19,21 @@ fn main() {
     let world = bench_world();
     let follow = run_follow_up(world);
     let roster = single_ip_roster(&follow);
-    let collocated =
-        [OriginId::HurricaneElectric, OriginId::NttTransit, OriginId::Telia];
+    let collocated = [
+        OriginId::HurricaneElectric,
+        OriginId::NttTransit,
+        OriginId::Telia,
+    ];
 
     let mut rows: Vec<(String, f64)> = Vec::new();
     for subset in k_subsets(roster.len(), 3) {
         let triad: Vec<OriginId> = subset.iter().map(|&i| roster[i]).collect();
         let cov = named_combo_coverage(&follow, Protocol::Http, &triad, ProbePolicy::Single);
-        let label = triad.iter().map(|o| o.to_string()).collect::<Vec<_>>().join("-");
+        let label = triad
+            .iter()
+            .map(|o| o.to_string())
+            .collect::<Vec<_>>()
+            .join("-");
         rows.push((label, cov));
     }
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
@@ -42,17 +49,12 @@ fn main() {
     );
     let mut t = Table::new(["rank", "triad", "coverage (1 probe)"]);
     for (i, (label, cov)) in rows.iter().enumerate() {
-        let marker = if label.contains("HE") && label.contains("NTT") && label.contains("TELIA")
-        {
+        let marker = if label.contains("HE") && label.contains("NTT") && label.contains("TELIA") {
             " <= collocated"
         } else {
             ""
         };
-        t.row([
-            (i + 1).to_string(),
-            format!("{label}{marker}"),
-            pct2(*cov),
-        ]);
+        t.row([(i + 1).to_string(), format!("{label}{marker}"), pct2(*cov)]);
     }
     println!("{}", t.render());
     let colo = named_combo_coverage(&follow, Protocol::Http, &collocated, ProbePolicy::Single);

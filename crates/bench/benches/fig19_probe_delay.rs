@@ -38,7 +38,9 @@ fn main() {
             probe_delay_s: delay_s,
             ..ExperimentConfig::default()
         };
-        let r = timed(&format!("delay {label}"), || Experiment::new(world, cfg).run());
+        let r = timed(&format!("delay {label}"), || {
+            Experiment::new(world, cfg).run().unwrap()
+        });
         t.row([
             label.to_string(),
             pct2(mean_coverage(&r, Protocol::Http, OriginId::Us1)),

@@ -1,0 +1,77 @@
+//! Extension — outage recovery: what a lost vantage point costs, and how
+//! much supervision buys back.
+//!
+//! §2 of the paper notes its own campaign was operationally lossy (the
+//! Carinet origin completed only one trial). This bench injects the same
+//! class of failure deterministically and quantifies the methodology's
+//! graceful degradation: one origin suffers a mid-trial outage window
+//! (with and without a process crash + checkpoint resume), and we compare
+//! its coverage and the *other* origins' coverage against the fault-free
+//! run.
+
+use originscan_bench::{bench_world, header, paper_says, timed};
+use originscan_core::experiment::{Experiment, ExperimentConfig};
+use originscan_core::report::{pct2, Table};
+use originscan_netmodel::{FaultPlan, OriginId, Protocol};
+
+fn main() {
+    header(
+        "Extension (§2)",
+        "origin coverage under injected outages, crashes, and resume",
+    );
+    paper_says(&[
+        "\"we were only able to complete one scan from Carinet\" — real",
+        "campaigns lose vantage points; analyses must tolerate partial data.",
+    ]);
+    let world = bench_world();
+    let origins = vec![OriginId::Us1, OriginId::Germany, OriginId::Japan];
+    // DE is origin index 1 in this roster.
+    let scenarios: [(&str, Option<FaultPlan>); 4] = [
+        ("fault-free", None),
+        // DE dark for the middle fifth of trial 1, recovers.
+        (
+            "DE outage 40–60%",
+            Some(FaultPlan::new(7).outage(1, 0, 0.4, 0.6)),
+        ),
+        // Same outage plus a crash inside it; the supervisor resumes DE
+        // from its last checkpoint, so only the window itself is lost.
+        (
+            "DE outage + crash/resume",
+            Some(
+                FaultPlan::new(7)
+                    .outage(1, 0, 0.4, 0.6)
+                    .crash(1, 0, 0.45, 1),
+            ),
+        ),
+        // DE dies for good at 40%: excluded from ground truth entirely.
+        (
+            "DE unrecoverable at 40%",
+            Some(FaultPlan::new(7).crash(1, 0, 0.4, u32::MAX)),
+        ),
+    ];
+    let mut t = Table::new(["scenario", "US1", "DE", "JP", "GT size", "DE status"]);
+    for (label, faults) in scenarios {
+        let cfg = ExperimentConfig {
+            origins: origins.clone(),
+            protocols: vec![Protocol::Http],
+            trials: 1,
+            faults,
+            ..ExperimentConfig::default()
+        };
+        let r = timed(label, || Experiment::new(world, cfg).run().unwrap());
+        let m = r.matrix(Protocol::Http, 0);
+        let gt = m.len().max(1) as f64;
+        t.row([
+            label.to_string(),
+            pct2(m.seen_count(0) as f64 / gt),
+            pct2(m.seen_count(1) as f64 / gt),
+            pct2(m.seen_count(2) as f64 / gt),
+            m.len().to_string(),
+            m.statuses[1].to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(the outage costs DE only its dark window; a crash inside it adds");
+    println!(" nothing because the checkpoint resume is bit-identical; unaffected");
+    println!(" origins' coverage moves only via the shrunken ground truth)");
+}

@@ -15,11 +15,15 @@ fn bench_analysis(c: &mut Criterion) {
         trials: 3,
         ..ExperimentConfig::default()
     };
-    let results = Experiment::new(&world, cfg).run();
+    let results = Experiment::new(&world, cfg).run().unwrap();
     let panel = results.panel(Protocol::Http);
     let mut g = c.benchmark_group("analysis");
-    g.throughput(Throughput::Elements((panel.len() * panel.origins.len()) as u64));
-    g.bench_function("panel_construction", |b| b.iter(|| results.panel(Protocol::Http)));
+    g.throughput(Throughput::Elements(
+        (panel.len() * panel.origins.len()) as u64,
+    ));
+    g.bench_function("panel_construction", |b| {
+        b.iter(|| results.panel(Protocol::Http))
+    });
     g.bench_function("classification", |b| b.iter(|| class_counts(&panel)));
     g.bench_function("exclusivity", |b| b.iter(|| exclusive_counts(&panel)));
     g.finish();

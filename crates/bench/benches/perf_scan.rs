@@ -16,7 +16,7 @@ fn bench_scan(c: &mut Criterion) {
         g.bench_function(format!("2probe_{proto}"), |b| {
             b.iter(|| {
                 let cfg = ScanConfig::new(world.space(), proto, 99);
-                run_scan(&net, &cfg)
+                run_scan(&net, &cfg).unwrap()
             })
         });
     }
@@ -25,7 +25,7 @@ fn bench_scan(c: &mut Criterion) {
         b.iter(|| {
             let mut cfg = ScanConfig::new(world.space(), Protocol::Http, 99);
             cfg.wire_check = true;
-            run_scan(&net, &cfg)
+            run_scan(&net, &cfg).unwrap()
         })
     });
     g.finish();

@@ -18,8 +18,12 @@ fn bench_mcnemar(c: &mut Criterion) {
 }
 
 fn bench_spearman(c: &mut Criterion) {
-    let xs: Vec<f64> = (0..10_000).map(|i| ((i * 2654435761u64) % 1000) as f64).collect();
-    let ys: Vec<f64> = (0..10_000).map(|i| ((i * 40503u64) % 1000) as f64).collect();
+    let xs: Vec<f64> = (0..10_000)
+        .map(|i| ((i * 2654435761u64) % 1000) as f64)
+        .collect();
+    let ys: Vec<f64> = (0..10_000)
+        .map(|i| ((i * 40503u64) % 1000) as f64)
+        .collect();
     let mut g = c.benchmark_group("spearman");
     g.throughput(Throughput::Elements(xs.len() as u64));
     g.bench_function("10k_pairs_with_ties", |b| b.iter(|| spearman(&xs, &ys)));

@@ -8,7 +8,10 @@ use originscan_core::report::Table;
 use originscan_netmodel::Protocol;
 
 fn main() {
-    header("§3 significance", "pairwise McNemar tests, Bonferroni-corrected");
+    header(
+        "§3 significance",
+        "pairwise McNemar tests, Bonferroni-corrected",
+    );
     paper_says(&[
         "statistically significant differences (p < 0.001) between all",
         "pairs of scan origins in all trials, for every protocol",

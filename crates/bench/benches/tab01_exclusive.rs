@@ -7,7 +7,10 @@ use originscan_core::report::Table;
 use originscan_netmodel::{OriginId, Protocol};
 
 fn main() {
-    header("Table 1", "% of exclusively accessible / inaccessible hosts per origin");
+    header(
+        "Table 1",
+        "% of exclusively accessible / inaccessible hosts per origin",
+    );
     paper_says(&[
         "US64 sees the most exclusively accessible hosts (33.8% HTTP)",
         "Censys has the most exclusively inaccessible hosts (83.4% HTTP)",
@@ -15,7 +18,10 @@ fn main() {
     let world = bench_world();
     let results = run_main(world, &Protocol::ALL);
     let mut t = Table::new(
-        ["row"].into_iter().map(String::from).chain(OriginId::MAIN.iter().map(|o| o.to_string())),
+        ["row"]
+            .into_iter()
+            .map(String::from)
+            .chain(OriginId::MAIN.iter().map(|o| o.to_string())),
     );
     for &proto in &Protocol::ALL {
         let panel = results.panel(proto);

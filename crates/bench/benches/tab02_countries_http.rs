@@ -2,12 +2,17 @@
 //! tiered by country size, with the dominant-AS coloring.
 
 use originscan_bench::{bench_world, header, paper_says, run_main};
-use originscan_core::country::{countries_above, country_stats, host_count_vs_inaccessible, tiered_table};
+use originscan_core::country::{
+    countries_above, country_stats, host_count_vs_inaccessible, tiered_table,
+};
 use originscan_core::report::{count, Table};
 use originscan_netmodel::{OriginId, Protocol};
 
 fn main() {
-    header("Table 2", "countries with the most long-term inaccessible HTTP hosts");
+    header(
+        "Table 2",
+        "countries with the most long-term inaccessible HTTP hosts",
+    );
     paper_says(&[
         "43% of Bangladesh and 27% of South Africa inaccessible from Censys",
         "(both dominated by DXTL); 50 countries lose >10% somewhere, 19 >25%",
@@ -19,7 +24,10 @@ fn main() {
     let stats = country_stats(world, &panel);
 
     if let Some(r) = host_count_vs_inaccessible(&stats) {
-        println!("Spearman(host count, inaccessible count): rho={:.2}, p={:.1e}", r.rho, r.p_value);
+        println!(
+            "Spearman(host count, inaccessible count): rho={:.2}, p={:.1e}",
+            r.rho, r.p_value
+        );
     }
     println!(
         ">10%: {} countries, >25%: {} countries\n",
@@ -30,10 +38,12 @@ fn main() {
     // Tier thresholds scale with the world: fractions of total GT hosts.
     let total: usize = stats.iter().map(|s| s.hosts).sum();
     let tiers = [total / 60, total / 600, total / 6000, 1];
-    for (bucket, label) in tiered_table(&stats, &tiers, 5)
-        .into_iter()
-        .zip(["largest countries", "large", "medium", "small"])
-    {
+    for (bucket, label) in tiered_table(&stats, &tiers, 5).into_iter().zip([
+        "largest countries",
+        "large",
+        "medium",
+        "small",
+    ]) {
         let mut t = Table::new(
             ["country", "hosts"]
                 .into_iter()

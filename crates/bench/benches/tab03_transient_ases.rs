@@ -7,7 +7,10 @@ use originscan_core::transient::{largest_spread_ases, transient_by_as};
 use originscan_netmodel::Protocol;
 
 fn main() {
-    header("Table 3", "ASes with the largest transient-loss spread between origins");
+    header(
+        "Table 3",
+        "ASes with the largest transient-loss spread between origins",
+    );
     paper_says(&[
         "large Chinese and Italian ASes dominate: HZ Alibaba (Δ20.5%),",
         "Akamai, Telecom Italia (Δ53.7%), TI Sparkle (ratio 2929), Tencent,",

@@ -8,7 +8,10 @@ use originscan_core::report::{count, pct, Table};
 use originscan_netmodel::{OriginId, Protocol};
 
 fn main() {
-    header("Table 4a", "ground-truth coverage per origin and trial (2 probes)");
+    header(
+        "Table 4a",
+        "ground-truth coverage per origin and trial (2 probes)",
+    );
     paper_says(&[
         "HTTP means: AU 96.7 BR 97.0 DE 96.7 JP 97.3 US1 97.5 US64 98.0 CEN 92.5,",
         "∩ 86.7%, ∪ 58.1M; HTTPS means ~97-99% (CEN 95.8), ∩ 90.5%;",

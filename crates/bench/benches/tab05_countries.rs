@@ -7,7 +7,10 @@ use originscan_core::report::{count, Table};
 use originscan_netmodel::{OriginId, Protocol};
 
 fn main() {
-    header("Table 5", "countries with the most long-term inaccessible HTTPS/SSH hosts");
+    header(
+        "Table 5",
+        "countries with the most long-term inaccessible HTTPS/SSH hosts",
+    );
     paper_says(&[
         "HTTPS: ZA 21.6% and BD 14.3% inaccessible from Censys;",
         "SSH: broad losses in CN/KR/IT from single-IP origins (Alibaba, IDS)",
@@ -20,10 +23,12 @@ fn main() {
         let total: usize = stats.iter().map(|s| s.hosts).sum();
         let tiers = [total / 60, total / 600, total / 6000, 1];
         println!("{proto}:");
-        for (bucket, label) in tiered_table(&stats, &tiers, 5)
-            .into_iter()
-            .zip(["largest countries", "large", "medium", "small"])
-        {
+        for (bucket, label) in tiered_table(&stats, &tiers, 5).into_iter().zip([
+            "largest countries",
+            "large",
+            "medium",
+            "small",
+        ]) {
             let mut t = Table::new(
                 ["country", "hosts"]
                     .into_iter()

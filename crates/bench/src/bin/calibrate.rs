@@ -27,7 +27,7 @@ fn main() {
         trials: 3,
         ..Default::default()
     };
-    let r = Experiment::new(&world, cfg).run();
+    let r = Experiment::new(&world, cfg).run().unwrap();
     for proto in Protocol::ALL {
         let m = r.matrix(proto, 0);
         println!("\n{proto} ground truth (trial 1): {} hosts", m.len());
@@ -43,19 +43,39 @@ fn main() {
                 let asr = world.as_of(addr);
                 let time = f64::from(m.hour[i]) / 21.0 * TRIAL_DURATION_S;
                 let p = path::path_params(&world, *origin, asr, proto, 0);
-                let cause = if policy::block_status(&world, *origin, addr, proto, 0) != Block::None {
+                let cause = if policy::block_status(&world, *origin, addr, proto, 0) != Block::None
+                {
                     0
-                } else if policy::ids::blocked(&world, *origin, asr, proto, 0, time, TRIAL_DURATION_S) {
+                } else if policy::ids::blocked(
+                    &world,
+                    *origin,
+                    asr,
+                    proto,
+                    0,
+                    time,
+                    TRIAL_DURATION_S,
+                ) {
                     1
                 } else if path::host_persistent_unreachable(&world, *origin, addr, p.persistent_f) {
                     2
-                } else if burst::in_burst(&world, *origin, addr, asr.index, proto, 0, time, TRIAL_DURATION_S) {
+                } else if burst::in_burst(
+                    &world,
+                    *origin,
+                    addr,
+                    asr.index,
+                    proto,
+                    0,
+                    time,
+                    TRIAL_DURATION_S,
+                ) {
                     3
                 } else if path::host_flaky(&world, *origin, addr, proto, 0, time, p.flaky_q) {
                     4
                 } else if path::l7_flaky(&world, *origin, addr, proto, 0, p.flaky_q) {
                     5
-                } else if (0..2).all(|pi| path::probe_drops(&world, *origin, addr, proto, 0, pi, p.drop_p)) {
+                } else if (0..2)
+                    .all(|pi| path::probe_drops(&world, *origin, addr, proto, 0, pi, p.drop_p))
+                {
                     6
                 } else {
                     7 // MaxStartups/Alibaba refusals land here for SSH
@@ -63,7 +83,9 @@ fn main() {
                 c[cause] += 1;
             }
             t.row(
-                [origin.to_string()].into_iter().chain(c.iter().map(|x| x.to_string())),
+                [origin.to_string()]
+                    .into_iter()
+                    .chain(c.iter().map(|x| x.to_string())),
             );
         }
         println!("{}", t.render());

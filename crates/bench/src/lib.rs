@@ -49,13 +49,15 @@ pub fn run_main<'w>(world: &'w World, protocols: &[Protocol]) -> ExperimentResul
         probes: 2,
         ..ExperimentConfig::default()
     };
-    timed("experiment", || Experiment::new(world, cfg).run())
+    timed("experiment", || Experiment::new(world, cfg).run().unwrap())
 }
 
 /// Run the §7 follow-up experiment (8 origins, HTTP, 2 trials).
 pub fn run_follow_up(world: &World) -> ExperimentResults<'_> {
     timed("follow-up experiment", || {
-        Experiment::new(world, ExperimentConfig::follow_up(0xF011)).run()
+        Experiment::new(world, ExperimentConfig::follow_up(0xF011))
+            .run()
+            .unwrap()
     })
 }
 

@@ -95,14 +95,21 @@ mod tests {
             trials: 3,
             ..Default::default()
         };
-        Experiment::new(world, cfg).run().panel(Protocol::Http)
+        Experiment::new(world, cfg)
+            .run()
+            .unwrap()
+            .panel(Protocol::Http)
     }
 
     #[test]
     fn censys_losses_concentrated_in_blockers() {
         let world = WorldConfig::small(41).build();
         let p = panel(&world);
-        let cen = p.origins.iter().position(|&o| o == OriginId::Censys).unwrap();
+        let cen = p
+            .origins
+            .iter()
+            .position(|&o| o == OriginId::Censys)
+            .unwrap();
         let by_as = longterm_by_as(&world, &p, cen);
         assert!(!by_as.is_empty());
         // DXTL / EGI / Enzu should rank at the very top.
@@ -113,7 +120,11 @@ mod tests {
         let conc = top_k_concentration(&by_as, 3);
         assert!((0.3..0.95).contains(&conc), "top-3 concentration {conc}");
         // Academic origins' losses are more evenly spread.
-        let jp = p.origins.iter().position(|&o| o == OriginId::Japan).unwrap();
+        let jp = p
+            .origins
+            .iter()
+            .position(|&o| o == OriginId::Japan)
+            .unwrap();
         let jp_by_as = longterm_by_as(&world, &p, jp);
         let jp_conc = top_k_concentration(&jp_by_as, 3);
         assert!(jp_conc < conc, "JP concentration {jp_conc} vs CEN {conc}");
@@ -128,7 +139,11 @@ mod tests {
         let counts: Vec<LostAsCounts> = (0..p.origins.len())
             .map(|oi| lost_as_counts(&world, &p, oi, 2))
             .collect();
-        let br = p.origins.iter().position(|&o| o == OriginId::Brazil).unwrap();
+        let br = p
+            .origins
+            .iter()
+            .position(|&o| o == OriginId::Brazil)
+            .unwrap();
         let us64 = p.origins.iter().position(|&o| o == OriginId::Us64).unwrap();
         assert!(
             counts[br].full > counts[us64].full,

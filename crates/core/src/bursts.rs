@@ -39,8 +39,7 @@ pub fn hourly_missing_series(
         }
         // Only transient misses count toward burst analysis.
         if let Ok(u) = panel.addrs.binary_search(&addr) {
-            if panel.present[u] & bit != 0 && classify(panel, origin_idx, u) == Class::Transient
-            {
+            if panel.present[u] & bit != 0 && classify(panel, origin_idx, u) == Class::Transient {
                 series[usize::from(matrix.hour[i])] += 1.0;
             }
         }
@@ -118,7 +117,7 @@ mod tests {
             trials: 3,
             ..Default::default()
         };
-        Experiment::new(world, cfg).run()
+        Experiment::new(world, cfg).run().unwrap()
     }
 
     #[test]
@@ -133,8 +132,9 @@ mod tests {
         ases.sort_unstable();
         ases.dedup();
         for ai in ases {
-            per_as_total +=
-                hourly_missing_series(&world, &panel, m, 0, ai).iter().sum::<f64>();
+            per_as_total += hourly_missing_series(&world, &panel, m, 0, ai)
+                .iter()
+                .sum::<f64>();
         }
         let direct = crate::classify::trial_breakdown(&panel, 0, 0).transient as f64;
         assert_eq!(per_as_total, direct);
@@ -168,11 +168,19 @@ mod tests {
         let r = run(&world);
         let panel = r.panel(Protocol::Https);
         let m = r.matrix(Protocol::Https, 2);
-        let br = panel.origins.iter().position(|&o| o == OriginId::Brazil).unwrap();
+        let br = panel
+            .origins
+            .iter()
+            .position(|&o| o == OriginId::Brazil)
+            .unwrap();
         let s = burst_share(&world, &panel, m, br, 8);
         // The injected hour-14 event should make Brazil's trial-3 burst
         // share clearly nonzero.
         assert!(s.ases_with_bursts > 0, "{s:?}");
-        assert!(s.fraction() > 0.05, "BR trial-3 burst share {}", s.fraction());
+        assert!(
+            s.fraction() > 0.05,
+            "BR trial-3 burst share {}",
+            s.fraction()
+        );
     }
 }

@@ -107,12 +107,17 @@ pub fn host_network_split(
     // Group union hosts by /24.
     let mut by_s24: HashMap<u32, Vec<usize>> = HashMap::new();
     for u in 0..panel.len() {
-        by_s24.entry(world.s24_of(panel.addrs[u])).or_default().push(u);
+        by_s24
+            .entry(world.s24_of(panel.addrs[u]))
+            .or_default()
+            .push(u);
     }
     let mut split = HostNetworkSplit::default();
     for (_, hosts) in by_s24 {
-        let classes: Vec<Class> =
-            hosts.iter().map(|&u| classify(panel, origin_idx, u)).collect();
+        let classes: Vec<Class> = hosts
+            .iter()
+            .map(|&u| classify(panel, origin_idx, u))
+            .collect();
         let matching = classes.iter().filter(|&&c| c == class).count();
         if matching == 0 {
             continue;
@@ -177,7 +182,10 @@ mod tests {
             trials: 3,
             ..Default::default()
         };
-        Experiment::new(world, cfg).run().panel(Protocol::Http)
+        Experiment::new(world, cfg)
+            .run()
+            .unwrap()
+            .panel(Protocol::Http)
     }
 
     #[test]
@@ -222,8 +230,9 @@ mod tests {
             }
             // A long-term host is missed in every trial it is present, so
             // summing long_term across trials ≥ the class count.
-            let per_trial: usize =
-                (0..3u8).map(|t| trial_breakdown(&panel, oi, t).long_term).sum();
+            let per_trial: usize = (0..3u8)
+                .map(|t| trial_breakdown(&panel, oi, t).long_term)
+                .sum();
             let classes = class_counts(&panel);
             assert!(per_trial >= classes[oi].long_term);
         }

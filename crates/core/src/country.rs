@@ -29,7 +29,10 @@ pub fn country_stats(world: &World, panel: &Panel) -> Vec<CountryStats> {
     // Bucket hosts by country once.
     let mut hosts_by_cc: HashMap<Country, Vec<usize>> = HashMap::new();
     for u in 0..panel.len() {
-        hosts_by_cc.entry(world.country_of(panel.addrs[u])).or_default().push(u);
+        hosts_by_cc
+            .entry(world.country_of(panel.addrs[u]))
+            .or_default()
+            .push(u);
     }
     let n_origins = panel.origins.len();
     let mut out = Vec::new();
@@ -87,8 +90,7 @@ pub fn host_count_vs_inaccessible(stats: &[CountryStats]) -> Option<SpearmanResu
         .iter()
         .map(|s| {
             // Total inaccessible host count across origins (avg pct × hosts).
-            let mean_pct =
-                s.inaccessible_pct.iter().sum::<f64>() / s.inaccessible_pct.len() as f64;
+            let mean_pct = s.inaccessible_pct.iter().sum::<f64>() / s.inaccessible_pct.len() as f64;
             mean_pct / 100.0 * s.hosts as f64
         })
         .collect();
@@ -143,7 +145,10 @@ mod tests {
             trials: 3,
             ..Default::default()
         };
-        Experiment::new(world, cfg).run().panel(Protocol::Http)
+        Experiment::new(world, cfg)
+            .run()
+            .unwrap()
+            .panel(Protocol::Http)
     }
 
     #[test]
@@ -164,10 +169,21 @@ mod tests {
         let world = WorldConfig::small(37).build();
         let p = setup(&world);
         let stats = country_stats(&world, &p);
-        let cen = p.origins.iter().position(|&o| o == OriginId::Censys).unwrap();
-        let jp = p.origins.iter().position(|&o| o == OriginId::Japan).unwrap();
+        let cen = p
+            .origins
+            .iter()
+            .position(|&o| o == OriginId::Censys)
+            .unwrap();
+        let jp = p
+            .origins
+            .iter()
+            .position(|&o| o == OriginId::Japan)
+            .unwrap();
         for cc in [geo::BD, geo::ZA] {
-            let s = stats.iter().find(|s| s.country == cc).unwrap_or_else(|| panic!("{cc}"));
+            let s = stats
+                .iter()
+                .find(|s| s.country == cc)
+                .unwrap_or_else(|| panic!("{cc}"));
             assert!(
                 s.inaccessible_pct[cen] > 15.0,
                 "{cc}: Censys only misses {:.1}%",

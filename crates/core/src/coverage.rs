@@ -122,7 +122,7 @@ mod tests {
             trials: 2,
             ..Default::default()
         };
-        Experiment::new(world, cfg).run()
+        Experiment::new(world, cfg).run().unwrap()
     }
 
     #[test]

@@ -44,8 +44,16 @@ impl ScanDiff {
 
 /// Diff two scans by their L7-successful host sets.
 pub fn diff_records(a: &[HostScanRecord], b: &[HostScanRecord]) -> ScanDiff {
-    let sa: BTreeSet<u32> = a.iter().filter(|r| r.l7_success()).map(|r| r.addr).collect();
-    let sb: BTreeSet<u32> = b.iter().filter(|r| r.l7_success()).map(|r| r.addr).collect();
+    let sa: BTreeSet<u32> = a
+        .iter()
+        .filter(|r| r.l7_success())
+        .map(|r| r.addr)
+        .collect();
+    let sb: BTreeSet<u32> = b
+        .iter()
+        .filter(|r| r.l7_success())
+        .map(|r| r.addr)
+        .collect();
     let mut counts = PairedCounts::default();
     let mut only_a = Vec::new();
     let mut only_b = Vec::new();
@@ -60,7 +68,12 @@ pub fn diff_records(a: &[HostScanRecord], b: &[HostScanRecord]) -> ScanDiff {
             (false, false) => unreachable!("address from the union"),
         }
     }
-    ScanDiff { both, only_a, only_b, mcnemar: mcnemar_test(&counts) }
+    ScanDiff {
+        both,
+        only_a,
+        only_b,
+        mcnemar: mcnemar_test(&counts),
+    }
 }
 
 /// Attribute a host list to ASes: `(as_name, count)`, descending.
@@ -99,7 +112,11 @@ pub fn render(diff: &ScanDiff, label_a: &str, label_b: &str, world: Option<&Worl
         diff.mcnemar.statistic,
         diff.mcnemar.p_value,
         count(diff.mcnemar.discordant as usize),
-        if diff.mcnemar.p_value < 0.001 { " — significantly different views" } else { "" },
+        if diff.mcnemar.p_value < 0.001 {
+            " — significantly different views"
+        } else {
+            ""
+        },
     );
     if let Some(world) = world {
         for (label, hosts) in [(label_a, &diff.only_a), (label_b, &diff.only_b)] {
@@ -169,7 +186,7 @@ mod tests {
             let mut cfg = ScanConfig::new(world.space(), Protocol::Http, 9);
             cfg.origin = idx;
             cfg.concurrent_origins = 2;
-            run_scan(&net, &cfg)
+            run_scan(&net, &cfg).unwrap()
         };
         let jp = scan(0);
         let cen = scan(1);
@@ -183,10 +200,14 @@ mod tests {
         );
         assert!(d.mcnemar.p_value < 0.001);
         // AS attribution names a known Censys blocker among the top rows.
-        let top: Vec<String> =
-            by_as(&world, &d.only_a).into_iter().take(6).map(|(n, _)| n).collect();
+        let top: Vec<String> = by_as(&world, &d.only_a)
+            .into_iter()
+            .take(6)
+            .map(|(n, _)| n)
+            .collect();
         assert!(
-            top.iter().any(|n| n.contains("DXTL") || n.contains("Enzu") || n == "EGI Hosting"),
+            top.iter()
+                .any(|n| n.contains("DXTL") || n.contains("Enzu") || n == "EGI Hosting"),
             "top ASes: {top:?}"
         );
         // Rendering mentions both the universe and the attribution.

@@ -50,10 +50,19 @@ impl ExclusiveCounts {
         let norm = |v: &[usize]| {
             let total: usize = v.iter().sum();
             v.iter()
-                .map(|&x| if total == 0 { 0.0 } else { 100.0 * x as f64 / total as f64 })
+                .map(|&x| {
+                    if total == 0 {
+                        0.0
+                    } else {
+                        100.0 * x as f64 / total as f64
+                    }
+                })
                 .collect()
         };
-        (norm(&self.exclusive_accessible), norm(&self.exclusive_inaccessible))
+        (
+            norm(&self.exclusive_accessible),
+            norm(&self.exclusive_inaccessible),
+        )
     }
 }
 
@@ -77,7 +86,10 @@ pub fn exclusive_counts(panel: &Panel) -> ExclusiveCounts {
             inacc[only] += 1;
         }
     }
-    ExclusiveCounts { exclusive_accessible: acc, exclusive_inaccessible: inacc }
+    ExclusiveCounts {
+        exclusive_accessible: acc,
+        exclusive_inaccessible: inacc,
+    }
 }
 
 /// Hosts exclusively accessible from `origin_idx`, as union indices.
@@ -109,11 +121,7 @@ pub fn exclusive_by_country(
 
 /// Fig 7: exclusively accessible hosts of one origin bucketed by AS name,
 /// `(as_name, count)` sorted descending.
-pub fn exclusive_by_as(
-    world: &World,
-    panel: &Panel,
-    origin_idx: usize,
-) -> Vec<(String, usize)> {
+pub fn exclusive_by_as(world: &World, panel: &Panel, origin_idx: usize) -> Vec<(String, usize)> {
     let mut counts: HashMap<u32, usize> = HashMap::new();
     for u in exclusive_hosts(panel, origin_idx) {
         *counts.entry(world.as_index_of(panel.addrs[u])).or_default() += 1;
@@ -128,11 +136,7 @@ pub fn exclusive_by_as(
 
 /// Fraction of a country's hosts that are exclusively accessible from an
 /// origin *in* that country (the dark-green cells of Fig 6).
-pub fn within_country_exclusive_fraction(
-    world: &World,
-    panel: &Panel,
-    origin_idx: usize,
-) -> f64 {
+pub fn within_country_exclusive_fraction(world: &World, panel: &Panel, origin_idx: usize) -> f64 {
     let origin_cc = panel.origins[origin_idx].spec().country;
     let total_in_cc = (0..panel.len())
         .filter(|&u| world.country_of(panel.addrs[u]) == origin_cc)
@@ -160,7 +164,10 @@ mod tests {
             trials: 3,
             ..Default::default()
         };
-        Experiment::new(world, cfg).run().panel(Protocol::Http)
+        Experiment::new(world, cfg)
+            .run()
+            .unwrap()
+            .panel(Protocol::Http)
     }
 
     #[test]
@@ -177,7 +184,11 @@ mod tests {
         let world = WorldConfig::small(29).build();
         let p = panel(&world);
         let ex = exclusive_counts(&p);
-        let cen = p.origins.iter().position(|&o| o == OriginId::Censys).unwrap();
+        let cen = p
+            .origins
+            .iter()
+            .position(|&o| o == OriginId::Censys)
+            .unwrap();
         let (_, inacc_pct) = ex.percentages();
         // Table 1: Censys holds 83% of exclusively inaccessible HTTP hosts.
         assert!(
@@ -205,7 +216,11 @@ mod tests {
     fn australia_exclusive_hosts_include_webcentral() {
         let world = WorldConfig::small(29).build();
         let p = panel(&world);
-        let au = p.origins.iter().position(|&o| o == OriginId::Australia).unwrap();
+        let au = p
+            .origins
+            .iter()
+            .position(|&o| o == OriginId::Australia)
+            .unwrap();
         let by_as = exclusive_by_as(&world, &p, au);
         assert!(!by_as.is_empty());
         let top: &str = &by_as[0].0;
@@ -218,7 +233,11 @@ mod tests {
     fn japan_exclusive_hosts_span_bekkoame_and_gateway() {
         let world = WorldConfig::small(29).build();
         let p = panel(&world);
-        let jp = p.origins.iter().position(|&o| o == OriginId::Japan).unwrap();
+        let jp = p
+            .origins
+            .iter()
+            .position(|&o| o == OriginId::Japan)
+            .unwrap();
         let by_as = exclusive_by_as(&world, &p, jp);
         let names: Vec<&str> = by_as.iter().map(|(n, _)| n.as_str()).collect();
         assert!(

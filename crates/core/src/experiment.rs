@@ -6,14 +6,211 @@
 //! configuration per (protocol, trial), cloned per origin with only the
 //! origin identity (and its source-IP count) changed, run in parallel
 //! threads, then condensed into per-trial ground-truth matrices.
+//!
+//! # Supervision
+//!
+//! Real campaigns lose vantage points: processes crash, uplinks go dark,
+//! pipelines stall. The runner therefore *supervises* every origin's
+//! scan ([`supervise_scan`]) instead of letting one failure sink the
+//! trial:
+//!
+//! * each origin runs inside `catch_unwind`, so a panicking scan (or a
+//!   fault-injected kill) is contained to that origin;
+//! * failed scans are retried up to [`SupervisorPolicy::max_retries`]
+//!   times with capped exponential backoff *in simulated time* — the
+//!   backoff is bookkeeping ([`OriginRun::sim_backoff_s`]) and never
+//!   shifts probe timestamps, preserving determinism;
+//! * the engine checkpoints into a [`CheckpointStore`] every
+//!   [`SupervisorPolicy::checkpoint_every`] addresses, so a retry
+//!   resumes mid-permutation instead of rescanning from zero;
+//! * every origin's fate is recorded as a [`RunStatus`] that flows into
+//!   [`TrialMatrix::statuses`] and the report, and origins that exhaust
+//!   their retries are *excluded from ground truth* rather than
+//!   invalidating the trial.
 
 use crate::matrix::TrialMatrix;
 use crate::results::ExperimentResults;
+use originscan_netmodel::fault::{FaultPlan, FaultyNet, InjectedFault};
 use originscan_netmodel::{OriginId, Protocol, SimNet, World};
-use originscan_scanner::engine::{run_scan, ScanConfig, ScanOutput};
+use originscan_scanner::engine::{
+    run_scan_session, CheckpointStore, FaultHook, ScanConfig, ScanOutput, ScanSession,
+};
+use originscan_scanner::error::ScanError;
+use originscan_scanner::target::Network;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Simulated trial duration: the paper's trials took ≈ 21 hours.
 pub const TRIAL_DURATION_S: f64 = 21.0 * 3600.0;
+
+/// Why an origin's scan produced no usable output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailCause {
+    /// The scan thread panicked on its final allowed attempt.
+    Panicked,
+    /// An injected fault killed the scan on its final allowed attempt.
+    Killed,
+    /// The scan configuration failed validation (retrying cannot help).
+    InvalidConfig,
+}
+
+/// Per-(origin, trial) outcome of the supervised runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// One clean attempt, full results.
+    Completed,
+    /// Interrupted `retries` times, then ran to completion (resuming
+    /// from checkpoints where available). Results are complete.
+    Resumed {
+        /// Retry attempts consumed before success.
+        retries: u32,
+    },
+    /// Ran to completion, but an injected network fault (outage window,
+    /// reply tampering) degraded its view of the network. Results are
+    /// usable but partial.
+    Degraded {
+        /// The fault kind that degraded this run.
+        fault: InjectedFault,
+        /// Retry attempts consumed (0 when only the network misbehaved).
+        retries: u32,
+    },
+    /// Gave up after exhausting retries; no output. The origin is
+    /// excluded from ground truth and reported as all-missed.
+    Failed {
+        /// The terminal failure.
+        cause: FailCause,
+    },
+}
+
+impl RunStatus {
+    /// Did this run produce output records?
+    pub fn has_output(&self) -> bool {
+        !matches!(self, RunStatus::Failed { .. })
+    }
+
+    /// Completed on the first attempt with no injected degradation?
+    pub fn is_clean(&self) -> bool {
+        matches!(self, RunStatus::Completed)
+    }
+}
+
+impl fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunStatus::Completed => write!(f, "completed"),
+            RunStatus::Resumed { retries } => match retries {
+                1 => write!(f, "resumed after 1 interruption"),
+                n => write!(f, "resumed after {n} interruptions"),
+            },
+            RunStatus::Degraded { fault, retries } => {
+                let kind = match fault {
+                    InjectedFault::Outage => "vantage outage",
+                    InjectedFault::ReplyTamper => "reply tampering",
+                };
+                match retries {
+                    0 => write!(f, "degraded ({kind})"),
+                    1 => write!(f, "degraded ({kind}, 1 retry)"),
+                    n => write!(f, "degraded ({kind}, {n} retries)"),
+                }
+            }
+            RunStatus::Failed { cause } => {
+                let c = match cause {
+                    FailCause::Panicked => "panicked",
+                    FailCause::Killed => "killed by fault",
+                    FailCause::InvalidConfig => "invalid config",
+                };
+                write!(f, "FAILED ({c})")
+            }
+        }
+    }
+}
+
+/// Retry, backoff, and checkpoint policy of the supervisor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorPolicy {
+    /// Retry attempts after the first failure (so `max_retries + 1`
+    /// attempts total).
+    pub max_retries: u32,
+    /// First retry waits this long in *simulated* time; each further
+    /// retry doubles it.
+    pub backoff_base_s: f64,
+    /// Ceiling on a single backoff step.
+    pub backoff_cap_s: f64,
+    /// Engine checkpoint cadence in addresses (0 disables resume; a
+    /// failed origin then restarts from scratch).
+    pub checkpoint_every: u64,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            backoff_base_s: 60.0,
+            backoff_cap_s: 900.0,
+            checkpoint_every: 1024,
+        }
+    }
+}
+
+/// One origin's supervised scan: its fate plus (when successful) its raw
+/// output.
+#[derive(Debug, Clone)]
+pub struct OriginRun {
+    /// How the run ended.
+    pub status: RunStatus,
+    /// Attempts performed (1 = clean first run).
+    pub attempts: u32,
+    /// Simulated seconds spent in retry backoff. Pure bookkeeping: probe
+    /// timestamps are *never* shifted by backoff, so a resumed scan stays
+    /// bit-identical to an uninterrupted one.
+    pub sim_backoff_s: f64,
+    /// The scan output; `None` exactly when `status` is `Failed`.
+    pub output: Option<ScanOutput>,
+}
+
+impl OriginRun {
+    fn failed(cause: FailCause, attempts: u32, sim_backoff_s: f64) -> Self {
+        Self {
+            status: RunStatus::Failed { cause },
+            attempts,
+            sim_backoff_s,
+            output: None,
+        }
+    }
+}
+
+/// Why an experiment could not produce results at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// The configuration lists no origins, no protocols, or zero trials.
+    EmptyConfig,
+    /// Every origin failed in one (protocol, trial): there is no ground
+    /// truth to report against.
+    AllOriginsFailed {
+        /// The protocol of the dead trial.
+        protocol: Protocol,
+        /// The dead trial's index.
+        trial: u8,
+    },
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::EmptyConfig => {
+                write!(
+                    f,
+                    "experiment config needs at least one origin, protocol, and trial"
+                )
+            }
+            ExperimentError::AllOriginsFailed { protocol, trial } => {
+                write!(f, "every origin failed in {protocol} trial {trial}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
 
 /// Configuration of one experiment (a set of synchronized trials).
 #[derive(Debug, Clone)]
@@ -40,6 +237,10 @@ pub struct ExperimentConfig {
     /// Round-trip packets through byte encodings (slower; exercises the
     /// wire codecs end to end).
     pub wire_check: bool,
+    /// Injected fault schedule (`None`: fault-free run).
+    pub faults: Option<FaultPlan>,
+    /// Supervisor retry/backoff/checkpoint policy.
+    pub policy: SupervisorPolicy,
 }
 
 impl Default for ExperimentConfig {
@@ -54,6 +255,8 @@ impl Default for ExperimentConfig {
             base_seed: 0xC0FFEE,
             duration_s: TRIAL_DURATION_S,
             wire_check: false,
+            faults: None,
+            policy: SupervisorPolicy::default(),
         }
     }
 }
@@ -74,6 +277,70 @@ impl ExperimentConfig {
     }
 }
 
+/// Supervise one scan to completion: run it under `catch_unwind`, retry
+/// interrupted attempts up to `policy.max_retries` times with capped
+/// exponential backoff in simulated time, and resume from the engine's
+/// periodic checkpoints where available.
+///
+/// Invariants this function maintains (asserted by the integration
+/// suite):
+///
+/// * A successful resumed run is bit-identical to an uninterrupted run —
+///   checkpoints capture exact permutation/pacer/stall state, and
+///   backoff never shifts probe timestamps.
+/// * A panic in the scan (or the network model under it) is contained:
+///   the caller always gets an [`OriginRun`], never an unwind.
+pub fn supervise_scan<N: Network + ?Sized>(
+    net: &N,
+    cfg: &ScanConfig,
+    hook: Option<&dyn FaultHook>,
+    policy: &SupervisorPolicy,
+) -> OriginRun {
+    let store = CheckpointStore::new();
+    let mut attempts: u32 = 0;
+    let mut sim_backoff_s = 0.0f64;
+    loop {
+        let session = ScanSession {
+            hook,
+            checkpoint_every: policy.checkpoint_every,
+            store: Some(&store),
+            resume: store.take(),
+            attempt: attempts,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| run_scan_session(net, cfg, session)));
+        attempts += 1;
+        let cause = match result {
+            Ok(Ok(output)) => {
+                let status = if attempts > 1 {
+                    RunStatus::Resumed {
+                        retries: attempts - 1,
+                    }
+                } else {
+                    RunStatus::Completed
+                };
+                return OriginRun {
+                    status,
+                    attempts,
+                    sim_backoff_s,
+                    output: Some(output),
+                };
+            }
+            // Validation failures are permanent: retrying cannot help.
+            Ok(Err(ScanError::Config(_))) => {
+                return OriginRun::failed(FailCause::InvalidConfig, attempts, sim_backoff_s);
+            }
+            Ok(Err(_)) => FailCause::Killed,
+            Err(_) => FailCause::Panicked,
+        };
+        if attempts > policy.max_retries {
+            return OriginRun::failed(cause, attempts, sim_backoff_s);
+        }
+        // Capped exponential backoff, in simulated time only.
+        let exp = (attempts - 1).min(30) as i32;
+        sim_backoff_s += (policy.backoff_base_s * 2f64.powi(exp)).min(policy.backoff_cap_s);
+    }
+}
+
 /// An experiment bound to a world.
 #[derive(Debug, Clone)]
 pub struct Experiment<'w> {
@@ -86,32 +353,54 @@ impl<'w> Experiment<'w> {
     pub fn new(world: &'w World, cfg: ExperimentConfig) -> Experiment<'w> {
         Experiment { world, cfg }
     }
-    /// Run every (protocol, trial, origin) scan and condense the results.
-    pub fn run(&self) -> ExperimentResults<'w> {
+
+    /// Run every (protocol, trial, origin) scan under supervision and
+    /// condense the results. Origins that fail terminally are excluded
+    /// from ground truth and carried as [`RunStatus::Failed`]; only an
+    /// empty configuration or a trial with *no* surviving origin is an
+    /// error.
+    pub fn run(&self) -> Result<ExperimentResults<'w>, ExperimentError> {
         let cfg = &self.cfg;
-        assert!(!cfg.origins.is_empty() && !cfg.protocols.is_empty() && cfg.trials > 0);
+        if cfg.origins.is_empty() || cfg.protocols.is_empty() || cfg.trials == 0 {
+            return Err(ExperimentError::EmptyConfig);
+        }
         let mut matrices = Vec::new();
         for &proto in &cfg.protocols {
             for trial in 0..cfg.trials {
-                let outputs = self.run_trial(proto, trial);
-                matrices.push(TrialMatrix::build(
+                let runs = self.run_trial(proto, trial);
+                if runs.iter().all(|r| r.output.is_none()) {
+                    return Err(ExperimentError::AllOriginsFailed {
+                        protocol: proto,
+                        trial,
+                    });
+                }
+                matrices.push(TrialMatrix::build_supervised(
                     self.world,
                     proto,
                     trial,
                     &cfg.origins,
-                    &outputs,
+                    &runs,
                     cfg.duration_s,
                 ));
             }
         }
-        ExperimentResults::new(self.world, cfg.clone(), matrices)
+        Ok(ExperimentResults::new(self.world, cfg.clone(), matrices))
     }
 
-    /// Run one (protocol, trial) across all origins, in parallel.
-    fn run_trial(&self, proto: Protocol, trial: u8) -> Vec<ScanOutput> {
+    /// Run one (protocol, trial) across all origins, in parallel, each
+    /// under its own supervisor.
+    fn run_trial(&self, proto: Protocol, trial: u8) -> Vec<OriginRun> {
         let cfg = &self.cfg;
         let world = self.world;
         let net = SimNet::new(world, &cfg.origins, cfg.duration_s);
+        let plan = cfg.faults.as_ref().filter(|p| !p.is_empty());
+        let faulty = plan.map(|p| FaultyNet::new(&net, p, cfg.duration_s));
+        let net_ref: &dyn Network = match &faulty {
+            Some(f) => f,
+            None => &net,
+        };
+        let plan_hook = plan.map(|p| p.hook(cfg.duration_s));
+        let hook = plan_hook.as_ref().map(|h| h as &dyn FaultHook);
         let space = world.space();
         let rate = originscan_scanner::rate::rate_for_duration(
             space * u64::from(cfg.probes),
@@ -135,18 +424,36 @@ impl<'w> Experiment<'w> {
             c
         };
         let n = cfg.origins.len();
-        let mut outputs: Vec<Option<ScanOutput>> = (0..n).map(|_| None).collect();
-        crossbeam::thread::scope(|s| {
-            for (i, slot) in outputs.iter_mut().enumerate() {
+        let mut runs: Vec<Option<OriginRun>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for (i, slot) in runs.iter_mut().enumerate() {
                 let c = scan_cfg_for(i);
-                let net_ref = &net;
-                s.spawn(move |_| {
-                    *slot = Some(run_scan(net_ref, &c));
+                s.spawn(move || {
+                    *slot = Some(supervise_scan(net_ref, &c, hook, &cfg.policy));
                 });
             }
-        })
-        .expect("scan thread panicked");
-        outputs.into_iter().map(|o| o.expect("all scans ran")).collect()
+        });
+        runs.into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                // `supervise_scan` cannot unwind, so the slot is always
+                // filled; the fallback is pure defensiveness.
+                let mut run =
+                    slot.unwrap_or_else(|| OriginRun::failed(FailCause::Panicked, 0, 0.0));
+                // Network-level faults degrade results without killing
+                // the process; classify them from the plan.
+                if run.output.is_some() {
+                    if let Some(fault) = plan.and_then(|p| p.degradation(i as u16, trial)) {
+                        let retries = match run.status {
+                            RunStatus::Resumed { retries } => retries,
+                            _ => 0,
+                        };
+                        run.status = RunStatus::Degraded { fault, retries };
+                    }
+                }
+                run
+            })
+            .collect()
     }
 }
 
@@ -154,6 +461,9 @@ impl<'w> Experiment<'w> {
 mod tests {
     use super::*;
     use originscan_netmodel::WorldConfig;
+    use originscan_scanner::target::{L7Ctx, L7Reply, ProbeCtx, SynReply};
+    use originscan_wire::tcp::TcpHeader;
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     #[test]
     fn default_config_matches_paper() {
@@ -163,6 +473,8 @@ mod tests {
         assert_eq!(c.trials, 3);
         assert_eq!(c.probes, 2);
         assert_eq!(c.duration_s, 75_600.0);
+        assert!(c.faults.is_none());
+        assert_eq!(c.policy.max_retries, 2);
     }
 
     #[test]
@@ -174,11 +486,12 @@ mod tests {
             trials: 2,
             ..Default::default()
         };
-        let a = Experiment::new(&world, cfg.clone()).run();
-        let b = Experiment::new(&world, cfg).run();
+        let a = Experiment::new(&world, cfg.clone()).run().unwrap();
+        let b = Experiment::new(&world, cfg).run().unwrap();
         for (ma, mb) in a.matrices().iter().zip(b.matrices()) {
             assert_eq!(ma.addrs, mb.addrs);
             assert_eq!(ma.outcomes, mb.outcomes);
+            assert!(ma.statuses.iter().all(|s| s.is_clean()));
         }
         // Ground truth is non-trivial.
         assert!(a.matrices()[0].addrs.len() > 50);
@@ -190,5 +503,264 @@ mod tests {
         assert_eq!(c.origins.len(), 8);
         assert_eq!(c.protocols, vec![Protocol::Http]);
         assert_eq!(c.trials, 2);
+    }
+
+    #[test]
+    fn empty_config_is_a_typed_error() {
+        let world = WorldConfig::tiny(1).build();
+        let cfg = ExperimentConfig {
+            origins: vec![],
+            ..Default::default()
+        };
+        assert_eq!(
+            Experiment::new(&world, cfg).run().unwrap_err(),
+            ExperimentError::EmptyConfig
+        );
+        let cfg = ExperimentConfig {
+            trials: 0,
+            ..Default::default()
+        };
+        assert_eq!(
+            Experiment::new(&world, cfg).run().unwrap_err(),
+            ExperimentError::EmptyConfig
+        );
+    }
+
+    /// A network that panics the first time a chosen address is probed.
+    struct PanicOnce<N> {
+        inner: N,
+        addr: u32,
+        armed: AtomicBool,
+    }
+
+    impl<N: Network> Network for PanicOnce<N> {
+        fn syn(&self, ctx: &ProbeCtx, probe: &TcpHeader) -> SynReply {
+            if ctx.dst == self.addr && self.armed.swap(false, Ordering::SeqCst) {
+                panic!("injected panic at {:#x}", self.addr);
+            }
+            self.inner.syn(ctx, probe)
+        }
+        fn l7(&self, ctx: &L7Ctx, req: &[u8]) -> L7Reply {
+            self.inner.l7(ctx, req)
+        }
+    }
+
+    #[test]
+    fn supervisor_contains_panics_and_resumes() {
+        let world = WorldConfig::tiny(5).build();
+        let origins = [OriginId::Us1];
+        let net = SimNet::new(&world, &origins, TRIAL_DURATION_S);
+        let mut cfg = ScanConfig::new(world.space(), Protocol::Http, 77);
+        cfg.rate_pps =
+            originscan_scanner::rate::rate_for_duration(world.space() * 2, TRIAL_DURATION_S);
+        let clean = supervise_scan(&net, &cfg, None, &SupervisorPolicy::default());
+        assert_eq!(clean.status, RunStatus::Completed);
+        assert_eq!(clean.attempts, 1);
+        assert_eq!(clean.sim_backoff_s, 0.0);
+
+        // Panic mid-scan on some address the clean run saw late-ish.
+        let victim = clean.output.as_ref().unwrap().records
+            [clean.output.as_ref().unwrap().records.len() / 2]
+            .addr;
+        let panicky = PanicOnce {
+            inner: net,
+            addr: victim,
+            armed: AtomicBool::new(true),
+        };
+        let run = supervise_scan(&panicky, &cfg, None, &SupervisorPolicy::default());
+        assert_eq!(run.status, RunStatus::Resumed { retries: 1 });
+        assert_eq!(run.attempts, 2);
+        assert!(
+            run.sim_backoff_s > 0.0,
+            "a retry must cost simulated backoff"
+        );
+        // Graceful degradation is *not* lossy here: resumed == clean.
+        assert_eq!(run.output, clean.output);
+    }
+
+    /// A network that always panics.
+    struct AlwaysPanics;
+    impl Network for AlwaysPanics {
+        fn syn(&self, _: &ProbeCtx, _: &TcpHeader) -> SynReply {
+            panic!("wired to fail");
+        }
+        fn l7(&self, _: &L7Ctx, _: &[u8]) -> L7Reply {
+            panic!("wired to fail");
+        }
+    }
+
+    #[test]
+    fn supervisor_gives_up_after_bounded_retries() {
+        let cfg = ScanConfig::new(64, Protocol::Http, 1);
+        let policy = SupervisorPolicy {
+            max_retries: 3,
+            ..Default::default()
+        };
+        let run = supervise_scan(&AlwaysPanics, &cfg, None, &policy);
+        assert_eq!(
+            run.status,
+            RunStatus::Failed {
+                cause: FailCause::Panicked
+            }
+        );
+        assert_eq!(run.attempts, 4, "1 initial + 3 retries");
+        assert!(run.output.is_none());
+        // Backoff: 60 + 120 + 240, all under the 900 s cap.
+        assert!((run.sim_backoff_s - 420.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let cfg = ScanConfig::new(64, Protocol::Http, 1);
+        let policy = SupervisorPolicy {
+            max_retries: 8,
+            ..Default::default()
+        };
+        let run = supervise_scan(&AlwaysPanics, &cfg, None, &policy);
+        // 60+120+240+480+900+900+900+900 = 4500.
+        assert!((run.sim_backoff_s - 4500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_config_fails_without_retries() {
+        let mut cfg = ScanConfig::new(64, Protocol::Http, 1);
+        cfg.probes = 0;
+        let run = supervise_scan(&AlwaysPanics, &cfg, None, &SupervisorPolicy::default());
+        assert_eq!(
+            run.status,
+            RunStatus::Failed {
+                cause: FailCause::InvalidConfig
+            }
+        );
+        assert_eq!(run.attempts, 1, "validation errors are not retried");
+    }
+
+    #[test]
+    fn faulted_experiment_degrades_gracefully() {
+        let world = WorldConfig::tiny(3).build();
+        // Origin 1 (Japan) suffers an outage with recovery plus a crash;
+        // origin 0 (US1) is untouched.
+        let plan = FaultPlan::new(11)
+            .outage(1, 0, 0.3, 0.6)
+            .crash(1, 0, 0.35, 1);
+        let base = ExperimentConfig {
+            origins: vec![OriginId::Us1, OriginId::Japan],
+            protocols: vec![Protocol::Http],
+            trials: 1,
+            ..Default::default()
+        };
+        let clean = Experiment::new(&world, base.clone()).run().unwrap();
+        let faulted = Experiment::new(
+            &world,
+            ExperimentConfig {
+                faults: Some(plan),
+                ..base
+            },
+        )
+        .run()
+        .unwrap();
+        let m = &faulted.matrices()[0];
+        assert!(m.statuses[0].is_clean(), "US1 untouched: {}", m.statuses[0]);
+        assert!(
+            matches!(
+                m.statuses[1],
+                RunStatus::Degraded {
+                    fault: InjectedFault::Outage,
+                    retries: 1
+                }
+            ),
+            "Japan crashed once and lost its outage window: {}",
+            m.statuses[1]
+        );
+        // Japan's results are partial but present; the trial survived.
+        assert!(m.seen_count(1) > 0);
+        assert!(m.seen_count(1) < m.seen_count(0));
+        // US1's view is identical to the fault-free experiment's.
+        let mc = &clean.matrices()[0];
+        let clean_us1: Vec<_> = mc.iter_origin(0).collect();
+        let faulted_us1: Vec<_> = m
+            .iter_origin(0)
+            .filter(|(_, addr, _)| mc.index_of(*addr).is_some())
+            .collect();
+        // (Restricted to shared GT addrs: Japan's losses shrink GT.)
+        assert_eq!(
+            faulted_us1
+                .iter()
+                .map(|(_, a, o)| (*a, *o))
+                .collect::<Vec<_>>(),
+            clean_us1
+                .iter()
+                .filter(|(_, a, _)| m.index_of(*a).is_some())
+                .map(|(_, a, o)| (*a, *o))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unrecoverable_origin_reported_failed_but_trial_survives() {
+        let world = WorldConfig::tiny(3).build();
+        // Origin 1 crashes on every attempt the policy allows.
+        let plan = FaultPlan::new(2).crash(1, 0, 0.2, u32::MAX);
+        let cfg = ExperimentConfig {
+            origins: vec![OriginId::Us1, OriginId::Japan],
+            protocols: vec![Protocol::Http],
+            trials: 1,
+            faults: Some(plan),
+            ..Default::default()
+        };
+        let results = Experiment::new(&world, cfg).run().unwrap();
+        let m = &results.matrices()[0];
+        assert_eq!(
+            m.statuses[1],
+            RunStatus::Failed {
+                cause: FailCause::Killed
+            }
+        );
+        assert_eq!(m.seen_count(1), 0, "failed origins are all-missed");
+        assert!(m.statuses[0].is_clean());
+        assert!(
+            !m.is_empty(),
+            "ground truth comes from the surviving origin"
+        );
+    }
+
+    #[test]
+    fn all_origins_failing_is_a_typed_error() {
+        let world = WorldConfig::tiny(3).build();
+        let plan = FaultPlan::new(2).crash(0, 0, 0.0, u32::MAX);
+        let cfg = ExperimentConfig {
+            origins: vec![OriginId::Us1],
+            protocols: vec![Protocol::Http],
+            trials: 1,
+            faults: Some(plan),
+            ..Default::default()
+        };
+        assert_eq!(
+            Experiment::new(&world, cfg).run().unwrap_err(),
+            ExperimentError::AllOriginsFailed {
+                protocol: Protocol::Http,
+                trial: 0
+            }
+        );
+    }
+
+    #[test]
+    fn run_status_renders() {
+        assert_eq!(RunStatus::Completed.to_string(), "completed");
+        assert_eq!(
+            RunStatus::Resumed { retries: 2 }.to_string(),
+            "resumed after 2 interruptions"
+        );
+        assert!(RunStatus::Degraded {
+            fault: InjectedFault::Outage,
+            retries: 0
+        }
+        .to_string()
+        .contains("vantage outage"));
+        assert!(RunStatus::Failed {
+            cause: FailCause::Panicked
+        }
+        .to_string()
+        .contains("FAILED"));
     }
 }

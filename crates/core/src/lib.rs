@@ -45,6 +45,9 @@ pub mod ssh;
 pub mod summary;
 pub mod transient;
 
-pub use experiment::{Experiment, ExperimentConfig};
+pub use experiment::{
+    Experiment, ExperimentConfig, ExperimentError, FailCause, OriginRun, RunStatus,
+    SupervisorPolicy,
+};
 pub use outcome::{FailKind, HostOutcome};
 pub use results::{Coverage, ExperimentResults, Panel};

@@ -6,6 +6,7 @@
 //! hour (the same for every origin, because the scanners share a seed),
 //! and the packed outcome of every origin's attempt.
 
+use crate::experiment::{OriginRun, RunStatus};
 use crate::outcome::HostOutcome;
 use originscan_netmodel::{OriginId, Protocol, World};
 use originscan_scanner::engine::ScanOutput;
@@ -28,34 +29,76 @@ pub struct TrialMatrix {
     /// `outcomes[origin][host_idx]`, aligned with the experiment's origin
     /// roster and `addrs`.
     pub outcomes: Vec<Vec<HostOutcome>>,
+    /// Per-origin supervised run status, aligned with the roster. Failed
+    /// origins contribute nothing to ground truth and read all-MISSED.
+    pub statuses: Vec<RunStatus>,
 }
 
 impl TrialMatrix {
-    /// Condense raw scan outputs into a matrix.
+    /// Condense raw scan outputs into a matrix (every origin completed).
     pub fn build(
-        _world: &World,
+        world: &World,
         protocol: Protocol,
         trial: u8,
         origins: &[OriginId],
         outputs: &[ScanOutput],
         duration_s: f64,
     ) -> TrialMatrix {
-        assert_eq!(origins.len(), outputs.len());
-        // Ground truth: union of L7-successful addresses.
+        let runs: Vec<OriginRun> = outputs
+            .iter()
+            .map(|out| OriginRun {
+                status: RunStatus::Completed,
+                attempts: 1,
+                sim_backoff_s: 0.0,
+                output: Some(out.clone()),
+            })
+            .collect();
+        Self::build_supervised(world, protocol, trial, origins, &runs, duration_s)
+    }
+
+    /// Condense supervised runs into a matrix, tolerating partial origin
+    /// sets: a run without output (terminal failure) is excluded from the
+    /// ground-truth union and its outcome row stays all-MISSED.
+    pub fn build_supervised(
+        _world: &World,
+        protocol: Protocol,
+        trial: u8,
+        origins: &[OriginId],
+        runs: &[OriginRun],
+        duration_s: f64,
+    ) -> TrialMatrix {
+        debug_assert_eq!(origins.len(), runs.len());
+        // `zip` below keeps indices aligned even if the caller hands us a
+        // short run list, so a length mismatch cannot mis-attribute rows.
+        let n = origins.len().min(runs.len());
+        let statuses: Vec<RunStatus> = runs
+            .iter()
+            .map(|r| r.status)
+            .chain(std::iter::repeat(RunStatus::Completed))
+            .take(origins.len())
+            .collect();
+        // Ground truth: union of L7-successful addresses of surviving runs.
         let mut gt: Vec<u32> = Vec::new();
-        for out in outputs {
-            gt.extend(out.records.iter().filter(|r| r.l7_success()).map(|r| r.addr));
+        for run in runs.iter().take(n) {
+            if let Some(out) = &run.output {
+                gt.extend(
+                    out.records
+                        .iter()
+                        .filter(|r| r.l7_success())
+                        .map(|r| r.addr),
+                );
+            }
         }
         gt.sort_unstable();
         gt.dedup();
-        let index: HashMap<u32, u32> =
-            gt.iter().enumerate().map(|(i, &a)| (a, i as u32)).collect();
+        let index: HashMap<u32, u32> = gt.iter().enumerate().map(|(i, &a)| (a, i as u32)).collect();
 
         // Scan hour per host: identical across origins (shared seed), so
         // take it from whichever origin recorded a response first.
         let mut hour = vec![u8::MAX; gt.len()];
         let mut outcomes = vec![vec![HostOutcome::MISSED; gt.len()]; origins.len()];
-        for (oi, out) in outputs.iter().enumerate() {
+        for (oi, run) in runs.iter().enumerate().take(n) {
+            let Some(out) = &run.output else { continue };
             for r in &out.records {
                 if let Some(&i) = index.get(&r.addr) {
                     outcomes[oi][i as usize] = HostOutcome::from_record(r);
@@ -76,7 +119,19 @@ impl TrialMatrix {
                 *h = 0;
             }
         }
-        TrialMatrix { protocol, trial, addrs: gt, hour, outcomes }
+        TrialMatrix {
+            protocol,
+            trial,
+            addrs: gt,
+            hour,
+            outcomes,
+            statuses,
+        }
+    }
+
+    /// True when every origin in this trial completed cleanly.
+    pub fn all_clean(&self) -> bool {
+        self.statuses.iter().all(RunStatus::is_clean)
     }
 
     /// Number of ground-truth hosts.
@@ -96,12 +151,18 @@ impl TrialMatrix {
 
     /// Hosts an origin completed the L7 handshake with.
     pub fn seen_count(&self, origin_idx: usize) -> usize {
-        self.outcomes[origin_idx].iter().filter(|o| o.l7_success()).count()
+        self.outcomes[origin_idx]
+            .iter()
+            .filter(|o| o.l7_success())
+            .count()
     }
 
     /// Hosts an origin would have seen with a single-probe scan.
     pub fn seen_count_one_probe(&self, origin_idx: usize) -> usize {
-        self.outcomes[origin_idx].iter().filter(|o| o.one_probe_success()).count()
+        self.outcomes[origin_idx]
+            .iter()
+            .filter(|o| o.one_probe_success())
+            .count()
     }
 
     /// Iterate `(host_idx, addr, outcome)` for one origin.
@@ -139,13 +200,19 @@ mod tests {
     }
 
     fn output(records: Vec<HostScanRecord>) -> ScanOutput {
-        ScanOutput { records, summary: ScanSummary::default() }
+        ScanOutput {
+            records,
+            summary: ScanSummary::default(),
+        }
     }
 
     #[test]
     fn ground_truth_is_union_of_l7_successes() {
         let world = WorldConfig::tiny(1).build();
-        let o1 = output(vec![rec(10, 0b11, true, 100.0), rec(20, 0b01, false, 200.0)]);
+        let o1 = output(vec![
+            rec(10, 0b11, true, 100.0),
+            rec(20, 0b01, false, 200.0),
+        ]);
         let o2 = output(vec![rec(20, 0b11, true, 210.0), rec(30, 0b11, true, 300.0)]);
         let m = TrialMatrix::build(
             &world,
@@ -169,9 +236,46 @@ mod tests {
     fn hours_derived_from_response_time() {
         let world = WorldConfig::tiny(1).build();
         let dur = 75_600.0;
-        let o1 = output(vec![rec(5, 0b11, true, 0.0), rec(6, 0b11, true, dur * 0.5), rec(7, 0b11, true, dur * 0.999)]);
+        let o1 = output(vec![
+            rec(5, 0b11, true, 0.0),
+            rec(6, 0b11, true, dur * 0.5),
+            rec(7, 0b11, true, dur * 0.999),
+        ]);
         let m = TrialMatrix::build(&world, Protocol::Http, 0, &[OriginId::Us1], &[o1], dur);
         assert_eq!(m.hour, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn failed_origin_excluded_from_ground_truth() {
+        use crate::experiment::FailCause;
+        let world = WorldConfig::tiny(1).build();
+        let ok = OriginRun {
+            status: RunStatus::Completed,
+            attempts: 1,
+            sim_backoff_s: 0.0,
+            output: Some(output(vec![rec(10, 0b11, true, 100.0)])),
+        };
+        let dead = OriginRun {
+            status: RunStatus::Failed {
+                cause: FailCause::Killed,
+            },
+            attempts: 3,
+            sim_backoff_s: 180.0,
+            output: None,
+        };
+        let m = TrialMatrix::build_supervised(
+            &world,
+            Protocol::Http,
+            0,
+            &[OriginId::Us1, OriginId::Japan],
+            &[ok, dead],
+            75_600.0,
+        );
+        assert_eq!(m.addrs, vec![10]);
+        assert_eq!(m.seen_count(0), 1);
+        assert_eq!(m.seen_count(1), 0, "failed origin reads all-MISSED");
+        assert!(!m.all_clean());
+        assert!(m.statuses[0].is_clean());
     }
 
     #[test]

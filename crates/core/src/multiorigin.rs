@@ -24,11 +24,7 @@ pub enum ProbePolicy {
 }
 
 /// Union coverage of an origin subset in one trial.
-pub fn combo_coverage(
-    matrix: &TrialMatrix,
-    combo: &[usize],
-    policy: ProbePolicy,
-) -> f64 {
+pub fn combo_coverage(matrix: &TrialMatrix, combo: &[usize], policy: ProbePolicy) -> f64 {
     let n = matrix.len();
     if n == 0 {
         return 1.0;
@@ -156,7 +152,7 @@ mod tests {
             trials: 2,
             ..Default::default()
         };
-        Experiment::new(world, cfg).run()
+        Experiment::new(world, cfg).run().unwrap()
     }
 
     #[test]
@@ -174,9 +170,16 @@ mod tests {
         }
         // Three origins reach ≥ 98-99% and low variance (paper: σ = 0.08%).
         let d3 = combo_sweep(&r, Protocol::Http, &roster, 3, ProbePolicy::Double);
-        assert!(d3.summary().median > 0.97, "3-origin median {}", d3.summary().median);
+        assert!(
+            d3.summary().median > 0.97,
+            "3-origin median {}",
+            d3.summary().median
+        );
         let d1 = combo_sweep(&r, Protocol::Http, &roster, 1, ProbePolicy::Double);
-        assert!(d3.std_dev() < d1.std_dev(), "variance must shrink with origins");
+        assert!(
+            d3.std_dev() < d1.std_dev(),
+            "variance must shrink with origins"
+        );
     }
 
     #[test]

@@ -143,8 +143,7 @@ mod tests {
         let rst = HostOutcome::from_record(&record(0b01, L7Outcome::ConnClosed(CloseKind::Rst)));
         assert_eq!(rst.fail_kind(), FailKind::ClosedRst);
         assert!(rst.explicit_close() && !rst.l7_success());
-        let fin =
-            HostOutcome::from_record(&record(0b01, L7Outcome::ConnClosed(CloseKind::FinAck)));
+        let fin = HostOutcome::from_record(&record(0b01, L7Outcome::ConnClosed(CloseKind::FinAck)));
         assert_eq!(fin.fail_kind(), FailKind::ClosedFin);
     }
 

@@ -81,7 +81,10 @@ pub fn drop_vs_transient_correlation(
     // Per-AS transient rates from the panel.
     let mut hosts_by_as: HashMap<u32, Vec<usize>> = HashMap::new();
     for u in 0..panel.len() {
-        hosts_by_as.entry(world.as_index_of(panel.addrs[u])).or_default().push(u);
+        hosts_by_as
+            .entry(world.as_index_of(panel.addrs[u]))
+            .or_default()
+            .push(u);
     }
     // Per-AS single-probe rates averaged over trials.
     let mut drop_acc: HashMap<u32, (usize, usize)> = HashMap::new();
@@ -98,7 +101,9 @@ pub fn drop_vs_transient_correlation(
         if hosts.len() < min_hosts {
             continue;
         }
-        let Some(&(s, n)) = drop_acc.get(ai) else { continue };
+        let Some(&(s, n)) = drop_acc.get(ai) else {
+            continue;
+        };
         if n == 0 {
             continue;
         }
@@ -161,12 +166,19 @@ pub fn loss_points_for_as(
                         && classify(panel, oi, u) == Class::Transient
                 })
                 .count();
-            let present = hosts.iter().filter(|&&u| panel.present[u] & bit != 0).count();
+            let present = hosts
+                .iter()
+                .filter(|&&u| panel.present[u] & bit != 0)
+                .count();
             out.push(LossPoint {
                 origin_idx: oi,
                 trial: m.trial,
                 drop_rate: s as f64 / n as f64,
-                transient_rate: if present == 0 { 0.0 } else { missed as f64 / present as f64 },
+                transient_rate: if present == 0 {
+                    0.0
+                } else {
+                    missed as f64 / present as f64
+                },
             });
         }
     }
@@ -187,7 +199,7 @@ mod tests {
             trials: 3,
             ..Default::default()
         };
-        Experiment::new(world, cfg).run()
+        Experiment::new(world, cfg).run().unwrap()
     }
 
     #[test]
@@ -210,7 +222,9 @@ mod tests {
         let world = WorldConfig::small(47).build();
         let r = run(&world);
         let mean = |oi: usize| -> f64 {
-            (0..3u8).map(|t| global_drop_estimate(r.matrix(Protocol::Http, t), oi)).sum::<f64>()
+            (0..3u8)
+                .map(|t| global_drop_estimate(r.matrix(Protocol::Http, t), oi))
+                .sum::<f64>()
                 / 3.0
         };
         let au = mean(0); // roster order: AU first
@@ -244,7 +258,11 @@ mod tests {
         let c = drop_vs_transient_correlation(&world, &panel, r.matrices(), 4, 10)
             .expect("enough ASes");
         assert!(c.rho > 0.0, "rho = {}", c.rho);
-        assert!(c.rho < 0.9, "correlation should be imperfect, rho = {}", c.rho);
+        assert!(
+            c.rho < 0.9,
+            "correlation should be imperfect, rho = {}",
+            c.rho
+        );
     }
 
     #[test]
@@ -252,7 +270,11 @@ mod tests {
         let world = WorldConfig::small(47).build();
         let r = run(&world);
         let panel = r.panel(Protocol::Http);
-        for name in ["HZ Alibaba Advertising", "Telecom Italia", "ABCDE Group Company Limited"] {
+        for name in [
+            "HZ Alibaba Advertising",
+            "Telecom Italia",
+            "ABCDE Group Company Limited",
+        ] {
             let pts = loss_points_for_as(&world, &panel, r.matrices(), name);
             assert_eq!(pts.len(), 7 * 3, "{name}: {} points", pts.len());
             for p in &pts {
@@ -268,13 +290,29 @@ mod tests {
         let r = run(&world);
         let panel = r.panel(Protocol::Http);
         let pts = loss_points_for_as(&world, &panel, r.matrices(), "Telecom Italia");
-        let de = panel.origins.iter().position(|&o| o == OriginId::Germany).unwrap();
-        let br = panel.origins.iter().position(|&o| o == OriginId::Brazil).unwrap();
+        let de = panel
+            .origins
+            .iter()
+            .position(|&o| o == OriginId::Germany)
+            .unwrap();
+        let br = panel
+            .origins
+            .iter()
+            .position(|&o| o == OriginId::Brazil)
+            .unwrap();
         let mean = |oi: usize| {
-            let v: Vec<f64> =
-                pts.iter().filter(|p| p.origin_idx == oi).map(|p| p.drop_rate).collect();
+            let v: Vec<f64> = pts
+                .iter()
+                .filter(|p| p.origin_idx == oi)
+                .map(|p| p.drop_rate)
+                .collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
-        assert!(mean(de) > 10.0 * mean(br), "DE {} vs BR {}", mean(de), mean(br));
+        assert!(
+            mean(de) > 10.0 * mean(br),
+            "DE {} vs BR {}",
+            mean(de),
+            mean(br)
+        );
     }
 }

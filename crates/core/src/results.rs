@@ -1,6 +1,6 @@
 //! Experiment results: the trial matrices plus cross-trial panels.
 
-use crate::experiment::ExperimentConfig;
+use crate::experiment::{ExperimentConfig, RunStatus};
 use crate::matrix::TrialMatrix;
 use crate::outcome::HostOutcome;
 use originscan_netmodel::{OriginId, Protocol, World};
@@ -35,12 +35,12 @@ impl Coverage {
 }
 
 impl<'w> ExperimentResults<'w> {
-    pub(crate) fn new(
-        world: &'w World,
-        cfg: ExperimentConfig,
-        matrices: Vec<TrialMatrix>,
-    ) -> Self {
-        Self { world, cfg, matrices }
+    pub(crate) fn new(world: &'w World, cfg: ExperimentConfig, matrices: Vec<TrialMatrix>) -> Self {
+        Self {
+            world,
+            cfg,
+            matrices,
+        }
     }
 
     /// The world scanned.
@@ -58,27 +58,72 @@ impl<'w> ExperimentResults<'w> {
         &self.matrices
     }
 
-    /// The matrix for one (protocol, trial).
-    pub fn matrix(&self, proto: Protocol, trial: u8) -> &TrialMatrix {
+    /// The matrix for one (protocol, trial), if it was scanned.
+    pub fn try_matrix(&self, proto: Protocol, trial: u8) -> Option<&TrialMatrix> {
         self.matrices
             .iter()
             .find(|m| m.protocol == proto && m.trial == trial)
-            .expect("no such (protocol, trial) in this experiment")
+    }
+
+    /// The matrix for one (protocol, trial).
+    ///
+    /// # Panics
+    /// If that (protocol, trial) was not part of the experiment; use
+    /// [`Self::try_matrix`] when the pair is not known to exist.
+    pub fn matrix(&self, proto: Protocol, trial: u8) -> &TrialMatrix {
+        match self.try_matrix(proto, trial) {
+            Some(m) => m,
+            None => panic!("no such (protocol, trial) in this experiment"),
+        }
+    }
+
+    /// Index of an origin in the roster, if it took part.
+    pub fn try_origin_index(&self, origin: OriginId) -> Option<usize> {
+        self.cfg.origins.iter().position(|&o| o == origin)
     }
 
     /// Index of an origin in the roster.
+    ///
+    /// # Panics
+    /// If the origin was not part of the experiment; use
+    /// [`Self::try_origin_index`] when membership is uncertain.
     pub fn origin_index(&self, origin: OriginId) -> usize {
-        self.cfg
-            .origins
-            .iter()
-            .position(|&o| o == origin)
-            .expect("origin not part of this experiment")
+        match self.try_origin_index(origin) {
+            Some(i) => i,
+            None => panic!("origin not part of this experiment"),
+        }
+    }
+
+    /// The supervised run status of one (protocol, trial, origin).
+    pub fn run_status(&self, proto: Protocol, trial: u8, origin: OriginId) -> Option<RunStatus> {
+        let m = self.try_matrix(proto, trial)?;
+        let oi = self.try_origin_index(origin)?;
+        m.statuses.get(oi).copied()
+    }
+
+    /// Every run that was not a clean first-attempt completion, in
+    /// (protocol, trial, origin) order. Empty for a fault-free experiment.
+    pub fn disrupted_runs(&self) -> Vec<(Protocol, u8, OriginId, RunStatus)> {
+        let mut out = Vec::new();
+        for m in &self.matrices {
+            for (oi, &status) in m.statuses.iter().enumerate() {
+                if !status.is_clean() {
+                    if let Some(&origin) = self.cfg.origins.get(oi) {
+                        out.push((m.protocol, m.trial, origin, status));
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Coverage (2-probe, i.e. as scanned) of `origin` in one trial.
     pub fn coverage(&self, proto: Protocol, trial: u8, origin: OriginId) -> Coverage {
         let m = self.matrix(proto, trial);
-        Coverage { seen: m.seen_count(self.origin_index(origin)), ground_truth: m.len() }
+        Coverage {
+            seen: m.seen_count(self.origin_index(origin)),
+            ground_truth: m.len(),
+        }
     }
 
     /// Coverage under the simulated single-probe scan.
@@ -92,8 +137,11 @@ impl<'w> ExperimentResults<'w> {
 
     /// Build the cross-trial panel for one protocol.
     pub fn panel(&self, proto: Protocol) -> Panel {
-        let trials: Vec<&TrialMatrix> =
-            self.matrices.iter().filter(|m| m.protocol == proto).collect();
+        let trials: Vec<&TrialMatrix> = self
+            .matrices
+            .iter()
+            .filter(|m| m.protocol == proto)
+            .collect();
         assert!(!trials.is_empty(), "protocol not scanned");
         Panel::build(proto, &self.cfg.origins, &trials)
     }
@@ -128,8 +176,11 @@ impl Panel {
         }
         union.sort_unstable();
         union.dedup();
-        let index: HashMap<u32, u32> =
-            union.iter().enumerate().map(|(i, &a)| (a, i as u32)).collect();
+        let index: HashMap<u32, u32> = union
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, i as u32))
+            .collect();
 
         let n = union.len();
         let mut present = vec![0u8; n];
@@ -210,7 +261,7 @@ mod tests {
             trials: 3,
             ..Default::default()
         };
-        Experiment::new(world, cfg).run()
+        Experiment::new(world, cfg).run().unwrap()
     }
 
     #[test]
@@ -237,8 +288,9 @@ mod tests {
         // Every trial's GT count equals the presence bits.
         for t in 0..3u8 {
             let m = r.matrix(Protocol::Http, t);
-            let present_t =
-                (0..p.len()).filter(|&u| p.present[u] & (1 << t) != 0).count();
+            let present_t = (0..p.len())
+                .filter(|&u| p.present[u] & (1 << t) != 0)
+                .count();
             assert_eq!(present_t, m.len());
             // Seen counts match.
             for (oi, _) in p.origins.iter().enumerate() {
@@ -263,7 +315,14 @@ mod tests {
         let world = WorldConfig::tiny(13).build();
         let r = results(&world);
         let p = r.panel(Protocol::Http);
-        let max_trial = (0..3).map(|t| r.matrix(Protocol::Http, t).len()).max().unwrap();
-        assert!(p.len() > max_trial, "union {} vs max trial {max_trial}", p.len());
+        let max_trial = (0..3)
+            .map(|t| r.matrix(Protocol::Http, t).len())
+            .max()
+            .unwrap();
+        assert!(
+            p.len() > max_trial,
+            "union {} vs max trial {max_trial}",
+            p.len()
+        );
     }
 }

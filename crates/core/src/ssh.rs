@@ -33,7 +33,10 @@ pub fn hourly_rst_fraction(
             rst[h] += 1.0;
         }
     }
-    rst.iter().zip(&total).map(|(r, t)| if *t == 0.0 { 0.0 } else { r / t }).collect()
+    rst.iter()
+        .zip(&total)
+        .map(|(r, t)| if *t == 0.0 { 0.0 } else { r / t })
+        .collect()
 }
 
 /// Cause attribution for missed SSH host-trials (Fig 14). Attribution is
@@ -85,11 +88,7 @@ pub fn ssh_miss_breakdown(
 /// dropped (§6 compares SSH's 57 % explicit closes to HTTP(S)'s 70 %
 /// drops), computed over one origin's misses in one trial, excluding
 /// Alibaba.
-pub fn explicit_close_fraction(
-    world: &World,
-    matrix: &TrialMatrix,
-    origin_idx: usize,
-) -> f64 {
+pub fn explicit_close_fraction(world: &World, matrix: &TrialMatrix, origin_idx: usize) -> f64 {
     let mut closes = 0usize;
     let mut misses = 0usize;
     for (i, &addr) in matrix.addrs.iter().enumerate() {
@@ -177,7 +176,10 @@ pub fn retry_sweep(
             succeeded as f64 / responding as f64
         });
     }
-    Some(RetrySweep { as_name: as_name.to_string(), success_fraction: fractions })
+    Some(RetrySweep {
+        as_name: as_name.to_string(),
+        success_fraction: fractions,
+    })
 }
 
 /// Identify the `n` ASes with the most transiently missed SSH hosts (the
@@ -209,7 +211,7 @@ mod tests {
             trials: 3,
             ..Default::default()
         };
-        Experiment::new(world, cfg).run()
+        Experiment::new(world, cfg).run().unwrap()
     }
 
     #[test]
@@ -261,7 +263,7 @@ mod tests {
             trials: 1,
             ..Default::default()
         };
-        let r = Experiment::new(&world, cfg).run();
+        let r = Experiment::new(&world, cfg).run().unwrap();
         let ssh = explicit_close_fraction(&world, r.matrix(Protocol::Ssh, 0), 0);
         let http = explicit_close_fraction(&world, r.matrix(Protocol::Http, 0), 0);
         assert!(ssh > http, "SSH {ssh} vs HTTP {http}");
@@ -281,7 +283,10 @@ mod tests {
         }
         let gain = sweep.success_fraction[8] - sweep.success_fraction[0];
         assert!(gain > 0.1, "retries gained only {gain}");
-        assert!(sweep.success_fraction[8] > 0.85, "8 retries should reach ~90%");
+        assert!(
+            sweep.success_fraction[8] > 0.85,
+            "8 retries should reach ~90%"
+        );
     }
 
     #[test]

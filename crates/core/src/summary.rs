@@ -32,6 +32,23 @@ pub fn full_report(results: &ExperimentResults<'_>) -> String {
         count(world.space() as usize),
     );
 
+    // Run health: surface any origin that did not complete cleanly so a
+    // reader knows which columns rest on degraded or absent data.
+    let disrupted = results.disrupted_runs();
+    if disrupted.is_empty() {
+        let _ = writeln!(out, "run health: all origin scans completed cleanly\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "run health: {} disrupted origin scan(s):",
+            disrupted.len()
+        );
+        for (proto, trial, origin, status) in &disrupted {
+            let _ = writeln!(out, "  {proto} trial {} {origin}: {status}", trial + 1);
+        }
+        let _ = writeln!(out);
+    }
+
     for &proto in &cfg.protocols {
         let _ = writeln!(out, "== {proto} ==\n");
 
@@ -83,7 +100,11 @@ pub fn full_report(results: &ExperimentResults<'_>) -> String {
                 count(b.total()),
             ]);
         }
-        let _ = writeln!(out, "missing-host taxonomy (union across trials):\n{}", t.render());
+        let _ = writeln!(
+            out,
+            "missing-host taxonomy (union across trials):\n{}",
+            t.render()
+        );
 
         // Exclusivity.
         let (acc, inacc) = exclusive_counts(&panel).percentages();
@@ -188,7 +209,7 @@ mod tests {
             trials: 2,
             ..Default::default()
         };
-        let results = Experiment::new(&world, cfg).run();
+        let results = Experiment::new(&world, cfg).run().unwrap();
         let report = full_report(&results);
         for needle in [
             "== HTTP ==",
@@ -202,8 +223,32 @@ mod tests {
             "SSH miss causes",
             "multi-origin",
             "95% CI",
+            "run health: all origin scans completed cleanly",
         ] {
-            assert!(report.contains(needle), "missing section {needle:?}\n{report}");
+            assert!(
+                report.contains(needle),
+                "missing section {needle:?}\n{report}"
+            );
         }
+    }
+
+    #[test]
+    fn report_flags_disrupted_runs() {
+        use originscan_netmodel::FaultPlan;
+        let world = WorldConfig::tiny(3).build();
+        let cfg = ExperimentConfig {
+            origins: vec![OriginId::Us1, OriginId::Japan],
+            protocols: vec![Protocol::Http],
+            trials: 1,
+            faults: Some(FaultPlan::new(4).outage(1, 0, 0.2, 0.5)),
+            ..Default::default()
+        };
+        let results = Experiment::new(&world, cfg).run().unwrap();
+        let report = full_report(&results);
+        assert!(
+            report.contains("run health: 1 disrupted origin scan(s):"),
+            "{report}"
+        );
+        assert!(report.contains("degraded (vantage outage)"), "{report}");
     }
 }

@@ -50,7 +50,10 @@ pub fn transient_by_as(world: &World, panel: &Panel) -> Vec<AsTransientLoss> {
     let n_origins = panel.origins.len();
     let mut hosts_by_as: HashMap<u32, Vec<usize>> = HashMap::new();
     for u in 0..panel.len() {
-        hosts_by_as.entry(world.as_index_of(panel.addrs[u])).or_default().push(u);
+        hosts_by_as
+            .entry(world.as_index_of(panel.addrs[u]))
+            .or_default()
+            .push(u);
     }
     let mut out = Vec::new();
     for (ai, hosts) in hosts_by_as {
@@ -118,9 +121,15 @@ pub fn origin_stability(world: &World, panel: &Panel, min_hosts: usize) -> Stabi
     let trials = panel.trials;
     let mut hosts_by_as: HashMap<u32, Vec<usize>> = HashMap::new();
     for u in 0..panel.len() {
-        hosts_by_as.entry(world.as_index_of(panel.addrs[u])).or_default().push(u);
+        hosts_by_as
+            .entry(world.as_index_of(panel.addrs[u]))
+            .or_default()
+            .push(u);
     }
-    let mut st = Stability { worst_origin_counts: vec![0; n_origins], ..Default::default() };
+    let mut st = Stability {
+        worst_origin_counts: vec![0; n_origins],
+        ..Default::default()
+    };
     for (_, hosts) in hosts_by_as {
         if hosts.len() < min_hosts {
             continue;
@@ -143,9 +152,7 @@ pub fn origin_stability(world: &World, panel: &Panel, min_hosts: usize) -> Stabi
                 }
                 present += 1;
                 for (oi, m) in miss.iter_mut().enumerate() {
-                    if panel.seen[oi][u] & bit == 0
-                        && classify(panel, oi, u) == Class::Transient
-                    {
+                    if panel.seen[oi][u] & bit == 0 && classify(panel, oi, u) == Class::Transient {
                         *m += 1;
                     }
                 }
@@ -158,16 +165,20 @@ pub fn origin_stability(world: &World, panel: &Panel, min_hosts: usize) -> Stabi
             any_present = true;
             let bmin = *miss.iter().min().expect("origins non-empty");
             let bmax = *miss.iter().max().expect("origins non-empty");
-            best.push(if bmin < bmax && miss.iter().filter(|&&m| m == bmin).count() == 1 {
-                miss.iter().position(|&m| m == bmin)
-            } else {
-                None
-            });
-            worst.push(if bmax > bmin && miss.iter().filter(|&&m| m == bmax).count() == 1 {
-                miss.iter().position(|&m| m == bmax)
-            } else {
-                None
-            });
+            best.push(
+                if bmin < bmax && miss.iter().filter(|&&m| m == bmin).count() == 1 {
+                    miss.iter().position(|&m| m == bmin)
+                } else {
+                    None
+                },
+            );
+            worst.push(
+                if bmax > bmin && miss.iter().filter(|&&m| m == bmax).count() == 1 {
+                    miss.iter().position(|&m| m == bmax)
+                } else {
+                    None
+                },
+            );
         }
         if !any_present || best.len() < 2 {
             continue;
@@ -183,9 +194,7 @@ pub fn origin_stability(world: &World, panel: &Panel, min_hosts: usize) -> Stabi
         // §5.1's flip: the strict best origin of one trial is the strict
         // worst of a different trial.
         let flips = (0..best.len()).any(|t1| {
-            best[t1].is_some_and(|b| {
-                (0..worst.len()).any(|t2| t1 != t2 && worst[t2] == Some(b))
-            })
+            best[t1].is_some_and(|b| (0..worst.len()).any(|t2| t1 != t2 && worst[t2] == Some(b)))
         });
         if flips {
             st.best_flips_to_worst += 1;
@@ -206,7 +215,10 @@ pub fn consistent_worst_countries(
     let n_origins = panel.origins.len();
     let mut hosts_by_as: HashMap<u32, Vec<usize>> = HashMap::new();
     for u in 0..panel.len() {
-        hosts_by_as.entry(world.as_index_of(panel.addrs[u])).or_default().push(u);
+        hosts_by_as
+            .entry(world.as_index_of(panel.addrs[u]))
+            .or_default()
+            .push(u);
     }
     let mut counts: HashMap<Country, usize> = HashMap::new();
     for (_, hosts) in hosts_by_as {
@@ -222,9 +234,7 @@ pub fn consistent_worst_countries(
                     continue;
                 }
                 for (oi, m) in miss.iter_mut().enumerate() {
-                    if panel.seen[oi][u] & bit == 0
-                        && classify(panel, oi, u) == Class::Transient
-                    {
+                    if panel.seen[oi][u] & bit == 0 && classify(panel, oi, u) == Class::Transient {
                         *m += 1;
                     }
                 }
@@ -261,7 +271,7 @@ mod tests {
             trials: 3,
             ..Default::default()
         };
-        Experiment::new(world, cfg).run().panel(proto)
+        Experiment::new(world, cfg).run().unwrap().panel(proto)
     }
 
     #[test]
@@ -330,7 +340,11 @@ mod tests {
         let world = WorldConfig::small(43).build();
         let p = setup(&world, Protocol::Http);
         let st = origin_stability(&world, &p, 10);
-        let au = p.origins.iter().position(|&o| o == OriginId::Australia).unwrap();
+        let au = p
+            .origins
+            .iter()
+            .position(|&o| o == OriginId::Australia)
+            .unwrap();
         let total: usize = st.worst_origin_counts.iter().sum();
         if total >= 5 {
             let au_share = st.worst_origin_counts[au] as f64 / total as f64;
@@ -346,7 +360,11 @@ mod tests {
     fn au_worst_countries_include_russia_or_kazakhstan() {
         let world = WorldConfig::small(43).build();
         let p = setup(&world, Protocol::Http);
-        let au = p.origins.iter().position(|&o| o == OriginId::Australia).unwrap();
+        let au = p
+            .origins
+            .iter()
+            .position(|&o| o == OriginId::Australia)
+            .unwrap();
         let cc = consistent_worst_countries(&world, &p, au, 10);
         if !cc.is_empty() {
             let names: Vec<&str> = cc.iter().take(4).map(|(c, _)| c.code()).collect();

@@ -201,49 +201,436 @@ pub fn named_ases() -> Vec<NamedAsSpec> {
     const SPARKLE_MIX: &[(Country, f64)] = &[(geo::IT, 0.7), (geo::GR, 0.15), (geo::TN, 0.15)];
     let t = |bits: u32| bits;
     vec![
-        NamedAsSpec { name: "HZ Alibaba Advertising", asn: 37963, country: geo::CN, category: Cloud, share_permille: 18.0, tags: t(AsTags::ALIBABA_SSH | AsTags::CHINA_PATH), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Alibaba US Technology", asn: 45102, country: geo::CN, category: Cloud, share_permille: 6.0, tags: t(AsTags::ALIBABA_SSH | AsTags::CHINA_PATH), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "DXTL Tseung Kwan O Service", asn: 134548, country: geo::HK, category: Hosting, share_permille: 7.0, tags: t(AsTags::BLOCKS_CENSYS), geo_fraction: 0.0, country_mix: Some(DXTL_MIX) },
-        NamedAsSpec { name: "EGI Hosting", asn: 32181, country: geo::US, category: Hosting, share_permille: 4.0, tags: t(AsTags::CENSYS_RAMP | AsTags::MAXSTARTUPS_HEAVY), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Enzu", asn: 18978, country: geo::US, category: Hosting, share_permille: 4.0, tags: t(AsTags::BLOCKS_CENSYS), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Telecom Italia", asn: 3269, country: geo::IT, category: Isp, share_permille: 12.0, tags: t(AsTags::TI_PATH), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Telecom Italia Sparkle", asn: 6762, country: geo::IT, category: Telecom, share_permille: 4.0, tags: t(AsTags::TI_PATH), geo_fraction: 0.0, country_mix: Some(SPARKLE_MIX) },
-        NamedAsSpec { name: "Akamai", asn: 20940, country: geo::US, category: Cdn, share_permille: 16.0, tags: 0, geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "ABCDE Group Company Limited", asn: 133201, country: geo::HK, category: Cloud, share_permille: 4.0, tags: t(AsTags::ABCDE_BLOCK), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Psychz Networks", asn: 40676, country: geo::US, category: Hosting, share_permille: 5.0, tags: t(AsTags::MAXSTARTUPS_HEAVY), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Tencent", asn: 45090, country: geo::CN, category: Cloud, share_permille: 10.0, tags: t(AsTags::CHINA_PATH), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "China Telecom", asn: 4134, country: geo::CN, category: Isp, share_permille: 20.0, tags: t(AsTags::CHINA_PATH), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "China Unicom", asn: 4837, country: geo::CN, category: Isp, share_permille: 12.0, tags: t(AsTags::CHINA_PATH), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Amazon", asn: 16509, country: geo::US, category: Cloud, share_permille: 25.0, tags: 0, geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Google", asn: 15169, country: geo::US, category: Cloud, share_permille: 12.0, tags: 0, geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "DigitalOcean", asn: 14061, country: geo::US, category: Cloud, share_permille: 10.0, tags: 0, geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Cloudflare", asn: 13335, country: geo::US, category: Cdn, share_permille: 10.0, tags: t(AsTags::ANYCAST_GEO), geo_fraction: 0.006, country_mix: None },
-        NamedAsSpec { name: "WebCentral", asn: 7496, country: geo::AU, category: Hosting, share_permille: 1.1, tags: t(AsTags::COUNTRY_ONLY), geo_fraction: 1.0, country_mix: None },
-        NamedAsSpec { name: "Bekkoame Internet", asn: 2510, country: geo::JP, category: Hosting, share_permille: 5.0, tags: t(AsTags::COUNTRY_ONLY), geo_fraction: 0.10, country_mix: None },
-        NamedAsSpec { name: "NTT Communications", asn: 4713, country: geo::JP, category: Isp, share_permille: 12.0, tags: t(AsTags::COUNTRY_ONLY), geo_fraction: 0.025, country_mix: None },
-        NamedAsSpec { name: "Gateway Inc", asn: 132827, country: geo::JP, category: Hosting, share_permille: 1.0, tags: t(AsTags::COUNTRY_ONLY), geo_fraction: 1.0, country_mix: Some(GATEWAY_MIX) },
-        NamedAsSpec { name: "SantaPlus", asn: 49335, country: geo::RU, category: Hosting, share_permille: 0.8, tags: t(AsTags::BLOCKS_BR_JP), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "EstHost", asn: 207656, country: geo::EE, category: Hosting, share_permille: 0.4, tags: t(AsTags::BLOCKS_BR_JP), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "UkrDatacenter", asn: 48031, country: geo::UA, category: Hosting, share_permille: 0.6, tags: t(AsTags::BLOCKS_BR_JP), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "RoHost", asn: 39743, country: geo::RO, category: Hosting, share_permille: 0.6, tags: t(AsTags::BLOCKS_BR_JP), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "WA K-20 Telecommunications", asn: 2552, country: geo::US, category: Education, share_permille: 0.8, tags: t(AsTags::BR_ONLY), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Tegna Inc", asn: 396986, country: geo::US, category: Media, share_permille: 0.7, tags: t(AsTags::BLOCKS_NON_US), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Jack in the Box", asn: 46603, country: geo::US, category: Consumer, share_permille: 0.25, tags: t(AsTags::BLOCKS_CENSYS), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Ruhr-Universitaet Bochum", asn: 29484, country: geo::DE, category: Education, share_permille: 0.6, tags: t(AsTags::IDS), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "SK Broadband", asn: 9318, country: geo::KR, category: Isp, share_permille: 10.0, tags: t(AsTags::IDS_SSH), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Rostelecom", asn: 12389, country: geo::RU, category: Isp, share_permille: 10.0, tags: t(AsTags::AU_WORST), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Kazakhtelecom", asn: 9198, country: geo::KZ, category: Isp, share_permille: 4.0, tags: t(AsTags::AU_WORST), geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "BTCL Bangladesh", asn: 17494, country: geo::BD, category: Isp, share_permille: 1.5, tags: 0, geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Telkom SA", asn: 5713, country: geo::ZA, category: Isp, share_permille: 2.5, tags: 0, geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "OVH", asn: 16276, country: geo::FR, category: Hosting, share_permille: 12.0, tags: 0, geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Hetzner", asn: 24940, country: geo::DE, category: Hosting, share_permille: 10.0, tags: 0, geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Comcast", asn: 7922, country: geo::US, category: Isp, share_permille: 15.0, tags: 0, geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Deutsche Telekom", asn: 3320, country: geo::DE, category: Isp, share_permille: 10.0, tags: 0, geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "KDDI", asn: 2516, country: geo::JP, category: Isp, share_permille: 8.0, tags: 0, geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Telstra", asn: 1221, country: geo::AU, category: Isp, share_permille: 5.0, tags: 0, geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Libya Telecom", asn: 21003, country: geo::LY, category: Isp, share_permille: 0.35, tags: 0, geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Libyan Spider", asn: 37284, country: geo::LY, category: Hosting, share_permille: 0.25, tags: 0, geo_fraction: 0.0, country_mix: None },
-        NamedAsSpec { name: "Aljeel Aljadeed", asn: 37558, country: geo::LY, category: Isp, share_permille: 0.2, tags: 0, geo_fraction: 0.0, country_mix: None },
+        NamedAsSpec {
+            name: "HZ Alibaba Advertising",
+            asn: 37963,
+            country: geo::CN,
+            category: Cloud,
+            share_permille: 18.0,
+            tags: t(AsTags::ALIBABA_SSH | AsTags::CHINA_PATH),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Alibaba US Technology",
+            asn: 45102,
+            country: geo::CN,
+            category: Cloud,
+            share_permille: 6.0,
+            tags: t(AsTags::ALIBABA_SSH | AsTags::CHINA_PATH),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "DXTL Tseung Kwan O Service",
+            asn: 134548,
+            country: geo::HK,
+            category: Hosting,
+            share_permille: 7.0,
+            tags: t(AsTags::BLOCKS_CENSYS),
+            geo_fraction: 0.0,
+            country_mix: Some(DXTL_MIX),
+        },
+        NamedAsSpec {
+            name: "EGI Hosting",
+            asn: 32181,
+            country: geo::US,
+            category: Hosting,
+            share_permille: 4.0,
+            tags: t(AsTags::CENSYS_RAMP | AsTags::MAXSTARTUPS_HEAVY),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Enzu",
+            asn: 18978,
+            country: geo::US,
+            category: Hosting,
+            share_permille: 4.0,
+            tags: t(AsTags::BLOCKS_CENSYS),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Telecom Italia",
+            asn: 3269,
+            country: geo::IT,
+            category: Isp,
+            share_permille: 12.0,
+            tags: t(AsTags::TI_PATH),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Telecom Italia Sparkle",
+            asn: 6762,
+            country: geo::IT,
+            category: Telecom,
+            share_permille: 4.0,
+            tags: t(AsTags::TI_PATH),
+            geo_fraction: 0.0,
+            country_mix: Some(SPARKLE_MIX),
+        },
+        NamedAsSpec {
+            name: "Akamai",
+            asn: 20940,
+            country: geo::US,
+            category: Cdn,
+            share_permille: 16.0,
+            tags: 0,
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "ABCDE Group Company Limited",
+            asn: 133201,
+            country: geo::HK,
+            category: Cloud,
+            share_permille: 4.0,
+            tags: t(AsTags::ABCDE_BLOCK),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Psychz Networks",
+            asn: 40676,
+            country: geo::US,
+            category: Hosting,
+            share_permille: 5.0,
+            tags: t(AsTags::MAXSTARTUPS_HEAVY),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Tencent",
+            asn: 45090,
+            country: geo::CN,
+            category: Cloud,
+            share_permille: 10.0,
+            tags: t(AsTags::CHINA_PATH),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "China Telecom",
+            asn: 4134,
+            country: geo::CN,
+            category: Isp,
+            share_permille: 20.0,
+            tags: t(AsTags::CHINA_PATH),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "China Unicom",
+            asn: 4837,
+            country: geo::CN,
+            category: Isp,
+            share_permille: 12.0,
+            tags: t(AsTags::CHINA_PATH),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Amazon",
+            asn: 16509,
+            country: geo::US,
+            category: Cloud,
+            share_permille: 25.0,
+            tags: 0,
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Google",
+            asn: 15169,
+            country: geo::US,
+            category: Cloud,
+            share_permille: 12.0,
+            tags: 0,
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "DigitalOcean",
+            asn: 14061,
+            country: geo::US,
+            category: Cloud,
+            share_permille: 10.0,
+            tags: 0,
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Cloudflare",
+            asn: 13335,
+            country: geo::US,
+            category: Cdn,
+            share_permille: 10.0,
+            tags: t(AsTags::ANYCAST_GEO),
+            geo_fraction: 0.006,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "WebCentral",
+            asn: 7496,
+            country: geo::AU,
+            category: Hosting,
+            share_permille: 1.1,
+            tags: t(AsTags::COUNTRY_ONLY),
+            geo_fraction: 1.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Bekkoame Internet",
+            asn: 2510,
+            country: geo::JP,
+            category: Hosting,
+            share_permille: 5.0,
+            tags: t(AsTags::COUNTRY_ONLY),
+            geo_fraction: 0.10,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "NTT Communications",
+            asn: 4713,
+            country: geo::JP,
+            category: Isp,
+            share_permille: 12.0,
+            tags: t(AsTags::COUNTRY_ONLY),
+            geo_fraction: 0.025,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Gateway Inc",
+            asn: 132827,
+            country: geo::JP,
+            category: Hosting,
+            share_permille: 1.0,
+            tags: t(AsTags::COUNTRY_ONLY),
+            geo_fraction: 1.0,
+            country_mix: Some(GATEWAY_MIX),
+        },
+        NamedAsSpec {
+            name: "SantaPlus",
+            asn: 49335,
+            country: geo::RU,
+            category: Hosting,
+            share_permille: 0.8,
+            tags: t(AsTags::BLOCKS_BR_JP),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "EstHost",
+            asn: 207656,
+            country: geo::EE,
+            category: Hosting,
+            share_permille: 0.4,
+            tags: t(AsTags::BLOCKS_BR_JP),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "UkrDatacenter",
+            asn: 48031,
+            country: geo::UA,
+            category: Hosting,
+            share_permille: 0.6,
+            tags: t(AsTags::BLOCKS_BR_JP),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "RoHost",
+            asn: 39743,
+            country: geo::RO,
+            category: Hosting,
+            share_permille: 0.6,
+            tags: t(AsTags::BLOCKS_BR_JP),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "WA K-20 Telecommunications",
+            asn: 2552,
+            country: geo::US,
+            category: Education,
+            share_permille: 0.8,
+            tags: t(AsTags::BR_ONLY),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Tegna Inc",
+            asn: 396986,
+            country: geo::US,
+            category: Media,
+            share_permille: 0.7,
+            tags: t(AsTags::BLOCKS_NON_US),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Jack in the Box",
+            asn: 46603,
+            country: geo::US,
+            category: Consumer,
+            share_permille: 0.25,
+            tags: t(AsTags::BLOCKS_CENSYS),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Ruhr-Universitaet Bochum",
+            asn: 29484,
+            country: geo::DE,
+            category: Education,
+            share_permille: 0.6,
+            tags: t(AsTags::IDS),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "SK Broadband",
+            asn: 9318,
+            country: geo::KR,
+            category: Isp,
+            share_permille: 10.0,
+            tags: t(AsTags::IDS_SSH),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Rostelecom",
+            asn: 12389,
+            country: geo::RU,
+            category: Isp,
+            share_permille: 10.0,
+            tags: t(AsTags::AU_WORST),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Kazakhtelecom",
+            asn: 9198,
+            country: geo::KZ,
+            category: Isp,
+            share_permille: 4.0,
+            tags: t(AsTags::AU_WORST),
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "BTCL Bangladesh",
+            asn: 17494,
+            country: geo::BD,
+            category: Isp,
+            share_permille: 1.5,
+            tags: 0,
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Telkom SA",
+            asn: 5713,
+            country: geo::ZA,
+            category: Isp,
+            share_permille: 2.5,
+            tags: 0,
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "OVH",
+            asn: 16276,
+            country: geo::FR,
+            category: Hosting,
+            share_permille: 12.0,
+            tags: 0,
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Hetzner",
+            asn: 24940,
+            country: geo::DE,
+            category: Hosting,
+            share_permille: 10.0,
+            tags: 0,
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Comcast",
+            asn: 7922,
+            country: geo::US,
+            category: Isp,
+            share_permille: 15.0,
+            tags: 0,
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Deutsche Telekom",
+            asn: 3320,
+            country: geo::DE,
+            category: Isp,
+            share_permille: 10.0,
+            tags: 0,
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "KDDI",
+            asn: 2516,
+            country: geo::JP,
+            category: Isp,
+            share_permille: 8.0,
+            tags: 0,
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Telstra",
+            asn: 1221,
+            country: geo::AU,
+            category: Isp,
+            share_permille: 5.0,
+            tags: 0,
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Libya Telecom",
+            asn: 21003,
+            country: geo::LY,
+            category: Isp,
+            share_permille: 0.35,
+            tags: 0,
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Libyan Spider",
+            asn: 37284,
+            country: geo::LY,
+            category: Hosting,
+            share_permille: 0.25,
+            tags: 0,
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
+        NamedAsSpec {
+            name: "Aljeel Aljadeed",
+            asn: 37558,
+            country: geo::LY,
+            category: Isp,
+            share_permille: 0.2,
+            tags: 0,
+            geo_fraction: 0.0,
+            country_mix: None,
+        },
     ]
 }
 

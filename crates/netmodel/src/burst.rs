@@ -60,7 +60,12 @@ pub fn events_for(world: &World, as_index: u32, proto: Protocol, trial: u8) -> V
         let len_h = det.range(Tag::Burst, &[3, a, p, t, slot], 0.6, 1.4);
         let origin_mask = draw_origin_mask(det, &[4, a, p, t, slot]);
         let frac = det.range(Tag::Burst, &[5, a, p, t, slot], 0.5, 1.0);
-        out.push(BurstEvent { start_h, len_h, origin_mask, frac });
+        out.push(BurstEvent {
+            start_h,
+            len_h,
+            origin_mask,
+            frac,
+        });
     }
     // The Brazil / HTTPS / trial-3 mega event: a single hour in which a
     // large fraction of ASes lose hosts from Brazil simultaneously.
@@ -120,7 +125,10 @@ fn draw_origin_mask(det: &Det, key: &[u64]) -> u16 {
         mask
     } else {
         // Wide outage: everyone.
-        OriginId::MAIN.iter().map(|&o| origin_bit(o)).fold(0, |a, b| a | b)
+        OriginId::MAIN
+            .iter()
+            .map(|&o| origin_bit(o))
+            .fold(0, |a, b| a | b)
     }
 }
 
@@ -144,14 +152,23 @@ pub fn in_burst(
     let hour = time_s / duration_s * SCAN_HOURS;
     let bit = origin_bit(origin);
     for (i, e) in events.iter().enumerate() {
-        if e.origin_mask & bit != 0 && hour >= e.start_h && hour < e.start_h + e.len_h
+        if e.origin_mask & bit != 0
+            && hour >= e.start_h
+            && hour < e.start_h + e.len_h
             && world.det().bernoulli(
                 Tag::Burst,
-                &[8, u64::from(addr), u64::from(as_index), u64::from(trial), i as u64],
+                &[
+                    8,
+                    u64::from(addr),
+                    u64::from(as_index),
+                    u64::from(trial),
+                    i as u64,
+                ],
                 e.frac,
-            ) {
-                return true;
-            }
+            )
+        {
+            return true;
+        }
     }
     false
 }
@@ -168,7 +185,10 @@ mod tests {
     #[test]
     fn events_deterministic() {
         let w = world();
-        assert_eq!(events_for(&w, 3, Protocol::Http, 1), events_for(&w, 3, Protocol::Http, 1));
+        assert_eq!(
+            events_for(&w, 3, Protocol::Http, 1),
+            events_for(&w, 3, Protocol::Http, 1)
+        );
     }
 
     #[test]
@@ -265,7 +285,10 @@ mod tests {
             })
             .count();
         let frac = affected as f64 / w.ases.len() as f64;
-        assert!((0.25..0.55).contains(&frac), "mega-event AS fraction {frac}");
+        assert!(
+            (0.25..0.55).contains(&frac),
+            "mega-event AS fraction {frac}"
+        );
         // And it is Brazil-only.
         for a in 0..w.ases.len() as u32 {
             for e in events_for(&w, a, Protocol::Https, 2) {

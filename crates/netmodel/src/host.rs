@@ -38,7 +38,11 @@ pub fn alive_in_trial(
     if det.bernoulli(Tag::Churn, &[u64::from(addr), pk, 0], stable_fraction) {
         return true;
     }
-    det.bernoulli(Tag::Churn, &[u64::from(addr), pk, 1 + u64::from(trial)], alive_prob)
+    det.bernoulli(
+        Tag::Churn,
+        &[u64::from(addr), pk, 1 + u64::from(trial)],
+        alive_prob,
+    )
 }
 
 /// SSH server software for a host (drives the banner and MaxStartups).
@@ -92,7 +96,11 @@ pub fn http_status(det: &Det, addr: u32) -> u16 {
 /// TLS cipher suite a host selects (always one the ClientHello offered).
 pub fn tls_cipher(det: &Det, addr: u32) -> u16 {
     let suites = originscan_wire::tls::CHROME_TLS12_SUITES;
-    let i = det.below(Tag::ServerAttr, &[u64::from(addr), 443, 0], suites.len() as u64);
+    let i = det.below(
+        Tag::ServerAttr,
+        &[u64::from(addr), 443, 0],
+        suites.len() as u64,
+    );
     suites[i as usize]
 }
 
@@ -135,7 +143,9 @@ mod tests {
     fn ssh_impl_distribution() {
         let det = Det::new(1);
         let n = 50_000u32;
-        let openssh = (0..n).filter(|&a| matches!(ssh_impl(&det, a), SshImpl::OpenSsh(_))).count();
+        let openssh = (0..n)
+            .filter(|&a| matches!(ssh_impl(&det, a), SshImpl::OpenSsh(_)))
+            .count();
         let frac = openssh as f64 / f64::from(n);
         assert!((frac - 0.8).abs() < 0.01, "OpenSSH fraction {frac}");
     }

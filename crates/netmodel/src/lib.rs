@@ -23,6 +23,9 @@
 //!   `MaxStartups` refusals (§4, §6).
 //! * [`netimpl`] — ties it all together behind the scanner's
 //!   [`originscan_scanner::target::Network`] trait.
+//! * [`fault`] — deterministic fault injection (vantage outages, crashes,
+//!   pipeline stalls, reply corruption/duplication) layered over any
+//!   network, for proving the methodology degrades gracefully.
 //! * [`rng`] — the counter-based determinism everything relies on.
 //!
 //! Determinism contract: any two evaluations with the same `WorldConfig`
@@ -33,6 +36,7 @@
 
 pub mod asn;
 pub mod burst;
+pub mod fault;
 pub mod geo;
 pub mod host;
 pub mod netimpl;
@@ -42,6 +46,7 @@ pub mod policy;
 pub mod rng;
 pub mod world;
 
+pub use fault::{FaultPlan, FaultyNet, InjectedFault};
 pub use host::Protocol;
 pub use netimpl::SimNet;
 pub use origin::{OriginId, OriginSpec, Reputation};

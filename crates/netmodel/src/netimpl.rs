@@ -39,7 +39,11 @@ impl<'w> SimNet<'w> {
     pub fn new(world: &'w World, origins: &'w [OriginId], duration_s: f64) -> Self {
         assert!(!origins.is_empty());
         assert!(duration_s > 0.0);
-        Self { world, origins, duration_s }
+        Self {
+            world,
+            origins,
+            duration_s,
+        }
     }
 
     /// The wrapped world.
@@ -73,7 +77,11 @@ impl<'w> SimNet<'w> {
                 .into_iter()
                 .any(|p| p != proto && w.is_host(p, addr) && w.alive(p, addr, trial));
             if other_service
-                && w.det().bernoulli(Tag::ClosedPort, &[u64::from(addr), host::proto_key(proto)], CLOSED_PORT_RST_P)
+                && w.det().bernoulli(
+                    Tag::ClosedPort,
+                    &[u64::from(addr), host::proto_key(proto)],
+                    CLOSED_PORT_RST_P,
+                )
             {
                 return HostState::ClosedPort;
             }
@@ -101,7 +109,10 @@ impl<'w> SimNet<'w> {
         if path::host_flaky(w, o, addr, proto, trial, time_s, params.flaky_q) {
             return HostState::TransientlyDown;
         }
-        HostState::Reachable { drop_p: params.drop_p, flaky_q: params.flaky_q }
+        HostState::Reachable {
+            drop_p: params.drop_p,
+            flaky_q: params.flaky_q,
+        }
     }
 }
 
@@ -200,7 +211,14 @@ impl Network for SimNet<'_> {
                 // Alibaba's temporal SSH blocking: RST right after the
                 // TCP handshake, network-wide.
                 if proto == Protocol::Ssh
-                    && alibaba::rst_after_handshake(w, o, asr, ctx.trial, ctx.time_s, self.duration_s)
+                    && alibaba::rst_after_handshake(
+                        w,
+                        o,
+                        asr,
+                        ctx.trial,
+                        ctx.time_s,
+                        self.duration_s,
+                    )
                 {
                     return L7Reply::ConnClosed(CloseKind::Rst);
                 }
@@ -251,9 +269,7 @@ impl Network for SimNet<'_> {
                         };
                         L7Reply::Data(sh.emit(u64::from(addr)))
                     }
-                    Protocol::Ssh => {
-                        L7Reply::Data(host::ssh_banner(host::ssh_impl(w.det(), addr)))
-                    }
+                    Protocol::Ssh => L7Reply::Data(host::ssh_banner(host::ssh_impl(w.det(), addr))),
                 }
             }
         }
@@ -280,14 +296,19 @@ mod tests {
         OriginId::Censys,
     ];
 
-    fn scan(w: &World, origin_idx: u16, proto: Protocol, trial: u8) -> originscan_scanner::ScanOutput {
+    fn scan(
+        w: &World,
+        origin_idx: u16,
+        proto: Protocol,
+        trial: u8,
+    ) -> originscan_scanner::ScanOutput {
         let net = SimNet::new(w, MAIN, 75_600.0);
         let mut cfg = ScanConfig::new(w.space(), proto, 1000 + u64::from(trial));
         cfg.origin = origin_idx;
         cfg.trial = trial;
         cfg.concurrent_origins = MAIN.len() as u8;
         cfg.wire_check = true;
-        run_scan(&net, &cfg)
+        run_scan(&net, &cfg).unwrap()
     }
 
     #[test]
@@ -324,12 +345,9 @@ mod tests {
     #[test]
     fn ssh_lossier_than_http() {
         let w = world();
-        let live = |p: Protocol| {
-            w.hosts(p).iter().filter(|&&h| w.alive(p, h, 0)).count() as f64
-        };
-        let frac = |p: Protocol, idx: u16| {
-            scan(&w, idx, p, 0).summary.l7_successes as f64 / live(p)
-        };
+        let live = |p: Protocol| w.hosts(p).iter().filter(|&&h| w.alive(p, h, 0)).count() as f64;
+        let frac =
+            |p: Protocol, idx: u16| scan(&w, idx, p, 0).summary.l7_successes as f64 / live(p);
         let http = frac(Protocol::Http, 3);
         let ssh = frac(Protocol::Ssh, 3);
         assert!(ssh < http, "SSH coverage {ssh} should trail HTTP {http}");
@@ -339,7 +357,11 @@ mod tests {
     fn closed_ports_produce_validated_rsts() {
         let w = world();
         let out = scan(&w, 4, Protocol::Ssh, 0);
-        let rst_only = out.records.iter().filter(|r| r.got_rst && !r.l4_responsive()).count();
+        let rst_only = out
+            .records
+            .iter()
+            .filter(|r| r.got_rst && !r.l4_responsive())
+            .count();
         assert!(rst_only > 0, "expected some closed-port RSTs");
     }
 

@@ -300,7 +300,10 @@ mod tests {
     #[test]
     fn us_origins_share_site_and_subnet() {
         assert_eq!(OriginId::Us1.site_key(), OriginId::Us64.site_key());
-        assert_eq!(OriginId::Us1.reputation_key(), OriginId::Us64.reputation_key());
+        assert_eq!(
+            OriginId::Us1.reputation_key(),
+            OriginId::Us64.reputation_key()
+        );
         assert_ne!(OriginId::Us1.key(), OriginId::Us64.key());
     }
 
@@ -327,7 +330,10 @@ mod tests {
             OriginId::CensysFresh.reputation_key()
         );
         // Same data center though: path behaviour is shared.
-        assert_eq!(OriginId::Censys.site_key(), OriginId::CensysFresh.site_key());
+        assert_eq!(
+            OriginId::Censys.site_key(),
+            OriginId::CensysFresh.site_key()
+        );
     }
 
     #[test]

@@ -71,8 +71,9 @@ pub fn path_params(
     let mut drop_p = det.lognormal(Tag::ProbeDrop, &[1, o, a, p, t], (0.0025f64).ln(), 0.8);
 
     // A small baseline of persistent unreachability exists everywhere.
-    let mut persistent_f =
-        det.lognormal(Tag::Persistent, &[1, o, a], (0.0004f64).ln(), 1.0).min(0.05);
+    let mut persistent_f = det
+        .lognormal(Tag::Persistent, &[1, o, a], (0.0004f64).ln(), 1.0)
+        .min(0.05);
 
     // --- Special paths -------------------------------------------------
     if asr.tags.has(AsTags::CHINA_PATH) {
@@ -181,7 +182,14 @@ pub fn host_flaky(
     let det = world.det();
     let window = (time_s / FLAKY_WINDOW_S).max(0.0) as u64;
     let key = |salt: u64, ok: u64| {
-        [salt, ok, u64::from(addr), proto_key(proto), u64::from(trial), window]
+        [
+            salt,
+            ok,
+            u64::from(addr),
+            proto_key(proto),
+            u64::from(trial),
+            window,
+        ]
     };
     det.bernoulli(Tag::HostFlaky, &key(1, origin.site_key()), half)
         || det.bernoulli(Tag::HostFlaky, &key(2, origin.key()), half)
@@ -192,12 +200,7 @@ pub fn host_flaky(
 /// Keyed without the trial, so the same hosts are invisible every time —
 /// the long-term inaccessibility §4.2 attributes to connectivity rather
 /// than blocking.
-pub fn host_persistent_unreachable(
-    world: &World,
-    origin: OriginId,
-    addr: u32,
-    f: f64,
-) -> bool {
+pub fn host_persistent_unreachable(world: &World, origin: OriginId, addr: u32, f: f64) -> bool {
     world
         .det()
         .bernoulli(Tag::Persistent, &[2, origin.key(), u64::from(addr)], f)
@@ -243,7 +246,12 @@ pub fn l7_flaky(
 ) -> bool {
     world.det().bernoulli(
         Tag::L7Flaky,
-        &[origin.key(), u64::from(addr), proto_key(proto), u64::from(trial)],
+        &[
+            origin.key(),
+            u64::from(addr),
+            proto_key(proto),
+            u64::from(trial),
+        ],
         q * 0.35,
     )
 }
@@ -347,7 +355,10 @@ mod tests {
             n += 1;
         }
         assert!(n > 50);
-        assert!(same < diff, "collocated origins should correlate: {same} vs {diff}");
+        assert!(
+            same < diff,
+            "collocated origins should correlate: {same} vs {diff}"
+        );
     }
 
     #[test]

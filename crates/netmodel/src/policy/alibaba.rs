@@ -69,7 +69,12 @@ mod tests {
     #[test]
     fn trial1_detection_near_two_thirds() {
         let w = world();
-        for o in [OriginId::Australia, OriginId::Japan, OriginId::Censys, OriginId::Us1] {
+        for o in [
+            OriginId::Australia,
+            OriginId::Japan,
+            OriginId::Censys,
+            OriginId::Us1,
+        ] {
             let d = detection_point(&w, o, 0).expect("trial 1 always detects");
             assert!((0.60..=0.72).contains(&d), "{o}: {d}");
         }
@@ -102,11 +107,32 @@ mod tests {
         let d = detection_point(&w, OriginId::Japan, 0).unwrap();
         let before = (d - 0.05) * DUR;
         let after = (d + 0.05) * DUR;
-        assert!(!rst_after_handshake(&w, OriginId::Japan, ali, 0, before, DUR));
+        assert!(!rst_after_handshake(
+            &w,
+            OriginId::Japan,
+            ali,
+            0,
+            before,
+            DUR
+        ));
         assert!(rst_after_handshake(&w, OriginId::Japan, ali, 0, after, DUR));
         // Both Alibaba ASes flip at the same instant.
-        assert!(rst_after_handshake(&w, OriginId::Japan, ali2, 0, after, DUR));
+        assert!(rst_after_handshake(
+            &w,
+            OriginId::Japan,
+            ali2,
+            0,
+            after,
+            DUR
+        ));
         // Amazon never shows the signature.
-        assert!(!rst_after_handshake(&w, OriginId::Japan, amazon, 0, after, DUR));
+        assert!(!rst_after_handshake(
+            &w,
+            OriginId::Japan,
+            amazon,
+            0,
+            after,
+            DUR
+        ));
     }
 }

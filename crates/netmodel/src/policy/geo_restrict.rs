@@ -28,7 +28,9 @@ fn s24_restricted(world: &World, asr: &AsRecord, addr: u32, salt: u64) -> bool {
     let n = u64::from(asr.n_slash24);
     let k = ((f64::from(asr.n_slash24) * asr.geo_fraction).ceil() as u64).clamp(1, n);
     let i = u64::from(addr / 256 - asr.first_slash24);
-    let rot = world.det().below(Tag::Block, &[salt, u64::from(asr.index)], n);
+    let rot = world
+        .det()
+        .below(Tag::Block, &[salt, u64::from(asr.index)], n);
     (i + rot) % n < k
 }
 
@@ -73,7 +75,12 @@ mod tests {
         let asr = w.as_by_name("WebCentral").unwrap();
         let addr = asr.first_slash24 * 256 + 1;
         assert!(!blocks(&w, OriginId::Australia, asr, addr));
-        for o in [OriginId::Us1, OriginId::Japan, OriginId::Censys, OriginId::Germany] {
+        for o in [
+            OriginId::Us1,
+            OriginId::Japan,
+            OriginId::Censys,
+            OriginId::Germany,
+        ] {
             assert!(blocks(&w, o, asr, addr), "{o} should be blocked");
         }
     }
@@ -84,12 +91,17 @@ mod tests {
         let asr = w.as_by_name("NTT Communications").unwrap();
         let lo = asr.first_slash24 * 256;
         let hi = lo + asr.n_slash24 * 256;
-        let blocked = (lo..hi).step_by(256).filter(|&a| blocks(&w, OriginId::Us1, asr, a)).count();
+        let blocked = (lo..hi)
+            .step_by(256)
+            .filter(|&a| blocks(&w, OriginId::Us1, asr, a))
+            .count();
         let total = asr.n_slash24 as usize;
         let frac = blocked as f64 / total as f64;
         assert!(frac > 0.0 && frac < 0.15, "NTT restricted fraction {frac}");
         // Japan always passes.
-        assert!((lo..hi).step_by(256).all(|a| !blocks(&w, OriginId::Japan, asr, a)));
+        assert!((lo..hi)
+            .step_by(256)
+            .all(|a| !blocks(&w, OriginId::Japan, asr, a)));
     }
 
     #[test]
@@ -113,11 +125,19 @@ mod tests {
         let asr = w.as_by_name("Cloudflare").unwrap();
         let lo = asr.first_slash24 * 256;
         let hi = lo + asr.n_slash24 * 256;
-        let restricted: Vec<u32> =
-            (lo..hi).step_by(256).filter(|&a| blocks(&w, OriginId::Us1, asr, a)).collect();
-        assert!(!restricted.is_empty(), "no misconfigured anycast slice generated");
+        let restricted: Vec<u32> = (lo..hi)
+            .step_by(256)
+            .filter(|&a| blocks(&w, OriginId::Us1, asr, a))
+            .collect();
+        assert!(
+            !restricted.is_empty(),
+            "no misconfigured anycast slice generated"
+        );
         let frac = restricted.len() as f64 / asr.n_slash24 as f64;
-        assert!(frac < 0.05, "misconfiguration should be a small slice ({frac})");
+        assert!(
+            frac < 0.05,
+            "misconfiguration should be a small slice ({frac})"
+        );
         for &a in &restricted {
             assert!(!blocks(&w, OriginId::Australia, asr, a));
         }

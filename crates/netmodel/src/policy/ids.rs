@@ -73,7 +73,12 @@ pub fn blocked(
     // the Bochum anecdote; we draw 5–30 %).
     let d = world.det().range(
         Tag::Ids,
-        &[2, u64::from(asr.index), origin.reputation_key(), proto_key(proto)],
+        &[
+            2,
+            u64::from(asr.index),
+            origin.reputation_key(),
+            proto_key(proto),
+        ],
         0.05,
         0.30,
     );
@@ -96,12 +101,44 @@ mod tests {
         let w = world();
         let asr = w.as_by_name("Ruhr-Universitaet Bochum").unwrap();
         // Early in trial 0: open.
-        assert!(!blocked(&w, OriginId::Japan, asr, Protocol::Https, 0, 0.01 * DUR, DUR));
+        assert!(!blocked(
+            &w,
+            OriginId::Japan,
+            asr,
+            Protocol::Https,
+            0,
+            0.01 * DUR,
+            DUR
+        ));
         // Late in trial 0: blocked.
-        assert!(blocked(&w, OriginId::Japan, asr, Protocol::Https, 0, 0.9 * DUR, DUR));
+        assert!(blocked(
+            &w,
+            OriginId::Japan,
+            asr,
+            Protocol::Https,
+            0,
+            0.9 * DUR,
+            DUR
+        ));
         // All of trials 1 and 2: blocked.
-        assert!(blocked(&w, OriginId::Japan, asr, Protocol::Https, 1, 0.0, DUR));
-        assert!(blocked(&w, OriginId::Japan, asr, Protocol::Https, 2, 0.5 * DUR, DUR));
+        assert!(blocked(
+            &w,
+            OriginId::Japan,
+            asr,
+            Protocol::Https,
+            1,
+            0.0,
+            DUR
+        ));
+        assert!(blocked(
+            &w,
+            OriginId::Japan,
+            asr,
+            Protocol::Https,
+            2,
+            0.5 * DUR,
+            DUR
+        ));
     }
 
     #[test]
@@ -109,19 +146,59 @@ mod tests {
         let w = world();
         let asr = w.as_by_name("Ruhr-Universitaet Bochum").unwrap();
         for t in 0..3 {
-            assert!(!blocked(&w, OriginId::Us64, asr, Protocol::Https, t, 0.99 * DUR, DUR));
+            assert!(!blocked(
+                &w,
+                OriginId::Us64,
+                asr,
+                Protocol::Https,
+                t,
+                0.99 * DUR,
+                DUR
+            ));
         }
         // ... while US1 — same reputation, single IP — is blocked.
-        assert!(blocked(&w, OriginId::Us1, asr, Protocol::Https, 1, 0.0, DUR));
+        assert!(blocked(
+            &w,
+            OriginId::Us1,
+            asr,
+            Protocol::Https,
+            1,
+            0.0,
+            DUR
+        ));
     }
 
     #[test]
     fn sk_broadband_ssh_only() {
         let w = world();
         let asr = w.as_by_name("SK Broadband").unwrap();
-        assert!(blocked(&w, OriginId::Censys, asr, Protocol::Ssh, 2, 0.0, DUR));
-        assert!(!blocked(&w, OriginId::Censys, asr, Protocol::Http, 2, 0.9 * DUR, DUR));
-        assert!(!blocked(&w, OriginId::Us64, asr, Protocol::Ssh, 2, 0.9 * DUR, DUR));
+        assert!(blocked(
+            &w,
+            OriginId::Censys,
+            asr,
+            Protocol::Ssh,
+            2,
+            0.0,
+            DUR
+        ));
+        assert!(!blocked(
+            &w,
+            OriginId::Censys,
+            asr,
+            Protocol::Http,
+            2,
+            0.9 * DUR,
+            DUR
+        ));
+        assert!(!blocked(
+            &w,
+            OriginId::Us64,
+            asr,
+            Protocol::Ssh,
+            2,
+            0.9 * DUR,
+            DUR
+        ));
     }
 
     #[test]
@@ -132,9 +209,15 @@ mod tests {
             .iter()
             .filter(|a| a.n_slash24 <= MAX_IDS_SLASH24S)
             .collect();
-        let with_ids = small.iter().filter(|a| has_ids(&w, a, Protocol::Http)).count();
+        let with_ids = small
+            .iter()
+            .filter(|a| has_ids(&w, a, Protocol::Http))
+            .count();
         let frac = with_ids as f64 / small.len() as f64;
-        assert!((0.02..0.06).contains(&frac), "generated IDS fraction {frac}");
+        assert!(
+            (0.02..0.06).contains(&frac),
+            "generated IDS fraction {frac}"
+        );
         // Large generated ASes never run one.
         assert!(w.ases[named..]
             .iter()

@@ -33,14 +33,22 @@ pub fn sensitive(world: &World, asr: &AsRecord, addr: u32) -> bool {
     if !matches!(ssh_impl(world.det(), addr), SshImpl::OpenSsh(_)) {
         return false;
     }
-    let p = if asr.tags.has(AsTags::MAXSTARTUPS_HEAVY) { 0.55 } else { 0.13 };
-    world.det().bernoulli(Tag::MaxStartups, &[1, u64::from(addr)], p)
+    let p = if asr.tags.has(AsTags::MAXSTARTUPS_HEAVY) {
+        0.55
+    } else {
+        0.13
+    };
+    world
+        .det()
+        .bernoulli(Tag::MaxStartups, &[1, u64::from(addr)], p)
 }
 
 /// The host's base per-connection refusal probability (its effective
 /// `rate` parameter), stable across trials.
 pub fn base_refusal(world: &World, addr: u32) -> f64 {
-    world.det().range(Tag::MaxStartups, &[2, u64::from(addr)], 0.25, 0.78)
+    world
+        .det()
+        .range(Tag::MaxStartups, &[2, u64::from(addr)], 0.25, 0.78)
 }
 
 /// Effective refusal probability given `concurrent` simultaneous
@@ -65,7 +73,13 @@ pub fn refuses(
     let p = effective_refusal(base_refusal(world, addr), concurrent);
     world.det().bernoulli(
         Tag::MaxStartups,
-        &[3, origin.key(), u64::from(addr), u64::from(trial), u64::from(attempt)],
+        &[
+            3,
+            origin.key(),
+            u64::from(addr),
+            u64::from(trial),
+            u64::from(attempt),
+        ],
         p,
     )
 }
@@ -112,8 +126,10 @@ mod tests {
         let egi = w.as_by_name("EGI Hosting").unwrap();
         let lo = egi.first_slash24 * 256;
         let hi = lo + egi.n_slash24 * 256;
-        let sensitive_hosts: Vec<u32> =
-            (lo..hi).filter(|&a| sensitive(&w, egi, a)).take(300).collect();
+        let sensitive_hosts: Vec<u32> = (lo..hi)
+            .filter(|&a| sensitive(&w, egi, a))
+            .take(300)
+            .collect();
         assert!(!sensitive_hosts.is_empty());
         let success_within = |retries: u8| {
             sensitive_hosts
@@ -146,10 +162,15 @@ mod tests {
         let w = world();
         let egi = w.as_by_name("EGI Hosting").unwrap();
         let lo = egi.first_slash24 * 256;
-        let hosts: Vec<u32> =
-            (lo..lo + 20_000).filter(|&a| sensitive(&w, egi, a)).take(200).collect();
+        let hosts: Vec<u32> = (lo..lo + 20_000)
+            .filter(|&a| sensitive(&w, egi, a))
+            .take(200)
+            .collect();
         let pattern = |o: OriginId, t: u8| -> Vec<bool> {
-            hosts.iter().map(|&a| refuses(&w, o, egi, a, t, 0, 7)).collect()
+            hosts
+                .iter()
+                .map(|&a| refuses(&w, o, egi, a, t, 0, 7))
+                .collect()
         };
         assert_ne!(pattern(OriginId::Us1, 0), pattern(OriginId::Japan, 0));
         assert_ne!(pattern(OriginId::Us1, 0), pattern(OriginId::Us1, 1));
@@ -169,6 +190,9 @@ mod tests {
             .filter(|&&a| (0..3).all(|t| refuses(&w, OriginId::Us1, egi, a, t, 0, 7)))
             .count();
         let frac = all_refused as f64 / hosts.len() as f64;
-        assert!((0.15..0.60).contains(&frac), "long-term-looking fraction {frac}");
+        assert!(
+            (0.15..0.60).contains(&frac),
+            "long-term-looking fraction {frac}"
+        );
     }
 }

@@ -51,7 +51,10 @@ pub fn block_status(
         return Block::None;
     }
     // Split blocked hosts into L4-silent vs L7-filtered, stably per host.
-    if world.det().bernoulli(Tag::Block, &[90, u64::from(addr)], 0.92) {
+    if world
+        .det()
+        .bernoulli(Tag::Block, &[90, u64::from(addr)], 0.92)
+    {
         Block::DropL4
     } else {
         Block::DropL7
@@ -81,7 +84,10 @@ mod tests {
             }
         }
         // DXTL blocks >99.99% of hosts; a stray unblocked address is fine.
-        assert!(none <= 1, "DXTL must block Censys almost everywhere ({none} open)");
+        assert!(
+            none <= 1,
+            "DXTL must block Censys almost everywhere ({none} open)"
+        );
         let frac = f64::from(l4) / f64::from(l4 + l7);
         assert!((frac - 0.92).abs() < 0.05, "L4 fraction {frac}");
     }

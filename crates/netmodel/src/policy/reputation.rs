@@ -44,12 +44,9 @@ pub fn blocks(
             1 => 0.97,
             _ => 1.0,
         };
-        return det.bernoulli(Tag::Block, &[2, a, u64::from(addr)], frac)
-            || trial >= 2;
+        return det.bernoulli(Tag::Block, &[2, a, u64::from(addr)], frac) || trial >= 2;
     }
-    if asr.tags.has(AsTags::BLOCKS_BR_JP)
-        && (spec.country == geo::BR || spec.country == geo::JP)
-    {
+    if asr.tags.has(AsTags::BLOCKS_BR_JP) && (spec.country == geo::BR || spec.country == geo::JP) {
         // Per-/24 blocking of both origins (the shared-miss pattern §4.2).
         let s24 = u64::from(addr / 256);
         return det.bernoulli(Tag::Block, &[3, a, s24], 0.85);
@@ -73,9 +70,7 @@ pub fn blocks(
     }
 
     // --- Category-driven blocking of Brazil (and other non-US) ---------
-    if matches!(asr.category, Category::Finance | Category::Health)
-        && asr.country == geo::US
-    {
+    if matches!(asr.category, Category::Finance | Category::Health) && asr.country == geo::US {
         if spec.country == geo::BR && det.bernoulli(Tag::Block, &[5, a], 0.35) {
             return true;
         }
@@ -187,8 +182,24 @@ mod tests {
     #[test]
     fn dxtl_blocks_censys_not_others() {
         let w = world();
-        assert!(block_rate(&w, OriginId::Censys, "DXTL Tseung Kwan O Service", Protocol::Http, 0) > 0.999);
-        assert!(block_rate(&w, OriginId::Us1, "DXTL Tseung Kwan O Service", Protocol::Http, 0) < 0.05);
+        assert!(
+            block_rate(
+                &w,
+                OriginId::Censys,
+                "DXTL Tseung Kwan O Service",
+                Protocol::Http,
+                0
+            ) > 0.999
+        );
+        assert!(
+            block_rate(
+                &w,
+                OriginId::Us1,
+                "DXTL Tseung Kwan O Service",
+                Protocol::Http,
+                0
+            ) < 0.05
+        );
     }
 
     #[test]
@@ -203,7 +214,15 @@ mod tests {
     #[test]
     fn censys_fresh_ranges_reset_blocking() {
         let w = world();
-        assert!(block_rate(&w, OriginId::CensysFresh, "DXTL Tseung Kwan O Service", Protocol::Http, 0) < 0.05);
+        assert!(
+            block_rate(
+                &w,
+                OriginId::CensysFresh,
+                "DXTL Tseung Kwan O Service",
+                Protocol::Http,
+                0
+            ) < 0.05
+        );
     }
 
     #[test]
@@ -212,10 +231,12 @@ mod tests {
         let asr = w.as_by_name("SantaPlus").unwrap();
         let lo = asr.first_slash24 * 256;
         let hi = lo + asr.n_slash24 * 256;
-        let br: Vec<bool> =
-            (lo..hi).map(|a| blocks(&w, OriginId::Brazil, asr, a, Protocol::Http, 0)).collect();
-        let jp: Vec<bool> =
-            (lo..hi).map(|a| blocks(&w, OriginId::Japan, asr, a, Protocol::Http, 0)).collect();
+        let br: Vec<bool> = (lo..hi)
+            .map(|a| blocks(&w, OriginId::Brazil, asr, a, Protocol::Http, 0))
+            .collect();
+        let jp: Vec<bool> = (lo..hi)
+            .map(|a| blocks(&w, OriginId::Japan, asr, a, Protocol::Http, 0))
+            .collect();
         let au: Vec<bool> = (lo..hi)
             .map(|a| blocks(&w, OriginId::Australia, asr, a, Protocol::Http, 0))
             .collect();
@@ -233,8 +254,16 @@ mod tests {
         let w = world();
         // US origins pass, non-US are blocked.
         assert!(block_rate(&w, OriginId::Us1, "Tegna Inc", Protocol::Http, 0) < 0.05);
-        for o in [OriginId::Australia, OriginId::Brazil, OriginId::Germany, OriginId::Japan] {
-            assert!(block_rate(&w, o, "Tegna Inc", Protocol::Http, 0) > 0.99, "{o}");
+        for o in [
+            OriginId::Australia,
+            OriginId::Brazil,
+            OriginId::Germany,
+            OriginId::Japan,
+        ] {
+            assert!(
+                block_rate(&w, o, "Tegna Inc", Protocol::Http, 0) > 0.99,
+                "{o}"
+            );
         }
     }
 
@@ -244,19 +273,28 @@ mod tests {
         let asr = w.as_by_name("ABCDE Group Company Limited").unwrap();
         let lo = asr.first_slash24 * 256;
         let hi = (lo + asr.n_slash24 * 256).min(lo + 5000);
-        let us1: Vec<bool> =
-            (lo..hi).map(|a| blocks(&w, OriginId::Us1, asr, a, Protocol::Http, 0)).collect();
-        let us64: Vec<bool> =
-            (lo..hi).map(|a| blocks(&w, OriginId::Us64, asr, a, Protocol::Http, 0)).collect();
-        let cen: Vec<bool> =
-            (lo..hi).map(|a| blocks(&w, OriginId::Censys, asr, a, Protocol::Http, 0)).collect();
+        let us1: Vec<bool> = (lo..hi)
+            .map(|a| blocks(&w, OriginId::Us1, asr, a, Protocol::Http, 0))
+            .collect();
+        let us64: Vec<bool> = (lo..hi)
+            .map(|a| blocks(&w, OriginId::Us64, asr, a, Protocol::Http, 0))
+            .collect();
+        let cen: Vec<bool> = (lo..hi)
+            .map(|a| blocks(&w, OriginId::Censys, asr, a, Protocol::Http, 0))
+            .collect();
         assert_eq!(us1, us64);
         // Censys adds its generic blocking on top, so it is a superset.
         assert!(us1.iter().zip(&cen).all(|(u, c)| !*u || *c));
         let frac = us1.iter().filter(|&&b| b).count() as f64 / us1.len() as f64;
         assert!((frac - 0.70).abs() < 0.05, "{frac}");
         // HTTPS unaffected for US1.
-        let https_rate = block_rate(&w, OriginId::Us1, "ABCDE Group Company Limited", Protocol::Https, 0);
+        let https_rate = block_rate(
+            &w,
+            OriginId::Us1,
+            "ABCDE Group Company Limited",
+            Protocol::Https,
+            0,
+        );
         assert!(https_rate < 0.02, "{https_rate}");
     }
 

@@ -62,6 +62,10 @@ pub enum Tag {
     CloseKind = 17,
     /// Whether a non-host address RSTs (port closed on a live machine).
     ClosedPort = 18,
+    /// Fault injection: reply corruption (invalid validation MAC).
+    FaultCorrupt = 19,
+    /// Fault injection: duplicated/reordered reply delivery.
+    FaultDuplicate = 20,
 }
 
 #[inline]
@@ -81,7 +85,9 @@ pub struct Det {
 impl Det {
     /// Create a stream rooted at `seed` (the world seed).
     pub fn new(seed: u64) -> Self {
-        Self { seed: splitmix(seed ^ 0x6f72_6967_696e_7363) } // "originsc"
+        Self {
+            seed: splitmix(seed ^ 0x6f72_6967_696e_7363),
+        } // "originsc"
     }
 
     /// Hash a tag plus up to any number of key words into a u64.
@@ -146,7 +152,10 @@ mod tests {
     fn deterministic() {
         let a = Det::new(7);
         let b = Det::new(7);
-        assert_eq!(a.hash(Tag::HostExists, &[1, 2, 3]), b.hash(Tag::HostExists, &[1, 2, 3]));
+        assert_eq!(
+            a.hash(Tag::HostExists, &[1, 2, 3]),
+            b.hash(Tag::HostExists, &[1, 2, 3])
+        );
     }
 
     #[test]
@@ -155,15 +164,17 @@ mod tests {
         let b = Det::new(8);
         assert_ne!(a.hash(Tag::HostExists, &[1]), b.hash(Tag::HostExists, &[1]));
         assert_ne!(a.hash(Tag::HostExists, &[1]), a.hash(Tag::Churn, &[1]));
-        assert_ne!(a.hash(Tag::HostExists, &[1, 2]), a.hash(Tag::HostExists, &[2, 1]));
+        assert_ne!(
+            a.hash(Tag::HostExists, &[1, 2]),
+            a.hash(Tag::HostExists, &[2, 1])
+        );
     }
 
     #[test]
     fn uniform_is_uniform_enough() {
         let d = Det::new(42);
         let n = 100_000u64;
-        let mean: f64 =
-            (0..n).map(|i| d.uniform(Tag::ProbeDrop, &[i])).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|i| d.uniform(Tag::ProbeDrop, &[i])).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
         // Bucket chi-square-ish sanity: 10 buckets within 5% of expected.
         let mut buckets = [0u32; 10];
@@ -179,7 +190,9 @@ mod tests {
     #[test]
     fn bernoulli_rate_matches_p() {
         let d = Det::new(1);
-        let hits = (0..200_000u64).filter(|&i| d.bernoulli(Tag::HostFlaky, &[i], 0.03)).count();
+        let hits = (0..200_000u64)
+            .filter(|&i| d.bernoulli(Tag::HostFlaky, &[i], 0.03))
+            .count();
         let rate = hits as f64 / 200_000.0;
         assert!((rate - 0.03).abs() < 0.003, "rate {rate}");
     }
@@ -211,8 +224,9 @@ mod tests {
     fn lognormal_median() {
         let d = Det::new(11);
         let mu = (0.004f64).ln();
-        let mut xs: Vec<f64> =
-            (0..50_000u64).map(|i| d.lognormal(Tag::PairLoss, &[i], mu, 1.2)).collect();
+        let mut xs: Vec<f64> = (0..50_000u64)
+            .map(|i| d.lognormal(Tag::PairLoss, &[i], mu, 1.2))
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = xs[xs.len() / 2];
         assert!((median / 0.004 - 1.0).abs() < 0.1, "median {median}");

@@ -148,8 +148,7 @@ impl World {
             while quota > 0 {
                 // Pareto-ish sizes: heavy tail, minimum 1.
                 let u = det.uniform(Tag::Structure, &[1, ci as u64, k]);
-                let size =
-                    ((1.0 / (1.0 - u).powf(0.9)).round() as u32).clamp(1, quota.max(1));
+                let size = ((1.0 / (1.0 - u).powf(0.9)).round() as u32).clamp(1, quota.max(1));
                 let size = size.min(quota);
                 let category = generated_category(&det, ci as u64, k);
                 ases.push(AsRecord {
@@ -218,7 +217,15 @@ impl World {
             }
         }
 
-        World { config, ases, slash24_as, slash24_country, hosts, bitmaps, det }
+        World {
+            config,
+            ases,
+            slash24_as,
+            slash24_country,
+            hosts,
+            bitmaps,
+            det,
+        }
     }
 
     /// Number of addresses in the space.
@@ -422,8 +429,10 @@ mod tests {
                 assert!(w.is_host(p, h));
             }
             // Count via bitmap equals list length.
-            let bm_count: u32 =
-                w.bitmaps[proto_slot(p)].iter().map(|x| x.count_ones()).sum();
+            let bm_count: u32 = w.bitmaps[proto_slot(p)]
+                .iter()
+                .map(|x| x.count_ones())
+                .sum();
             assert_eq!(bm_count as usize, hosts.len());
         }
     }
@@ -440,8 +449,14 @@ mod tests {
         assert!(h > s && s > ssh, "{h} {s} {ssh}");
         let ratio_hs = h as f64 / s as f64;
         let ratio_hssh = h as f64 / ssh as f64;
-        assert!((1.1..2.2).contains(&ratio_hs), "HTTP/HTTPS ratio {ratio_hs}");
-        assert!((2.0..5.0).contains(&ratio_hssh), "HTTP/SSH ratio {ratio_hssh}");
+        assert!(
+            (1.1..2.2).contains(&ratio_hs),
+            "HTTP/HTTPS ratio {ratio_hs}"
+        );
+        assert!(
+            (2.0..5.0).contains(&ratio_hssh),
+            "HTTP/SSH ratio {ratio_hssh}"
+        );
     }
 
     #[test]
@@ -509,6 +524,9 @@ mod tests {
         let max = *gen_sizes.iter().max().unwrap();
         let ones = gen_sizes.iter().filter(|&&s| s == 1).count();
         assert!(max >= 10, "no big generated ASes (max {max})");
-        assert!(ones as f64 / gen_sizes.len() as f64 > 0.3, "no small-AS tail");
+        assert!(
+            ones as f64 / gen_sizes.len() as f64 > 0.3,
+            "no small-AS tail"
+        );
     }
 }

@@ -1,4 +1,7 @@
 //! Property tests: world-generation invariants must hold for every seed.
+// Gated: runs only with `--features proptest` (vendored shim; see
+// third_party/proptest). The default offline build skips these suites.
+#![cfg(feature = "proptest")]
 
 use originscan_netmodel::policy::{self, Block};
 use originscan_netmodel::{OriginId, Protocol, WorldConfig};

@@ -6,7 +6,71 @@
 //! from every origin's scan. This module provides the shared blocklist
 //! structure: parse CIDR entries, merge overlaps, O(log n) membership.
 
+use std::fmt;
 use std::str::FromStr;
+
+/// Why a blocklist (or one CIDR entry) failed to parse.
+///
+/// Carries the offending line so operators can fix the exclusion file —
+/// the paper's methodology hinges on every origin sharing an identical
+/// blocklist, so a silently dropped entry would desynchronize origins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlocklistError {
+    /// Entry has no `/` separating address and prefix length.
+    MissingSlash {
+        /// The offending entry.
+        entry: String,
+    },
+    /// The address part is not a dotted quad.
+    BadAddress {
+        /// The offending address text.
+        addr: String,
+    },
+    /// The prefix length is not an integer.
+    BadPrefixLen {
+        /// The offending prefix-length text.
+        len: String,
+    },
+    /// The prefix length exceeds 32.
+    PrefixTooLong {
+        /// The out-of-range length.
+        len: u8,
+    },
+    /// An entry on `line` (1-based) failed to parse.
+    Line {
+        /// 1-based line number in the blocklist text.
+        line: usize,
+        /// The underlying entry error.
+        cause: Box<BlocklistError>,
+    },
+}
+
+impl fmt::Display for BlocklistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlocklistError::MissingSlash { entry } => {
+                write!(
+                    f,
+                    "blocklist entry {entry:?} is missing the '/' prefix separator"
+                )
+            }
+            BlocklistError::BadAddress { addr } => {
+                write!(f, "blocklist entry has malformed IPv4 address {addr:?}")
+            }
+            BlocklistError::BadPrefixLen { len } => {
+                write!(f, "blocklist entry has non-numeric prefix length {len:?}")
+            }
+            BlocklistError::PrefixTooLong { len } => {
+                write!(f, "blocklist prefix length /{len} exceeds /32")
+            }
+            BlocklistError::Line { line, cause } => {
+                write!(f, "blocklist line {line}: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlocklistError {}
 
 /// An inclusive address interval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +99,10 @@ impl Cidr {
     /// Construct, masking `base` down to the prefix.
     pub fn new(base: u32, len: u8) -> Self {
         assert!(len <= 32, "prefix length out of range");
-        Self { base: base & Self::mask(len), len }
+        Self {
+            base: base & Self::mask(len),
+            len,
+        }
     }
 
     fn mask(len: u8) -> u32 {
@@ -63,15 +130,24 @@ impl Cidr {
 }
 
 impl FromStr for Cidr {
-    type Err = String;
+    type Err = BlocklistError;
 
-    fn from_str(s: &str) -> Result<Self, String> {
-        let (addr_s, len_s) = s.split_once('/').ok_or_else(|| format!("missing '/': {s}"))?;
-        let addr = originscan_wire::ipv4::parse_addr(addr_s)
-            .ok_or_else(|| format!("bad address: {addr_s}"))?;
-        let len: u8 = len_s.parse().map_err(|_| format!("bad prefix length: {len_s}"))?;
+    fn from_str(s: &str) -> Result<Self, BlocklistError> {
+        let (addr_s, len_s) = s
+            .split_once('/')
+            .ok_or_else(|| BlocklistError::MissingSlash {
+                entry: s.to_string(),
+            })?;
+        let addr = originscan_wire::ipv4::parse_addr(addr_s).ok_or_else(|| {
+            BlocklistError::BadAddress {
+                addr: addr_s.to_string(),
+            }
+        })?;
+        let len: u8 = len_s.parse().map_err(|_| BlocklistError::BadPrefixLen {
+            len: len_s.to_string(),
+        })?;
         if len > 32 {
-            return Err(format!("prefix length > 32: {len}"));
+            return Err(BlocklistError::PrefixTooLong { len });
         }
         Ok(Cidr::new(addr, len))
     }
@@ -93,15 +169,20 @@ impl Blocklist {
     }
 
     /// Parse one entry per line (comments after `#` and blanks ignored) —
-    /// the format ZMap's `--blocklist-file` accepts.
-    pub fn parse(text: &str) -> Result<Self, String> {
+    /// the format ZMap's `--blocklist-file` accepts. Errors carry the
+    /// 1-based line number and the malformed entry.
+    pub fn parse(text: &str) -> Result<Self, BlocklistError> {
         let mut cidrs = Vec::new();
-        for line in text.lines() {
-            let line = line.split('#').next().unwrap_or("").trim();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
             }
-            cidrs.push(line.parse()?);
+            let cidr: Cidr = line.parse().map_err(|cause| BlocklistError::Line {
+                line: idx + 1,
+                cause: Box::new(cause),
+            })?;
+            cidrs.push(cidr);
         }
         Ok(Self::from_cidrs(cidrs))
     }
@@ -178,10 +259,45 @@ mod tests {
 
     #[test]
     fn bad_cidrs_rejected() {
-        assert!("192.168.1.0".parse::<Cidr>().is_err());
-        assert!("192.168.1.0/33".parse::<Cidr>().is_err());
-        assert!("299.0.0.1/8".parse::<Cidr>().is_err());
-        assert!("x/8".parse::<Cidr>().is_err());
+        assert_eq!(
+            "192.168.1.0".parse::<Cidr>(),
+            Err(BlocklistError::MissingSlash {
+                entry: "192.168.1.0".into()
+            })
+        );
+        assert_eq!(
+            "192.168.1.0/33".parse::<Cidr>(),
+            Err(BlocklistError::PrefixTooLong { len: 33 })
+        );
+        assert_eq!(
+            "299.0.0.1/8".parse::<Cidr>(),
+            Err(BlocklistError::BadAddress {
+                addr: "299.0.0.1".into()
+            })
+        );
+        assert_eq!(
+            "x/8".parse::<Cidr>(),
+            Err(BlocklistError::BadAddress { addr: "x".into() })
+        );
+        assert_eq!(
+            "1.0.0.0/y".parse::<Cidr>(),
+            Err(BlocklistError::BadPrefixLen { len: "y".into() })
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = Blocklist::parse("10.0.0.0/8\n# fine\nbogus\n").unwrap_err();
+        match &err {
+            BlocklistError::Line { line, cause } => {
+                assert_eq!(*line, 3);
+                assert!(matches!(**cause, BlocklistError::MissingSlash { .. }));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let rendered = err.to_string();
+        assert!(rendered.contains("line 3"), "{rendered}");
+        assert!(rendered.contains("bogus"), "{rendered}");
     }
 
     #[test]

@@ -163,7 +163,12 @@ impl Cycle {
         let generator = mod_pow(root, k, prime);
         // The start point is any element; derive from the seed too.
         let start = 1 + (seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) % order);
-        Self { size, prime, generator, start }
+        Self {
+            size,
+            prime,
+            generator,
+            start,
+        }
     }
 
     /// Number of addresses in the permuted space.
@@ -192,11 +197,22 @@ impl Cycle {
     pub fn iter_shard(&self, shard: u64, total: u64) -> ShardIter {
         assert!(total > 0 && shard < total, "invalid shard spec");
         // Advance the start by `shard` steps, then step by g^total.
-        let start = mod_mul(self.start, mod_pow(self.generator, shard, self.prime), self.prime);
+        let start = mod_mul(
+            self.start,
+            mod_pow(self.generator, shard, self.prime),
+            self.prime,
+        );
         let stride = mod_pow(self.generator, total, self.prime);
         let order = self.prime - 1;
         let steps = order / total + u64::from(shard < order % total);
-        ShardIter { prime: self.prime, size: self.size, stride, current: start, remaining: steps }
+        ShardIter {
+            prime: self.prime,
+            size: self.size,
+            stride,
+            current: start,
+            remaining: steps,
+            taken: 0,
+        }
     }
 }
 
@@ -226,6 +242,11 @@ impl Iterator for CycleIter {
 }
 
 /// Iterator over one shard of a [`Cycle`].
+///
+/// Unlike [`CycleIter`], a shard iterator counts the group steps it has
+/// consumed ([`ShardIter::steps_taken`]) and can be fast-forwarded to any
+/// step in O(log n) ([`ShardIter::fast_forward`]) — the scan engine's
+/// checkpoint/resume support is built on exactly these two operations.
 #[derive(Debug, Clone)]
 pub struct ShardIter {
     prime: u64,
@@ -233,6 +254,37 @@ pub struct ShardIter {
     stride: u64,
     current: u64,
     remaining: u64,
+    taken: u64,
+}
+
+impl ShardIter {
+    /// Group steps consumed so far (every call to `next` consumes at least
+    /// one; out-of-range group elements consume steps without yielding).
+    pub fn steps_taken(&self) -> u64 {
+        self.taken
+    }
+
+    /// Jump forward to the state after exactly `steps` total group steps,
+    /// without visiting intermediate elements: the group element after `k`
+    /// strides is `start · stride^k`, so a single modular exponentiation
+    /// reproduces the iterator state a checkpoint recorded.
+    ///
+    /// Returns `false` (leaving the iterator untouched) if `steps` is
+    /// behind the current position or beyond the shard's end.
+    pub fn fast_forward(&mut self, steps: u64) -> bool {
+        let delta = match steps.checked_sub(self.taken) {
+            Some(d) if d <= self.remaining => d,
+            _ => return false,
+        };
+        self.current = mod_mul(
+            self.current,
+            mod_pow(self.stride, delta, self.prime),
+            self.prime,
+        );
+        self.remaining -= delta;
+        self.taken = steps;
+        true
+    }
 }
 
 impl Iterator for ShardIter {
@@ -243,6 +295,7 @@ impl Iterator for ShardIter {
             let element = self.current;
             self.current = mod_mul(self.current, self.stride, self.prime);
             self.remaining -= 1;
+            self.taken += 1;
             let addr = element - 1;
             if addr < self.size {
                 return Some(addr);
@@ -337,7 +390,11 @@ mod tests {
         // Not a strict randomness test: just assert the permutation is far
         // from the identity (ZMap's whole point).
         let v: Vec<u64> = Cycle::new(10_000, 7).iter().collect();
-        let in_place = v.iter().enumerate().filter(|(i, &a)| *i as u64 == a).count();
+        let in_place = v
+            .iter()
+            .enumerate()
+            .filter(|(i, &a)| *i as u64 == a)
+            .count();
         assert!(in_place < 10, "{in_place} fixed points is suspicious");
     }
 
@@ -379,5 +436,54 @@ mod tests {
     fn is_subsequence(sub: &[u64], full: &[u64]) -> bool {
         let mut it = full.iter();
         sub.iter().all(|s| it.any(|f| f == s))
+    }
+
+    #[test]
+    fn fast_forward_matches_stepping() {
+        let c = Cycle::new(10_007, 123);
+        for (shard, total) in [(0u64, 1u64), (1, 3), (2, 3)] {
+            let mut stepped = c.iter_shard(shard, total);
+            // Consume some addresses, then capture the step count.
+            for _ in 0..157 {
+                stepped.next();
+            }
+            let mark = stepped.steps_taken();
+            let mut jumped = c.iter_shard(shard, total);
+            assert!(jumped.fast_forward(mark));
+            assert_eq!(jumped.steps_taken(), mark);
+            let rest_a: Vec<u64> = stepped.collect();
+            let rest_b: Vec<u64> = jumped.collect();
+            assert_eq!(rest_a, rest_b, "shard {shard}/{total}");
+        }
+    }
+
+    #[test]
+    fn fast_forward_rejects_bad_targets() {
+        let c = Cycle::new(997, 9);
+        let mut it = c.iter_shard(0, 2);
+        for _ in 0..10 {
+            it.next();
+        }
+        let mark = it.steps_taken();
+        assert!(!it.fast_forward(mark - 1), "cannot rewind");
+        assert!(!it.fast_forward(u64::MAX), "cannot overshoot the shard");
+        assert_eq!(it.steps_taken(), mark, "failed fast-forward must not move");
+        // Forwarding to the current position is a no-op that succeeds.
+        assert!(it.fast_forward(mark));
+    }
+
+    #[test]
+    fn steps_taken_counts_skipped_elements() {
+        // Space 10 with prime 11: group has 10 elements, all in range, so
+        // steps == yields. A space of 6 with prime 7 skips nothing either;
+        // use a space where prime-1 > size so skips occur.
+        let c = Cycle::new(8, 3); // prime 11, group order 10, 2 skipped
+        let mut it = c.iter_shard(0, 1);
+        let mut yields = 0u64;
+        while it.next().is_some() {
+            yields += 1;
+        }
+        assert_eq!(yields, 8);
+        assert_eq!(it.steps_taken(), 10, "skipped group elements still count");
     }
 }

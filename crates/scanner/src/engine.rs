@@ -6,15 +6,35 @@
 //! L4-responsive hosts — immediately runs the application handshake
 //! ([`crate::zgrab`]), exactly mirroring the paper's ZMap → ZGrab
 //! pipeline.
+//!
+//! # Supervision, faults, and resume
+//!
+//! Real measurement campaigns lose vantage points mid-scan; the paper's
+//! multi-origin methodology only works if the remaining origins' results
+//! stay valid. The engine therefore supports *supervised* execution via
+//! [`run_scan_session`]:
+//!
+//! * a [`FaultHook`] is consulted before every address and may stall the
+//!   probe pipeline or kill the scan (simulating the origin dying);
+//! * periodic [`ScanCheckpoint`]s — permutation position, pacer cursor,
+//!   stall clock, and all partial records — are written to a
+//!   [`CheckpointStore`] that outlives the scan (and any panic inside
+//!   it), so a supervisor can resume mid-permutation;
+//! * resuming from a checkpoint reproduces *exactly* the state an
+//!   uninterrupted scan would have had at that point: the permutation
+//!   fast-forwards in O(log n) and the pacer's clock is a closed-form
+//!   function of probes sent, so re-run timestamps are bit-identical.
 
 use crate::blocklist::Blocklist;
 use crate::cyclic::Cycle;
+use crate::error::{ConfigError, ScanError};
 use crate::rate::Pacer;
 use crate::target::{L7Ctx, Network, ProbeCtx, Protocol, SynReply};
 use crate::zgrab::{self, L7Outcome};
 use originscan_wire::ipv4::Ipv4Header;
 use originscan_wire::tcp::TcpHeader;
 use originscan_wire::validation::Validator;
+use std::sync::Mutex;
 
 /// Configuration for one scan (one origin, one protocol, one trial).
 #[derive(Debug, Clone)]
@@ -90,6 +110,40 @@ impl ScanConfig {
             wire_check: false,
         }
     }
+
+    /// Check every invariant the engine relies on, so a malformed
+    /// configuration surfaces as a typed error instead of a panic deep in
+    /// the scan loop.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.space == 0 {
+            return Err(ConfigError::EmptySpace);
+        }
+        if self.probes == 0 {
+            return Err(ConfigError::ZeroProbes);
+        }
+        if self.probes > 8 {
+            return Err(ConfigError::TooManyProbes {
+                probes: self.probes,
+            });
+        }
+        if self.source_ips.is_empty() {
+            return Err(ConfigError::NoSourceIps);
+        }
+        if self.shard.1 == 0 || self.shard.0 >= self.shard.1 {
+            return Err(ConfigError::InvalidShard {
+                shard: self.shard.0,
+                total: self.shard.1,
+            });
+        }
+        // NaN fails every ordered comparison, so reject it explicitly.
+        if self.rate_pps.is_nan() || self.rate_pps <= 0.0 {
+            return Err(ConfigError::NonPositiveRate);
+        }
+        if self.batch == 0 {
+            return Err(ConfigError::ZeroBatch);
+        }
+        Ok(())
+    }
 }
 
 /// Per-responsive-address record produced by a scan.
@@ -146,7 +200,7 @@ pub struct ScanSummary {
 }
 
 /// Output of [`run_scan`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ScanOutput {
     /// One record per address that produced any validated response.
     pub records: Vec<HostScanRecord>,
@@ -154,18 +208,200 @@ pub struct ScanOutput {
     pub summary: ScanSummary,
 }
 
-/// Execute one scan against `net`.
-pub fn run_scan<N: Network + ?Sized>(net: &N, cfg: &ScanConfig) -> ScanOutput {
-    assert!(cfg.probes >= 1 && cfg.probes <= 8, "1..=8 probes supported");
-    assert!(!cfg.source_ips.is_empty(), "need at least one source IP");
+/// What a [`FaultHook`] tells the engine to do before an address.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// No fault: probe normally.
+    Continue,
+    /// Probe-pipeline stall: shift this and every later probe `delay_s`
+    /// seconds into the future (the send NIC blocked, the pacer fell
+    /// behind). The stall accumulates into the scan's duration.
+    Stall {
+        /// Seconds of additional delay to accumulate.
+        delay_s: f64,
+    },
+    /// Kill the scan here — the origin's scanning process dies. The
+    /// engine returns [`ScanError::Killed`] without saving further state;
+    /// only previously written periodic checkpoints survive.
+    Kill,
+}
+
+/// Everything a [`FaultHook`] may condition on. All fields are pure
+/// functions of the scan's progress, so a deterministic hook plus a
+/// deterministic network yields bit-identical runs.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultCtx {
+    /// Origin index of the running scan.
+    pub origin: u16,
+    /// Trial number of the running scan.
+    pub trial: u8,
+    /// Supervisor attempt number: 0 for the first run, incremented on
+    /// every retry/resume. Hooks use this to model faults that strike
+    /// once and then clear (the supervisor's retry succeeds).
+    pub attempt: u32,
+    /// Permutation group steps consumed so far.
+    pub steps: u64,
+    /// Addresses fully probed so far.
+    pub addresses_probed: u64,
+    /// Send-clock time of the next probe, including accumulated stalls.
+    pub time_s: f64,
+    /// Stall seconds already accumulated.
+    pub stall_s: f64,
+}
+
+/// A fault-injection hook consulted before every address.
+///
+/// Implementations must be deterministic in `FaultCtx` (plus their own
+/// construction-time state): the integration suite asserts that a faulted
+/// run is reproducible and that unaffected origins are bit-identical to a
+/// fault-free run.
+pub trait FaultHook: Sync {
+    /// Decide what happens before the next address is probed.
+    fn before_address(&self, ctx: &FaultCtx) -> FaultAction;
+}
+
+/// Resumable scan state: everything needed to continue a scan from the
+/// middle of its permutation with bit-identical results.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScanCheckpoint {
+    /// Permutation group steps consumed when the checkpoint was taken.
+    pub steps: u64,
+    /// Accumulated pipeline-stall seconds at the checkpoint.
+    pub stall_s: f64,
+    /// Partial output: all records and counters up to the checkpoint.
+    pub output: ScanOutput,
+}
+
+/// A single-slot, thread-safe checkpoint mailbox.
+///
+/// The store lives *outside* the scan (typically on the supervisor's
+/// stack) so it survives a scan thread that panics or is killed by an
+/// injected fault; the supervisor then [`CheckpointStore::take`]s the
+/// last periodic checkpoint and resumes.
+#[derive(Debug, Default)]
+pub struct CheckpointStore {
+    slot: Mutex<Option<ScanCheckpoint>>,
+}
+
+impl CheckpointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the stored checkpoint with `cp`.
+    pub fn save(&self, cp: ScanCheckpoint) {
+        match self.slot.lock() {
+            Ok(mut slot) => *slot = Some(cp),
+            // A poisoned lock means a previous writer panicked mid-save;
+            // the slot still holds a coherent (clone-assigned) value, so
+            // recover and overwrite it.
+            Err(poisoned) => *poisoned.into_inner() = Some(cp),
+        }
+    }
+
+    /// Remove and return the stored checkpoint, if any.
+    pub fn take(&self) -> Option<ScanCheckpoint> {
+        match self.slot.lock() {
+            Ok(mut slot) => slot.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        }
+    }
+
+    /// Is a checkpoint currently stored?
+    pub fn is_saved(&self) -> bool {
+        match self.slot.lock() {
+            Ok(slot) => slot.is_some(),
+            Err(poisoned) => poisoned.into_inner().is_some(),
+        }
+    }
+}
+
+/// Supervision options for [`run_scan_session`].
+#[derive(Default)]
+pub struct ScanSession<'a> {
+    /// Fault hook consulted before each address (None: no faults).
+    pub hook: Option<&'a dyn FaultHook>,
+    /// Save a checkpoint every this many addresses (0 disables).
+    pub checkpoint_every: u64,
+    /// Where periodic checkpoints are written.
+    pub store: Option<&'a CheckpointStore>,
+    /// Resume from this checkpoint instead of starting fresh.
+    pub resume: Option<ScanCheckpoint>,
+    /// Supervisor attempt number forwarded to the fault hook.
+    pub attempt: u32,
+}
+
+/// Execute one scan against `net` with no supervision: no fault hook, no
+/// checkpoints. Equivalent to [`run_scan_session`] with a default
+/// session.
+pub fn run_scan<N: Network + ?Sized>(net: &N, cfg: &ScanConfig) -> Result<ScanOutput, ScanError> {
+    run_scan_session(net, cfg, ScanSession::default())
+}
+
+/// Execute one scan against `net` under supervision: consult the fault
+/// hook before every address, periodically checkpoint resumable state,
+/// and optionally resume from a prior checkpoint.
+pub fn run_scan_session<N: Network + ?Sized>(
+    net: &N,
+    cfg: &ScanConfig,
+    session: ScanSession<'_>,
+) -> Result<ScanOutput, ScanError> {
+    cfg.validate()?;
     let cycle = Cycle::new(cfg.space, cfg.seed);
     let validator = Validator::from_seed(cfg.seed);
     let mut pacer = Pacer::new(cfg.rate_pps, cfg.batch);
-    let mut out = ScanOutput::default();
     let dport = cfg.protocol.port();
 
-    let iter = cycle.iter_shard(cfg.shard.0, cfg.shard.1);
-    for addr64 in iter {
+    let mut iter = cycle.iter_shard(cfg.shard.0, cfg.shard.1);
+    let mut out = ScanOutput::default();
+    let mut stall_s = 0.0f64;
+    if let Some(cp) = session.resume {
+        if !iter.fast_forward(cp.steps) {
+            return Err(ScanError::BadCheckpoint { steps: cp.steps });
+        }
+        pacer.advance_to(cp.output.summary.probes_sent);
+        stall_s = cp.stall_s;
+        out = cp.output;
+    }
+
+    let mut since_checkpoint = 0u64;
+    loop {
+        // Periodic checkpoint, taken *before* the iterator advances so the
+        // saved state excludes any in-flight address.
+        if session.checkpoint_every > 0 && since_checkpoint >= session.checkpoint_every {
+            if let Some(store) = session.store {
+                store.save(ScanCheckpoint {
+                    steps: iter.steps_taken(),
+                    stall_s,
+                    output: out.clone(),
+                });
+            }
+            since_checkpoint = 0;
+        }
+        if let Some(hook) = session.hook {
+            let ctx = FaultCtx {
+                origin: cfg.origin,
+                trial: cfg.trial,
+                attempt: session.attempt,
+                steps: iter.steps_taken(),
+                addresses_probed: out.summary.addresses_probed,
+                time_s: pacer.peek_send_time() + stall_s,
+                stall_s,
+            };
+            match hook.before_address(&ctx) {
+                FaultAction::Continue => {}
+                FaultAction::Stall { delay_s } => stall_s += delay_s,
+                FaultAction::Kill => {
+                    return Err(ScanError::Killed {
+                        time_s: ctx.time_s,
+                        addresses_probed: ctx.addresses_probed,
+                    });
+                }
+            }
+        }
+        let Some(addr64) = iter.next() else { break };
+        since_checkpoint += 1;
         let addr = addr64 as u32;
         if cfg.blocklist.contains(addr) {
             out.summary.blocked += 1;
@@ -175,19 +411,20 @@ pub fn run_scan<N: Network + ?Sized>(net: &N, cfg: &ScanConfig) -> ScanOutput {
         // ZMap spreads flows over source IPs/ports by address hash.
         let mix = (addr ^ (addr >> 16)).wrapping_mul(0x9E37_79B9);
         let src_ip = cfg.source_ips[(mix as usize) % cfg.source_ips.len()];
-        let sport =
-            cfg.sport_base.wrapping_add(((mix >> 8) % u32::from(cfg.sport_range.max(1))) as u16);
+        let sport = cfg
+            .sport_base
+            .wrapping_add(((mix >> 8) % u32::from(cfg.sport_range.max(1))) as u16);
 
         let mut synack_mask = 0u8;
         let mut got_rst = false;
         let mut response_time = 0.0f64;
         let seq = validator.probe_seq(src_ip, addr, sport, dport);
         for probe_idx in 0..cfg.probes {
-            let t = pacer.next_send_time() + f64::from(probe_idx) * cfg.probe_delay_s;
+            let t = pacer.next_send_time() + stall_s + f64::from(probe_idx) * cfg.probe_delay_s;
             out.summary.probes_sent += 1;
             let probe = TcpHeader::syn_probe(sport, dport, seq);
-            if cfg.wire_check {
-                wire_roundtrip(&probe, src_ip, addr);
+            if cfg.wire_check && !wire_roundtrip(&probe, src_ip, addr) {
+                return Err(ScanError::WireCheck { addr });
             }
             let ctx = ProbeCtx {
                 origin: cfg.origin,
@@ -205,8 +442,8 @@ pub fn run_scan<N: Network + ?Sized>(net: &N, cfg: &ScanConfig) -> ScanOutput {
                             response_time = t;
                         }
                         synack_mask |= 1 << probe_idx;
-                        if cfg.wire_check {
-                            wire_roundtrip(&h, addr, src_ip);
+                        if cfg.wire_check && !wire_roundtrip(&h, addr, src_ip) {
+                            return Err(ScanError::WireCheck { addr });
                         }
                     } else {
                         out.summary.validation_failures += 1;
@@ -262,19 +499,23 @@ pub fn run_scan<N: Network + ?Sized>(net: &N, cfg: &ScanConfig) -> ScanOutput {
             });
         }
     }
-    out.summary.duration_s = pacer.duration_for(out.summary.probes_sent);
-    out
+    out.summary.duration_s = pacer.duration_for(out.summary.probes_sent) + stall_s;
+    Ok(out)
 }
 
-/// Round-trip a TCP header through its byte encoding as a codec self-check.
-fn wire_roundtrip(h: &TcpHeader, src: u32, dst: u32) {
+/// Round-trip a TCP header through its byte encoding as a codec
+/// self-check; `false` means the encoding was lossy.
+fn wire_roundtrip(h: &TcpHeader, src: u32, dst: u32) -> bool {
     let ip = Ipv4Header::for_tcp(src, dst, h.wire_len());
     let ip_bytes = ip.emit();
-    let reparsed_ip = Ipv4Header::parse(&ip_bytes).expect("own IPv4 header must parse");
-    debug_assert_eq!(reparsed_ip, ip);
+    let Ok(reparsed_ip) = Ipv4Header::parse(&ip_bytes) else {
+        return false;
+    };
+    if reparsed_ip != ip {
+        return false;
+    }
     let tcp_bytes = h.emit(&ip);
-    let reparsed = TcpHeader::parse(&tcp_bytes, &ip).expect("own TCP header must parse");
-    assert_eq!(&reparsed, h, "wire round-trip must be lossless");
+    matches!(TcpHeader::parse(&tcp_bytes, &ip), Ok(reparsed) if &reparsed == h)
 }
 
 #[cfg(test)]
@@ -322,8 +563,11 @@ mod tests {
 
     #[test]
     fn finds_exactly_the_live_hosts() {
-        let net = ToyNet { live_mod: 10, closed_mod: 3 };
-        let out = run_scan(&net, &cfg(1000));
+        let net = ToyNet {
+            live_mod: 10,
+            closed_mod: 3,
+        };
+        let out = run_scan(&net, &cfg(1000)).unwrap();
         let live: Vec<u32> = out
             .records
             .iter()
@@ -335,27 +579,42 @@ mod tests {
         // All L4-responsive hosts completed HTTP.
         assert_eq!(out.summary.l7_successes, 100);
         // Two probes each, both answered.
-        assert!(out.records.iter().filter(|r| r.l4_responsive()).all(|r| r.synack_mask == 0b11));
+        assert!(out
+            .records
+            .iter()
+            .filter(|r| r.l4_responsive())
+            .all(|r| r.synack_mask == 0b11));
     }
 
     #[test]
     fn rst_hosts_recorded_but_not_l7() {
-        let net = ToyNet { live_mod: 10, closed_mod: 3 };
-        let out = run_scan(&net, &cfg(100));
-        let rst_only: Vec<&HostScanRecord> =
-            out.records.iter().filter(|r| r.got_rst && !r.l4_responsive()).collect();
+        let net = ToyNet {
+            live_mod: 10,
+            closed_mod: 3,
+        };
+        let out = run_scan(&net, &cfg(100)).unwrap();
+        let rst_only: Vec<&HostScanRecord> = out
+            .records
+            .iter()
+            .filter(|r| r.got_rst && !r.l4_responsive())
+            .collect();
         // Multiples of 3 but not 10, in 0..100: 33 - 3(mult of 30) = 30... 0 counts as live.
         assert!(!rst_only.is_empty());
         assert!(rst_only.iter().all(|r| r.addr % 3 == 0 && r.addr % 10 != 0));
-        assert!(rst_only.iter().all(|r| r.l7 == L7Outcome::Timeout && r.l7_attempts == 0));
+        assert!(rst_only
+            .iter()
+            .all(|r| r.l7 == L7Outcome::Timeout && r.l7_attempts == 0));
     }
 
     #[test]
     fn blocklist_suppresses_probes() {
-        let net = ToyNet { live_mod: 1, closed_mod: 1 }; // everything live
+        let net = ToyNet {
+            live_mod: 1,
+            closed_mod: 1,
+        }; // everything live
         let mut c = cfg(256);
         c.blocklist = Blocklist::parse("0.0.0.0/25").unwrap(); // block half
-        let out = run_scan(&net, &c);
+        let out = run_scan(&net, &c).unwrap();
         assert_eq!(out.summary.blocked, 128);
         assert_eq!(out.summary.addresses_probed, 128);
         assert!(out.records.iter().all(|r| r.addr >= 128));
@@ -363,24 +622,36 @@ mod tests {
 
     #[test]
     fn single_probe_sends_half_the_packets() {
-        let net = ToyNet { live_mod: 7, closed_mod: 2 };
+        let net = ToyNet {
+            live_mod: 7,
+            closed_mod: 2,
+        };
         let mut c1 = cfg(500);
         c1.probes = 1;
         let mut c2 = cfg(500);
         c2.probes = 2;
-        let o1 = run_scan(&net, &c1);
-        let o2 = run_scan(&net, &c2);
+        let o1 = run_scan(&net, &c1).unwrap();
+        let o2 = run_scan(&net, &c2).unwrap();
         assert_eq!(o1.summary.probes_sent * 2, o2.summary.probes_sent);
     }
 
     #[test]
     fn sharded_scans_cover_space() {
-        let net = ToyNet { live_mod: 5, closed_mod: 2 };
+        let net = ToyNet {
+            live_mod: 5,
+            closed_mod: 2,
+        };
         let mut all = Vec::new();
         for shard in 0..3u64 {
             let mut c = cfg(300);
             c.shard = (shard, 3);
-            all.extend(run_scan(&net, &c).records.into_iter().map(|r| r.addr));
+            all.extend(
+                run_scan(&net, &c)
+                    .unwrap()
+                    .records
+                    .into_iter()
+                    .map(|r| r.addr),
+            );
         }
         all.sort_unstable();
         all.dedup();
@@ -390,20 +661,26 @@ mod tests {
 
     #[test]
     fn deterministic_output() {
-        let net = ToyNet { live_mod: 9, closed_mod: 4 };
-        let a = run_scan(&net, &cfg(2048));
-        let b = run_scan(&net, &cfg(2048));
+        let net = ToyNet {
+            live_mod: 9,
+            closed_mod: 4,
+        };
+        let a = run_scan(&net, &cfg(2048)).unwrap();
+        let b = run_scan(&net, &cfg(2048)).unwrap();
         assert_eq!(a.records, b.records);
         assert_eq!(a.summary, b.summary);
     }
 
     #[test]
     fn times_are_monotone_with_rate() {
-        let net = ToyNet { live_mod: 2, closed_mod: 3 };
+        let net = ToyNet {
+            live_mod: 2,
+            closed_mod: 3,
+        };
         let mut c = cfg(100);
         c.rate_pps = 10.0;
         c.batch = 1;
-        let out = run_scan(&net, &c);
+        let out = run_scan(&net, &c).unwrap();
         // 100 addrs * 2 probes at 10 pps = 20 s duration.
         assert!((out.summary.duration_s - 20.0).abs() < 1e-9);
         let times: Vec<f64> = out.records.iter().map(|r| r.response_time_s).collect();
@@ -426,9 +703,258 @@ mod tests {
 
     #[test]
     fn spoofed_replies_rejected_by_validation() {
-        let out = run_scan(&SpooferNet, &cfg(128));
+        let out = run_scan(&SpooferNet, &cfg(128)).unwrap();
         assert!(out.records.is_empty());
         assert_eq!(out.summary.validation_failures, 256);
         assert_eq!(out.summary.synacks, 0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected_as_typed_errors() {
+        let base = cfg(100);
+        let check = |mutate: &dyn Fn(&mut ScanConfig), want: ConfigError| {
+            let mut c = base.clone();
+            mutate(&mut c);
+            assert_eq!(c.validate(), Err(want));
+            assert_eq!(
+                run_scan(
+                    &ToyNet {
+                        live_mod: 2,
+                        closed_mod: 3
+                    },
+                    &c
+                ),
+                Err(ScanError::Config(want))
+            );
+        };
+        check(&|c| c.space = 0, ConfigError::EmptySpace);
+        check(&|c| c.probes = 0, ConfigError::ZeroProbes);
+        check(&|c| c.probes = 9, ConfigError::TooManyProbes { probes: 9 });
+        check(&|c| c.source_ips.clear(), ConfigError::NoSourceIps);
+        check(
+            &|c| c.shard = (1, 1),
+            ConfigError::InvalidShard { shard: 1, total: 1 },
+        );
+        check(
+            &|c| c.shard = (0, 0),
+            ConfigError::InvalidShard { shard: 0, total: 0 },
+        );
+        check(&|c| c.rate_pps = 0.0, ConfigError::NonPositiveRate);
+        check(&|c| c.rate_pps = f64::NAN, ConfigError::NonPositiveRate);
+        check(&|c| c.batch = 0, ConfigError::ZeroBatch);
+        assert_eq!(base.validate(), Ok(()));
+    }
+
+    /// Kills the scan the first `fail_attempts` times it reaches
+    /// `kill_at` probed addresses.
+    struct KillAt {
+        kill_at: u64,
+        fail_attempts: u32,
+    }
+
+    impl FaultHook for KillAt {
+        fn before_address(&self, ctx: &FaultCtx) -> FaultAction {
+            if ctx.attempt < self.fail_attempts && ctx.addresses_probed >= self.kill_at {
+                FaultAction::Kill
+            } else {
+                FaultAction::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn kill_fault_surfaces_as_error_with_checkpoint() {
+        let net = ToyNet {
+            live_mod: 10,
+            closed_mod: 3,
+        };
+        let store = CheckpointStore::new();
+        let hook = KillAt {
+            kill_at: 500,
+            fail_attempts: 1,
+        };
+        let session = ScanSession {
+            hook: Some(&hook),
+            checkpoint_every: 128,
+            store: Some(&store),
+            resume: None,
+            attempt: 0,
+        };
+        let err = run_scan_session(&net, &cfg(1000), session).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ScanError::Killed {
+                    addresses_probed: 500,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        let cp = store.take().expect("periodic checkpoint must exist");
+        // The periodic checkpoint predates the kill point.
+        assert!(cp.output.summary.addresses_probed <= 500);
+        assert!(cp.output.summary.addresses_probed >= 500 - 128);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_to_uninterrupted() {
+        let net = ToyNet {
+            live_mod: 7,
+            closed_mod: 5,
+        };
+        let uninterrupted = run_scan(&net, &cfg(3000)).unwrap();
+
+        // Run with faults: killed at address 1100 on attempt 0, then
+        // resumed from the last periodic checkpoint.
+        let store = CheckpointStore::new();
+        let hook = KillAt {
+            kill_at: 1100,
+            fail_attempts: 1,
+        };
+        let first = run_scan_session(
+            &net,
+            &cfg(3000),
+            ScanSession {
+                hook: Some(&hook),
+                checkpoint_every: 256,
+                store: Some(&store),
+                resume: None,
+                attempt: 0,
+            },
+        );
+        assert!(matches!(first, Err(ScanError::Killed { .. })));
+        let cp = store.take().expect("checkpoint saved before the kill");
+        let resumed = run_scan_session(
+            &net,
+            &cfg(3000),
+            ScanSession {
+                hook: Some(&hook),
+                checkpoint_every: 256,
+                store: Some(&store),
+                resume: Some(cp),
+                attempt: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed, uninterrupted);
+    }
+
+    #[test]
+    fn resume_without_checkpoint_only_loses_nothing_on_restart() {
+        // A scan killed before any checkpoint restarts from scratch and
+        // still converges to the uninterrupted result.
+        let net = ToyNet {
+            live_mod: 4,
+            closed_mod: 9,
+        };
+        let uninterrupted = run_scan(&net, &cfg(600)).unwrap();
+        let store = CheckpointStore::new();
+        let hook = KillAt {
+            kill_at: 50,
+            fail_attempts: 1,
+        };
+        let first = run_scan_session(
+            &net,
+            &cfg(600),
+            ScanSession {
+                hook: Some(&hook),
+                checkpoint_every: 100,
+                store: Some(&store),
+                resume: None,
+                attempt: 0,
+            },
+        );
+        assert!(matches!(first, Err(ScanError::Killed { .. })));
+        assert!(!store.is_saved(), "killed before the first checkpoint");
+        let retried = run_scan_session(
+            &net,
+            &cfg(600),
+            ScanSession {
+                hook: Some(&hook),
+                checkpoint_every: 100,
+                store: Some(&store),
+                resume: store.take(),
+                attempt: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(retried, uninterrupted);
+    }
+
+    #[test]
+    fn stale_checkpoint_rejected() {
+        let net = ToyNet {
+            live_mod: 2,
+            closed_mod: 3,
+        };
+        let cp = ScanCheckpoint {
+            steps: u64::MAX,
+            ..Default::default()
+        };
+        let err = run_scan_session(
+            &net,
+            &cfg(100),
+            ScanSession {
+                resume: Some(cp),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, ScanError::BadCheckpoint { steps: u64::MAX });
+    }
+
+    /// Stalls the pipeline once, by `delay_s`, at `at` probed addresses.
+    struct StallAt {
+        at: u64,
+        delay_s: f64,
+    }
+
+    impl FaultHook for StallAt {
+        fn before_address(&self, ctx: &FaultCtx) -> FaultAction {
+            // Idempotent across calls: request only the delay not yet
+            // applied (ctx.stall_s is what the engine already absorbed).
+            if ctx.addresses_probed >= self.at && ctx.stall_s < self.delay_s {
+                FaultAction::Stall {
+                    delay_s: self.delay_s - ctx.stall_s,
+                }
+            } else {
+                FaultAction::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn stall_shifts_later_probes_and_duration() {
+        let net = ToyNet {
+            live_mod: 2,
+            closed_mod: 3,
+        };
+        let mut c = cfg(100);
+        c.rate_pps = 10.0;
+        c.batch = 1;
+        let clean = run_scan(&net, &c).unwrap();
+        let hook = StallAt {
+            at: 50,
+            delay_s: 5.0,
+        };
+        let stalled = run_scan_session(
+            &net,
+            &c,
+            ScanSession {
+                hook: Some(&hook),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(stalled.summary.probes_sent, clean.summary.probes_sent);
+        assert!((stalled.summary.duration_s - clean.summary.duration_s - 5.0).abs() < 1e-9);
+        // Same responsive set; late responses shifted by exactly 5 s.
+        assert_eq!(stalled.records.len(), clean.records.len());
+        for (s, c) in stalled.records.iter().zip(&clean.records) {
+            assert_eq!(s.addr, c.addr);
+            let shift = s.response_time_s - c.response_time_s;
+            assert!(shift.abs() < 1e-9 || (shift - 5.0).abs() < 1e-9);
+        }
     }
 }

@@ -17,7 +17,10 @@
 //!   through (implemented by `originscan-netmodel` for the simulated
 //!   Internet), plus probe/reply types.
 //! * [`engine`] — the scan loop: stateless validation-tagged SYNs,
-//!   validated-reply collection, L7 follow-up.
+//!   validated-reply collection, L7 follow-up; plus supervised execution
+//!   with fault hooks and mid-permutation checkpoint/resume.
+//! * [`error`] — typed configuration and scan errors, so supervisors can
+//!   react to failures instead of unwinding.
 //! * [`zgrab`] — HTTP / TLS / SSH handshake drivers with the retry policy
 //!   §6 of the paper evaluates.
 //! * [`output`] — ZMap-style CSV serialization of scan records.
@@ -28,13 +31,18 @@
 pub mod blocklist;
 pub mod cyclic;
 pub mod engine;
+pub mod error;
 pub mod output;
 pub mod rate;
 pub mod target;
 pub mod zgrab;
 
-pub use blocklist::{Blocklist, Cidr};
+pub use blocklist::{Blocklist, BlocklistError, Cidr};
 pub use cyclic::Cycle;
-pub use engine::{run_scan, HostScanRecord, ScanConfig, ScanOutput, ScanSummary};
+pub use engine::{
+    run_scan, run_scan_session, CheckpointStore, FaultAction, FaultCtx, FaultHook, HostScanRecord,
+    ScanCheckpoint, ScanConfig, ScanOutput, ScanSession, ScanSummary,
+};
+pub use error::{ConfigError, ScanError};
 pub use target::{CloseKind, L7Ctx, L7Reply, Network, ProbeCtx, Protocol, SynReply};
 pub use zgrab::{GrabResult, L7Detail, L7Outcome, SshSoftware};

@@ -82,7 +82,9 @@ pub fn from_csv(line: &str) -> Option<HostScanRecord> {
         "success" => {
             let (kind, rest) = detail.split_once(':')?;
             match kind {
-                "http" => L7Outcome::Success(L7Detail::Http { code: rest.parse().ok()? }),
+                "http" => L7Outcome::Success(L7Detail::Http {
+                    code: rest.parse().ok()?,
+                }),
                 "tls" => L7Outcome::Success(L7Detail::Tls {
                     cipher: u16::from_str_radix(rest, 16).ok()?,
                 }),
@@ -102,7 +104,14 @@ pub fn from_csv(line: &str) -> Option<HostScanRecord> {
         "protocol-error" => L7Outcome::ProtocolError,
         _ => return None,
     };
-    Some(HostScanRecord { addr, synack_mask, got_rst, response_time_s, l7, l7_attempts })
+    Some(HostScanRecord {
+        addr,
+        synack_mask,
+        got_rst,
+        response_time_s,
+        l7,
+        l7_attempts,
+    })
 }
 
 /// Parse a whole CSV document (skipping the header when present).
@@ -156,7 +165,9 @@ mod tests {
                 synack_mask: 0b11,
                 got_rst: false,
                 response_time_s: 3.25,
-                l7: L7Outcome::Success(L7Detail::Ssh { software: SshSoftware::OpenSsh }),
+                l7: L7Outcome::Success(L7Detail::Ssh {
+                    software: SshSoftware::OpenSsh,
+                }),
                 l7_attempts: 2,
             },
         ]

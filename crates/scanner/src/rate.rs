@@ -25,7 +25,13 @@ impl Pacer {
     pub fn new(rate: f64, batch: u32) -> Self {
         assert!(rate > 0.0, "rate must be positive");
         assert!(batch > 0, "batch must be positive");
-        Self { rate, batch, sent_in_batch: 0, batch_start_time: 0.0, batches_sent: 0 }
+        Self {
+            rate,
+            batch,
+            sent_in_batch: 0,
+            batch_start_time: 0.0,
+            batches_sent: 0,
+        }
     }
 
     /// Timestamp (seconds since scan start) at which the next probe leaves
@@ -34,17 +40,45 @@ impl Pacer {
         if self.sent_in_batch == self.batch {
             self.batches_sent += 1;
             self.sent_in_batch = 0;
-            self.batch_start_time =
-                self.batches_sent as f64 * self.batch as f64 / self.rate;
+            self.batch_start_time = self.batches_sent as f64 * self.batch as f64 / self.rate;
         }
         self.sent_in_batch += 1;
         // Probes within a batch go out back-to-back at the batch start.
         self.batch_start_time
     }
 
+    /// Timestamp the next call to [`Pacer::next_send_time`] will return,
+    /// without advancing state — the fault layer uses this to decide
+    /// whether an outage window has opened before the probe is committed.
+    pub fn peek_send_time(&self) -> f64 {
+        if self.sent_in_batch == self.batch {
+            (self.batches_sent + 1) as f64 * self.batch as f64 / self.rate
+        } else {
+            self.batch_start_time
+        }
+    }
+
     /// Total scan duration for `n` probes at this rate.
     pub fn duration_for(&self, n: u64) -> f64 {
         n as f64 / self.rate
+    }
+
+    /// Jump to the state a fresh pacer reaches after `n` calls to
+    /// [`Pacer::next_send_time`]. The pacer is a pure function of its call
+    /// count — batch `b` starts at `b · batch / rate` — so a checkpointed
+    /// scan can resume with probe `n+1` stamped exactly as an
+    /// uninterrupted run would stamp it.
+    pub fn advance_to(&mut self, n: u64) {
+        if n == 0 {
+            self.sent_in_batch = 0;
+            self.batch_start_time = 0.0;
+            self.batches_sent = 0;
+            return;
+        }
+        let batch = u64::from(self.batch);
+        self.batches_sent = (n - 1) / batch;
+        self.sent_in_batch = ((n - 1) % batch) as u32 + 1;
+        self.batch_start_time = self.batches_sent as f64 * self.batch as f64 / self.rate;
     }
 }
 
@@ -88,6 +122,36 @@ mod tests {
             let t = p.next_send_time();
             assert!(t >= last);
             last = t;
+        }
+    }
+
+    #[test]
+    fn peek_never_advances() {
+        let mut p = Pacer::new(77.0, 3);
+        for _ in 0..50 {
+            let peeked = p.peek_send_time();
+            assert_eq!(peeked, p.peek_send_time());
+            assert_eq!(peeked, p.next_send_time());
+        }
+    }
+
+    #[test]
+    fn advance_to_matches_stepping() {
+        for n in [0u64, 1, 3, 4, 5, 16, 17, 100] {
+            let mut stepped = Pacer::new(250.0, 4);
+            for _ in 0..n {
+                stepped.next_send_time();
+            }
+            let mut jumped = Pacer::new(250.0, 4);
+            jumped.advance_to(n);
+            // The next 20 timestamps must be identical.
+            for i in 0..20 {
+                assert_eq!(
+                    stepped.next_send_time(),
+                    jumped.next_send_time(),
+                    "probe {n}+{i}"
+                );
+            }
         }
     }
 

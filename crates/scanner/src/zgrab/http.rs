@@ -43,7 +43,11 @@ mod tests {
 
     #[test]
     fn any_status_code_is_success() {
-        for resp in ["HTTP/1.1 200 OK\r\n\r\n", "HTTP/1.0 500 Oops\r\n\r\n", "HTTP/1.1 403 Forbidden\r\n\r\nBlocked Site"] {
+        for resp in [
+            "HTTP/1.1 200 OK\r\n\r\n",
+            "HTTP/1.0 500 Oops\r\n\r\n",
+            "HTTP/1.1 403 Forbidden\r\n\r\nBlocked Site",
+        ] {
             assert!(parse(resp.as_bytes()).is_success(), "{resp}");
         }
     }

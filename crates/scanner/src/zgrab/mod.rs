@@ -93,14 +93,20 @@ pub fn grab<N: Network + ?Sized>(net: &N, mut ctx: L7Ctx, retries: u8) -> GrabRe
         let outcome = parse_reply(ctx.protocol, reply);
         match outcome {
             L7Outcome::Success(_) | L7Outcome::ProtocolError => {
-                return GrabResult { outcome, attempts: attempt + 1 };
+                return GrabResult {
+                    outcome,
+                    attempts: attempt + 1,
+                };
             }
             L7Outcome::ConnClosed(_) | L7Outcome::Timeout => {
                 last = outcome;
             }
         }
     }
-    GrabResult { outcome: last, attempts: retries + 1 }
+    GrabResult {
+        outcome: last,
+        attempts: retries + 1,
+    }
 }
 
 /// Send the protocol-appropriate request bytes.
@@ -178,7 +184,10 @@ mod tests {
 
     #[test]
     fn retry_recovers_maxstartups_style_refusal() {
-        let net = FlakyNet { refusals: 3, calls: AtomicU8::new(0) };
+        let net = FlakyNet {
+            refusals: 3,
+            calls: AtomicU8::new(0),
+        };
         // Without retries: refused.
         let r = grab(&net, ctx(Protocol::Ssh), 0);
         assert_eq!(r.outcome, L7Outcome::ConnClosed(CloseKind::FinAck));
@@ -192,7 +201,10 @@ mod tests {
     #[test]
     fn all_protocols_succeed_without_refusals() {
         for p in Protocol::ALL {
-            let net = FlakyNet { refusals: 0, calls: AtomicU8::new(0) };
+            let net = FlakyNet {
+                refusals: 0,
+                calls: AtomicU8::new(0),
+            };
             let r = grab(&net, ctx(p), 0);
             assert!(r.outcome.is_success(), "{p}");
         }
@@ -200,7 +212,10 @@ mod tests {
 
     #[test]
     fn exhausted_retries_report_last_failure() {
-        let net = FlakyNet { refusals: 10, calls: AtomicU8::new(0) };
+        let net = FlakyNet {
+            refusals: 10,
+            calls: AtomicU8::new(0),
+        };
         let r = grab(&net, ctx(Protocol::Http), 2);
         assert_eq!(r.outcome, L7Outcome::ConnClosed(CloseKind::FinAck));
         assert_eq!(r.attempts, 3);

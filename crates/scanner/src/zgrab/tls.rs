@@ -20,9 +20,9 @@ pub fn request(ctx: &L7Ctx) -> Vec<u8> {
 /// bucket ZGrab places them in).
 pub fn parse(bytes: &[u8]) -> L7Outcome {
     match ServerHello::parse(bytes) {
-        Ok(sh) if sh.suite_is_offered() => {
-            L7Outcome::Success(L7Detail::Tls { cipher: sh.cipher_suite })
-        }
+        Ok(sh) if sh.suite_is_offered() => L7Outcome::Success(L7Detail::Tls {
+            cipher: sh.cipher_suite,
+        }),
         _ => L7Outcome::ProtocolError,
     }
 }
@@ -62,7 +62,10 @@ mod tests {
 
     #[test]
     fn offered_suite_succeeds() {
-        let sh = ServerHello { version: VERSION_TLS12, cipher_suite: 0xc02b };
+        let sh = ServerHello {
+            version: VERSION_TLS12,
+            cipher_suite: 0xc02b,
+        };
         match parse(&sh.emit(9)) {
             L7Outcome::Success(L7Detail::Tls { cipher }) => assert_eq!(cipher, 0xc02b),
             other => panic!("{other:?}"),
@@ -71,7 +74,10 @@ mod tests {
 
     #[test]
     fn unoffered_suite_fails() {
-        let sh = ServerHello { version: VERSION_TLS12, cipher_suite: 0x1302 };
+        let sh = ServerHello {
+            version: VERSION_TLS12,
+            cipher_suite: 0x1302,
+        };
         assert_eq!(parse(&sh.emit(9)), L7Outcome::ProtocolError);
     }
 

@@ -1,4 +1,7 @@
 //! Property tests for the scanner's core invariants.
+// Gated: runs only with `--features proptest` (vendored shim; see
+// third_party/proptest). The default offline build skips these suites.
+#![cfg(feature = "proptest")]
 
 use originscan_scanner::blocklist::{Blocklist, Cidr};
 use originscan_scanner::cyclic::{is_prime, next_prime, Cycle};

@@ -97,7 +97,11 @@ pub struct Summary {
 impl Summary {
     /// Summarize a slice.
     pub fn of(xs: &[f64]) -> Self {
-        Self { n: xs.len(), mean: mean(xs), std_dev: std_dev(xs) }
+        Self {
+            n: xs.len(),
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+        }
     }
 }
 

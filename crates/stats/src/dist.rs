@@ -92,7 +92,11 @@ mod tests {
         // t = 4.587, df = 10 is the 0.1% critical value.
         close(t_sf_two_sided(4.587, 10.0), 0.001, 1e-5);
         // Symmetry.
-        close(t_sf_two_sided(-2.228, 10.0), t_sf_two_sided(2.228, 10.0), 1e-12);
+        close(
+            t_sf_two_sided(-2.228, 10.0),
+            t_sf_two_sided(2.228, 10.0),
+            1e-12,
+        );
     }
 
     #[test]

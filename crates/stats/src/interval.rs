@@ -33,7 +33,11 @@ impl Interval {
 pub fn wilson(successes: u64, n: u64, z: f64) -> Interval {
     assert!(successes <= n, "successes exceed trials");
     if n == 0 {
-        return Interval { lo: 0.0, estimate: 0.0, hi: 1.0 };
+        return Interval {
+            lo: 0.0,
+            estimate: 0.0,
+            hi: 1.0,
+        };
     }
     let nf = n as f64;
     let p = successes as f64 / nf;
@@ -90,7 +94,14 @@ mod tests {
 
     #[test]
     fn interval_always_contains_estimate() {
-        for (s, n) in [(0u64, 10u64), (1, 10), (5, 10), (9, 10), (10, 10), (997, 1000)] {
+        for (s, n) in [
+            (0u64, 10u64),
+            (1, 10),
+            (5, 10),
+            (9, 10),
+            (10, 10),
+            (997, 1000),
+        ] {
             let i = wilson95(s, n);
             assert!(i.lo <= i.estimate && i.estimate <= i.hi, "{s}/{n}: {i:?}");
         }

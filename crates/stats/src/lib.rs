@@ -12,7 +12,7 @@
 //! * [`mcnemar`] — McNemar's test for paired binary outcomes (§3 uses it
 //!   to show origins see statistically different host sets) plus the
 //!   Bonferroni correction, and Cochran's Q for completeness.
-//! * [`spearman`] — Spearman rank correlation with tie handling (§4.4 and
+//! * [`mod@spearman`] — Spearman rank correlation with tie handling (§4.4 and
 //!   §5.2 report ρ between host counts / packet loss and transient loss).
 //! * [`timeseries`] — rolling-window smoothing and the 2σ-noise burst
 //!   outlier detector of §5.3.
@@ -26,8 +26,8 @@
 
 pub mod combos;
 pub mod descriptive;
-pub mod interval;
 pub mod dist;
+pub mod interval;
 pub mod mcnemar;
 pub mod spearman;
 pub mod special;

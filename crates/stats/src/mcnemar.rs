@@ -62,11 +62,19 @@ pub fn mcnemar_test(counts: &PairedCounts) -> McNemarResult {
     let c = counts.only_b as f64;
     let discordant = counts.only_a + counts.only_b;
     if discordant == 0 {
-        return McNemarResult { statistic: 0.0, p_value: 1.0, discordant };
+        return McNemarResult {
+            statistic: 0.0,
+            p_value: 1.0,
+            discordant,
+        };
     }
     let num = ((b - c).abs() - 1.0).max(0.0);
     let statistic = num * num / (b + c);
-    McNemarResult { statistic, p_value: chi2_sf(statistic, 1.0), discordant }
+    McNemarResult {
+        statistic,
+        p_value: chi2_sf(statistic, 1.0),
+        discordant,
+    }
 }
 
 /// Bonferroni-correct a significance threshold for `m` comparisons.
@@ -103,8 +111,12 @@ pub fn cochran_q(outcomes: &[Vec<bool>]) -> Option<(f64, f64)> {
         .collect();
     let total: f64 = row_sums.iter().sum();
     let mean_col = total / k as f64;
-    let num: f64 =
-        (k as f64 - 1.0) * k as f64 * col_sums.iter().map(|c| (c - mean_col) * (c - mean_col)).sum::<f64>();
+    let num: f64 = (k as f64 - 1.0)
+        * k as f64
+        * col_sums
+            .iter()
+            .map(|c| (c - mean_col) * (c - mean_col))
+            .sum::<f64>();
     let den: f64 = k as f64 * total - row_sums.iter().map(|r| r * r).sum::<f64>();
     if den <= 0.0 {
         // All rows all-true or all-false: no discriminating information.
@@ -121,7 +133,12 @@ mod tests {
     #[test]
     fn worked_example() {
         // Classic textbook example: b = 25, c = 5 discordant pairs.
-        let counts = PairedCounts { both: 100, only_a: 25, only_b: 5, neither: 70 };
+        let counts = PairedCounts {
+            both: 100,
+            only_a: 25,
+            only_b: 5,
+            neither: 70,
+        };
         let r = mcnemar_test(&counts);
         // (|25-5|-1)^2 / 30 = 361/30 = 12.033..
         assert!((r.statistic - 12.0333333).abs() < 1e-6);
@@ -131,14 +148,24 @@ mod tests {
 
     #[test]
     fn symmetric_discordance_not_significant() {
-        let counts = PairedCounts { both: 1000, only_a: 10, only_b: 10, neither: 0 };
+        let counts = PairedCounts {
+            both: 1000,
+            only_a: 10,
+            only_b: 10,
+            neither: 0,
+        };
         let r = mcnemar_test(&counts);
         assert!(r.p_value > 0.5);
     }
 
     #[test]
     fn no_discordance_p_one() {
-        let counts = PairedCounts { both: 50, only_a: 0, only_b: 0, neither: 50 };
+        let counts = PairedCounts {
+            both: 50,
+            only_a: 0,
+            only_b: 0,
+            neither: 50,
+        };
         assert_eq!(mcnemar_test(&counts).p_value, 1.0);
     }
 
@@ -149,7 +176,15 @@ mod tests {
         c.record(true, false);
         c.record(false, true);
         c.record(false, false);
-        assert_eq!(c, PairedCounts { both: 1, only_a: 1, only_b: 1, neither: 1 });
+        assert_eq!(
+            c,
+            PairedCounts {
+                both: 1,
+                only_a: 1,
+                only_b: 1,
+                neither: 1
+            }
+        );
         assert_eq!(c.total(), 4);
     }
 

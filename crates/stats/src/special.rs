@@ -127,18 +127,13 @@ pub fn regularized_beta(a: f64, b: f64, x: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let front = (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
-        + a * x.ln()
-        + b * (1.0 - x).ln())
-    .exp();
+    let front =
+        (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp();
     // Use the symmetry relation so the continued fraction converges fast.
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(a, b, x) / a
     } else {
-        1.0 - (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
-            + a * x.ln()
-            + b * (1.0 - x).ln())
-        .exp()
+        1.0 - (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp()
             * beta_cf(b, a, 1.0 - x)
             / b
     }
@@ -258,7 +253,11 @@ mod tests {
         }
         // I_x(2, 2) = 3x^2 - 2x^3.
         for x in [0.1, 0.4, 0.7] {
-            close(regularized_beta(2.0, 2.0, x), 3.0 * x * x - 2.0 * x * x * x, 1e-10);
+            close(
+                regularized_beta(2.0, 2.0, x),
+                3.0 * x * x - 2.0 * x * x * x,
+                1e-10,
+            );
         }
         // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
         close(

@@ -5,7 +5,7 @@
 //! noise-component of the time series that are two standard deviations
 //! away from the average expected noise. To extract the noise component,
 //! we subtract the smoothed time series — obtained by a rolling window
-//! [of] 4 hours — from the original time series."*
+//! \[of\] 4 hours — from the original time series."*
 //!
 //! [`detect_bursts`] implements exactly that recipe: hourly loss counts in,
 //! list of burst hours (and the mass they carry) out.
@@ -52,7 +52,10 @@ pub fn detect_bursts(xs: &[f64], window: usize, sigmas: f64) -> Vec<Burst> {
     let smoothed = rolling_mean(xs, window);
     let residuals: Vec<f64> = xs.iter().zip(&smoothed).map(|(x, s)| x - s).collect();
     let mean = residuals.iter().sum::<f64>() / residuals.len() as f64;
-    let var = residuals.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>()
+    let var = residuals
+        .iter()
+        .map(|r| (r - mean) * (r - mean))
+        .sum::<f64>()
         / residuals.len() as f64;
     let sd = var.sqrt();
     if sd == 0.0 {
@@ -62,7 +65,11 @@ pub fn detect_bursts(xs: &[f64], window: usize, sigmas: f64) -> Vec<Burst> {
         .iter()
         .enumerate()
         .filter(|(_, &r)| r > mean + sigmas * sd)
-        .map(|(i, &r)| Burst { index: i, value: xs[i], residual: r })
+        .map(|(i, &r)| Burst {
+            index: i,
+            value: xs[i],
+            residual: r,
+        })
         .collect()
 }
 
@@ -123,7 +130,9 @@ mod tests {
     fn noise_alone_rarely_flags() {
         // Alternating small noise: residuals are symmetric, nothing exceeds
         // 2 sigma by construction of the alternation.
-        let xs: Vec<f64> = (0..21).map(|i| if i % 2 == 0 { 1.0 } else { 2.0 }).collect();
+        let xs: Vec<f64> = (0..21)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 2.0 })
+            .collect();
         assert!(detect_bursts(&xs, 4, 2.0).is_empty());
     }
 

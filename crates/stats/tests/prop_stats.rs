@@ -1,4 +1,7 @@
 //! Property tests for the statistics crate's invariants.
+// Gated: runs only with `--features proptest` (vendored shim; see
+// third_party/proptest). The default offline build skips these suites.
+#![cfg(feature = "proptest")]
 
 use originscan_stats::combos::{choose, k_subsets};
 use originscan_stats::descriptive::{quantile, std_dev, Ecdf, FiveNumber};

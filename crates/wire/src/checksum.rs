@@ -90,7 +90,9 @@ mod tests {
 
     #[test]
     fn verify_roundtrip() {
-        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x06, 0, 0];
+        let mut data = vec![
+            0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x06, 0, 0,
+        ];
         let csum = checksum(&data);
         data[10] = (csum >> 8) as u8;
         data[11] = (csum & 0xff) as u8;

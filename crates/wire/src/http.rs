@@ -56,7 +56,11 @@ impl StatusLine {
             return Err(ParseError::Malformed);
         }
         let reason = it.next().unwrap_or("").to_string();
-        Ok(Self { minor_version: minor, code, reason })
+        Ok(Self {
+            minor_version: minor,
+            code,
+            reason,
+        })
     }
 
     /// Render a status line plus minimal headers, as simulated servers send.
@@ -89,7 +93,11 @@ mod tests {
 
     #[test]
     fn status_roundtrip() {
-        let sl = StatusLine { minor_version: 1, code: 200, reason: "OK".into() };
+        let sl = StatusLine {
+            minor_version: 1,
+            code: 200,
+            reason: "OK".into(),
+        };
         let bytes = sl.emit("hello");
         let parsed = StatusLine::parse(&bytes).unwrap();
         assert_eq!(parsed, sl);

@@ -70,7 +70,11 @@ impl ServerIdent {
         if software.is_empty() {
             return Err(ParseError::Malformed);
         }
-        Ok(Self { proto_version: proto.to_string(), software, comment })
+        Ok(Self {
+            proto_version: proto.to_string(),
+            software,
+            comment,
+        })
     }
 
     /// True when the identified implementation is OpenSSH (whose

@@ -133,7 +133,12 @@ impl TcpHeader {
 
     /// Header length on the wire, including options.
     pub fn wire_len(&self) -> usize {
-        HEADER_LEN + if self.mss.is_some() { MSS_OPTION_LEN } else { 0 }
+        HEADER_LEN
+            + if self.mss.is_some() {
+                MSS_OPTION_LEN
+            } else {
+                0
+            }
     }
 
     /// Serialize, computing the checksum over `ip`'s pseudo-header.
@@ -178,7 +183,7 @@ impl TcpHeader {
         let mut opts = &buf[HEADER_LEN..data_off];
         while !opts.is_empty() {
             match opts[0] {
-                0 => break,            // end of options
+                0 => break,             // end of options
                 1 => opts = &opts[1..], // NOP
                 2 => {
                     if opts.len() < 4 || opts[1] != 4 {
@@ -254,7 +259,10 @@ mod tests {
         let probe = TcpHeader::syn_probe(1, 2, 3);
         let mut bytes = probe.emit(&ip());
         bytes[5] ^= 0x40;
-        assert_eq!(TcpHeader::parse(&bytes, &ip()), Err(ParseError::BadChecksum));
+        assert_eq!(
+            TcpHeader::parse(&bytes, &ip()),
+            Err(ParseError::BadChecksum)
+        );
     }
 
     #[test]

@@ -47,7 +47,12 @@ pub fn client_hello(random: u64) -> Vec<u8> {
     body.extend_from_slice(&VERSION_TLS12.to_be_bytes());
     // 32-byte client random expanded from the seed.
     for i in 0..4u64 {
-        body.extend_from_slice(&random.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i).to_be_bytes());
+        body.extend_from_slice(
+            &random
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(i)
+                .to_be_bytes(),
+        );
     }
     body.push(0); // empty session id
     let suites_len = (CHROME_TLS12_SUITES.len() * 2) as u16;
@@ -131,7 +136,10 @@ impl ServerHello {
             return Err(ParseError::Truncated);
         }
         let cipher_suite = u16::from_be_bytes([after_sid[0], after_sid[1]]);
-        Ok(Self { version, cipher_suite })
+        Ok(Self {
+            version,
+            cipher_suite,
+        })
     }
 
     /// Did the server pick a suite the ClientHello actually offered?
@@ -143,7 +151,15 @@ impl ServerHello {
 /// Emit a fatal TLS alert record (e.g. `handshake_failure` = 40), as sent
 /// by simulated servers that refuse the offered suites.
 pub fn alert(description: u8) -> Vec<u8> {
-    vec![CONTENT_ALERT, 0x03, 0x03, 0x00, 0x02, 2 /* fatal */, description]
+    vec![
+        CONTENT_ALERT,
+        0x03,
+        0x03,
+        0x00,
+        0x02,
+        2, /* fatal */
+        description,
+    ]
 }
 
 #[cfg(test)]
@@ -162,7 +178,10 @@ mod tests {
 
     #[test]
     fn server_hello_roundtrip() {
-        let sh = ServerHello { version: VERSION_TLS12, cipher_suite: 0xc02f };
+        let sh = ServerHello {
+            version: VERSION_TLS12,
+            cipher_suite: 0xc02f,
+        };
         let bytes = sh.emit(7);
         let parsed = ServerHello::parse(&bytes).unwrap();
         assert_eq!(parsed, sh);
@@ -171,7 +190,10 @@ mod tests {
 
     #[test]
     fn unoffered_suite_detected() {
-        let sh = ServerHello { version: VERSION_TLS12, cipher_suite: 0x1301 };
+        let sh = ServerHello {
+            version: VERSION_TLS12,
+            cipher_suite: 0x1301,
+        };
         assert!(!ServerHello::parse(&sh.emit(0)).unwrap().suite_is_offered());
     }
 
@@ -182,7 +204,10 @@ mod tests {
 
     #[test]
     fn truncated_rejected() {
-        let sh = ServerHello { version: VERSION_TLS12, cipher_suite: 0xc02b };
+        let sh = ServerHello {
+            version: VERSION_TLS12,
+            cipher_suite: 0xc02b,
+        };
         let bytes = sh.emit(1);
         for cut in [0, 3, 8, bytes.len() - 1] {
             assert!(ServerHello::parse(&bytes[..cut]).is_err(), "cut at {cut}");

@@ -19,7 +19,9 @@ pub struct Validator {
 impl Validator {
     /// Create a validator from the per-scan 128-bit secret.
     pub fn new(key0: u64, key1: u64) -> Self {
-        Self { mac: SipHash13::new(key0, key1) }
+        Self {
+            mac: SipHash13::new(key0, key1),
+        }
     }
 
     /// Derive one from a single scan seed (the common case: ZMap expands
@@ -52,12 +54,7 @@ impl Validator {
     /// probe's destination and source swapped back by the caller. Accepts
     /// SYN-ACKs that acknowledge `mac + 1` and RSTs that acknowledge
     /// `mac + 1` (RFC-compliant RST-ACK answering our SYN).
-    pub fn check_reply(
-        &self,
-        reply: &TcpHeader,
-        probe_src: u32,
-        probe_dst: u32,
-    ) -> bool {
+    pub fn check_reply(&self, reply: &TcpHeader, probe_src: u32, probe_dst: u32) -> bool {
         let expected = self
             .probe_seq(probe_src, probe_dst, reply.dst_port, reply.src_port)
             .wrapping_add(1);
@@ -104,10 +101,7 @@ mod tests {
     fn different_seeds_disagree() {
         let a = Validator::from_seed(1);
         let b = Validator::from_seed(2);
-        assert_ne!(
-            a.probe_seq(1, 2, 3, 4),
-            b.probe_seq(1, 2, 3, 4),
-        );
+        assert_ne!(a.probe_seq(1, 2, 3, 4), b.probe_seq(1, 2, 3, 4),);
     }
 
     #[test]

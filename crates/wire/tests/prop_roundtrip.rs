@@ -1,5 +1,8 @@
 //! Property tests: every wire codec must round-trip losslessly for
 //! arbitrary field values, and checksums must catch corruption.
+// Gated: runs only with `--features proptest` (vendored shim; see
+// third_party/proptest). The default offline build skips these suites.
+#![cfg(feature = "proptest")]
 
 use originscan_wire::http::StatusLine;
 use originscan_wire::ipv4::Ipv4Header;

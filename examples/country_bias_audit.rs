@@ -27,8 +27,11 @@ fn main() {
         trials: 3,
         ..ExperimentConfig::default()
     };
-    println!("scanning {proto} from {} origins, 3 trials...", cfg.origins.len());
-    let results = Experiment::new(&world, cfg).run();
+    println!(
+        "scanning {proto} from {} origins, 3 trials...",
+        cfg.origins.len()
+    );
+    let results = Experiment::new(&world, cfg).run().unwrap();
     let panel = results.panel(proto);
     let stats = country_stats(&world, &panel);
 

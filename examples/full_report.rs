@@ -29,6 +29,6 @@ fn main() {
         cfg.protocols.len(),
         world.space()
     );
-    let results = Experiment::new(&world, cfg).run();
+    let results = Experiment::new(&world, cfg).run().unwrap();
     print!("{}", full_report(&results));
 }

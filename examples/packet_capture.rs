@@ -21,7 +21,9 @@ use std::fs::File;
 use std::io::BufWriter;
 
 fn main() -> std::io::Result<()> {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "/tmp/originscan.pcap".into());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "/tmp/originscan.pcap".into());
     let world = WorldConfig::tiny(3).build();
     let origins = [OriginId::Us1];
     let net = SimNet::new(&world, &origins, 21.0 * 3600.0);

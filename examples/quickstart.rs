@@ -29,15 +29,24 @@ fn main() {
         probes: 2,
         ..ExperimentConfig::default()
     };
-    let results = Experiment::new(&world, cfg).run();
+    let results = Experiment::new(&world, cfg).run().unwrap();
 
     // Coverage per origin per trial (the Appendix A table).
     let mut t = Table::new(
-        ["trial"].into_iter().map(String::from).chain(origins.iter().map(|o| o.to_string())),
+        ["trial"]
+            .into_iter()
+            .map(String::from)
+            .chain(origins.iter().map(|o| o.to_string())),
     );
     for row in coverage_table(&results, Protocol::Http) {
-        let label = row.trial.map_or("mean".to_string(), |t| format!("{}", t + 1));
-        t.row([label].into_iter().chain(row.fractions.iter().map(|&f| pct(f))));
+        let label = row
+            .trial
+            .map_or("mean".to_string(), |t| format!("{}", t + 1));
+        t.row(
+            [label]
+                .into_iter()
+                .chain(row.fractions.iter().map(|&f| pct(f))),
+        );
     }
     println!("HTTP coverage of ground truth:\n{}", t.render());
 
@@ -53,7 +62,10 @@ fn main() {
             count(counts[oi].unknown),
         ]);
     }
-    println!("missing-host classification (union across trials):\n{}", t.render());
+    println!(
+        "missing-host classification (union across trials):\n{}",
+        t.render()
+    );
 
     // Per-trial misses for the first origin.
     let b = trial_breakdown(&panel, 0, 0);

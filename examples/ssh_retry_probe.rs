@@ -21,7 +21,10 @@ fn main() {
     // --- Fig 13: the retry sweep over MaxStartups-heavy networks --------
     println!("retry sweep (fraction of responding SSH hosts completing the handshake):\n");
     let mut t = Table::new(
-        ["AS"].into_iter().map(String::from).chain((0..=8).map(|k| format!("r={k}"))),
+        ["AS"]
+            .into_iter()
+            .map(String::from)
+            .chain((0..=8).map(|k| format!("r={k}"))),
     );
     for as_name in ["EGI Hosting", "Psychz Networks", "Comcast"] {
         if let Some(sweep) = retry_sweep(&world, OriginId::Us1, as_name, 8, 0) {
@@ -42,13 +45,17 @@ fn main() {
         trials: 1,
         ..ExperimentConfig::default()
     };
-    let results = Experiment::new(&world, cfg).run();
+    let results = Experiment::new(&world, cfg).run().unwrap();
     let m = results.matrix(Protocol::Ssh, 0);
     let jp = hourly_rst_fraction(&world, m, 0, "HZ Alibaba Advertising");
     let us64 = hourly_rst_fraction(&world, m, 1, "HZ Alibaba Advertising");
     let mut t = Table::new(["hour", "JP (1 IP)", "US64 (64 IPs)"]);
     for h in 0..21 {
-        t.row([format!("{h:02}"), format!("{:.2}", jp[h]), format!("{:.2}", us64[h])]);
+        t.row([
+            format!("{h:02}"),
+            format!("{:.2}", jp[h]),
+            format!("{:.2}", us64[h]),
+        ]);
     }
     println!("{}", t.render());
 
@@ -56,6 +63,9 @@ fn main() {
     let b = ssh_miss_breakdown(&world, m, 0);
     println!("Japan's missed SSH hosts in trial 1 by cause:");
     println!("  Alibaba temporal blocking : {}", b.temporal_blocking);
-    println!("  probabilistic (MaxStartups): {}", b.probabilistic_blocking);
+    println!(
+        "  probabilistic (MaxStartups): {}",
+        b.probabilistic_blocking
+    );
     println!("  transient / other          : {}", b.other);
 }

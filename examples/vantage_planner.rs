@@ -27,7 +27,12 @@ fn describe(label: &str, d: &ComboDistribution) -> Vec<String> {
         format!("{:.3}%", d.std_dev() * 100.0),
         format!(
             "{} ({})",
-            d.best.0.iter().map(|o| o.to_string()).collect::<Vec<_>>().join("-"),
+            d.best
+                .0
+                .iter()
+                .map(|o| o.to_string())
+                .collect::<Vec<_>>()
+                .join("-"),
             pct2(d.best.1)
         ),
     ]
@@ -47,7 +52,7 @@ fn main() {
         ..ExperimentConfig::default()
     };
     println!("sweeping origin combinations for {proto}...\n");
-    let results = Experiment::new(&world, cfg).run();
+    let results = Experiment::new(&world, cfg).run().unwrap();
     let roster = single_ip_roster(&results);
 
     let mut t = Table::new(["combo", "min", "median", "max", "σ", "best combo"]);

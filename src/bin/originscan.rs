@@ -5,9 +5,9 @@ use originscan::cli::{parse, Command, RunArgs, USAGE};
 use originscan::core::diff::{diff_records, render};
 use originscan::core::experiment::{Experiment, ExperimentConfig};
 use originscan::core::summary::full_report;
-use originscan::scanner::output::from_csv_all;
 use originscan::netmodel::{SimNet, World};
 use originscan::scanner::engine::{run_scan, ScanConfig};
+use originscan::scanner::output::from_csv_all;
 use originscan::scanner::output::to_csv_all;
 use std::process::ExitCode;
 
@@ -25,14 +25,26 @@ fn main() -> ExitCode {
         }
         Ok(Command::Report(run)) => {
             let world = run.scale.config(run.seed).build();
-            let results = Experiment::new(&world, experiment_config(&run)).run();
-            print!("{}", full_report(&results));
-            ExitCode::SUCCESS
+            match Experiment::new(&world, experiment_config(&run)).run() {
+                Ok(results) => {
+                    print!("{}", full_report(&results));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         Ok(Command::Scan(run)) => {
             let world = run.scale.config(run.seed).build();
-            scan_to_csv(&world, &run);
-            ExitCode::SUCCESS
+            match scan_to_csv(&world, &run) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         Ok(Command::Diff { a, b, scale, seed }) => {
             let (ra, rb) = match (std::fs::read_to_string(&a), std::fs::read_to_string(&b)) {
@@ -70,14 +82,14 @@ fn experiment_config(run: &RunArgs) -> ExperimentConfig {
 }
 
 /// Scan each requested protocol once from the first origin and emit CSV.
-fn scan_to_csv(world: &World, run: &RunArgs) {
+fn scan_to_csv(world: &World, run: &RunArgs) -> Result<(), originscan::scanner::error::ScanError> {
     let net = SimNet::new(world, &run.origins, 21.0 * 3600.0);
     for &proto in &run.protocols {
         let mut cfg = ScanConfig::new(world.space(), proto, run.seed);
         cfg.probes = run.probes;
         cfg.probe_delay_s = run.probe_delay_s;
         cfg.concurrent_origins = run.origins.len() as u8;
-        let out = run_scan(&net, &cfg);
+        let out = run_scan(&net, &cfg)?;
         eprintln!(
             "# {} {proto}: {} probes sent, {} responsive, {} completed L7",
             run.origins[0],
@@ -87,4 +99,5 @@ fn scan_to_csv(world: &World, run: &RunArgs) {
         );
         print!("{}", to_csv_all(&out.records));
     }
+    Ok(())
 }

@@ -216,8 +216,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 }
             }
             "--probe-delay" => {
-                run.probe_delay_s =
-                    value()?.parse().map_err(|_| "bad --probe-delay".to_string())?;
+                run.probe_delay_s = value()?
+                    .parse()
+                    .map_err(|_| "bad --probe-delay".to_string())?;
                 if run.probe_delay_s < 0.0 {
                     return Err("--probe-delay must be non-negative".into());
                 }
@@ -228,12 +229,20 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     match sub {
         "report" => Ok(Command::Report(run)),
         "scan" => Ok(Command::Scan(run)),
-        "inventory" => Ok(Command::Inventory { scale: run.scale, seed: run.seed }),
+        "inventory" => Ok(Command::Inventory {
+            scale: run.scale,
+            seed: run.seed,
+        }),
         "diff" => {
             let [a, b] = positional.as_slice() else {
                 return Err("diff needs exactly two CSV paths".into());
             };
-            Ok(Command::Diff { a: a.clone(), b: b.clone(), scale: run.scale, seed: run.seed })
+            Ok(Command::Diff {
+                a: a.clone(),
+                b: b.clone(),
+                scale: run.scale,
+                seed: run.seed,
+            })
         }
         other => Err(format!("unknown subcommand {other}")),
     }
@@ -284,7 +293,10 @@ mod tests {
     fn inventory_and_help() {
         assert_eq!(
             parse(&argv("inventory --scale medium --seed 7")).unwrap(),
-            Command::Inventory { scale: Scale::Medium, seed: 7 }
+            Command::Inventory {
+                scale: Scale::Medium,
+                seed: 7
+            }
         );
         assert_eq!(parse(&[]).unwrap(), Command::Help);
         assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);

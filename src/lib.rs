@@ -40,7 +40,7 @@
 //!     probes: 2,
 //!     ..ExperimentConfig::default()
 //! };
-//! let results = Experiment::new(&world, cfg).run();
+//! let results = Experiment::new(&world, cfg).run().unwrap();
 //! let cov = results.coverage(Protocol::Http, 0, OriginId::Us1);
 //! assert!(cov.fraction() > 0.8, "origin should see most ground-truth hosts");
 //! ```

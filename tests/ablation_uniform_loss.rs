@@ -21,8 +21,10 @@ fn run(uniform: bool) -> (f64, f64, f64) {
         trials: 1,
         ..ExperimentConfig::default()
     };
-    let r = Experiment::new(&world, cfg).run();
-    let one = r.coverage_one_probe(Protocol::Http, 0, OriginId::Us1).fraction();
+    let r = Experiment::new(&world, cfg).run().unwrap();
+    let one = r
+        .coverage_one_probe(Protocol::Http, 0, OriginId::Us1)
+        .fraction();
     let two = r.coverage(Protocol::Http, 0, OriginId::Us1).fraction();
     let both = both_lost_fraction(r.matrix(Protocol::Http, 0), 0);
     (one, two, both)
@@ -39,7 +41,10 @@ fn second_probe_only_helps_under_iid_loss() {
     let gap_closed_c = (two_c - one_c) / (1.0 - one_c);
     // Uniform regime: single losses dominate; the second probe recovers
     // most of what the first missed.
-    assert!(both_u < both_c, "uniform both-lost {both_u} vs correlated {both_c}");
+    assert!(
+        both_u < both_c,
+        "uniform both-lost {both_u} vs correlated {both_c}"
+    );
     let gap_closed_u = (two_u - one_u) / (1.0 - one_u);
     assert!(
         gap_closed_u > gap_closed_c,

@@ -16,8 +16,8 @@ fn config() -> ExperimentConfig {
 #[test]
 fn identical_runs_identical_results() {
     let world = WorldConfig::tiny(77).build();
-    let a = Experiment::new(&world, config()).run();
-    let b = Experiment::new(&world, config()).run();
+    let a = Experiment::new(&world, config()).run().unwrap();
+    let b = Experiment::new(&world, config()).run().unwrap();
     assert_eq!(a.matrices().len(), b.matrices().len());
     for (ma, mb) in a.matrices().iter().zip(b.matrices()) {
         assert_eq!(ma.addrs, mb.addrs);
@@ -30,9 +30,12 @@ fn identical_runs_identical_results() {
 fn world_seed_changes_everything() {
     let w1 = WorldConfig::tiny(77).build();
     let w2 = WorldConfig::tiny(78).build();
-    let a = Experiment::new(&w1, config()).run();
-    let b = Experiment::new(&w2, config()).run();
-    assert_ne!(a.matrix(Protocol::Http, 0).addrs, b.matrix(Protocol::Http, 0).addrs);
+    let a = Experiment::new(&w1, config()).run().unwrap();
+    let b = Experiment::new(&w2, config()).run().unwrap();
+    assert_ne!(
+        a.matrix(Protocol::Http, 0).addrs,
+        b.matrix(Protocol::Http, 0).addrs
+    );
 }
 
 #[test]
@@ -44,8 +47,8 @@ fn scan_seed_changes_hours_not_ground_truth_much() {
     c1.base_seed = 1;
     let mut c2 = config();
     c2.base_seed = 2;
-    let a = Experiment::new(&world, c1).run();
-    let b = Experiment::new(&world, c2).run();
+    let a = Experiment::new(&world, c1).run().unwrap();
+    let b = Experiment::new(&world, c2).run().unwrap();
     let (ma, mb) = (a.matrix(Protocol::Http, 0), b.matrix(Protocol::Http, 0));
     // Hour assignments differ for common hosts.
     let mut differing_hours = 0;
@@ -65,7 +68,12 @@ fn scan_seed_changes_hours_not_ground_truth_much() {
     );
     // Ground-truth sizes are within a few percent of each other.
     let ratio = ma.len() as f64 / mb.len() as f64;
-    assert!((0.9..1.1).contains(&ratio), "GT sizes {} vs {}", ma.len(), mb.len());
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "GT sizes {} vs {}",
+        ma.len(),
+        mb.len()
+    );
 }
 
 #[test]
@@ -83,10 +91,13 @@ fn origin_roster_order_does_not_change_observations() {
         origins: vec![OriginId::Censys, OriginId::Japan],
         ..c1.clone()
     };
-    let a = Experiment::new(&world, c1).run();
-    let b = Experiment::new(&world, c2).run();
+    let a = Experiment::new(&world, c1).run().unwrap();
+    let b = Experiment::new(&world, c2).run().unwrap();
     let (ma, mb) = (a.matrix(Protocol::Https, 0), b.matrix(Protocol::Https, 0));
-    assert_eq!(ma.addrs, mb.addrs, "ground truth is roster-order independent");
+    assert_eq!(
+        ma.addrs, mb.addrs,
+        "ground truth is roster-order independent"
+    );
     assert_eq!(ma.outcomes[0], mb.outcomes[1], "Japan's view is stable");
     assert_eq!(ma.outcomes[1], mb.outcomes[0], "Censys's view is stable");
 }

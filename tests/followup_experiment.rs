@@ -21,9 +21,11 @@ fn follow_up_reproduces_fig18_and_censys_recovery() {
         trials: 2,
         ..ExperimentConfig::default()
     };
-    let main = Experiment::new(&world, main_cfg).run();
+    let main = Experiment::new(&world, main_cfg).run().unwrap();
 
-    let follow = Experiment::new(&world, ExperimentConfig::follow_up(0xF011)).run();
+    let follow = Experiment::new(&world, ExperimentConfig::follow_up(0xF011))
+        .run()
+        .unwrap();
 
     // Censys with fresh ranges sees clearly more than old Censys
     // (paper: > 5.5 percentage points more HTTP coverage).
@@ -43,9 +45,12 @@ fn follow_up_reproduces_fig18_and_censys_recovery() {
     // Fig 18: the collocated HE-NTT-TELIA triad is the worst triad (or
     // within noise of it) among all 3-subsets of the single-IP roster.
     let roster = single_ip_roster(&follow);
-    let collocated = [OriginId::HurricaneElectric, OriginId::NttTransit, OriginId::Telia];
-    let colo_cov =
-        named_combo_coverage(&follow, Protocol::Http, &collocated, ProbePolicy::Single);
+    let collocated = [
+        OriginId::HurricaneElectric,
+        OriginId::NttTransit,
+        OriginId::Telia,
+    ];
+    let colo_cov = named_combo_coverage(&follow, Protocol::Http, &collocated, ProbePolicy::Single);
     let mut covs: Vec<(Vec<OriginId>, f64)> = Vec::new();
     for subset in k_subsets(roster.len(), 3) {
         let triad: Vec<OriginId> = subset.iter().map(|&i| roster[i]).collect();

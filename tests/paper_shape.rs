@@ -27,7 +27,7 @@ fn headline_results_reproduce() {
         probes: 2,
         ..ExperimentConfig::default()
     };
-    let results = Experiment::new(&world, cfg).run();
+    let results = Experiment::new(&world, cfg).run().unwrap();
 
     // --- §3 / Fig 1: coverage ordering -------------------------------
     // Academic origins see ~97% of HTTP(S); Censys materially less; no
@@ -127,7 +127,10 @@ fn headline_results_reproduce() {
         let f = both_lost_fraction(m, oi);
         assert!(f > 0.55, "origin {oi}: both-lost fraction {f}");
         let d = global_drop_estimate(m, oi);
-        assert!((0.0005..0.08).contains(&d), "origin {oi}: drop estimate {d}");
+        assert!(
+            (0.0005..0.08).contains(&d),
+            "origin {oi}: drop estimate {d}"
+        );
     }
 
     // --- §6 / Fig 14: SSH mechanisms ------------------------------------
@@ -141,7 +144,10 @@ fn headline_results_reproduce() {
     let panel_ssh = results.panel(Protocol::Ssh);
     let ssh_hist = miss_overlap_histogram(&panel_ssh, Class::Transient);
     let multi: usize = ssh_hist[1..].iter().sum();
-    assert!(multi > ssh_hist[0] / 4, "SSH transient misses overlap: {ssh_hist:?}");
+    assert!(
+        multi > ssh_hist[0] / 4,
+        "SSH transient misses overlap: {ssh_hist:?}"
+    );
 
     // --- §7 / Fig 15: multi-origin scanning -----------------------------
     let roster = single_ip_roster(&results);
@@ -150,7 +156,11 @@ fn headline_results_reproduce() {
     let d3 = combo_sweep(&results, Protocol::Http, &roster, 3, ProbePolicy::Double);
     assert!(d2.summary().median > d1.summary().median);
     assert!(d3.summary().median >= d2.summary().median);
-    assert!(d3.summary().median > 0.97, "3 origins: {}", d3.summary().median);
+    assert!(
+        d3.summary().median > 0.97,
+        "3 origins: {}",
+        d3.summary().median
+    );
     assert!(d3.std_dev() < d1.std_dev());
     // One probe from two origins beats two probes from one origin.
     let two_1p = combo_sweep(&results, Protocol::Http, &roster, 2, ProbePolicy::Single);

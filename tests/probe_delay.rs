@@ -14,7 +14,7 @@ fn coverage_with_delay(world: &originscan::netmodel::World, delay_s: f64) -> (f6
         probe_delay_s: delay_s,
         ..ExperimentConfig::default()
     };
-    let r = Experiment::new(world, cfg).run();
+    let r = Experiment::new(world, cfg).run().unwrap();
     let cov = r.coverage(Protocol::Http, 0, OriginId::Us1).fraction();
     let both = both_lost_fraction(r.matrix(Protocol::Http, 0), 0);
     (cov, both)

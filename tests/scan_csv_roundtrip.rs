@@ -14,7 +14,7 @@ fn full_scan_roundtrips_through_csv() {
     for proto in [Protocol::Http, Protocol::Ssh] {
         let mut cfg = ScanConfig::new(world.space(), proto, 5);
         cfg.l7_retries = 2; // exercise the attempts column
-        let out = run_scan(&net, &cfg);
+        let out = run_scan(&net, &cfg).unwrap();
         assert!(!out.records.is_empty());
         let doc = to_csv_all(&out.records);
         assert!(doc.starts_with(HEADER));

@@ -1,0 +1,244 @@
+//! Vendored offline shim for the [criterion](https://crates.io/crates/criterion)
+//! API surface this workspace's perf benches use.
+//!
+//! The real criterion cannot be fetched in hermetic build environments.
+//! This shim keeps the same bench sources compiling and producing useful
+//! wall-clock numbers: each benchmark is warmed up, then timed over an
+//! adaptive iteration count, and a single `time/iter` line (plus
+//! throughput, when declared) is printed. There is no statistical
+//! analysis, HTML report, or comparison against saved baselines.
+//!
+//! `CRITERION_MEASURE_MS` in the environment overrides the ~300 ms
+//! per-benchmark measurement budget.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput declaration for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        run_benchmark(&id.to_string(), None, &mut f);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work performed per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        run_benchmark(&format!("{}/{}", self.name, id), self.throughput, &mut f);
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut wrapped = |b: &mut Bencher| f(b, input);
+        run_benchmark(&label, self.throughput, &mut wrapped);
+    }
+
+    /// Finish the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, first warming up, then measuring over an adaptive
+    /// iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let budget = measure_budget();
+        // Warm-up and calibration: time single iterations until ~10% of
+        // the budget is spent, to pick a measurement batch size.
+        let calibrate_until = budget / 10;
+        let start = Instant::now();
+        let mut calib_iters = 0u64;
+        while start.elapsed() < calibrate_until || calib_iters == 0 {
+            black_box(routine());
+            calib_iters += 1;
+            if calib_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = start.elapsed().as_secs_f64() / calib_iters as f64;
+        let target = budget.as_secs_f64();
+        let iters = ((target / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        self.ns_per_iter = elapsed * 1e9 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn measure_budget() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms.max(1))
+}
+
+fn run_benchmark(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    let mut line = format!(
+        "{label:<40} time: {} ({} iters)",
+        format_ns(b.ns_per_iter),
+        b.iters
+    );
+    if let Some(t) = throughput {
+        let per_sec = match t {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n as f64 * 1e9 / b.ns_per_iter,
+        };
+        let unit = match t {
+            Throughput::Elements(_) => "elem/s",
+            Throughput::Bytes(_) => "B/s",
+        };
+        line.push_str(&format!("  thrpt: {} {unit}", format_count(per_sec)));
+    }
+    println!("{line}");
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn format_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} K", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Collect benchmark functions into a runnable group (shim).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group passed to it (shim).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut b = Bencher::default();
+        b.iter(|| black_box(2u64).wrapping_mul(3));
+        assert!(b.ns_per_iter > 0.0);
+        assert!(b.iters >= 1);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::from_parameter(65536).to_string(), "65536");
+        assert_eq!(BenchmarkId::new("perm", 16).to_string(), "perm/16");
+    }
+}

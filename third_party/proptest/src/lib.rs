@@ -1,0 +1,561 @@
+//! Vendored offline shim for the [proptest](https://crates.io/crates/proptest)
+//! API surface this workspace uses.
+//!
+//! The real proptest cannot be fetched in hermetic build environments, so
+//! this crate reimplements exactly the subset our property suites need:
+//! the [`proptest!`] macro (with `#![proptest_config(..)]`), `any::<T>()`,
+//! integer/float range strategies, a tiny `[class]{m,n}` regex string
+//! strategy, `collection::vec`, `option::of`, tuple strategies, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs and the
+//!   case index, then panics; it does not search for a minimal example.
+//! * **Deterministic by construction.** Cases derive from a counter-based
+//!   RNG keyed on the fully-qualified test name and case index, so a
+//!   failure reproduces by just re-running the test.
+//! * `PROPTEST_CASES` in the environment overrides the default case count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Test-runner configuration and deterministic RNG.
+pub mod test_runner {
+    /// Configuration for a `proptest!` block (shim of `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            Self { cases }
+        }
+    }
+
+    #[inline]
+    fn splitmix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    /// Deterministic per-case random stream (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The RNG for case `case` of the test named `name`.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h = splitmix(h ^ u64::from(b));
+            }
+            Self {
+                state: splitmix(h ^ u64::from(case).wrapping_mul(0xe703_7ed1_a0b4_28db)),
+            }
+        }
+
+        /// Next 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            splitmix(self.state)
+        }
+
+        /// Uniform in `[0, 1)` with 53 mantissa bits.
+        #[inline]
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[0, n)`; `n` must be nonzero.
+        #[inline]
+        pub fn below(&mut self, n: u64) -> u64 {
+            ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait: a recipe for generating values.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A value-generation strategy (shim: no shrinking, just generation).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Generate one value from `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Integer/float types that can be drawn uniformly from a range.
+    pub trait SampleUniform: Copy {
+        /// Sample uniformly from `[lo, hi)`.
+        fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+        /// Sample uniformly from `[lo, hi]`.
+        fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                    assert!(lo < hi, "empty range");
+                    let span = (hi as u64).wrapping_sub(lo as u64);
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+                #[inline]
+                fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi as u64).wrapping_sub(lo as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span + 1) as $t)
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_sample_uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                    lo + (rng.next_f64() as $t) * (hi - lo)
+                }
+                #[inline]
+                fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                    // The endpoint has measure zero; half-open is fine.
+                    lo + (rng.next_f64() as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform_float!(f32, f64);
+
+    impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_strategy_tuple! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+
+    /// String strategy from a `[class]{m,n}` regex literal (see
+    /// [`crate::string`]).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+/// `any::<T>()` and the [`Arbitrary`](arbitrary::Arbitrary) trait.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[inline]
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A length specification: exact or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `Option` strategies (`of`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Option`s of an inner strategy.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Mirror proptest's bias toward `Some`.
+            if rng.next_f64() < 0.75 {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+/// String generation from the `[class]{m,n}` regex subset.
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    /// Generate a string matching `pattern`, which must be of the form
+    /// `[class]{m,n}` or `[class]{m}` where `class` is a list of literal
+    /// characters and `a-z` ranges (a trailing `-` is a literal).
+    ///
+    /// Panics on any other pattern: the shim supports exactly what the
+    /// workspace's suites use, and failing loudly beats generating strings
+    /// that silently don't match the intended language.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let (class, reps) = parse(pattern)
+            .unwrap_or_else(|| panic!("unsupported regex pattern for shim: {pattern:?}"));
+        let (lo, hi) = reps;
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| class[rng.below(class.len() as u64) as usize])
+            .collect()
+    }
+
+    fn parse(pattern: &str) -> Option<(Vec<char>, (usize, usize))> {
+        let rest = pattern.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class = expand_class(&rest[..close]);
+        if class.is_empty() {
+            return None;
+        }
+        let quant = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = match quant.split_once(',') {
+            Some((a, b)) => (a.parse().ok()?, b.parse().ok()?),
+            None => {
+                let n = quant.parse().ok()?;
+                (n, n)
+            }
+        };
+        if lo > hi {
+            return None;
+        }
+        Some((class, (lo, hi)))
+    }
+
+    fn expand_class(class: &str) -> Vec<char> {
+        let chars: Vec<char> = class.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                for c in chars[i]..=chars[i + 2] {
+                    out.push(c);
+                }
+                i += 3;
+            } else {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+/// The conventional glob import for proptest users.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define deterministic property tests (shim of proptest's macro).
+///
+/// Supports an optional `#![proptest_config(expr)]` header and test
+/// functions whose parameters are either `name: Type` (drawn from
+/// `any::<Type>()`) or `name in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::test_runner::Config as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        ::core::concat!(::core::module_path!(), "::", ::core::stringify!($name)),
+                        __case,
+                    );
+                    let mut __inputs: ::std::vec::Vec<::std::string::String> =
+                        ::std::vec::Vec::new();
+                    $crate::__proptest_bind!(__rng, __inputs; $($params)*);
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let ::core::result::Result::Err(__panic) = __outcome {
+                        ::std::eprintln!(
+                            "proptest shim: {} failed at case {}/{} with inputs:\n  {}",
+                            ::core::stringify!($name),
+                            __case,
+                            __config.cases,
+                            __inputs.join("\n  "),
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $inputs:ident;) => {};
+    ($rng:ident, $inputs:ident; $id:ident : $ty:ty) => {
+        $crate::__proptest_bind!($rng, $inputs; $id : $ty,);
+    };
+    ($rng:ident, $inputs:ident; $id:ident : $ty:ty, $($rest:tt)*) => {
+        let $id = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $inputs.push(::std::format!("{} = {:?}", ::core::stringify!($id), &$id));
+        $crate::__proptest_bind!($rng, $inputs; $($rest)*);
+    };
+    ($rng:ident, $inputs:ident; $id:ident in $strat:expr) => {
+        $crate::__proptest_bind!($rng, $inputs; $id in $strat,);
+    };
+    ($rng:ident, $inputs:ident; $id:ident in $strat:expr, $($rest:tt)*) => {
+        let $id = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $inputs.push(::std::format!("{} = {:?}", ::core::stringify!($id), &$id));
+        $crate::__proptest_bind!($rng, $inputs; $($rest)*);
+    };
+}
+
+/// Property-scoped assertion (shim: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { ::core::assert!($($t)*) };
+}
+
+/// Property-scoped equality assertion (shim: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { ::core::assert_eq!($($t)*) };
+}
+
+/// Property-scoped inequality assertion (shim: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { ::core::assert_ne!($($t)*) };
+}
+
+/// Skip the current case when a precondition fails (shim: early return).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case("bounds", 0);
+        for _ in 0..1000 {
+            let v = (3u32..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (1u8..=255).generate(&mut rng);
+            assert!(w >= 1);
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_class() {
+        let mut rng = crate::test_runner::TestRng::for_case("strings", 0);
+        for _ in 0..200 {
+            let s = crate::string::generate_from_pattern("[a-c_.]{1,5}", &mut rng);
+            assert!((1..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| "abc_.".contains(c)));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_in_range() {
+        let mut rng = crate::test_runner::TestRng::for_case("vecs", 0);
+        for _ in 0..200 {
+            let v = crate::collection::vec(any::<u8>(), 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            let exact = crate::collection::vec(any::<u8>(), 4usize).generate(&mut rng);
+            assert_eq!(exact.len(), 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_accepts_both_param_forms(x: u32, y in 0u64..10, s in "[ -~]{0,4}") {
+            prop_assert!(y < 10);
+            prop_assert!(s.len() <= 4);
+            prop_assert_eq!(x, x);
+        }
+    }
+}
