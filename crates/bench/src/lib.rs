@@ -20,6 +20,8 @@ pub const WORLD_SEED: u64 = 2020;
 ///
 /// The world is leaked: bench binaries are one-shot processes and the
 /// analyses borrow the world for their whole life.
+// Wall-clock timing is the bench harness's job; results never feed analyses.
+#[allow(clippy::disallowed_methods)]
 pub fn bench_world() -> &'static World {
     let seed = WORLD_SEED;
     let cfg = match std::env::var("ORIGINSCAN_SCALE").as_deref() {
@@ -62,6 +64,8 @@ pub fn run_follow_up(world: &World) -> ExperimentResults<'_> {
 }
 
 /// Run a closure, printing its wall time to stderr.
+// Wall-clock timing is the bench harness's job; results never feed analyses.
+#[allow(clippy::disallowed_methods)]
 pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
     let t = Instant::now();
     let out = f();

@@ -3,7 +3,7 @@
 use crate::classify::{classify, Class};
 use crate::results::Panel;
 use originscan_netmodel::World;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Long-term inaccessible hosts of one origin, grouped by AS.
 /// Returns `(as_name, lost_hosts, as_ground_truth_hosts)`, sorted by
@@ -13,8 +13,8 @@ pub fn longterm_by_as(
     panel: &Panel,
     origin_idx: usize,
 ) -> Vec<(String, usize, usize)> {
-    let mut lost: HashMap<u32, usize> = HashMap::new();
-    let mut total: HashMap<u32, usize> = HashMap::new();
+    let mut lost: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut total: BTreeMap<u32, usize> = BTreeMap::new();
     for u in 0..panel.len() {
         let ai = world.as_index_of(panel.addrs[u]);
         *total.entry(ai).or_default() += 1;

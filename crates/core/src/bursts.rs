@@ -12,7 +12,7 @@ use crate::matrix::{TrialMatrix, SCAN_HOURS};
 use crate::results::Panel;
 use originscan_netmodel::World;
 use originscan_stats::timeseries::{burst_mass_fraction, detect_bursts, Burst};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Rolling window (hours) used for smoothing, per the paper.
 pub const WINDOW_HOURS: usize = 4;
@@ -81,7 +81,7 @@ pub fn burst_share(
     min_hosts: usize,
 ) -> BurstShare {
     // Enumerate ASes present in the matrix.
-    let mut as_hosts: HashMap<u32, usize> = HashMap::new();
+    let mut as_hosts: BTreeMap<u32, usize> = BTreeMap::new();
     for &addr in &matrix.addrs {
         *as_hosts.entry(world.as_index_of(addr)).or_default() += 1;
     }

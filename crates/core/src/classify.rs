@@ -15,7 +15,7 @@
 
 use crate::results::Panel;
 use originscan_netmodel::World;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-(origin, host) accessibility class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,7 +105,7 @@ pub fn host_network_split(
     class: Class,
 ) -> HostNetworkSplit {
     // Group union hosts by /24.
-    let mut by_s24: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut by_s24: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
     for u in 0..panel.len() {
         by_s24
             .entry(world.s24_of(panel.addrs[u]))

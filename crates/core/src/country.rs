@@ -6,7 +6,7 @@ use crate::results::Panel;
 use originscan_netmodel::geo::Country;
 use originscan_netmodel::World;
 use originscan_stats::spearman::{spearman, SpearmanResult};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Long-term inaccessibility statistics for one country.
 #[derive(Debug, Clone)]
@@ -27,7 +27,7 @@ pub struct CountryStats {
 /// Compute per-country long-term inaccessibility for every origin.
 pub fn country_stats(world: &World, panel: &Panel) -> Vec<CountryStats> {
     // Bucket hosts by country once.
-    let mut hosts_by_cc: HashMap<Country, Vec<usize>> = HashMap::new();
+    let mut hosts_by_cc: BTreeMap<Country, Vec<usize>> = BTreeMap::new();
     for u in 0..panel.len() {
         hosts_by_cc
             .entry(world.country_of(panel.addrs[u]))
@@ -64,7 +64,7 @@ fn ases_for_majority(world: &World, panel: &Panel, hosts: &[usize]) -> usize {
     if hosts.is_empty() {
         return 0;
     }
-    let mut per_as: HashMap<u32, usize> = HashMap::new();
+    let mut per_as: BTreeMap<u32, usize> = BTreeMap::new();
     for &u in hosts {
         *per_as.entry(world.as_index_of(panel.addrs[u])).or_default() += 1;
     }

@@ -12,7 +12,7 @@ use crate::classify::{classify, Class};
 use crate::results::Panel;
 use originscan_netmodel::geo::Country;
 use originscan_netmodel::World;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Histogram over "number of origins missing the host" for hosts of the
 /// given class (Fig 3 uses `Class::LongTerm`, Fig 8 `Class::Transient`).
@@ -110,7 +110,7 @@ pub fn exclusive_by_country(
     panel: &Panel,
     origin_idx: usize,
 ) -> Vec<(Country, usize)> {
-    let mut counts: HashMap<Country, usize> = HashMap::new();
+    let mut counts: BTreeMap<Country, usize> = BTreeMap::new();
     for u in exclusive_hosts(panel, origin_idx) {
         *counts.entry(world.country_of(panel.addrs[u])).or_default() += 1;
     }
@@ -122,7 +122,7 @@ pub fn exclusive_by_country(
 /// Fig 7: exclusively accessible hosts of one origin bucketed by AS name,
 /// `(as_name, count)` sorted descending.
 pub fn exclusive_by_as(world: &World, panel: &Panel, origin_idx: usize) -> Vec<(String, usize)> {
-    let mut counts: HashMap<u32, usize> = HashMap::new();
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
     for u in exclusive_hosts(panel, origin_idx) {
         *counts.entry(world.as_index_of(panel.addrs[u])).or_default() += 1;
     }
@@ -254,6 +254,7 @@ mod tests {
     fn exclusive_sets_disjoint_across_origins() {
         let world = WorldConfig::tiny(29).build();
         let p = panel(&world);
+        #[allow(clippy::disallowed_types)] // membership check only in a test
         let mut seen = std::collections::HashSet::new();
         for oi in 0..p.origins.len() {
             for u in exclusive_hosts(&p, oi) {

@@ -25,6 +25,7 @@
 //! * [`diff`] — first-class diffing of two archived scans.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod asdist;

@@ -10,6 +10,8 @@ use crate::experiment::{OriginRun, RunStatus};
 use crate::outcome::HostOutcome;
 use originscan_netmodel::{OriginId, Protocol, World};
 use originscan_scanner::engine::ScanOutput;
+// Keyed lookup only — the map is never iterated, so its order can't leak.
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 
 /// Hour grid of the paper's burst analysis (21-hour trials).
@@ -91,6 +93,7 @@ impl TrialMatrix {
         }
         gt.sort_unstable();
         gt.dedup();
+        #[allow(clippy::disallowed_types)] // keyed lookup only, never iterated
         let index: HashMap<u32, u32> = gt.iter().enumerate().map(|(i, &a)| (a, i as u32)).collect();
 
         // Scan hour per host: identical across origins (shared seed), so

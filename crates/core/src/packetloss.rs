@@ -13,7 +13,7 @@ use crate::matrix::TrialMatrix;
 use crate::results::Panel;
 use originscan_netmodel::World;
 use originscan_stats::spearman::{spearman, SpearmanResult};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Estimated packet-drop rate for one origin in one trial: the fraction
 /// of ground-truth hosts that answered exactly one of two probes.
@@ -35,8 +35,8 @@ pub fn drop_by_as(
     world: &World,
     matrix: &TrialMatrix,
     origin_idx: usize,
-) -> HashMap<u32, (usize, usize)> {
-    let mut m: HashMap<u32, (usize, usize)> = HashMap::new();
+) -> BTreeMap<u32, (usize, usize)> {
+    let mut m: BTreeMap<u32, (usize, usize)> = BTreeMap::new();
     for (i, &addr) in matrix.addrs.iter().enumerate() {
         let e = m.entry(world.as_index_of(addr)).or_default();
         e.1 += 1;
@@ -79,7 +79,7 @@ pub fn drop_vs_transient_correlation(
     min_hosts: usize,
 ) -> Option<SpearmanResult> {
     // Per-AS transient rates from the panel.
-    let mut hosts_by_as: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut hosts_by_as: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
     for u in 0..panel.len() {
         hosts_by_as
             .entry(world.as_index_of(panel.addrs[u]))
@@ -87,7 +87,7 @@ pub fn drop_vs_transient_correlation(
             .push(u);
     }
     // Per-AS single-probe rates averaged over trials.
-    let mut drop_acc: HashMap<u32, (usize, usize)> = HashMap::new();
+    let mut drop_acc: BTreeMap<u32, (usize, usize)> = BTreeMap::new();
     for m in matrices.iter().filter(|m| m.protocol == panel.protocol) {
         for (ai, (s, n)) in drop_by_as(world, m, origin_idx) {
             let e = drop_acc.entry(ai).or_default();

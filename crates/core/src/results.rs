@@ -4,6 +4,8 @@ use crate::experiment::{ExperimentConfig, RunStatus};
 use crate::matrix::TrialMatrix;
 use crate::outcome::HostOutcome;
 use originscan_netmodel::{OriginId, Protocol, World};
+// Keyed lookup only — the map is never iterated, so its order can't leak.
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 
 /// All data produced by one experiment.
@@ -176,6 +178,7 @@ impl Panel {
         }
         union.sort_unstable();
         union.dedup();
+        #[allow(clippy::disallowed_types)] // keyed lookup only, never iterated
         let index: HashMap<u32, u32> = union
             .iter()
             .enumerate()

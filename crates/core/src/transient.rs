@@ -4,7 +4,7 @@ use crate::classify::{classify, Class};
 use crate::results::Panel;
 use originscan_netmodel::geo::Country;
 use originscan_netmodel::World;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-(AS, origin) transient loss rate: transiently missed host-trials
 /// over present host-trials.
@@ -48,7 +48,7 @@ impl AsTransientLoss {
 /// Compute transient loss per AS for every origin.
 pub fn transient_by_as(world: &World, panel: &Panel) -> Vec<AsTransientLoss> {
     let n_origins = panel.origins.len();
-    let mut hosts_by_as: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut hosts_by_as: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
     for u in 0..panel.len() {
         hosts_by_as
             .entry(world.as_index_of(panel.addrs[u]))
@@ -119,7 +119,7 @@ pub struct Stability {
 pub fn origin_stability(world: &World, panel: &Panel, min_hosts: usize) -> Stability {
     let n_origins = panel.origins.len();
     let trials = panel.trials;
-    let mut hosts_by_as: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut hosts_by_as: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
     for u in 0..panel.len() {
         hosts_by_as
             .entry(world.as_index_of(panel.addrs[u]))
@@ -213,14 +213,14 @@ pub fn consistent_worst_countries(
 ) -> Vec<(Country, usize)> {
     let trials = panel.trials;
     let n_origins = panel.origins.len();
-    let mut hosts_by_as: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut hosts_by_as: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
     for u in 0..panel.len() {
         hosts_by_as
             .entry(world.as_index_of(panel.addrs[u]))
             .or_default()
             .push(u);
     }
-    let mut counts: HashMap<Country, usize> = HashMap::new();
+    let mut counts: BTreeMap<Country, usize> = BTreeMap::new();
     for (_, hosts) in hosts_by_as {
         if hosts.len() < min_hosts {
             continue;

@@ -1,0 +1,427 @@
+//! A lightweight Rust lexer: just enough token structure for the lint
+//! rules, with none of the grammar.
+//!
+//! The rules only ever need four things from a source file: identifier
+//! and punctuation tokens with line numbers, comment text (for
+//! `lint:allow` escapes), and the guarantee that string/char literal
+//! *content* never leaks into the token stream (so `"Instant::now"` in
+//! an error message is not a violation). Everything else — expressions,
+//! types, items — stays flat. This keeps the analyzer fully offline and
+//! dependency-free, per the workspace's vendored-deps policy.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// Token payload.
+    pub kind: TokKind,
+}
+
+/// The token classes the rules distinguish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, …).
+    Ident(String),
+    /// A single punctuation character (`.`, `:`, `!`, `[`, …).
+    Punct(char),
+    /// Any string literal (`"…"`, `r#"…"#`, `b"…"`); content dropped.
+    Str,
+    /// A character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A numeric literal (content dropped).
+    Num,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the exact punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// True when this token is the exact identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, TokKind::Ident(t) if t == s)
+    }
+}
+
+/// A comment with its starting line (text excludes the `//`/`/*` markers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body text.
+    pub text: String,
+}
+
+/// Lex `src` into tokens and comments.
+///
+/// The lexer is total: any byte sequence produces *some* token stream
+/// (unterminated literals consume to end of file), so the linter can
+/// never panic on weird input — it is itself subject to the
+/// panic-safety rules it enforces.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    toks: Vec<Tok>,
+    comments: Vec<Comment>,
+    src: &'s str,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            toks: Vec::new(),
+            comments: Vec::new(),
+            src,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(ch) = c {
+            self.pos += 1;
+            if ch == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn run(mut self) -> (Vec<Tok>, Vec<Comment>) {
+        // Tolerate a shebang / BOM on the first line.
+        if self.src.starts_with("#!") && !self.src.starts_with("#![") {
+            while let Some(c) = self.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if c == 'r' && matches!(self.peek(1), Some('"' | '#')) && self.is_raw_start(1) {
+                self.raw_string(1);
+            } else if c == 'b' {
+                self.byte_prefixed();
+            } else if c == '"' {
+                self.string();
+            } else if c == '\'' {
+                self.quote();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else if c == '_' || c.is_alphabetic() {
+                self.ident();
+            } else {
+                let line = self.line;
+                self.bump();
+                self.toks.push(Tok {
+                    line,
+                    kind: TokKind::Punct(c),
+                });
+            }
+        }
+        (self.toks, self.comments)
+    }
+
+    /// Does a raw-string opener (`"`, `#"`, `##"`, …) start at offset `at`?
+    fn is_raw_start(&self, at: usize) -> bool {
+        let mut i = at;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.comments.push(Comment { line, text });
+    }
+
+    /// `b"…"`, `b'…'`, `br"…"`, or just an identifier starting with `b`.
+    fn byte_prefixed(&mut self) {
+        match self.peek(1) {
+            Some('"') => {
+                self.bump();
+                self.string();
+            }
+            Some('\'') => {
+                self.bump();
+                self.char_lit();
+            }
+            Some('r') if self.is_raw_start(2) => self.raw_string(2),
+            _ => self.ident(),
+        }
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.toks.push(Tok {
+            line,
+            kind: TokKind::Str,
+        });
+    }
+
+    /// Raw string starting with `prefix_len` chars of prefix (`r`/`br`)
+    /// before the `#…"` opener.
+    fn raw_string(&mut self, prefix_len: usize) {
+        let line = self.line;
+        for _ in 0..prefix_len {
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.toks.push(Tok {
+            line,
+            kind: TokKind::Str,
+        });
+    }
+
+    /// `'a` (lifetime) vs `'a'` (char literal).
+    fn quote(&mut self) {
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some(c) if c == '_' || c.is_alphabetic() => {
+                // Scan the identifier run; a closing quote right after
+                // makes it a char literal ('q'), otherwise a lifetime.
+                let mut i = 2;
+                while matches!(self.peek(i), Some(c) if c == '_' || c.is_alphanumeric()) {
+                    i += 1;
+                }
+                self.peek(i) != Some('\'')
+            }
+            _ => false,
+        };
+        if is_lifetime {
+            let line = self.line;
+            self.bump(); // '
+            while matches!(self.peek(0), Some(c) if c == '_' || c.is_alphanumeric()) {
+                self.bump();
+            }
+            self.toks.push(Tok {
+                line,
+                kind: TokKind::Lifetime,
+            });
+        } else {
+            self.char_lit();
+        }
+    }
+
+    fn char_lit(&mut self) {
+        let line = self.line;
+        self.bump(); // opening '
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == '\'' {
+                break;
+            }
+        }
+        self.toks.push(Tok {
+            line,
+            kind: TokKind::Char,
+        });
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        self.bump();
+        loop {
+            match self.peek(0) {
+                Some(c) if c.is_alphanumeric() || c == '_' => {
+                    self.bump();
+                }
+                // `1.5` continues the number; `1..n` is a range.
+                Some('.') if matches!(self.peek(1), Some(d) if d.is_ascii_digit()) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        self.toks.push(Tok {
+            line,
+            kind: TokKind::Num,
+        });
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut s = String::new();
+        // Raw identifier `r#ident` — the `r#` is consumed by the caller
+        // only for raw strings, so handle it here.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.toks.push(Tok {
+            line,
+            kind: TokKind::Ident(s),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let ids = idents(r#"let x = "Instant::now inside a string";"#);
+        assert_eq!(ids, ["let", "x"]);
+    }
+
+    #[test]
+    fn raw_strings_and_bytes() {
+        let ids = idents(r##"let y = r#"panic! "quoted" inside"#; let z = b"unwrap()";"##);
+        assert_eq!(ids, ["let", "y", "let", "z"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn comments_captured_with_lines() {
+        let (_, comments) = lex("let a = 1; // trailing\n/* block\nspans */ let b = 2;");
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].line, 1);
+        assert_eq!(comments[0].text, " trailing");
+        assert_eq!(comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (toks, comments) = lex("/* a /* nested */ b */ fn f() {}");
+        assert_eq!(comments.len(), 1);
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let (toks, _) = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_hang() {
+        let (toks, _) = lex("let s = \"never closed");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str));
+        let (toks, _) = lex("let s = r#\"never closed");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str));
+    }
+}

@@ -1,0 +1,239 @@
+//! # originscan-lint
+//!
+//! An offline static analyzer enforcing the workspace's two load-bearing
+//! invariants:
+//!
+//! 1. **Determinism** — every trial result is a pure function of
+//!    `(seed, origin, trial)`. Fault injection, resume-after-kill, and
+//!    multi-origin union analyses are only comparable because re-running
+//!    any scan is bit-identical. Wall clocks, unseeded RNGs, and
+//!    entropy-seeded `HashMap` iteration order all silently break this.
+//! 2. **Panic safety** — the wire codecs and the scan engine sit on hot,
+//!    correctness-critical paths; failures there must surface as typed
+//!    errors (`ParseError`, `ScanError`, `ConfigError`), not panics that
+//!    take down a supervised scan from inside.
+//!
+//! The analyzer is a hand-rolled lexer plus token-pattern rules — no
+//! `syn`, no dependencies — consistent with the workspace's vendored-deps
+//! policy, so it builds offline from a bare toolchain.
+//!
+//! ## Escape hatch
+//!
+//! A violation can be suppressed with an *audited* comment on (or
+//! immediately above) the offending line:
+//!
+//! ```text
+//! // lint:allow(rule-id) — reason the invariant still holds
+//! ```
+//!
+//! The reason is mandatory; a bare `lint:allow` is itself a violation
+//! (`lint-bad-allow`).
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![deny(missing_docs)]
+
+pub mod lexer;
+pub mod registry;
+pub mod rules;
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One rule of the catalogue.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable rule identifier (used in output and `lint:allow`).
+    pub id: &'static str,
+    /// One-line description of what the rule bans.
+    pub summary: &'static str,
+    /// One-line fix hint appended to every violation.
+    pub hint: &'static str,
+}
+
+/// The full rule catalogue.
+///
+/// Scopes: `det-*` rules cover library code of `netmodel`, `scanner`,
+/// and `core`; `panic-*` rules cover library code of `wire` and
+/// `scanner`; `reg-*` rules are cross-file registry checks;
+/// `lint-bad-allow` applies wherever an escape comment appears. Tests,
+/// benches, examples, `src/bin`, and `fn main` bodies are exempt
+/// everywhere.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "det-wall-clock",
+        summary: "bans Instant::now / SystemTime::now in simulation and analysis crates",
+        hint: "thread simulated time through explicitly (pacer clocks, response_time_s); \
+               wall clocks break (seed, origin, trial) purity",
+    },
+    Rule {
+        id: "det-unseeded-rng",
+        summary: "bans thread_rng, rand::random, from_entropy, and other entropy-seeded RNGs",
+        hint: "derive randomness from netmodel::rng::Det keyed by (seed, ids, trial); \
+               unseeded RNGs make trials unreproducible",
+    },
+    Rule {
+        id: "det-hash-iter",
+        summary: "bans iterating HashMap/HashSet bindings (entropy-seeded order) in \
+                  simulation and analysis crates",
+        hint: "use BTreeMap/BTreeSet or collect-and-sort; std hash iteration order is \
+               seeded from process entropy and differs across runs",
+    },
+    Rule {
+        id: "det-hash-report",
+        summary: "bans HashMap/HashSet entirely in report/serialization modules",
+        hint: "report paths must be reproducibly ordered end to end: use BTreeMap, \
+               BTreeSet, or sorted Vecs",
+    },
+    Rule {
+        id: "panic-unwrap",
+        summary: "bans .unwrap()/.unwrap_err() in wire and scanner library code",
+        hint: "propagate a typed error (ParseError, ScanError, ConfigError) or restructure \
+               so the failure is impossible by construction",
+    },
+    Rule {
+        id: "panic-expect",
+        summary: "bans .expect()/.expect_err() in wire and scanner library code",
+        hint: "propagate a typed error (ParseError, ScanError, ConfigError) or restructure \
+               so the failure is impossible by construction",
+    },
+    Rule {
+        id: "panic-macro",
+        summary: "bans panic!/unreachable!/todo!/unimplemented! in wire and scanner \
+                  library code",
+        hint: "return a typed error; if the arm is provably dead, justify it with \
+               lint:allow and a proof sketch",
+    },
+    Rule {
+        id: "panic-lossy-cast",
+        summary: "bans truncating `as` casts on lengths and truncate-then-widen index chains",
+        hint: "use try_from with a typed error, or a checked guard; silent truncation \
+               corrupts lengths/offsets exactly when inputs get large",
+    },
+    Rule {
+        id: "reg-policy-mod",
+        summary: "every netmodel/src/policy/*.rs module must be registered in policy/mod.rs",
+        hint: "add `pub mod <name>;` to crates/netmodel/src/policy/mod.rs (or delete the \
+               orphaned file)",
+    },
+    Rule {
+        id: "reg-bench-doc",
+        summary: "every crates/bench/benches/fig*.rs / tab*.rs must be documented in \
+                  EXPERIMENTS.md",
+        hint: "add the bench target to the per-artifact index in EXPERIMENTS.md so every \
+               figure/table stays regenerable and accounted for",
+    },
+    Rule {
+        id: "lint-bad-allow",
+        summary: "lint:allow escapes must name a known rule and give a non-empty reason",
+        hint: "write `// lint:allow(rule-id) — reason`; the reason is the audit trail",
+    },
+];
+
+/// Look up a rule by id.
+pub fn rule(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// One violation found by the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule id from [`RULES`].
+    pub rule: &'static str,
+    /// Human-readable description of this specific occurrence.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )?;
+        if let Some(r) = rule(self.rule) {
+            write!(f, "\n    hint: {}", r.hint)?;
+        }
+        Ok(())
+    }
+}
+
+/// Analyze one source file given its workspace-relative path.
+///
+/// The path decides which rule scopes apply; the contents are lexed and
+/// checked. Registry (`reg-*`) rules are cross-file and live in
+/// [`registry::check_registry`] instead.
+pub fn check_source(rel_path: &str, src: &str) -> Vec<Violation> {
+    rules::check_file(rel_path, src)
+}
+
+/// Analyze the whole workspace rooted at `root`: every `crates/*/src`
+/// Rust file plus the cross-file registry rules. Violations are sorted
+/// by (file, line, rule).
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for file in workspace_sources(root)? {
+        let src = std::fs::read_to_string(&file)?;
+        let rel = rel_to(root, &file);
+        out.extend(check_source(&rel, &src));
+    }
+    out.extend(registry::check_registry(root)?);
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(out)
+}
+
+/// Workspace-relative forward-slash path of `file` under `root`.
+fn rel_to(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+/// All `.rs` files under `crates/*/src`, sorted for deterministic output
+/// (the linter holds itself to the ordering rules it enforces).
+fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    if !crates_dir.is_dir() {
+        return Ok(files);
+    }
+    let mut crates: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crates.sort();
+    for krate in crates {
+        let src = krate.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Cross-file registry rules: checks that only make sense over the
+//! workspace tree rather than a single token stream.
+//!
+//! * `reg-policy-mod` — every `crates/netmodel/src/policy/*.rs` module
+//!   must be declared in `policy/mod.rs`. An orphaned policy file
+//!   compiles nowhere, so its mechanism silently drops out of the
+//!   simulated Internet.
+//! * `reg-bench-doc` — every `crates/bench/benches/fig*.rs` / `tab*.rs`
+//!   artifact generator must be named in `EXPERIMENTS.md`. An
+//!   undocumented figure bench is a figure nobody re-checks against the
+//!   paper.
+
+use crate::lexer::lex;
+use crate::Violation;
+use std::io;
+use std::path::Path;
+
+/// Run every registry rule against the workspace rooted at `root`.
+/// Directories that do not exist (e.g. in fixture trees) simply
+/// contribute no findings for their rule.
+pub fn check_registry(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    check_policy_mods(root, &mut out)?;
+    check_bench_docs(root, &mut out)?;
+    Ok(out)
+}
+
+fn sorted_rs_stems(dir: &Path) -> io::Result<Vec<String>> {
+    let mut stems = Vec::new();
+    if !dir.is_dir() {
+        return Ok(stems);
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let p = entry?.path();
+        if p.extension().is_some_and(|e| e == "rs") {
+            if let Some(stem) = p.file_stem().and_then(|s| s.to_str()) {
+                stems.push(stem.to_string());
+            }
+        }
+    }
+    stems.sort();
+    Ok(stems)
+}
+
+fn check_policy_mods(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
+    let policy_dir = root.join("crates/netmodel/src/policy");
+    let mod_rs = policy_dir.join("mod.rs");
+    if !mod_rs.is_file() {
+        return Ok(());
+    }
+    let src = std::fs::read_to_string(&mod_rs)?;
+    let (toks, _) = lex(&src);
+    for stem in sorted_rs_stems(&policy_dir)? {
+        if stem == "mod" {
+            continue;
+        }
+        let declared = toks
+            .windows(2)
+            .any(|w| w[0].is_ident("mod") && w[1].is_ident(&stem));
+        if !declared {
+            out.push(Violation {
+                file: format!("crates/netmodel/src/policy/{stem}.rs"),
+                line: 1,
+                rule: "reg-policy-mod",
+                msg: format!("policy module `{stem}` is not declared in policy/mod.rs"),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_bench_docs(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
+    let benches_dir = root.join("crates/bench/benches");
+    if !benches_dir.is_dir() {
+        return Ok(());
+    }
+    let experiments = std::fs::read_to_string(root.join("EXPERIMENTS.md")).unwrap_or_default();
+    for stem in sorted_rs_stems(&benches_dir)? {
+        if !(stem.starts_with("fig") || stem.starts_with("tab")) {
+            continue;
+        }
+        if !experiments.contains(&stem) {
+            out.push(Violation {
+                file: format!("crates/bench/benches/{stem}.rs"),
+                line: 1,
+                rule: "reg-bench-doc",
+                msg: format!("artifact bench `{stem}` is not documented in EXPERIMENTS.md"),
+            });
+        }
+    }
+    Ok(())
+}

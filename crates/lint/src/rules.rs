@@ -1,0 +1,541 @@
+//! The per-file rule engine: scope resolution, test/`fn main` exemption,
+//! `lint:allow` escapes, and the token-pattern matchers for every
+//! `det-*` and `panic-*` rule.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+use crate::{rule, Violation};
+use std::collections::BTreeSet;
+
+/// Crates whose library code must be deterministic: they produce or
+/// transform trial results that the paper's analyses compare bit-wise.
+const DET_SCOPE: &[&str] = &[
+    "crates/netmodel/src/",
+    "crates/scanner/src/",
+    "crates/core/src/",
+];
+
+/// Crates whose library code must not panic: wire codecs and the scan
+/// engine run inside supervised sessions that expect typed errors.
+const PANIC_SCOPE: &[&str] = &["crates/wire/src/", "crates/scanner/src/"];
+
+/// Modules that *emit ordered output* (reports, serialized results,
+/// figure tables): hash collections are banned outright here, iterated
+/// or not — an un-iterated map invites the next refactor to iterate it.
+const REPORT_FILES: &[&str] = &[
+    "crates/core/src/report.rs",
+    "crates/core/src/summary.rs",
+    "crates/scanner/src/output.rs",
+];
+
+/// Path fragments exempt from every code rule.
+const EXEMPT_FRAGMENTS: &[&str] = &[
+    "/tests/",
+    "/benches/",
+    "/examples/",
+    "/bin/",
+    "third_party/",
+];
+
+fn in_scope(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+fn path_exempt(path: &str) -> bool {
+    EXEMPT_FRAGMENTS.iter().any(|f| path.contains(f))
+        || path.ends_with("/main.rs")
+        || path.ends_with("build.rs")
+}
+
+/// Run every applicable code rule over one file.
+pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
+    let path = rel_path.replace('\\', "/");
+    let (toks, comments) = lex(src);
+    let allows = parse_allows(&path, &toks, &comments);
+    let mut out: Vec<Violation> = allows.bad.clone();
+
+    if !path_exempt(&path) {
+        let code = strip_exempt(&toks);
+        let mut found = Vec::new();
+        if in_scope(&path, DET_SCOPE) {
+            det_wall_clock(&path, &code, &mut found);
+            det_unseeded_rng(&path, &code, &mut found);
+            det_hash_iter(&path, &code, &mut found);
+        }
+        if REPORT_FILES.contains(&path.as_str()) {
+            det_hash_report(&path, &code, &mut found);
+        }
+        if in_scope(&path, PANIC_SCOPE) {
+            panic_unwrap_expect(&path, &code, &mut found);
+            panic_macro(&path, &code, &mut found);
+            panic_lossy_cast(&path, &code, &mut found);
+        }
+        out.extend(
+            found
+                .into_iter()
+                .filter(|v| !allows.suppresses(v.rule, v.line)),
+        );
+    }
+    out.sort_by_key(|v| (v.line, v.rule));
+    out
+}
+
+fn violation(path: &str, line: u32, rule_id: &'static str, msg: String) -> Violation {
+    Violation {
+        file: path.to_string(),
+        line,
+        rule: rule_id,
+        msg,
+    }
+}
+
+// ---------------------------------------------------------------------
+// lint:allow escapes
+// ---------------------------------------------------------------------
+
+struct Allows {
+    /// (rule-id, target line) pairs granted by well-formed escapes.
+    granted: BTreeSet<(String, u32)>,
+    /// Malformed escapes, reported as `lint-bad-allow`.
+    bad: Vec<Violation>,
+}
+
+impl Allows {
+    fn suppresses(&self, rule_id: &str, line: u32) -> bool {
+        self.granted.contains(&(rule_id.to_string(), line))
+    }
+}
+
+/// Parse every `lint:allow(rule-id) — reason` escape. An escape on a
+/// line with code applies to that line; a comment-only line applies to
+/// the next line bearing a token.
+fn parse_allows(path: &str, toks: &[Tok], comments: &[Comment]) -> Allows {
+    let tok_lines: BTreeSet<u32> = toks.iter().map(|t| t.line).collect();
+    let target_of = |comment_line: u32| -> u32 {
+        if tok_lines.contains(&comment_line) {
+            comment_line
+        } else {
+            tok_lines
+                .range(comment_line..)
+                .next()
+                .copied()
+                .unwrap_or(comment_line)
+        }
+    };
+    let mut allows = Allows {
+        granted: BTreeSet::new(),
+        bad: Vec::new(),
+    };
+    for c in comments {
+        // Doc comments (`///`, `//!`, `/** */`) are prose *about* the
+        // linter, not escapes; only plain comments can grant one.
+        if c.text.starts_with(['/', '!', '*']) {
+            continue;
+        }
+        let mut rest = c.text.as_str();
+        while let Some(at) = rest.find("lint:allow") {
+            rest = &rest[at + "lint:allow".len()..];
+            // Bare mention without `(` is prose, not an escape attempt.
+            let Some(open) = rest.strip_prefix('(') else {
+                continue;
+            };
+            let Some(close) = open.find(')') else {
+                allows.bad.push(violation(
+                    path,
+                    c.line,
+                    "lint-bad-allow",
+                    "unclosed lint:allow(rule-id)".to_string(),
+                ));
+                break;
+            };
+            let id = open[..close].trim();
+            rest = &open[close + 1..];
+            // The reason runs to the next escape (or end of comment).
+            let reason_end = rest.find("lint:allow").unwrap_or(rest.len());
+            let reason = rest[..reason_end]
+                .trim_matches(|ch: char| ch.is_whitespace() || "—–-:,.".contains(ch));
+            if rule(id).is_none() {
+                allows.bad.push(violation(
+                    path,
+                    c.line,
+                    "lint-bad-allow",
+                    format!("unknown rule `{id}` in lint:allow"),
+                ));
+            } else if reason.is_empty() {
+                allows.bad.push(violation(
+                    path,
+                    c.line,
+                    "lint-bad-allow",
+                    format!("lint:allow({id}) is missing its audit reason"),
+                ));
+            } else {
+                allows.granted.insert((id.to_string(), target_of(c.line)));
+            }
+        }
+    }
+    allows
+}
+
+// ---------------------------------------------------------------------
+// Test / `fn main` exemption
+// ---------------------------------------------------------------------
+
+/// Drop tokens inside `#[cfg(test)]` / `#[test]` items and `fn main`
+/// bodies. Works purely on brace/bracket matching — no grammar needed.
+fn strip_exempt(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        // `#[...]` attribute group mentioning `test` exempts the item
+        // (and any stacked attributes) that follows.
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let end = match_bracket(toks, i + 1, '[', ']');
+            let has_test = toks[i + 2..end].iter().any(|t| t.is_ident("test"));
+            if has_test {
+                i = skip_attrs(toks, end + 1);
+                i = skip_item(toks, i);
+                continue;
+            }
+            // Non-test attribute: pass its tokens through.
+            out.extend_from_slice(&toks[i..=end.min(toks.len() - 1)]);
+            i = end + 1;
+            continue;
+        }
+        // `fn main` body is binary glue, exempt from library rules.
+        if toks[i].is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.is_ident("main")) {
+            i = skip_item(toks, i + 2);
+            continue;
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Index just past any further `#[...]` groups starting at `i`.
+fn skip_attrs(toks: &[Tok], mut i: usize) -> usize {
+    while i < toks.len()
+        && toks[i].is_punct('#')
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        i = match_bracket(toks, i + 1, '[', ']') + 1;
+    }
+    i
+}
+
+/// Skip one item starting at `i`: to the matching `}` of its first
+/// brace, or to a `;` that arrives first (e.g. `use`/`mod name;`).
+fn skip_item(toks: &[Tok], mut i: usize) -> usize {
+    while i < toks.len() {
+        if toks[i].is_punct(';') {
+            return i + 1;
+        }
+        if toks[i].is_punct('{') {
+            return match_bracket(toks, i, '{', '}') + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Index of the bracket matching `toks[open]` (which must be `open_c`);
+/// saturates at the last token on unbalanced input.
+fn match_bracket(toks: &[Tok], open: usize, open_c: char, close_c: char) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct(open_c) {
+            depth += 1;
+        } else if toks[i].is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+// ---------------------------------------------------------------------
+// Determinism rules
+// ---------------------------------------------------------------------
+
+fn det_wall_clock(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if (name == "Instant" || name == "SystemTime")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            out.push(violation(
+                path,
+                t.line,
+                "det-wall-clock",
+                format!("`{name}::now()` reads the wall clock; results would depend on when the run happens"),
+            ));
+        }
+    }
+}
+
+/// Identifiers that always mean "randomness not derived from the seed".
+const UNSEEDED_RNG_IDENTS: &[&str] = &[
+    "thread_rng",
+    "ThreadRng",
+    "from_entropy",
+    "getrandom",
+    "RandomState",
+];
+
+fn det_unseeded_rng(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if UNSEEDED_RNG_IDENTS.contains(&name) {
+            out.push(violation(
+                path,
+                t.line,
+                "det-unseeded-rng",
+                format!("`{name}` draws entropy outside the (seed, origin, trial) key"),
+            ));
+        } else if name == "rand"
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("random"))
+        {
+            out.push(violation(
+                path,
+                t.line,
+                "det-unseeded-rng",
+                "`rand::random` is seeded from process entropy".to_string(),
+            ));
+        }
+    }
+}
+
+/// Iteration methods whose visit order is the hash order.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Collect names bound (via `let`, field, or parameter annotations) to a
+/// `HashMap`/`HashSet` type anywhere in the file.
+fn hash_bindings(toks: &[Tok]) -> BTreeSet<String> {
+    let mut bound = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        // `name: [&] [mut] path::to::HashMap<...>`
+        if toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            let mut j = i + 2;
+            while j < toks.len() {
+                match &toks[j].kind {
+                    TokKind::Punct('&' | ':') | TokKind::Lifetime => j += 1,
+                    TokKind::Ident(s) if s == "mut" || s == "dyn" => j += 1,
+                    TokKind::Ident(s) => {
+                        if s == "HashMap" || s == "HashSet" {
+                            bound.insert(name.to_string());
+                        }
+                        // Only walk the path head; generics can nest
+                        // hash types that are someone else's binding.
+                        if toks.get(j + 1).is_some_and(|t| t.is_punct(':')) {
+                            j += 1;
+                            continue;
+                        }
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        // `let [mut] name = [path::]HashMap::...` / `HashSet::...`
+        if name == "let" {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(bind) = toks.get(j).and_then(Tok::ident) else {
+                continue;
+            };
+            if !toks.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+                continue;
+            }
+            let mut k = j + 2;
+            while k < toks.len() {
+                match &toks[k].kind {
+                    TokKind::Punct(':') => k += 1,
+                    TokKind::Ident(s) => {
+                        if s == "HashMap" || s == "HashSet" {
+                            bound.insert(bind.to_string());
+                        }
+                        if toks.get(k + 1).is_some_and(|t| t.is_punct(':')) {
+                            k += 1;
+                            continue;
+                        }
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+    bound
+}
+
+fn det_hash_iter(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    let bound = hash_bindings(toks);
+    if bound.is_empty() {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if !bound.contains(name) {
+            continue;
+        }
+        // `name.iter()` / `.keys()` / `.drain()` / …
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('.')) {
+            if let Some(m) = toks.get(i + 2).and_then(Tok::ident) {
+                if HASH_ITER_METHODS.contains(&m)
+                    && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+                {
+                    out.push(violation(
+                        path,
+                        t.line,
+                        "det-hash-iter",
+                        format!("`{name}.{m}()` visits a hash collection in entropy-seeded order"),
+                    ));
+                }
+            }
+        }
+        // `for pat in [&] [mut] name {` — direct IntoIterator use.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('{')) {
+            let mut j = i;
+            while j > 0 {
+                match &toks[j - 1].kind {
+                    TokKind::Punct('&') => j -= 1,
+                    TokKind::Ident(s) if s == "mut" => j -= 1,
+                    _ => break,
+                }
+            }
+            if j > 0 && toks[j - 1].is_ident("in") {
+                out.push(violation(
+                    path,
+                    t.line,
+                    "det-hash-iter",
+                    format!("`for … in {name}` visits a hash collection in entropy-seeded order"),
+                ));
+            }
+        }
+    }
+}
+
+fn det_hash_report(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    for t in toks {
+        let Some(name) = t.ident() else { continue };
+        if name == "HashMap" || name == "HashSet" {
+            out.push(violation(
+                path,
+                t.line,
+                "det-hash-report",
+                format!(
+                    "`{name}` in a report/serialization module; output order must be reproducible"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Panic-safety rules
+// ---------------------------------------------------------------------
+
+fn panic_unwrap_expect(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_punct('.') {
+            continue;
+        }
+        let Some(m) = toks.get(i + 1).and_then(Tok::ident) else {
+            continue;
+        };
+        if !toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let (rule_id, desc) = match m {
+            "unwrap" | "unwrap_err" => ("panic-unwrap", "panics on the unexpected variant"),
+            "expect" | "expect_err" => ("panic-expect", "panics on the unexpected variant"),
+            _ => continue,
+        };
+        out.push(violation(
+            path,
+            toks[i + 1].line,
+            rule_id,
+            format!("`.{m}()` {desc} inside library code"),
+        ));
+    }
+}
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn panic_macro(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if PANIC_MACROS.contains(&name) && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            out.push(violation(
+                path,
+                t.line,
+                "panic-macro",
+                format!("`{name}!` aborts the scan instead of surfacing a typed error"),
+            ));
+        }
+    }
+}
+
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+fn panic_lossy_cast(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        // `.len() as uN` — silently truncates once the buffer is big.
+        if t.is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("len"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+            && toks.get(i + 4).is_some_and(|t| t.is_ident("as"))
+        {
+            if let Some(ty) = toks.get(i + 5).and_then(Tok::ident) {
+                if NARROW_INTS.contains(&ty) {
+                    out.push(violation(
+                        path,
+                        toks[i + 4].line,
+                        "panic-lossy-cast",
+                        format!("`.len() as {ty}` silently truncates large lengths"),
+                    ));
+                }
+            }
+        }
+        // `as uN as usize` — truncate-then-widen index arithmetic.
+        if t.is_ident("as") {
+            if let Some(ty) = toks.get(i + 1).and_then(Tok::ident) {
+                if NARROW_INTS.contains(&ty)
+                    && toks.get(i + 2).is_some_and(|t| t.is_ident("as"))
+                    && toks.get(i + 3).is_some_and(|t| t.is_ident("usize"))
+                {
+                    out.push(violation(
+                        path,
+                        t.line,
+                        "panic-lossy-cast",
+                        format!("`as {ty} as usize` truncates before widening back to an index"),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: iterating a hash collection feeds ordered output.
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    let mut out = Vec::new();
+    for (k, v) in &counts {
+        out.push((*k, *v));
+    }
+    let order: Vec<u32> = counts.keys().copied().collect();
+    drop(order);
+    for &x in xs {
+        *counts.entry(x).or_default() += 1;
+    }
+    out
+}

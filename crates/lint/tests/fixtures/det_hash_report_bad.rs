@@ -1,0 +1,6 @@
+//! Fixture: hash collections banned outright in report modules.
+use std::collections::HashMap;
+
+pub fn render(rows: &HashMap<String, u64>) -> String {
+    format!("{} rows", rows.len())
+}

@@ -1,0 +1,6 @@
+//! Fixture: report modules use ordered collections end to end.
+use std::collections::BTreeMap;
+
+pub fn render(rows: &BTreeMap<String, u64>) -> String {
+    format!("{} rows", rows.len())
+}

@@ -1,0 +1,6 @@
+//! Fixture: entropy-seeded randomness.
+pub fn jitter() -> u64 {
+    let a: u64 = rand::random();
+    let b = thread_rng().gen::<u64>();
+    a ^ b
+}

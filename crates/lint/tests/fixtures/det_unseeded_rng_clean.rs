@@ -1,0 +1,4 @@
+//! Fixture: randomness derived from the experiment key.
+pub fn jitter(seed: u64, origin: u64, trial: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ origin.rotate_left(17) ^ trial
+}

@@ -1,0 +1,8 @@
+//! Fixture: wall-clock reads in simulation code.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let t = Instant::now();
+    let _ = SystemTime::now();
+    t.elapsed().as_nanos()
+}

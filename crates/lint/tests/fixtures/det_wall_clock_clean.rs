@@ -1,0 +1,4 @@
+//! Fixture: simulated time threaded explicitly.
+pub fn stamp(sim_clock_ns: u128) -> u128 {
+    sim_clock_ns
+}

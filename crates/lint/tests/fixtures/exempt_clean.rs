@@ -1,0 +1,13 @@
+//! Fixture: `fn main` bodies and test items are exempt.
+fn main() {
+    let xs = [1u8];
+    let _ = xs.first().unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        "7".parse::<u32>().unwrap();
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: malformed escapes are violations themselves.
+// lint:allow(no-such-rule) — the rule id must exist
+pub fn a() {}
+
+// lint:allow(panic-unwrap)
+pub fn b() {}

@@ -1,0 +1,4 @@
+//! Fixture: expect in wire library code.
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("caller promised digits")
+}

@@ -1,0 +1,4 @@
+//! Fixture: parse errors propagate.
+pub fn parse(s: &str) -> Result<u32, std::num::ParseIntError> {
+    s.parse()
+}

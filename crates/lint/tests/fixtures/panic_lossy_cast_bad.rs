@@ -1,0 +1,8 @@
+//! Fixture: truncating casts on lengths and indexes.
+pub fn header_len(buf: &[u8]) -> u16 {
+    buf.len() as u16
+}
+
+pub fn lookup(xs: &[u8], i: u64) -> u8 {
+    xs[i as u16 as usize]
+}

@@ -1,0 +1,8 @@
+//! Fixture: checked conversions with typed failure.
+pub fn header_len(buf: &[u8]) -> Result<u16, std::num::TryFromIntError> {
+    u16::try_from(buf.len())
+}
+
+pub fn lookup(xs: &[u8], i: usize) -> Option<u8> {
+    xs.get(i).copied()
+}

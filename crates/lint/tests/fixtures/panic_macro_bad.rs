@@ -1,0 +1,7 @@
+//! Fixture: panicking macro in library code.
+pub fn pick(x: u8) -> u8 {
+    match x {
+        0 => 1,
+        _ => unreachable!("fixture"),
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: the dead arm returns an error instead.
+pub fn pick(x: u8) -> Result<u8, ()> {
+    match x {
+        0 => Ok(1),
+        _ => Err(()),
+    }
+}

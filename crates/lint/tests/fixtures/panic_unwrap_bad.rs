@@ -1,0 +1,4 @@
+//! Fixture: unwrap in wire library code.
+pub fn first(xs: &[u8]) -> u8 {
+    *xs.first().unwrap()
+}

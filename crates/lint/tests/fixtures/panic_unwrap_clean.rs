@@ -1,0 +1,4 @@
+//! Fixture: the failure stays typed.
+pub fn first(xs: &[u8]) -> Option<u8> {
+    xs.first().copied()
+}

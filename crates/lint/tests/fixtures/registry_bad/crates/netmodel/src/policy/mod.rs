@@ -1,0 +1,2 @@
+//! Fixture policy registry.
+pub mod rate_limit;

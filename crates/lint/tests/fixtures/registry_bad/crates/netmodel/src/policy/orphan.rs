@@ -1,0 +1,1 @@
+//! This module is declared nowhere.

@@ -1,0 +1,3 @@
+//! Fixture policy registry.
+pub mod coverage;
+pub mod rate_limit;

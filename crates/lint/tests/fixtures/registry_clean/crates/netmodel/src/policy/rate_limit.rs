@@ -1,0 +1,1 @@
+//! Registered policy module.

@@ -32,6 +32,7 @@
 //! agree on every observable, regardless of threading or call order.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod asn;

@@ -332,6 +332,20 @@ pub struct ScanSession<'a> {
     pub attempt: u32,
 }
 
+// Manual impl: `hook` is a `&dyn FaultHook` with no Debug bound, so show
+// which supervision knobs are engaged rather than their contents.
+impl std::fmt::Debug for ScanSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanSession")
+            .field("hook", &self.hook.is_some())
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("store", &self.store.is_some())
+            .field("resume", &self.resume.is_some())
+            .field("attempt", &self.attempt)
+            .finish()
+    }
+}
+
 /// Execute one scan against `net` with no supervision: no fault hook, no
 /// checkpoints. Equivalent to [`run_scan_session`] with a default
 /// session.

@@ -26,6 +26,7 @@
 //! * [`output`] — ZMap-style CSV serialization of scan records.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod blocklist;

@@ -2,6 +2,8 @@
 // Gated: runs only with `--features proptest` (vendored shim; see
 // third_party/proptest). The default offline build skips these suites.
 #![cfg(feature = "proptest")]
+// Tests assert membership/counts only; hash iteration order never escapes.
+#![allow(clippy::disallowed_types)]
 
 use originscan_scanner::blocklist::{Blocklist, Cidr};
 use originscan_scanner::cyclic::{is_prime, next_prime, Cycle};

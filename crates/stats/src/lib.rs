@@ -22,6 +22,7 @@
 //!   proportions reported at reduced simulation scale.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod combos;

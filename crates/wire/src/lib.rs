@@ -29,6 +29,7 @@
 //! simulated network in `originscan-netmodel`.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod checksum;

@@ -38,12 +38,15 @@ impl<W: Write> PcapWriter<W> {
     /// Append one raw-IP packet captured at `time_s` (fractional seconds
     /// since the epoch — the simulation's clock maps directly).
     pub fn packet(&mut self, time_s: f64, data: &[u8]) -> io::Result<()> {
+        let len = u32::try_from(data.len()).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidInput, "packet exceeds 2^32 bytes")
+        })?;
         let secs = time_s.max(0.0).floor();
         let micros = ((time_s - secs) * 1e6).round() as u32;
         self.out.write_all(&(secs as u32).to_le_bytes())?;
         self.out.write_all(&micros.min(999_999).to_le_bytes())?;
-        self.out.write_all(&(data.len() as u32).to_le_bytes())?; // incl_len
-        self.out.write_all(&(data.len() as u32).to_le_bytes())?; // orig_len
+        self.out.write_all(&len.to_le_bytes())?; // incl_len
+        self.out.write_all(&len.to_le_bytes())?; // orig_len
         self.out.write_all(data)?;
         self.packets += 1;
         Ok(())
@@ -70,26 +73,32 @@ pub struct PcapPacket {
     pub data: Vec<u8>,
 }
 
+/// Read the little-endian `u32` at `off`; the caller has already
+/// bounds-checked `off + 4 <= buf.len()`, so construction is infallible.
+fn le_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
 /// Parse a classic little-endian pcap buffer (tests and tooling).
 pub fn parse(buf: &[u8]) -> Result<(u32, Vec<PcapPacket>), ParseError> {
     if buf.len() < 24 {
         return Err(ParseError::Truncated);
     }
-    let magic = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    let magic = le_u32(buf, 0);
     if magic != MAGIC_LE {
         return Err(ParseError::Malformed);
     }
-    let linktype = u32::from_le_bytes(buf[20..24].try_into().expect("4 bytes"));
+    let linktype = le_u32(buf, 20);
     let mut packets = Vec::new();
     let mut off = 24usize;
     while off < buf.len() {
         if off + 16 > buf.len() {
             return Err(ParseError::Truncated);
         }
-        let secs = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4"));
-        let micros = u32::from_le_bytes(buf[off + 4..off + 8].try_into().expect("4"));
-        let incl = u32::from_le_bytes(buf[off + 8..off + 12].try_into().expect("4")) as usize;
-        let orig = u32::from_le_bytes(buf[off + 12..off + 16].try_into().expect("4")) as usize;
+        let secs = le_u32(buf, off);
+        let micros = le_u32(buf, off + 4);
+        let incl = le_u32(buf, off + 8) as usize;
+        let orig = le_u32(buf, off + 12) as usize;
         if incl != orig {
             return Err(ParseError::Malformed); // we never truncate
         }

@@ -48,7 +48,8 @@ impl SipHash13 {
         ];
         let mut chunks = msg.chunks_exact(8);
         for c in &mut chunks {
-            let m = u64::from_le_bytes(c.try_into().unwrap());
+            // chunks_exact(8) guarantees 8 bytes; indexing is infallible.
+            let m = u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
             v[3] ^= m;
             sipround(&mut v); // c = 1 compression round
             v[0] ^= m;
@@ -57,6 +58,7 @@ impl SipHash13 {
         let rem = chunks.remainder();
         let mut last = [0u8; 8];
         last[..rem.len()].copy_from_slice(rem);
+        // lint:allow(panic-lossy-cast) — SipHash's final word carries `len mod 256` by spec
         last[7] = msg.len() as u8;
         let m = u64::from_le_bytes(last);
         v[3] ^= m;

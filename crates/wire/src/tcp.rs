@@ -174,7 +174,12 @@ impl TcpHeader {
         if data_off < HEADER_LEN || data_off > buf.len() {
             return Err(ParseError::Malformed);
         }
-        let mut acc = ip.pseudo_header_sum(buf.len() as u16);
+        // An IPv4 payload can never exceed u16::MAX; anything longer is
+        // not a TCP segment we could checksum.
+        let Ok(seg_len) = u16::try_from(buf.len()) else {
+            return Err(ParseError::Malformed);
+        };
+        let mut acc = ip.pseudo_header_sum(seg_len);
         acc.add_bytes(buf);
         if acc.finish() != 0 {
             return Err(ParseError::BadChecksum);

@@ -71,6 +71,11 @@ pub fn client_hello(random: u64) -> Vec<u8> {
 fn frame_handshake(hs_type: u8, body: &[u8]) -> Vec<u8> {
     let mut hs = Vec::with_capacity(body.len() + 9);
     hs.push(hs_type);
+    debug_assert!(
+        body.len() < (1 << 24),
+        "handshake body exceeds 24-bit length"
+    );
+    // lint:allow(panic-lossy-cast) — guarded: hello bodies are built here and stay tiny
     let len = body.len() as u32;
     hs.extend_from_slice(&len.to_be_bytes()[1..]); // 24-bit length
     hs.extend_from_slice(body);
@@ -78,6 +83,11 @@ fn frame_handshake(hs_type: u8, body: &[u8]) -> Vec<u8> {
     let mut rec = Vec::with_capacity(hs.len() + 5);
     rec.push(CONTENT_HANDSHAKE);
     rec.extend_from_slice(&VERSION_TLS12.to_be_bytes());
+    debug_assert!(
+        hs.len() <= usize::from(u16::MAX),
+        "record exceeds u16 length"
+    );
+    // lint:allow(panic-lossy-cast) — guarded: a framed hello never nears the 2^16 record cap
     rec.extend_from_slice(&(hs.len() as u16).to_be_bytes());
     rec.extend_from_slice(&hs);
     rec

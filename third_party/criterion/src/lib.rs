@@ -122,6 +122,8 @@ pub struct Bencher {
 impl Bencher {
     /// Time `routine`, first warming up, then measuring over an adaptive
     /// iteration count.
+    // Wall-clock timing is this harness's entire purpose.
+    #[allow(clippy::disallowed_methods)]
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let budget = measure_budget();
         // Warm-up and calibration: time single iterations until ~10% of
