@@ -11,6 +11,7 @@
 use originscan_core::experiment::{Experiment, ExperimentConfig};
 use originscan_core::results::ExperimentResults;
 use originscan_netmodel::{OriginId, Protocol, World, WorldConfig};
+use originscan_telemetry::progress::{emit_progress, FieldValue};
 use std::time::Instant;
 
 /// The fixed world seed used by all reproduction benches.
@@ -24,20 +25,26 @@ pub const WORLD_SEED: u64 = 2020;
 #[allow(clippy::disallowed_methods)]
 pub fn bench_world() -> &'static World {
     let seed = WORLD_SEED;
-    let cfg = match std::env::var("ORIGINSCAN_SCALE").as_deref() {
-        Ok("tiny") => WorldConfig::tiny(seed),
-        Ok("medium") => WorldConfig::medium(seed),
-        Ok("full") => WorldConfig::full(seed),
-        _ => WorldConfig::small(seed),
+    let (scale, cfg) = match std::env::var("ORIGINSCAN_SCALE").as_deref() {
+        Ok("tiny") => ("tiny", WorldConfig::tiny(seed)),
+        Ok("medium") => ("medium", WorldConfig::medium(seed)),
+        Ok("full") => ("full", WorldConfig::full(seed)),
+        _ => ("small", WorldConfig::small(seed)),
     };
     let t = Instant::now();
     let world = Box::leak(Box::new(cfg.build()));
-    eprintln!(
-        "[world] {} addresses, {} ASes, {} HTTP hosts ({:.1}s)",
-        world.space(),
-        world.ases.len(),
-        world.host_count(Protocol::Http),
-        t.elapsed().as_secs_f64()
+    emit_progress(
+        "bench_world",
+        &[
+            ("scale", FieldValue::from(scale)),
+            ("addresses", FieldValue::from(world.space())),
+            ("ases", FieldValue::from(world.ases.len() as u64)),
+            (
+                "http_hosts",
+                FieldValue::from(world.host_count(Protocol::Http) as u64),
+            ),
+            ("wall_s", FieldValue::from(t.elapsed().as_secs_f64())),
+        ],
     );
     world
 }
@@ -63,30 +70,48 @@ pub fn run_follow_up(world: &World) -> ExperimentResults<'_> {
     })
 }
 
-/// Run a closure, printing its wall time to stderr.
+/// Run a closure, reporting its wall time through the telemetry
+/// progress sink (a `bench_timed` JSONL line on stderr).
 // Wall-clock timing is the bench harness's job; results never feed analyses.
 #[allow(clippy::disallowed_methods)]
 pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
     let t = Instant::now();
     let out = f();
-    eprintln!("[{label}] {:.1}s", t.elapsed().as_secs_f64());
+    emit_progress(
+        "bench_timed",
+        &[
+            ("label", FieldValue::from(label)),
+            ("wall_s", FieldValue::from(t.elapsed().as_secs_f64())),
+        ],
+    );
     out
+}
+
+/// Write one line of the reproduced artifact to stdout.
+///
+/// Stdout *is* the bench's product — the paper-style tables recorded in
+/// `EXPERIMENTS.md` — so it stays human-readable; progress/liveness
+/// chatter goes to stderr through the telemetry sink instead.
+fn artifact_line(line: &str) {
+    // lint:allow(obs-print) — stdout is the bench artifact itself; the
+    // audited sink for it is this one function.
+    println!("{line}");
 }
 
 /// Print a section header for a reproduced artifact.
 pub fn header(id: &str, caption: &str) {
-    println!("\n================================================================");
-    println!("{id} — {caption}");
-    println!("================================================================");
+    artifact_line("\n================================================================");
+    artifact_line(&format!("{id} — {caption}"));
+    artifact_line("================================================================");
 }
 
 /// Print the paper's reported values for side-by-side comparison.
 pub fn paper_says(lines: &[&str]) {
-    println!("paper reports:");
+    artifact_line("paper reports:");
     for l in lines {
-        println!("  | {l}");
+        artifact_line(&format!("  | {l}"));
     }
-    println!();
+    artifact_line("");
 }
 
 #[cfg(test)]

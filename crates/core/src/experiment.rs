@@ -37,6 +37,8 @@ use originscan_scanner::engine::{
 };
 use originscan_scanner::error::ScanError;
 use originscan_scanner::target::Network;
+use originscan_telemetry::metrics::names;
+use originscan_telemetry::{EventKind, Scope, Telemetry};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -290,12 +292,33 @@ impl ExperimentConfig {
 ///   backoff never shifts probe timestamps.
 /// * A panic in the scan (or the network model under it) is contained:
 ///   the caller always gets an [`OriginRun`], never an unwind.
+///
+/// When `telemetry` is set, the supervisor records its own lifecycle —
+/// [`EventKind::AttemptFailed`], [`EventKind::RetryBackoff`],
+/// [`EventKind::OriginFailed`] — plus attempt/retry counters, and
+/// forwards the hub into the engine so scan-level events land in the
+/// same stream. Supervisor events are stamped with the failed attempt's
+/// simulated death time where the engine reports one (injected kills);
+/// otherwise with the accumulated backoff clock (panics unwind past the
+/// pacer, so no scan clock survives them).
 pub fn supervise_scan<N: Network + ?Sized>(
     net: &N,
     cfg: &ScanConfig,
     hook: Option<&dyn FaultHook>,
     policy: &SupervisorPolicy,
+    telemetry: Option<&Telemetry>,
 ) -> OriginRun {
+    let scope = Scope::new(cfg.protocol.name(), cfg.trial, cfg.origin);
+    let emit = |time_s: f64, kind: EventKind| {
+        if let Some(hub) = telemetry {
+            hub.emit(scope, time_s, kind);
+        }
+    };
+    let count = |name: &'static str, delta: u64| {
+        if let Some(hub) = telemetry {
+            hub.add(scope, name, delta);
+        }
+    };
     let store = CheckpointStore::new();
     let mut attempts: u32 = 0;
     let mut sim_backoff_s = 0.0f64;
@@ -306,10 +329,12 @@ pub fn supervise_scan<N: Network + ?Sized>(
             store: Some(&store),
             resume: store.take(),
             attempt: attempts,
+            telemetry,
         };
         let result = catch_unwind(AssertUnwindSafe(|| run_scan_session(net, cfg, session)));
         attempts += 1;
-        let cause = match result {
+        count(names::SUP_ATTEMPTS, 1);
+        let (cause, fail_time_s) = match result {
             Ok(Ok(output)) => {
                 let status = if attempts > 1 {
                     RunStatus::Resumed {
@@ -318,6 +343,11 @@ pub fn supervise_scan<N: Network + ?Sized>(
                 } else {
                     RunStatus::Completed
                 };
+                if sim_backoff_s > 0.0 {
+                    if let Some(hub) = telemetry {
+                        hub.set_gauge(scope, names::SUP_BACKOFF_SECONDS, sim_backoff_s);
+                    }
+                }
                 return OriginRun {
                     status,
                     attempts,
@@ -327,17 +357,57 @@ pub fn supervise_scan<N: Network + ?Sized>(
             }
             // Validation failures are permanent: retrying cannot help.
             Ok(Err(ScanError::Config(_))) => {
+                emit(
+                    sim_backoff_s,
+                    EventKind::AttemptFailed {
+                        attempt: attempts - 1,
+                        cause: "invalid-config",
+                    },
+                );
+                emit(
+                    sim_backoff_s,
+                    EventKind::OriginFailed {
+                        cause: "invalid-config",
+                    },
+                );
                 return OriginRun::failed(FailCause::InvalidConfig, attempts, sim_backoff_s);
             }
-            Ok(Err(_)) => FailCause::Killed,
-            Err(_) => FailCause::Panicked,
+            Ok(Err(ScanError::Killed { time_s, .. })) => (FailCause::Killed, time_s),
+            Ok(Err(_)) => (FailCause::Killed, sim_backoff_s),
+            Err(_) => (FailCause::Panicked, sim_backoff_s),
         };
+        let cause_str = match cause {
+            FailCause::Killed => "killed",
+            _ => "panicked",
+        };
+        emit(
+            fail_time_s,
+            EventKind::AttemptFailed {
+                attempt: attempts - 1,
+                cause: cause_str,
+            },
+        );
         if attempts > policy.max_retries {
+            emit(fail_time_s, EventKind::OriginFailed { cause: cause_str });
+            if sim_backoff_s > 0.0 {
+                if let Some(hub) = telemetry {
+                    hub.set_gauge(scope, names::SUP_BACKOFF_SECONDS, sim_backoff_s);
+                }
+            }
             return OriginRun::failed(cause, attempts, sim_backoff_s);
         }
         // Capped exponential backoff, in simulated time only.
         let exp = (attempts - 1).min(30) as i32;
-        sim_backoff_s += (policy.backoff_base_s * 2f64.powi(exp)).min(policy.backoff_cap_s);
+        let step = (policy.backoff_base_s * 2f64.powi(exp)).min(policy.backoff_cap_s);
+        sim_backoff_s += step;
+        count(names::SUP_RETRIES, 1);
+        emit(
+            sim_backoff_s,
+            EventKind::RetryBackoff {
+                attempt: attempts,
+                backoff_s: step,
+            },
+        );
     }
 }
 
@@ -359,15 +429,22 @@ impl<'w> Experiment<'w> {
     /// from ground truth and carried as [`RunStatus::Failed`]; only an
     /// empty configuration or a trial with *no* surviving origin is an
     /// error.
+    ///
+    /// The whole experiment records into one [`Telemetry`] hub — engine
+    /// lifecycle, supervisor retries, injected faults — whose snapshot is
+    /// embedded in the returned [`ExperimentResults`]. Telemetry is keyed
+    /// to simulated time and canonically ordered, so two runs of the same
+    /// configuration carry byte-identical telemetry.
     pub fn run(&self) -> Result<ExperimentResults<'w>, ExperimentError> {
         let cfg = &self.cfg;
         if cfg.origins.is_empty() || cfg.protocols.is_empty() || cfg.trials == 0 {
             return Err(ExperimentError::EmptyConfig);
         }
+        let hub = Telemetry::new();
         let mut matrices = Vec::new();
         for &proto in &cfg.protocols {
             for trial in 0..cfg.trials {
-                let runs = self.run_trial(proto, trial);
+                let runs = self.run_trial(proto, trial, &hub);
                 if runs.iter().all(|r| r.output.is_none()) {
                     return Err(ExperimentError::AllOriginsFailed {
                         protocol: proto,
@@ -384,17 +461,22 @@ impl<'w> Experiment<'w> {
                 ));
             }
         }
-        Ok(ExperimentResults::new(self.world, cfg.clone(), matrices))
+        Ok(ExperimentResults::new(
+            self.world,
+            cfg.clone(),
+            matrices,
+            hub.into_snapshot(),
+        ))
     }
 
     /// Run one (protocol, trial) across all origins, in parallel, each
     /// under its own supervisor.
-    fn run_trial(&self, proto: Protocol, trial: u8) -> Vec<OriginRun> {
+    fn run_trial(&self, proto: Protocol, trial: u8, hub: &Telemetry) -> Vec<OriginRun> {
         let cfg = &self.cfg;
         let world = self.world;
         let net = SimNet::new(world, &cfg.origins, cfg.duration_s);
         let plan = cfg.faults.as_ref().filter(|p| !p.is_empty());
-        let faulty = plan.map(|p| FaultyNet::new(&net, p, cfg.duration_s));
+        let faulty = plan.map(|p| FaultyNet::new(&net, p, cfg.duration_s).with_telemetry(hub));
         let net_ref: &dyn Network = match &faulty {
             Some(f) => f,
             None => &net,
@@ -429,7 +511,7 @@ impl<'w> Experiment<'w> {
             for (i, slot) in runs.iter_mut().enumerate() {
                 let c = scan_cfg_for(i);
                 s.spawn(move || {
-                    *slot = Some(supervise_scan(net_ref, &c, hook, &cfg.policy));
+                    *slot = Some(supervise_scan(net_ref, &c, hook, &cfg.policy, Some(hub)));
                 });
             }
         });
@@ -449,6 +531,20 @@ impl<'w> Experiment<'w> {
                             _ => 0,
                         };
                         run.status = RunStatus::Degraded { fault, retries };
+                        let duration_s = run
+                            .output
+                            .as_ref()
+                            .map_or(cfg.duration_s, |o| o.summary.duration_s);
+                        hub.emit(
+                            Scope::new(proto.name(), trial, i as u16),
+                            duration_s,
+                            EventKind::OriginDegraded {
+                                fault: match fault {
+                                    InjectedFault::Outage => "outage",
+                                    InjectedFault::ReplyTamper => "reply-tamper",
+                                },
+                            },
+                        );
                     }
                 }
                 run
@@ -553,7 +649,7 @@ mod tests {
         let mut cfg = ScanConfig::new(world.space(), Protocol::Http, 77);
         cfg.rate_pps =
             originscan_scanner::rate::rate_for_duration(world.space() * 2, TRIAL_DURATION_S);
-        let clean = supervise_scan(&net, &cfg, None, &SupervisorPolicy::default());
+        let clean = supervise_scan(&net, &cfg, None, &SupervisorPolicy::default(), None);
         assert_eq!(clean.status, RunStatus::Completed);
         assert_eq!(clean.attempts, 1);
         assert_eq!(clean.sim_backoff_s, 0.0);
@@ -567,7 +663,7 @@ mod tests {
             addr: victim,
             armed: AtomicBool::new(true),
         };
-        let run = supervise_scan(&panicky, &cfg, None, &SupervisorPolicy::default());
+        let run = supervise_scan(&panicky, &cfg, None, &SupervisorPolicy::default(), None);
         assert_eq!(run.status, RunStatus::Resumed { retries: 1 });
         assert_eq!(run.attempts, 2);
         assert!(
@@ -596,7 +692,7 @@ mod tests {
             max_retries: 3,
             ..Default::default()
         };
-        let run = supervise_scan(&AlwaysPanics, &cfg, None, &policy);
+        let run = supervise_scan(&AlwaysPanics, &cfg, None, &policy, None);
         assert_eq!(
             run.status,
             RunStatus::Failed {
@@ -616,7 +712,7 @@ mod tests {
             max_retries: 8,
             ..Default::default()
         };
-        let run = supervise_scan(&AlwaysPanics, &cfg, None, &policy);
+        let run = supervise_scan(&AlwaysPanics, &cfg, None, &policy, None);
         // 60+120+240+480+900+900+900+900 = 4500.
         assert!((run.sim_backoff_s - 4500.0).abs() < 1e-9);
     }
@@ -625,7 +721,13 @@ mod tests {
     fn invalid_config_fails_without_retries() {
         let mut cfg = ScanConfig::new(64, Protocol::Http, 1);
         cfg.probes = 0;
-        let run = supervise_scan(&AlwaysPanics, &cfg, None, &SupervisorPolicy::default());
+        let run = supervise_scan(
+            &AlwaysPanics,
+            &cfg,
+            None,
+            &SupervisorPolicy::default(),
+            None,
+        );
         assert_eq!(
             run.status,
             RunStatus::Failed {

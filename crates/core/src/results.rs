@@ -4,6 +4,7 @@ use crate::experiment::{ExperimentConfig, RunStatus};
 use crate::matrix::TrialMatrix;
 use crate::outcome::HostOutcome;
 use originscan_netmodel::{OriginId, Protocol, World};
+use originscan_telemetry::TelemetrySnapshot;
 // Keyed lookup only — the map is never iterated, so its order can't leak.
 #[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
@@ -14,6 +15,7 @@ pub struct ExperimentResults<'w> {
     world: &'w World,
     cfg: ExperimentConfig,
     matrices: Vec<TrialMatrix>,
+    telemetry: TelemetrySnapshot,
 }
 
 /// Coverage of one origin in one trial.
@@ -37,11 +39,17 @@ impl Coverage {
 }
 
 impl<'w> ExperimentResults<'w> {
-    pub(crate) fn new(world: &'w World, cfg: ExperimentConfig, matrices: Vec<TrialMatrix>) -> Self {
+    pub(crate) fn new(
+        world: &'w World,
+        cfg: ExperimentConfig,
+        matrices: Vec<TrialMatrix>,
+        telemetry: TelemetrySnapshot,
+    ) -> Self {
         Self {
             world,
             cfg,
             matrices,
+            telemetry,
         }
     }
 
@@ -53,6 +61,13 @@ impl<'w> ExperimentResults<'w> {
     /// The configuration used.
     pub fn config(&self) -> &ExperimentConfig {
         &self.cfg
+    }
+
+    /// The experiment's telemetry: every scan's events (keyed to
+    /// simulated time) plus the full metrics registry, canonically
+    /// ordered. Byte-identical across same-seed runs.
+    pub fn telemetry(&self) -> &TelemetrySnapshot {
+        &self.telemetry
     }
 
     /// All matrices, ordered by (protocol, trial).

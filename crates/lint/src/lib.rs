@@ -12,6 +12,11 @@
 //!    correctness-critical paths; failures there must surface as typed
 //!    errors (`ParseError`, `ScanError`, `ConfigError`), not panics that
 //!    take down a supervised scan from inside.
+//! 3. **Observability discipline** — library crates never write bare
+//!    stdio. Progress and diagnostics route through the
+//!    `originscan-telemetry` sinks (events, metrics, the stderr progress
+//!    sink) so output stays structured, deterministic, and grep-able;
+//!    the audited sinks themselves carry `lint:allow` escapes.
 //!
 //! The analyzer is a hand-rolled lexer plus token-pattern rules — no
 //! `syn`, no dependencies — consistent with the workspace's vendored-deps
@@ -55,8 +60,9 @@ pub struct Rule {
 /// The full rule catalogue.
 ///
 /// Scopes: `det-*` rules cover library code of `netmodel`, `scanner`,
-/// and `core`; `panic-*` rules cover library code of `wire` and
-/// `scanner`; `reg-*` rules are cross-file registry checks;
+/// `core`, and `telemetry`; `panic-*` rules cover library code of
+/// `wire`, `scanner`, and `telemetry`; `obs-*` rules cover library code
+/// of every crate; `reg-*` rules are cross-file registry checks;
 /// `lint-bad-allow` applies wherever an escape comment appears. Tests,
 /// benches, examples, `src/bin`, and `fn main` bodies are exempt
 /// everywhere.
@@ -110,6 +116,18 @@ pub const RULES: &[Rule] = &[
         summary: "bans truncating `as` casts on lengths and truncate-then-widen index chains",
         hint: "use try_from with a typed error, or a checked guard; silent truncation \
                corrupts lengths/offsets exactly when inputs get large",
+    },
+    Rule {
+        id: "obs-print",
+        summary: "bans bare println!/eprintln!/print!/eprint! in library crates",
+        hint: "route progress through originscan_telemetry::progress::emit_progress (or an \
+               event/metric); the one audited stdio sink per stream carries a lint:allow",
+    },
+    Rule {
+        id: "obs-dbg",
+        summary: "bans dbg! in library crates",
+        hint: "dbg! is a leftover debugging aid that writes unstructured stderr; record a \
+               telemetry event or metric instead, or delete it",
     },
     Rule {
         id: "reg-policy-mod",

@@ -12,11 +12,17 @@ const DET_SCOPE: &[&str] = &[
     "crates/netmodel/src/",
     "crates/scanner/src/",
     "crates/core/src/",
+    "crates/telemetry/src/",
 ];
 
 /// Crates whose library code must not panic: wire codecs and the scan
-/// engine run inside supervised sessions that expect typed errors.
-const PANIC_SCOPE: &[&str] = &["crates/wire/src/", "crates/scanner/src/"];
+/// engine run inside supervised sessions that expect typed errors, and
+/// the telemetry hub is called from inside those same sessions.
+const PANIC_SCOPE: &[&str] = &[
+    "crates/wire/src/",
+    "crates/scanner/src/",
+    "crates/telemetry/src/",
+];
 
 /// Modules that *emit ordered output* (reports, serialized results,
 /// figure tables): hash collections are banned outright here, iterated
@@ -69,6 +75,10 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
             panic_macro(&path, &code, &mut found);
             panic_lossy_cast(&path, &code, &mut found);
         }
+        // Observability rules cover every library crate: structured
+        // output goes through the telemetry sinks, not bare stdio.
+        obs_print(&path, &code, &mut found);
+        obs_dbg(&path, &code, &mut found);
         out.extend(
             found
                 .into_iter()
@@ -449,6 +459,39 @@ fn det_hash_report(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
                 format!(
                     "`{name}` in a report/serialization module; output order must be reproducible"
                 ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Observability rules
+// ---------------------------------------------------------------------
+
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint"];
+
+fn obs_print(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if PRINT_MACROS.contains(&name) && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            out.push(violation(
+                path,
+                t.line,
+                "obs-print",
+                format!("`{name}!` writes bare stdio from library code"),
+            ));
+        }
+    }
+}
+
+fn obs_dbg(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("dbg") && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            out.push(violation(
+                path,
+                t.line,
+                "obs-dbg",
+                "`dbg!` is unstructured stderr debugging left in library code".to_string(),
             ));
         }
     }

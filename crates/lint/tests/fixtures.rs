@@ -12,6 +12,9 @@ const DET_PATH: &str = "crates/netmodel/src/fixture.rs";
 const REPORT_PATH: &str = "crates/core/src/report.rs";
 /// Virtual path that puts a fixture in the panic-safety scope.
 const WIRE_PATH: &str = "crates/wire/src/fixture.rs";
+/// Virtual path in a crate outside the det/panic scopes: only the
+/// everywhere rules (`obs-*`, `lint-bad-allow`) apply.
+const LIB_PATH: &str = "crates/stats/src/fixture.rs";
 
 fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -56,6 +59,12 @@ fn bad_cases() -> Vec<BadCase> {
             vec![("panic-lossy-cast", 3), ("panic-lossy-cast", 7)],
         ),
         (
+            "obs_print_bad.rs",
+            LIB_PATH,
+            vec![("obs-print", 3), ("obs-print", 4)],
+        ),
+        ("obs_dbg_bad.rs", LIB_PATH, vec![("obs-dbg", 3)]),
+        (
             "lint_bad_allow_bad.rs",
             WIRE_PATH,
             vec![("lint-bad-allow", 2), ("lint-bad-allow", 5)],
@@ -74,6 +83,8 @@ fn clean_cases() -> Vec<(&'static str, &'static str)> {
         ("panic_expect_clean.rs", WIRE_PATH),
         ("panic_macro_clean.rs", WIRE_PATH),
         ("panic_lossy_cast_clean.rs", WIRE_PATH),
+        ("obs_print_clean.rs", LIB_PATH),
+        ("obs_dbg_clean.rs", LIB_PATH),
         ("lint_bad_allow_clean.rs", WIRE_PATH),
         ("exempt_clean.rs", WIRE_PATH),
     ]

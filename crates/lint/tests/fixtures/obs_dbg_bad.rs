@@ -1,0 +1,4 @@
+//! Fixture: leftover dbg! in library code.
+pub fn fraction(n: u64, d: u64) -> f64 {
+    dbg!(n as f64 / d as f64)
+}

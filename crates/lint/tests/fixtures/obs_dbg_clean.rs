@@ -1,0 +1,4 @@
+//! Fixture: no debugging macros left behind.
+pub fn fraction(n: u64, d: u64) -> f64 {
+    n as f64 / d as f64
+}

@@ -1,0 +1,5 @@
+//! Fixture: bare stdio prints in library code.
+pub fn report_progress(done: usize, total: usize) {
+    println!("{done}/{total} scans complete");
+    eprintln!("still alive, {done} done");
+}

@@ -1,0 +1,5 @@
+//! Fixture: progress is built as a structured line for a sink to write,
+//! not printed bare from library code.
+pub fn progress_line(done: usize, total: usize) -> String {
+    format!("{{\"type\":\"progress\",\"done\":{done},\"total\":{total}}}")
+}

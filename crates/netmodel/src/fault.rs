@@ -34,6 +34,8 @@
 use crate::rng::{Det, Tag};
 use originscan_scanner::engine::{FaultAction, FaultCtx, FaultHook};
 use originscan_scanner::target::{L7Ctx, L7Reply, Network, ProbeCtx, SynReply};
+use originscan_telemetry::metrics::names;
+use originscan_telemetry::{EventKind, Scope, Telemetry};
 use originscan_wire::tcp::TcpHeader;
 
 /// A window of an origin's scan during which its network is unreachable.
@@ -200,6 +202,15 @@ impl FaultPlan {
         self.outages.iter().any(|w| w.covers(origin, trial, frac))
     }
 
+    /// Does the plan schedule any outage window for `(origin, trial)`?
+    /// (Gates per-probe outage telemetry so untouched origins take no
+    /// locks.)
+    pub fn has_outage(&self, origin: u16, trial: u8) -> bool {
+        self.outages
+            .iter()
+            .any(|w| w.origin == origin && w.trial == trial)
+    }
+
     /// Does the plan degrade `(origin, trial)`'s *results* (as opposed to
     /// merely delaying or crash-restarting them)? Crashes and stalls are
     /// recoverable without data loss; outages and reply tampering lose or
@@ -299,6 +310,7 @@ pub struct FaultyNet<'a, N: Network + ?Sized> {
     inner: &'a N,
     plan: &'a FaultPlan,
     duration_s: f64,
+    telemetry: Option<&'a Telemetry>,
 }
 
 impl<'a, N: Network + ?Sized> FaultyNet<'a, N> {
@@ -309,7 +321,16 @@ impl<'a, N: Network + ?Sized> FaultyNet<'a, N> {
             inner,
             plan,
             duration_s,
+            telemetry: None,
         }
+    }
+
+    /// Record injected faults (outage transitions, tampered replies) into
+    /// `hub`. Telemetry only engages on probes the plan actually touches,
+    /// so origins outside the plan still take zero locks.
+    pub fn with_telemetry(mut self, hub: &'a Telemetry) -> Self {
+        self.telemetry = Some(hub);
+        self
     }
 
     /// The wrapped plan.
@@ -335,10 +356,19 @@ fn corrupt_reply(reply: SynReply) -> SynReply {
 
 impl<N: Network + ?Sized> Network for FaultyNet<'_, N> {
     fn syn(&self, ctx: &ProbeCtx, probe: &TcpHeader) -> SynReply {
-        if self
+        let dark = self
             .plan
-            .in_outage(ctx.origin, ctx.trial, ctx.time_s / self.duration_s)
-        {
+            .in_outage(ctx.origin, ctx.trial, ctx.time_s / self.duration_s);
+        if let Some(hub) = self.telemetry {
+            if self.plan.has_outage(ctx.origin, ctx.trial) {
+                let scope = Scope::new(ctx.protocol.name(), ctx.trial, ctx.origin);
+                hub.outage_update(scope, ctx.time_s, dark);
+                if dark {
+                    hub.add(scope, names::FAULT_OUTAGE_SILENCED, 1);
+                }
+            }
+        }
+        if dark {
             return SynReply::Silent;
         }
         let Some(t) = self.plan.tamper_for(ctx.origin, ctx.trial) else {
@@ -360,9 +390,32 @@ impl<N: Network + ?Sized> Network for FaultyNet<'_, N> {
             // the inner network is a pure function of its context, so
             // re-asking with probe_idx - 1 *is* that earlier reply.
             eff.probe_idx -= 1;
+            if let Some(hub) = self.telemetry {
+                let scope = Scope::new(ctx.protocol.name(), ctx.trial, ctx.origin);
+                hub.emit(
+                    scope,
+                    ctx.time_s,
+                    EventKind::ReplyDuplicated { addr: ctx.dst },
+                );
+                hub.add(scope, names::FAULT_REPLIES_DUPLICATED, 1);
+            }
         }
         let reply = self.inner.syn(&eff, probe);
         if t.corrupt_p > 0.0 && det.bernoulli(Tag::FaultCorrupt, &key, t.corrupt_p) {
+            // Corrupting silence is a no-op; only record faults that
+            // mangled an actual reply (each of which the scanner's
+            // validation will reject).
+            if !matches!(reply, SynReply::Silent) {
+                if let Some(hub) = self.telemetry {
+                    let scope = Scope::new(ctx.protocol.name(), ctx.trial, ctx.origin);
+                    hub.emit(
+                        scope,
+                        ctx.time_s,
+                        EventKind::ReplyCorrupted { addr: ctx.dst },
+                    );
+                    hub.add(scope, names::FAULT_REPLIES_CORRUPTED, 1);
+                }
+            }
             return corrupt_reply(reply);
         }
         reply
@@ -373,6 +426,10 @@ impl<N: Network + ?Sized> Network for FaultyNet<'_, N> {
             .plan
             .in_outage(ctx.origin, ctx.trial, ctx.time_s / self.duration_s)
         {
+            if let Some(hub) = self.telemetry {
+                let scope = Scope::new(ctx.protocol.name(), ctx.trial, ctx.origin);
+                hub.add(scope, names::FAULT_OUTAGE_L7_TIMEOUTS, 1);
+            }
             return L7Reply::Timeout;
         }
         self.inner.l7(ctx, request)
@@ -549,6 +606,41 @@ mod tests {
         // differently — but the shifted run itself is fully deterministic.
         let again = run_scan_session(&net, &cfg(&w, 0), session()).unwrap();
         assert_eq!(stalled, again);
+    }
+
+    #[test]
+    fn telemetry_tracks_outage_transitions_and_tampering() {
+        let w = WorldConfig::tiny(7).build();
+        let net = SimNet::new(&w, ORIGINS, DUR);
+        let plan = FaultPlan::new(1)
+            .outage(1, 0, 0.25, 0.75)
+            .corrupt_replies(1, 0, 0.01)
+            .duplicate_replies(1, 0, 0.01);
+        let hub = Telemetry::new();
+        let faulty = FaultyNet::new(&net, &plan, DUR).with_telemetry(&hub);
+        // Origin 0 is untouched by the plan: no telemetry may appear.
+        run_scan(&faulty, &cfg(&w, 0)).unwrap();
+        assert_eq!(
+            hub.snapshot(),
+            originscan_telemetry::TelemetrySnapshot::default()
+        );
+        // Origin 1: one outage cycle plus tampered replies.
+        let faulted = run_scan(&faulty, &cfg(&w, 1)).unwrap();
+        let snap = hub.snapshot();
+        let scope = Scope::new("HTTP", 0, 1);
+        let transitions: Vec<&str> = snap
+            .events_for(scope)
+            .filter(|e| matches!(e.kind, EventKind::OutageStarted | EventKind::OutageEnded))
+            .map(|e| e.kind.name())
+            .collect();
+        assert_eq!(transitions, vec!["outage_started", "outage_ended"]);
+        assert!(snap.counter(scope, names::FAULT_OUTAGE_SILENCED) > 0);
+        assert_eq!(
+            snap.counter(scope, names::FAULT_REPLIES_CORRUPTED),
+            faulted.summary.validation_failures,
+            "every corrupted reply must fail validation"
+        );
+        assert!(snap.counter(scope, names::FAULT_REPLIES_DUPLICATED) > 0);
     }
 
     #[test]

@@ -31,6 +31,8 @@ use crate::error::{ConfigError, ScanError};
 use crate::rate::Pacer;
 use crate::target::{L7Ctx, Network, ProbeCtx, Protocol, SynReply};
 use crate::zgrab::{self, L7Outcome};
+use originscan_telemetry::metrics::{self, names};
+use originscan_telemetry::{EventKind, MetricBatch, Scope, Telemetry};
 use originscan_wire::ipv4::Ipv4Header;
 use originscan_wire::tcp::TcpHeader;
 use originscan_wire::validation::Validator;
@@ -330,6 +332,11 @@ pub struct ScanSession<'a> {
     pub resume: Option<ScanCheckpoint>,
     /// Supervisor attempt number forwarded to the fault hook.
     pub attempt: u32,
+    /// Telemetry hub recording this scan's events and metrics (None:
+    /// telemetry off, zero overhead). Events are emitted at simulated
+    /// time as they happen; metrics are accumulated locally and flushed
+    /// in one lock acquisition at completion.
+    pub telemetry: Option<&'a Telemetry>,
 }
 
 // Manual impl: `hook` is a `&dyn FaultHook` with no Debug bound, so show
@@ -342,6 +349,7 @@ impl std::fmt::Debug for ScanSession<'_> {
             .field("store", &self.store.is_some())
             .field("resume", &self.resume.is_some())
             .field("attempt", &self.attempt)
+            .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
 }
@@ -353,6 +361,69 @@ pub fn run_scan<N: Network + ?Sized>(net: &N, cfg: &ScanConfig) -> Result<ScanOu
     run_scan_session(net, cfg, ScanSession::default())
 }
 
+/// A no-op-when-disabled telemetry handle bound to this scan's scope.
+struct Tele<'a> {
+    hub: Option<&'a Telemetry>,
+    scope: Scope,
+}
+
+impl Tele<'_> {
+    fn emit(&self, time_s: f64, kind: EventKind) {
+        if let Some(hub) = self.hub {
+            hub.emit(self.scope, time_s, kind);
+        }
+    }
+}
+
+/// Build the per-scan metric batch from the finished output. Called once
+/// at completion (the summary is cumulative across resumes, so this is
+/// also correct for scans that crossed a checkpoint).
+fn scan_metrics(out: &ScanOutput, stall_s: f64, checkpoint_writes: u64) -> MetricBatch {
+    let s = &out.summary;
+    let mut b = MetricBatch::new();
+    b.add(names::PROBES_SENT, s.probes_sent);
+    b.add(names::ADDRESSES_PROBED, s.addresses_probed);
+    b.add(names::BLOCKLIST_SKIPS, s.blocked);
+    b.add(names::SYNACKS, s.synacks);
+    b.add(names::VALIDATION_FAILURES, s.validation_failures);
+    b.add(names::RESPONSIVE_HOSTS, out.records.len() as u64);
+    b.add(names::CHECKPOINT_WRITES, checkpoint_writes);
+    b.set_gauge(names::DURATION_SECONDS, s.duration_s);
+    if stall_s > 0.0 {
+        b.set_gauge(names::STALL_SECONDS, stall_s);
+    }
+    let (mut ok, mut closed, mut timeout, mut proto_err) = (0u64, 0u64, 0u64, 0u64);
+    for r in &out.records {
+        if s.duration_s > 0.0 {
+            b.observe(
+                names::RESPONSE_FRAC,
+                metrics::RESPONSE_FRAC_BOUNDS,
+                r.response_time_s / s.duration_s,
+            );
+        }
+        // L7 classes are only meaningful where a handshake was attempted
+        // (RST-only hosts carry a placeholder outcome).
+        if r.l4_responsive() {
+            b.observe(
+                names::L7_ATTEMPTS,
+                metrics::L7_ATTEMPT_BOUNDS,
+                f64::from(r.l7_attempts),
+            );
+            match r.l7 {
+                L7Outcome::Success(_) => ok += 1,
+                L7Outcome::ConnClosed(_) => closed += 1,
+                L7Outcome::Timeout => timeout += 1,
+                L7Outcome::ProtocolError => proto_err += 1,
+            }
+        }
+    }
+    b.add(names::L7_SUCCESS, ok);
+    b.add(names::L7_CONN_CLOSED, closed);
+    b.add(names::L7_TIMEOUT, timeout);
+    b.add(names::L7_PROTOCOL_ERROR, proto_err);
+    b
+}
+
 /// Execute one scan against `net` under supervision: consult the fault
 /// hook before every address, periodically checkpoint resumable state,
 /// and optionally resume from a prior checkpoint.
@@ -362,6 +433,10 @@ pub fn run_scan_session<N: Network + ?Sized>(
     session: ScanSession<'_>,
 ) -> Result<ScanOutput, ScanError> {
     cfg.validate()?;
+    let tele = Tele {
+        hub: session.telemetry,
+        scope: Scope::new(cfg.protocol.name(), cfg.trial, cfg.origin),
+    };
     let cycle = Cycle::new(cfg.space, cfg.seed);
     let validator = Validator::from_seed(cfg.seed);
     let mut pacer = Pacer::new(cfg.rate_pps, cfg.batch);
@@ -377,9 +452,24 @@ pub fn run_scan_session<N: Network + ?Sized>(
         pacer.advance_to(cp.output.summary.probes_sent);
         stall_s = cp.stall_s;
         out = cp.output;
+        tele.emit(
+            pacer.peek_send_time() + stall_s,
+            EventKind::ScanResumed {
+                attempt: session.attempt,
+                steps: iter.steps_taken(),
+            },
+        );
+    } else {
+        tele.emit(
+            0.0,
+            EventKind::ScanStarted {
+                attempt: session.attempt,
+            },
+        );
     }
 
     let mut since_checkpoint = 0u64;
+    let mut checkpoint_writes = 0u64;
     loop {
         // Periodic checkpoint, taken *before* the iterator advances so the
         // saved state excludes any in-flight address.
@@ -390,6 +480,14 @@ pub fn run_scan_session<N: Network + ?Sized>(
                     stall_s,
                     output: out.clone(),
                 });
+                checkpoint_writes += 1;
+                tele.emit(
+                    pacer.peek_send_time() + stall_s,
+                    EventKind::CheckpointSaved {
+                        steps: iter.steps_taken(),
+                        addresses_probed: out.summary.addresses_probed,
+                    },
+                );
             }
             since_checkpoint = 0;
         }
@@ -405,8 +503,26 @@ pub fn run_scan_session<N: Network + ?Sized>(
             };
             match hook.before_address(&ctx) {
                 FaultAction::Continue => {}
-                FaultAction::Stall { delay_s } => stall_s += delay_s,
+                FaultAction::Stall { delay_s } => {
+                    stall_s += delay_s;
+                    tele.emit(ctx.time_s, EventKind::PipelineStall { delay_s });
+                    if let Some(hub) = tele.hub {
+                        let mut b = MetricBatch::new();
+                        b.add(names::FAULT_STALLS, 1);
+                        b.observe(names::FAULT_STALL_SECONDS, metrics::STALL_BOUNDS, delay_s);
+                        hub.flush(tele.scope, b);
+                    }
+                }
                 FaultAction::Kill => {
+                    tele.emit(
+                        ctx.time_s,
+                        EventKind::ScanKilled {
+                            addresses_probed: ctx.addresses_probed,
+                        },
+                    );
+                    if let Some(hub) = tele.hub {
+                        hub.add(tele.scope, names::FAULT_KILLS, 1);
+                    }
                     return Err(ScanError::Killed {
                         time_s: ctx.time_s,
                         addresses_probed: ctx.addresses_probed,
@@ -514,6 +630,16 @@ pub fn run_scan_session<N: Network + ?Sized>(
         }
     }
     out.summary.duration_s = pacer.duration_for(out.summary.probes_sent) + stall_s;
+    tele.emit(
+        out.summary.duration_s,
+        EventKind::ScanCompleted {
+            addresses_probed: out.summary.addresses_probed,
+            duration_s: out.summary.duration_s,
+        },
+    );
+    if let Some(hub) = tele.hub {
+        hub.flush(tele.scope, scan_metrics(&out, stall_s, checkpoint_writes));
+    }
     Ok(out)
 }
 
@@ -793,6 +919,7 @@ mod tests {
             store: Some(&store),
             resume: None,
             attempt: 0,
+            telemetry: None,
         };
         let err = run_scan_session(&net, &cfg(1000), session).unwrap_err();
         assert!(
@@ -835,6 +962,7 @@ mod tests {
                 store: Some(&store),
                 resume: None,
                 attempt: 0,
+                telemetry: None,
             },
         );
         assert!(matches!(first, Err(ScanError::Killed { .. })));
@@ -848,6 +976,7 @@ mod tests {
                 store: Some(&store),
                 resume: Some(cp),
                 attempt: 1,
+                telemetry: None,
             },
         )
         .unwrap();
@@ -877,6 +1006,7 @@ mod tests {
                 store: Some(&store),
                 resume: None,
                 attempt: 0,
+                telemetry: None,
             },
         );
         assert!(matches!(first, Err(ScanError::Killed { .. })));
@@ -890,6 +1020,7 @@ mod tests {
                 store: Some(&store),
                 resume: store.take(),
                 attempt: 1,
+                telemetry: None,
             },
         )
         .unwrap();
@@ -936,6 +1067,118 @@ mod tests {
                 FaultAction::Continue
             }
         }
+    }
+
+    #[test]
+    fn telemetry_records_scan_lifecycle_and_metrics() {
+        let net = ToyNet {
+            live_mod: 10,
+            closed_mod: 3,
+        };
+        let store = CheckpointStore::new();
+        let hub = Telemetry::new();
+        let out = run_scan_session(
+            &net,
+            &cfg(1000),
+            ScanSession {
+                checkpoint_every: 400,
+                store: Some(&store),
+                telemetry: Some(&hub),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let snap = hub.snapshot();
+        let scope = Scope::new("HTTP", 0, 0);
+        let kinds: Vec<&str> = snap.events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "scan_started",
+                "checkpoint_saved",
+                "checkpoint_saved",
+                "scan_completed"
+            ]
+        );
+        assert_eq!(
+            snap.counter(scope, names::PROBES_SENT),
+            out.summary.probes_sent
+        );
+        assert_eq!(snap.counter(scope, names::CHECKPOINT_WRITES), 2);
+        assert_eq!(snap.counter(scope, names::L7_SUCCESS), 100);
+        assert_eq!(
+            snap.gauge(scope, names::DURATION_SECONDS),
+            Some(out.summary.duration_s)
+        );
+        // 100 responsive + RST-only hosts each contribute one
+        // response-time observation.
+        let frac = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == names::RESPONSE_FRAC)
+            .unwrap();
+        assert_eq!(frac.counts.iter().sum::<u64>(), out.records.len() as u64);
+        // L7 attempts only for the 100 SYN-ACK hosts.
+        let l7 = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == names::L7_ATTEMPTS)
+            .unwrap();
+        assert_eq!(l7.counts.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn telemetry_records_kill_and_stall_faults() {
+        let net = ToyNet {
+            live_mod: 10,
+            closed_mod: 3,
+        };
+        let hub = Telemetry::new();
+        let hook = KillAt {
+            kill_at: 100,
+            fail_attempts: 1,
+        };
+        let err = run_scan_session(
+            &net,
+            &cfg(1000),
+            ScanSession {
+                hook: Some(&hook),
+                telemetry: Some(&hub),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScanError::Killed { .. }));
+        let snap = hub.snapshot();
+        let scope = Scope::new("HTTP", 0, 0);
+        assert_eq!(snap.counter(scope, names::FAULT_KILLS), 1);
+        let kinds: Vec<&str> = snap.events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(kinds, vec!["scan_started", "scan_killed"]);
+        // A killed scan never flushes completion metrics.
+        assert_eq!(snap.counter(scope, names::PROBES_SENT), 0);
+
+        let hub = Telemetry::new();
+        let hook = StallAt {
+            at: 50,
+            delay_s: 5.0,
+        };
+        run_scan_session(
+            &net,
+            &cfg(1000),
+            ScanSession {
+                hook: Some(&hook),
+                telemetry: Some(&hub),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let snap = hub.snapshot();
+        assert_eq!(snap.counter(scope, names::FAULT_STALLS), 1);
+        assert_eq!(snap.gauge(scope, names::STALL_SECONDS), Some(5.0));
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::PipelineStall { delay_s: 5.0 }));
     }
 
     #[test]

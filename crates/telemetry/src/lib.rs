@@ -1,0 +1,490 @@
+//! # originscan-telemetry
+//!
+//! Deterministic tracing, metrics, and scan timelines for the originscan
+//! workspace.
+//!
+//! The paper's analyses (§4–§6) explain *why* an origin misses hosts —
+//! blocking, transient bursts, detection, `MaxStartups` refusal — so the
+//! reproduction's pipeline must be equally explainable: when a scan loses
+//! 8% of SSH hosts, telemetry records which stage dropped them, when the
+//! supervisor retried, and how long each injected stall lasted.
+//!
+//! Three pieces, all dependency-free:
+//!
+//! * **Events** ([`Event`], [`EventKind`]) — structured moments keyed to
+//!   **simulated time** and a [`Scope`] (protocol, trial, origin).
+//!   Library code never reads a wall clock; the only wall-clock numbers
+//!   in the system enter through the bench/CLI [`progress`] sink as
+//!   pre-measured plain values.
+//! * **Metrics** ([`metrics`]) — named counters, gauges, and fixed-bucket
+//!   histograms. Hot loops accumulate locally and flush once per scan, so
+//!   the shared registry costs one lock per scan, not per probe.
+//! * **Sinks** — an in-memory timeline ([`TelemetrySnapshot`]), a JSONL
+//!   exporter ([`TelemetrySnapshot::to_jsonl`]), and a human-readable
+//!   per-origin summary ([`TelemetrySnapshot::render_summary`]).
+//!
+//! ## Determinism contract
+//!
+//! Telemetry output is a pure function of `(seed, origin, trial)` plus
+//! the configured fault plan. Two mechanisms make that hold under the
+//! experiment runner's thread-per-origin parallelism:
+//!
+//! 1. every event carries a per-scope sequence number assigned in
+//!    emission order (one scope = one scan = one thread, so the per-scope
+//!    stream is totally ordered), and
+//! 2. snapshots sort events by `(scope, seq)` and keep metrics in
+//!    `BTreeMap` order, erasing cross-thread interleaving.
+//!
+//! The `det-*` invariants enforced by `originscan-lint` apply to this
+//! crate's library code like any other; the stderr progress sink carries
+//! the one audited `lint:allow(obs-print)` escape in the workspace.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![deny(missing_docs)]
+
+pub mod event;
+mod json;
+pub mod metrics;
+pub mod progress;
+pub mod schema;
+
+pub use event::{Event, EventKind, Scope};
+pub use metrics::{Histogram, HistogramEntry, MetricEntry};
+
+use metrics::Registry;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// The shared telemetry hub: every scan, supervisor, and fault layer in
+/// one experiment records into a single `Telemetry` behind `&self`.
+///
+/// Locking discipline: one short lock per *event* (events are rare —
+/// checkpoints, faults, lifecycle) and one per metrics *flush* (once per
+/// scan). Nothing in a per-probe hot path takes the lock unless a fault
+/// is actually being injected on that probe.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: Vec<Event>,
+    seqs: std::collections::BTreeMap<Scope, u32>,
+    registry: Registry,
+    /// Scopes currently inside an injected outage window (drives the
+    /// started/ended transition events).
+    in_outage: BTreeSet<Scope>,
+}
+
+impl Telemetry {
+    /// An empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `f` on the inner state, recovering from a poisoned lock the
+    /// same way [`CheckpointStore`] does: a writer that panicked between
+    /// two pushes leaves the vectors coherent, so telemetry keeps
+    /// accepting records from the supervisor's retry.
+    ///
+    /// [`CheckpointStore`]: https://docs.rs/originscan-scanner
+    fn with_inner<T>(&self, f: impl FnOnce(&mut Inner) -> T) -> T {
+        match self.inner.lock() {
+            Ok(mut g) => f(&mut g),
+            Err(poisoned) => f(&mut poisoned.into_inner()),
+        }
+    }
+
+    /// Record an event at simulated time `time_s`.
+    pub fn emit(&self, scope: Scope, time_s: f64, kind: EventKind) {
+        self.with_inner(|inner| {
+            let seq = inner.seqs.entry(scope).or_insert(0);
+            let event = Event {
+                scope,
+                seq: *seq,
+                time_s,
+                kind,
+            };
+            *seq += 1;
+            inner.events.push(event);
+        });
+    }
+
+    /// Add `delta` to a counter.
+    pub fn add(&self, scope: Scope, name: &'static str, delta: u64) {
+        self.with_inner(|inner| inner.registry.add(scope, name, delta));
+    }
+
+    /// Set a gauge.
+    pub fn set_gauge(&self, scope: Scope, name: &'static str, value: f64) {
+        self.with_inner(|inner| inner.registry.set_gauge(scope, name, value));
+    }
+
+    /// Record one observation into a fixed-bucket histogram.
+    pub fn observe(&self, scope: Scope, name: &'static str, bounds: &'static [f64], value: f64) {
+        self.with_inner(|inner| inner.registry.observe(scope, name, bounds, value));
+    }
+
+    /// Track an outage state transition: emits [`EventKind::OutageStarted`]
+    /// / [`EventKind::OutageEnded`] exactly when `in_outage` flips for
+    /// `scope`. Called by the fault layer on every probe of an origin that
+    /// has outage windows configured; untouched origins never reach here.
+    pub fn outage_update(&self, scope: Scope, time_s: f64, in_outage: bool) {
+        self.with_inner(|inner| {
+            let was = inner.in_outage.contains(&scope);
+            if in_outage == was {
+                return;
+            }
+            if in_outage {
+                inner.in_outage.insert(scope);
+            } else {
+                inner.in_outage.remove(&scope);
+            }
+            let kind = if in_outage {
+                EventKind::OutageStarted
+            } else {
+                EventKind::OutageEnded
+            };
+            let seq = inner.seqs.entry(scope).or_insert(0);
+            let event = Event {
+                scope,
+                seq: *seq,
+                time_s,
+                kind,
+            };
+            *seq += 1;
+            inner.events.push(event);
+        });
+    }
+
+    /// Merge a locally-accumulated [`MetricBatch`] into the registry in a
+    /// single lock acquisition. This is the hot-path contract: a scan
+    /// accumulates into plain locals, builds one batch, and flushes once.
+    pub fn flush(&self, scope: Scope, batch: MetricBatch) {
+        self.with_inner(|inner| {
+            for (name, delta) in batch.counters {
+                inner.registry.add(scope, name, delta);
+            }
+            for (name, value) in batch.gauges {
+                inner.registry.set_gauge(scope, name, value);
+            }
+            for (name, bounds, value) in batch.observations {
+                inner.registry.observe(scope, name, bounds, value);
+            }
+        });
+    }
+
+    /// Snapshot the current state (events sorted by `(scope, seq)`,
+    /// metrics in key order), leaving the hub untouched.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.with_inner(|inner| {
+            let mut events = inner.events.clone();
+            events.sort_by_key(|e| (e.scope, e.seq));
+            TelemetrySnapshot {
+                events,
+                counters: inner
+                    .registry
+                    .counters
+                    .iter()
+                    .map(|(&(scope, name), &value)| MetricEntry { scope, name, value })
+                    .collect(),
+                gauges: inner
+                    .registry
+                    .gauges
+                    .iter()
+                    .map(|(&(scope, name), &value)| MetricEntry { scope, name, value })
+                    .collect(),
+                histograms: inner
+                    .registry
+                    .histograms
+                    .iter()
+                    .map(|(&(scope, name), h)| HistogramEntry {
+                        scope,
+                        name,
+                        bounds: h.bounds,
+                        counts: h.counts.clone(),
+                    })
+                    .collect(),
+            }
+        })
+    }
+
+    /// Consume the hub into its snapshot.
+    pub fn into_snapshot(self) -> TelemetrySnapshot {
+        self.snapshot()
+    }
+}
+
+/// Metrics accumulated locally (no locks) for one scope, to be merged
+/// into a [`Telemetry`] hub with one [`Telemetry::flush`] call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricBatch {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, f64)>,
+    observations: Vec<(&'static str, &'static [f64], f64)>,
+}
+
+impl MetricBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a counter increment (dropped when `delta` is zero, so
+    /// untouched counters never appear in snapshots).
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        if delta > 0 {
+            self.counters.push((name, delta));
+        }
+    }
+
+    /// Queue a gauge write.
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.push((name, value));
+    }
+
+    /// Queue a histogram observation.
+    pub fn observe(&mut self, name: &'static str, bounds: &'static [f64], value: f64) {
+        self.observations.push((name, bounds, value));
+    }
+}
+
+/// An immutable, deterministic view of everything recorded: the in-memory
+/// timeline sink. Embedded in `ExperimentResults` so two runs with the
+/// same seed carry byte-identical telemetry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// All events, sorted by `(scope, seq)`.
+    pub events: Vec<Event>,
+    /// All counters, in `(scope, name)` order.
+    pub counters: Vec<MetricEntry<u64>>,
+    /// All gauges, in `(scope, name)` order.
+    pub gauges: Vec<MetricEntry<f64>>,
+    /// All histograms, in `(scope, name)` order.
+    pub histograms: Vec<HistogramEntry>,
+}
+
+impl TelemetrySnapshot {
+    /// The event stream as JSONL (one event per line, trailing newline
+    /// after every line).
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The metrics (counters, then gauges, then histograms) as JSONL.
+    pub fn metrics_jsonl(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            out.push_str(&c.to_json());
+            out.push('\n');
+        }
+        for g in &self.gauges {
+            out.push_str(&g.to_json());
+            out.push('\n');
+        }
+        for h in &self.histograms {
+            out.push_str(&h.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Full JSONL export: events first, then metrics.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = self.events_jsonl();
+        out.push_str(&self.metrics_jsonl());
+        out
+    }
+
+    /// Look up a counter (0 when never touched).
+    pub fn counter(&self, scope: Scope, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.scope == scope && c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Look up a gauge.
+    pub fn gauge(&self, scope: Scope, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|g| g.scope == scope && g.name == name)
+            .map(|g| g.value)
+    }
+
+    /// Events belonging to one scope, in emission order.
+    pub fn events_for(&self, scope: Scope) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.scope == scope)
+    }
+
+    /// Every scope that recorded anything, in canonical order.
+    pub fn scopes(&self) -> Vec<Scope> {
+        let mut set: BTreeSet<Scope> = self.events.iter().map(|e| e.scope).collect();
+        set.extend(self.counters.iter().map(|c| c.scope));
+        set.extend(self.gauges.iter().map(|g| g.scope));
+        set.extend(self.histograms.iter().map(|h| h.scope));
+        set.into_iter().collect()
+    }
+
+    /// Human-readable per-origin scan summary: one line per scope with
+    /// the headline counters, plus its disruption events.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<6} {:>5} {:>6}  {:>12} {:>10} {:>9} {:>8} {:>8} {:>7}",
+            "proto",
+            "trial",
+            "origin",
+            "probes",
+            "synacks",
+            "val.fail",
+            "l7.ok",
+            "events",
+            "faults"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(82));
+        for scope in self.scopes() {
+            let faults = self.counter(scope, metrics::names::FAULT_STALLS)
+                + self.counter(scope, metrics::names::FAULT_KILLS)
+                + self.counter(scope, metrics::names::FAULT_REPLIES_CORRUPTED)
+                + self.counter(scope, metrics::names::FAULT_REPLIES_DUPLICATED)
+                + self.counter(scope, metrics::names::FAULT_OUTAGE_SILENCED);
+            let _ = writeln!(
+                out,
+                "{:<6} {:>5} {:>6}  {:>12} {:>10} {:>9} {:>8} {:>8} {:>7}",
+                scope.proto,
+                scope.trial,
+                scope.origin,
+                self.counter(scope, metrics::names::PROBES_SENT),
+                self.counter(scope, metrics::names::SYNACKS),
+                self.counter(scope, metrics::names::VALIDATION_FAILURES),
+                self.counter(scope, metrics::names::L7_SUCCESS),
+                self.events_for(scope).count(),
+                faults,
+            );
+            for e in self.events_for(scope) {
+                if !matches!(
+                    e.kind,
+                    EventKind::CheckpointSaved { .. }
+                        | EventKind::ScanStarted { .. }
+                        | EventKind::ScanCompleted { .. }
+                ) {
+                    let _ = writeln!(out, "    t={:>12.3}s  {}", e.time_s, e.kind.name());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::names;
+
+    fn sc(origin: u16) -> Scope {
+        Scope::new("HTTP", 0, origin)
+    }
+
+    #[test]
+    fn seq_is_per_scope_and_snapshot_sorted() {
+        let t = Telemetry::new();
+        t.emit(sc(1), 5.0, EventKind::ScanStarted { attempt: 0 });
+        t.emit(sc(0), 1.0, EventKind::ScanStarted { attempt: 0 });
+        t.emit(
+            sc(1),
+            9.0,
+            EventKind::ScanCompleted {
+                addresses_probed: 4,
+                duration_s: 9.0,
+            },
+        );
+        let s = t.snapshot();
+        let keys: Vec<(u16, u32)> = s.events.iter().map(|e| (e.scope.origin, e.seq)).collect();
+        assert_eq!(keys, vec![(0, 0), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn snapshot_is_insensitive_to_emission_interleaving() {
+        // Two hubs fed the same per-scope streams in different global
+        // orders serialize identically.
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        let e0 = EventKind::ScanStarted { attempt: 0 };
+        let e1 = EventKind::ScanCompleted {
+            addresses_probed: 1,
+            duration_s: 2.0,
+        };
+        a.emit(sc(0), 0.0, e0);
+        a.emit(sc(0), 2.0, e1);
+        a.emit(sc(1), 0.0, e0);
+        b.emit(sc(1), 0.0, e0);
+        b.emit(sc(0), 0.0, e0);
+        b.emit(sc(0), 2.0, e1);
+        a.add(sc(0), names::PROBES_SENT, 3);
+        b.add(sc(0), names::PROBES_SENT, 3);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.snapshot().to_jsonl(), b.snapshot().to_jsonl());
+    }
+
+    #[test]
+    fn outage_transitions_emit_once_per_flip() {
+        let t = Telemetry::new();
+        t.outage_update(sc(0), 1.0, false); // no-op: not in outage
+        t.outage_update(sc(0), 2.0, true); // started
+        t.outage_update(sc(0), 3.0, true); // still inside: no event
+        t.outage_update(sc(0), 4.0, false); // ended
+        let s = t.snapshot();
+        let kinds: Vec<&str> = s.events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(kinds, vec!["outage_started", "outage_ended"]);
+        assert_eq!(s.events[0].time_s, 2.0);
+        assert_eq!(s.events[1].time_s, 4.0);
+    }
+
+    #[test]
+    fn summary_renders_headline_counters() {
+        let t = Telemetry::new();
+        t.add(sc(2), names::PROBES_SENT, 100);
+        t.add(sc(2), names::L7_SUCCESS, 42);
+        t.emit(sc(2), 7.5, EventKind::PipelineStall { delay_s: 5.0 });
+        let text = t.snapshot().render_summary();
+        assert!(text.contains("HTTP"), "{text}");
+        assert!(text.contains("100"), "{text}");
+        assert!(text.contains("pipeline_stall"), "{text}");
+    }
+
+    #[test]
+    fn batch_flush_merges_in_one_shot() {
+        let t = Telemetry::new();
+        let mut b = MetricBatch::new();
+        b.add(names::PROBES_SENT, 10);
+        b.add(names::PROBES_SENT, 5);
+        b.add(names::SYNACKS, 0); // dropped: zero deltas never surface
+        b.set_gauge(names::DURATION_SECONDS, 3.5);
+        b.observe(names::L7_ATTEMPTS, metrics::L7_ATTEMPT_BOUNDS, 1.0);
+        t.flush(sc(0), b);
+        let s = t.snapshot();
+        assert_eq!(s.counter(sc(0), names::PROBES_SENT), 15);
+        assert!(!s.counters.iter().any(|c| c.name == names::SYNACKS));
+        assert_eq!(s.gauge(sc(0), names::DURATION_SECONDS), Some(3.5));
+        assert_eq!(s.histograms.len(), 1);
+        assert_eq!(s.histograms[0].counts.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn counter_lookup_defaults_to_zero() {
+        let s = Telemetry::new().snapshot();
+        assert_eq!(s.counter(sc(0), names::PROBES_SENT), 0);
+        assert_eq!(s.gauge(sc(0), names::DURATION_SECONDS), None);
+        assert!(s.scopes().is_empty());
+    }
+}

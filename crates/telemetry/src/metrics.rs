@@ -1,0 +1,312 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms, keyed by [`Scope`].
+//!
+//! Hot paths never touch this module directly — the engine accumulates
+//! plain local counters and flushes them in one call at scan completion,
+//! so the registry costs one lock acquisition per *scan*, not per probe.
+//! Histogram bucket boundaries are compile-time constants (see
+//! [`RESPONSE_FRAC_BOUNDS`] and friends), so serialized histograms are
+//! identical across platforms by construction.
+
+use crate::event::Scope;
+use crate::json::JsonObj;
+use std::collections::BTreeMap;
+
+/// Fraction-of-scan-duration buckets for first-response times. Using
+/// fractions (not seconds) keeps one bucket set meaningful for a 21-hour
+/// paper trial and a 20-second unit test alike.
+pub const RESPONSE_FRAC_BOUNDS: &[f64] = &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// Buckets for L7 attempt counts (paper §6 sweeps 0..8 retries).
+pub const L7_ATTEMPT_BOUNDS: &[f64] = &[1.5, 2.5, 4.5, 8.5];
+
+/// Simulated-second buckets for fault stalls and supervisor backoff.
+pub const STALL_BOUNDS: &[f64] = &[1.0, 10.0, 60.0, 300.0, 900.0, 3600.0];
+
+/// Canonical metric names. Instrumentation sites use these constants so
+/// the schema golden test pins the full metric catalogue.
+pub mod names {
+    /// SYN probes sent (counter).
+    pub const PROBES_SENT: &str = "scan.probes_sent";
+    /// Addresses probed after blocklist and sharding (counter).
+    pub const ADDRESSES_PROBED: &str = "scan.addresses_probed";
+    /// Addresses skipped by the blocklist (counter).
+    pub const BLOCKLIST_SKIPS: &str = "scan.blocklist_skips";
+    /// Validated SYN-ACKs received (counter).
+    pub const SYNACKS: &str = "scan.synacks";
+    /// Replies that failed stateless validation (counter).
+    pub const VALIDATION_FAILURES: &str = "scan.validation_failures";
+    /// Hosts that produced any validated response (counter).
+    pub const RESPONSIVE_HOSTS: &str = "scan.responsive_hosts";
+    /// Hosts whose application handshake completed (counter).
+    pub const L7_SUCCESS: &str = "scan.l7.success";
+    /// Hosts whose connection was closed without data (counter).
+    pub const L7_CONN_CLOSED: &str = "scan.l7.conn_closed";
+    /// Hosts whose application connection timed out (counter).
+    pub const L7_TIMEOUT: &str = "scan.l7.timeout";
+    /// Hosts that answered with an unparsable payload (counter).
+    pub const L7_PROTOCOL_ERROR: &str = "scan.l7.protocol_error";
+    /// Periodic resumable checkpoints written (counter).
+    pub const CHECKPOINT_WRITES: &str = "scan.checkpoint_writes";
+    /// Simulated scan duration in seconds (gauge).
+    pub const DURATION_SECONDS: &str = "scan.duration_s";
+    /// Accumulated pipeline-stall seconds (gauge).
+    pub const STALL_SECONDS: &str = "scan.stall_s";
+    /// First-response time as a fraction of scan duration (histogram,
+    /// [`super::RESPONSE_FRAC_BOUNDS`]).
+    pub const RESPONSE_FRAC: &str = "scan.response_frac";
+    /// L7 attempts per responsive host (histogram,
+    /// [`super::L7_ATTEMPT_BOUNDS`]).
+    pub const L7_ATTEMPTS: &str = "scan.l7_attempts";
+    /// Supervised attempts consumed (counter).
+    pub const SUP_ATTEMPTS: &str = "supervisor.attempts";
+    /// Retries after failed attempts (counter).
+    pub const SUP_RETRIES: &str = "supervisor.retries";
+    /// Simulated seconds spent in retry backoff (gauge).
+    pub const SUP_BACKOFF_SECONDS: &str = "supervisor.backoff_s";
+    /// Injected pipeline stalls (counter).
+    pub const FAULT_STALLS: &str = "fault.stalls";
+    /// Injected scan kills (counter).
+    pub const FAULT_KILLS: &str = "fault.kills";
+    /// Injected stall durations in simulated seconds (histogram,
+    /// [`super::STALL_BOUNDS`]).
+    pub const FAULT_STALL_SECONDS: &str = "fault.stall_seconds";
+    /// Replies corrupted in flight by the fault layer (counter).
+    pub const FAULT_REPLIES_CORRUPTED: &str = "fault.replies_corrupted";
+    /// Replies replaced by a duplicate of the previous probe's (counter).
+    pub const FAULT_REPLIES_DUPLICATED: &str = "fault.replies_duplicated";
+    /// SYN probes silenced by an injected outage window (counter).
+    pub const FAULT_OUTAGE_SILENCED: &str = "fault.outage_probes_silenced";
+    /// L7 connections timed out inside an outage window (counter).
+    pub const FAULT_OUTAGE_L7_TIMEOUTS: &str = "fault.outage_l7_timeouts";
+
+    /// The full catalogue as (name, record type) pairs, in serialization
+    /// order. Pinned by the schema golden test.
+    pub const ALL: &[(&str, &str)] = &[
+        (PROBES_SENT, "counter"),
+        (ADDRESSES_PROBED, "counter"),
+        (BLOCKLIST_SKIPS, "counter"),
+        (SYNACKS, "counter"),
+        (VALIDATION_FAILURES, "counter"),
+        (RESPONSIVE_HOSTS, "counter"),
+        (L7_SUCCESS, "counter"),
+        (L7_CONN_CLOSED, "counter"),
+        (L7_TIMEOUT, "counter"),
+        (L7_PROTOCOL_ERROR, "counter"),
+        (CHECKPOINT_WRITES, "counter"),
+        (DURATION_SECONDS, "gauge"),
+        (STALL_SECONDS, "gauge"),
+        (RESPONSE_FRAC, "histogram"),
+        (L7_ATTEMPTS, "histogram"),
+        (SUP_ATTEMPTS, "counter"),
+        (SUP_RETRIES, "counter"),
+        (SUP_BACKOFF_SECONDS, "gauge"),
+        (FAULT_STALLS, "counter"),
+        (FAULT_KILLS, "counter"),
+        (FAULT_STALL_SECONDS, "histogram"),
+        (FAULT_REPLIES_CORRUPTED, "counter"),
+        (FAULT_REPLIES_DUPLICATED, "counter"),
+        (FAULT_OUTAGE_SILENCED, "counter"),
+        (FAULT_OUTAGE_L7_TIMEOUTS, "counter"),
+    ];
+}
+
+/// A fixed-bucket histogram: `counts[i]` counts observations `v` with
+/// `bounds[i-1] <= v < bounds[i]` (first bucket: `v < bounds[0]`; last
+/// bucket: overflow).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bucket boundaries (compile-time constants, strictly
+    /// increasing).
+    pub bounds: &'static [f64],
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds`.
+    pub fn new(bounds: &'static [f64]) -> Self {
+        Self {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value < b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// The registry proper: three ordered maps keyed by `(scope, name)`.
+/// BTreeMaps keep snapshot order reproducible without a sort.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct Registry {
+    pub(crate) counters: BTreeMap<(Scope, &'static str), u64>,
+    pub(crate) gauges: BTreeMap<(Scope, &'static str), f64>,
+    pub(crate) histograms: BTreeMap<(Scope, &'static str), Histogram>,
+}
+
+impl Registry {
+    pub(crate) fn add(&mut self, scope: Scope, name: &'static str, delta: u64) {
+        *self.counters.entry((scope, name)).or_insert(0) += delta;
+    }
+
+    pub(crate) fn set_gauge(&mut self, scope: Scope, name: &'static str, value: f64) {
+        self.gauges.insert((scope, name), value);
+    }
+
+    pub(crate) fn observe(
+        &mut self,
+        scope: Scope,
+        name: &'static str,
+        bounds: &'static [f64],
+        value: f64,
+    ) {
+        self.histograms
+            .entry((scope, name))
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+}
+
+/// One counter or gauge in a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricEntry<T> {
+    /// The (protocol, trial, origin) the metric belongs to.
+    pub scope: Scope,
+    /// Metric name (one of [`names`]).
+    pub name: &'static str,
+    /// Its value at snapshot time.
+    pub value: T,
+}
+
+impl MetricEntry<u64> {
+    /// Serialize as one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut o = scoped_obj("counter", self.scope, self.name);
+        o.field_u64("value", self.value);
+        o.finish()
+    }
+}
+
+impl MetricEntry<f64> {
+    /// Serialize as one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut o = scoped_obj("gauge", self.scope, self.name);
+        o.field_f64("value", self.value);
+        o.finish()
+    }
+}
+
+/// One histogram in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramEntry {
+    /// The (protocol, trial, origin) the histogram belongs to.
+    pub scope: Scope,
+    /// Histogram name (one of [`names`]).
+    pub name: &'static str,
+    /// Upper bucket boundaries.
+    pub bounds: &'static [f64],
+    /// Per-bucket counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+}
+
+impl HistogramEntry {
+    /// Serialize as one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut o = scoped_obj("histogram", self.scope, self.name);
+        o.field_f64_array("bounds", self.bounds);
+        o.field_u64_array("counts", &self.counts);
+        o.finish()
+    }
+}
+
+fn scoped_obj(ty: &str, scope: Scope, name: &str) -> JsonObj {
+    let mut o = JsonObj::new();
+    o.field_str("type", ty);
+    o.field_str("proto", scope.proto);
+    o.field_u64("trial", u64::from(scope.trial));
+    o.field_u64("origin", u64::from(scope.origin));
+    o.field_str("name", name);
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc() -> Scope {
+        Scope::new("HTTP", 0, 1)
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5); // bucket 0
+        h.observe(1.0); // bucket 1 (left-closed on the boundary)
+        h.observe(1.5); // bucket 1
+        h.observe(9.0); // overflow
+        assert_eq!(h.counts, vec![1, 2, 1]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn registry_accumulates() {
+        let mut r = Registry::default();
+        r.add(sc(), names::PROBES_SENT, 2);
+        r.add(sc(), names::PROBES_SENT, 3);
+        r.set_gauge(sc(), names::DURATION_SECONDS, 9.5);
+        r.observe(sc(), names::RESPONSE_FRAC, RESPONSE_FRAC_BOUNDS, 0.42);
+        assert_eq!(r.counters[&(sc(), names::PROBES_SENT)], 5);
+        assert_eq!(r.gauges[&(sc(), names::DURATION_SECONDS)], 9.5);
+        assert_eq!(r.histograms[&(sc(), names::RESPONSE_FRAC)].total(), 1);
+    }
+
+    #[test]
+    fn metric_json_shapes() {
+        let c = MetricEntry {
+            scope: sc(),
+            name: names::SYNACKS,
+            value: 7u64,
+        };
+        assert_eq!(
+            c.to_json(),
+            "{\"type\":\"counter\",\"proto\":\"HTTP\",\"trial\":0,\"origin\":1,\
+             \"name\":\"scan.synacks\",\"value\":7}"
+        );
+        let h = HistogramEntry {
+            scope: sc(),
+            name: names::L7_ATTEMPTS,
+            bounds: &[1.5],
+            counts: vec![4, 0],
+        };
+        assert_eq!(
+            h.to_json(),
+            "{\"type\":\"histogram\",\"proto\":\"HTTP\",\"trial\":0,\"origin\":1,\
+             \"name\":\"scan.l7_attempts\",\"bounds\":[1.5],\"counts\":[4,0]}"
+        );
+    }
+
+    #[test]
+    fn bucket_boundaries_are_the_documented_constants() {
+        // The exact values are part of the serialized telemetry contract:
+        // any change must be deliberate and shows up in the schema golden.
+        assert_eq!(
+            RESPONSE_FRAC_BOUNDS,
+            &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+        );
+        assert_eq!(L7_ATTEMPT_BOUNDS, &[1.5, 2.5, 4.5, 8.5]);
+        assert_eq!(STALL_BOUNDS, &[1.0, 10.0, 60.0, 300.0, 900.0, 3600.0]);
+    }
+}

@@ -18,6 +18,9 @@
 //! * [`wire`] — the packet codecs underneath the scanner.
 //! * [`stats`] — the statistical machinery: McNemar's test, Spearman's ρ,
 //!   chi-square / normal CDFs, burst outlier detection, quantiles.
+//! * [`telemetry`] — deterministic observability: structured events keyed
+//!   to simulated time, a metrics registry, JSONL export, and per-origin
+//!   scan timelines. Byte-identical across same-seed runs.
 //! * [`core`] — the experiment runner and every analysis in the paper:
 //!   coverage, transient/long-term classification, exclusivity, country and
 //!   AS breakdowns, packet-loss estimation, SSH behaviour, and multi-origin
@@ -51,4 +54,5 @@ pub use originscan_core as core;
 pub use originscan_netmodel as netmodel;
 pub use originscan_scanner as scanner;
 pub use originscan_stats as stats;
+pub use originscan_telemetry as telemetry;
 pub use originscan_wire as wire;

@@ -105,13 +105,13 @@ fn killed_and_resumed_scan_equals_uninterrupted() {
     let mut sc = ScanConfig::new(world.space(), Protocol::Http, 1234);
     sc.rate_pps = rate_for_duration(world.space() * 2, DUR);
 
-    let uninterrupted = supervise_scan(&net, &sc, None, &SupervisorPolicy::default());
+    let uninterrupted = supervise_scan(&net, &sc, None, &SupervisorPolicy::default(), None);
     assert_eq!(uninterrupted.status, RunStatus::Completed);
 
     // Kill the scan 70% of the way through, once.
     let plan = FaultPlan::new(0).crash(0, 0, 0.7, 1);
     let hook = plan.hook(DUR);
-    let resumed = supervise_scan(&net, &sc, Some(&hook), &SupervisorPolicy::default());
+    let resumed = supervise_scan(&net, &sc, Some(&hook), &SupervisorPolicy::default(), None);
     assert_eq!(resumed.status, RunStatus::Resumed { retries: 1 });
     assert_eq!(
         resumed.output, uninterrupted.output,
@@ -125,7 +125,7 @@ fn killed_and_resumed_scan_equals_uninterrupted() {
         checkpoint_every: 0,
         ..Default::default()
     };
-    let restarted = supervise_scan(&net, &sc, Some(&hook), &policy);
+    let restarted = supervise_scan(&net, &sc, Some(&hook), &policy, None);
     assert_eq!(restarted.status, RunStatus::Resumed { retries: 1 });
     assert_eq!(restarted.output, uninterrupted.output);
 }
