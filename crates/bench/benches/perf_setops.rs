@@ -1,0 +1,186 @@
+//! Set-operation kernels vs the seed's collection-based analyses, at the
+//! full simulated 2²⁴ address scale.
+//!
+//! Before `originscan-store`, every set analysis walked per-host
+//! collections: coverage intersections iterated outcome columns, scan
+//! diffs walked `BTreeSet` unions, and the §7 combo sweep ran an `any()`
+//! loop per (host, subset). This bench rebuilds those baselines verbatim
+//! over synthetic scan sets at 2²⁴ scale and times them against the
+//! compressed-bitmap kernels that replaced them. Timings and the speedup
+//! factors are routed through the telemetry progress sink (`bench_timed`
+//! / `bench_speedup` JSONL lines on stderr); the stdout table is the
+//! artifact recorded in EXPERIMENTS.md.
+//!
+//! Unlike the figure/table benches this one ignores `ORIGINSCAN_SCALE`:
+//! kernels are only interesting at the full 2²⁴ address space, and the
+//! synthetic sets build in milliseconds.
+
+use originscan_bench::{header, paper_says, timed};
+use originscan_store::ScanSet;
+use originscan_telemetry::progress::{emit_progress, FieldValue};
+use std::collections::BTreeSet;
+
+/// Full simulated address space: 2²⁴.
+const SPACE: u32 = 1 << 24;
+
+/// Per-origin L7-success density, matching the world model's ~5% hitrate.
+const DENSITY: f64 = 0.05;
+
+/// splitmix64 — the same generator the world model seeds from.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A synthetic origin view: a deterministic ~DENSITY sample of the space,
+/// correlated across origins (shared base membership plus per-origin
+/// blocking), like real origins seeing mostly-overlapping host sets.
+fn origin_set(origin: u64) -> Vec<u32> {
+    let mut base = 2020u64;
+    let mut per_origin = 0xC0FFEE ^ (origin << 32);
+    let threshold = (DENSITY * f64::from(u32::MAX)) as u64;
+    let mut out = Vec::new();
+    for addr in 0..SPACE {
+        let host_draw = splitmix(&mut base) & 0xFFFF_FFFF;
+        if host_draw < threshold {
+            // Host exists; each origin misses ~10% of them, independently.
+            let miss_draw = splitmix(&mut per_origin) & 0xFF;
+            if miss_draw >= 26 {
+                out.push(addr);
+            }
+        }
+    }
+    out
+}
+
+fn row(label: &str, naive_s: f64, kernel_s: f64, naive_val: u64, kernel_val: u64) -> f64 {
+    assert_eq!(
+        naive_val, kernel_val,
+        "{label}: kernel disagrees with baseline"
+    );
+    let speedup = naive_s / kernel_s.max(1e-9);
+    emit_progress(
+        "bench_speedup",
+        &[
+            ("label", FieldValue::from(label)),
+            ("naive_s", FieldValue::from(naive_s)),
+            ("kernel_s", FieldValue::from(kernel_s)),
+            ("speedup", FieldValue::from(speedup)),
+        ],
+    );
+    println!("{label:<28} {naive_s:>9.4}s {kernel_s:>10.5}s {speedup:>8.1}x   (n = {kernel_val})");
+    speedup
+}
+
+// Wall-clock timing is the bench harness's job; results never feed analyses.
+#[allow(clippy::disallowed_methods)]
+fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t = std::time::Instant::now();
+    let out = f();
+    (t.elapsed().as_secs_f64(), out)
+}
+
+fn main() {
+    header(
+        "perf: set-operation kernels",
+        "compressed bitmaps vs the seed's per-host collection walks, 2^24 addresses",
+    );
+    paper_says(&[
+        "(engineering bench, no paper figure — the §3/§6/§7 analyses",
+        "reduce to these set operations over ~10^6-host scan sets)",
+    ]);
+
+    let views: Vec<Vec<u32>> = timed("build synthetic origin views", || {
+        (0..3u64).map(origin_set).collect()
+    });
+    let oracles: Vec<BTreeSet<u32>> = timed("build BTreeSet baselines", || {
+        views.iter().map(|v| v.iter().copied().collect()).collect()
+    });
+    let sets: Vec<ScanSet> = timed("build compressed bitmaps", || {
+        views.iter().map(|v| ScanSet::from_sorted(v)).collect()
+    });
+    let bytes: u64 = sets
+        .iter()
+        .map(|s| {
+            s.chunks()
+                .map(|(_, c)| c.payload_bytes() as u64)
+                .sum::<u64>()
+        })
+        .sum();
+    let raw: u64 = views.iter().map(|v| 4 * v.len() as u64).sum();
+    println!(
+        "members: {} | raw u32: {:.1} MiB | compressed: {:.1} MiB",
+        views.iter().map(Vec::len).sum::<usize>(),
+        raw as f64 / (1 << 20) as f64,
+        bytes as f64 / (1 << 20) as f64,
+    );
+    println!(
+        "{:<28} {:>10} {:>11} {:>9}",
+        "operation", "naive", "bitmap", "speedup"
+    );
+
+    let (a, b, c) = (&sets[0], &sets[1], &sets[2]);
+    let (oa, ob, oc) = (&oracles[0], &oracles[1], &oracles[2]);
+
+    // §7 combo coverage: |A ∪ B ∪ C| (seed: per-host any() loop).
+    let (tn, nv) = time(|| {
+        let mut u: BTreeSet<u32> = BTreeSet::new();
+        for o in [oa, ob, oc] {
+            u.extend(o.iter().copied());
+        }
+        u.len() as u64
+    });
+    let (tk, kv) = time(|| ScanSet::union_cardinality_many(&[a, b, c]));
+    let union_speedup = row("union cardinality (3 sets)", tn, tk, nv, kv);
+
+    // Appendix-A ∩ row: |A ∩ B ∩ C| (seed: all-origins column scan).
+    let (tn, nv) = time(|| {
+        oa.iter()
+            .filter(|x| ob.contains(x) && oc.contains(x))
+            .count() as u64
+    });
+    let (tk, kv) = time(|| a.and(b).intersection_cardinality(c));
+    row("intersection (3 sets)", tn, tk, nv, kv);
+
+    // §3 McNemar cells: |A ∩ B| (seed: paired per-host record loop).
+    let (tn, nv) = time(|| oa.intersection(ob).count() as u64);
+    let (tk, kv) = time(|| a.intersection_cardinality(b));
+    row("pairwise intersection", tn, tk, nv, kv);
+
+    // Scan diff exclusive side: A ∖ B materialized (seed: union walk).
+    let (tn, nv) = time(|| oa.difference(ob).count() as u64);
+    let (tk, kv) = time(|| a.andnot(b).cardinality());
+    row("difference (materialized)", tn, tk, nv, kv);
+
+    // Table-1 exclusivity: |A ∖ (B ∪ C)| (seed: exactly-one-seer scan).
+    let (tn, nv) = time(|| {
+        oa.iter()
+            .filter(|x| !ob.contains(x) && !oc.contains(x))
+            .count() as u64
+    });
+    let (tk, kv) = time(|| a.andnot_cardinality(&b.or(c)));
+    row("exclusive (A \\ (B|C))", tn, tk, nv, kv);
+
+    // Membership: ground-truth index lookups (seed: HashMap probes; the
+    // sorted baseline here is the binary search that replaced them).
+    let probe: Vec<u32> = {
+        let mut s = 7u64;
+        (0..1_000_000)
+            .map(|_| (splitmix(&mut s) % u64::from(SPACE)) as u32)
+            .collect()
+    };
+    let (tn, nv) = time(|| probe.iter().filter(|&&x| oa.contains(&x)).count() as u64);
+    let (tk, kv) = time(|| probe.iter().filter(|&&x| a.contains(x)).count() as u64);
+    row("1M membership probes", tn, tk, nv, kv);
+
+    println!("\n(speedups are routed to stderr as bench_speedup JSONL lines)");
+    // The headline kernel (the §7 sweep's inner loop) must hold its ≥10×
+    // margin over the seed's collection walk — fail loudly if it regresses.
+    assert!(
+        union_speedup >= 10.0,
+        "union kernel speedup regressed below 10x: {union_speedup:.1}x"
+    );
+}

@@ -31,9 +31,15 @@ pub fn coverage_table(results: &ExperimentResults<'_>, proto: Protocol) -> Vec<C
         let fractions: Vec<f64> = (0..cfg.origins.len())
             .map(|oi| m.seen_count(oi) as f64 / n as f64)
             .collect();
-        let all_seen = (0..m.len())
-            .filter(|&i| m.outcomes.iter().all(|col| col[i].l7_success()))
-            .count();
+        // ∩ row: AND-fold of the per-origin bitmaps (vacuously the whole
+        // ground truth when the roster is empty).
+        let all_seen = match m.seen_sets.split_first() {
+            None => m.len(),
+            Some((first, rest)) => rest
+                .iter()
+                .fold(first.clone(), |acc, s| acc.and(s))
+                .cardinality() as usize,
+        };
         rows.push(CoverageRow {
             protocol: proto,
             trial: Some(trial),
@@ -92,10 +98,18 @@ pub fn mcnemar_all_pairs(
         let m = results.matrix(proto, trial);
         for i in 0..cfg.origins.len() {
             for j in i + 1..cfg.origins.len() {
-                let mut counts = PairedCounts::default();
-                for u in 0..m.len() {
-                    counts.record(m.outcomes[i][u].l7_success(), m.outcomes[j][u].l7_success());
-                }
+                // Paired counts straight from bitmap cardinalities: no
+                // per-host loop. both = |A∩B|, the rest by subtraction.
+                let (sa, sb) = (&m.seen_sets[i], &m.seen_sets[j]);
+                let both = sa.intersection_cardinality(sb);
+                let only_a = sa.cardinality() - both;
+                let only_b = sb.cardinality() - both;
+                let counts = PairedCounts {
+                    both,
+                    only_a,
+                    only_b,
+                    neither: m.len() as u64 - both - only_a - only_b,
+                };
                 tests.push(PairwiseTest {
                     a: cfg.origins[i],
                     b: cfg.origins[j],

@@ -10,8 +10,8 @@
 use originscan_netmodel::World;
 use originscan_scanner::engine::HostScanRecord;
 use originscan_stats::mcnemar::{mcnemar_test, McNemarResult, PairedCounts};
+use originscan_store::ScanSet;
 use std::collections::BTreeMap;
-use std::collections::BTreeSet;
 
 /// Result of diffing two scans.
 #[derive(Debug, Clone)]
@@ -42,34 +42,34 @@ impl ScanDiff {
     }
 }
 
-/// Diff two scans by their L7-successful host sets.
+/// Diff two scans by their L7-successful host sets, using the compressed
+/// bitmap kernels: `both` is an intersection popcount, the exclusive
+/// lists come from ANDNOT (yielded in ascending address order, exactly as
+/// the old sorted-set walk produced them).
 pub fn diff_records(a: &[HostScanRecord], b: &[HostScanRecord]) -> ScanDiff {
-    let sa: BTreeSet<u32> = a
+    let sa: ScanSet = a
         .iter()
         .filter(|r| r.l7_success())
         .map(|r| r.addr)
         .collect();
-    let sb: BTreeSet<u32> = b
+    let sb: ScanSet = b
         .iter()
         .filter(|r| r.l7_success())
         .map(|r| r.addr)
         .collect();
-    let mut counts = PairedCounts::default();
-    let mut only_a = Vec::new();
-    let mut only_b = Vec::new();
-    let mut both = 0usize;
-    for &addr in sa.union(&sb) {
-        let (ina, inb) = (sa.contains(&addr), sb.contains(&addr));
-        counts.record(ina, inb);
-        match (ina, inb) {
-            (true, true) => both += 1,
-            (true, false) => only_a.push(addr),
-            (false, true) => only_b.push(addr),
-            (false, false) => unreachable!("address from the union"),
-        }
-    }
-    ScanDiff {
+    let both = sa.intersection_cardinality(&sb);
+    let only_a = sa.andnot(&sb).to_vec();
+    let only_b = sb.andnot(&sa).to_vec();
+    // The universe here is the union itself, so `neither` is always 0 —
+    // matching the old walk, which only visited union members.
+    let counts = PairedCounts {
         both,
+        only_a: only_a.len() as u64,
+        only_b: only_b.len() as u64,
+        neither: 0,
+    };
+    ScanDiff {
+        both: both as usize,
         only_a,
         only_b,
         mcnemar: mcnemar_test(&counts),

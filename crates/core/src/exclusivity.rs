@@ -12,6 +12,7 @@ use crate::classify::{classify, Class};
 use crate::results::Panel;
 use originscan_netmodel::geo::Country;
 use originscan_netmodel::World;
+use originscan_store::ScanSet;
 use std::collections::BTreeMap;
 
 /// Histogram over "number of origins missing the host" for hosts of the
@@ -66,40 +67,41 @@ impl ExclusiveCounts {
     }
 }
 
-/// Compute Table 1's inputs.
+/// Addresses in `sets[origin_idx]` and no other set — the bitmap kernel
+/// behind both halves of Table 1: `own ∖ ⋃(others)`.
+fn exclusive_set(sets: &[ScanSet], origin_idx: usize) -> ScanSet {
+    let others: Vec<&ScanSet> = sets
+        .iter()
+        .enumerate()
+        .filter(|&(oi, _)| oi != origin_idx)
+        .map(|(_, s)| s)
+        .collect();
+    sets[origin_idx].andnot(&ScanSet::union_many(&others))
+}
+
+/// Compute Table 1's inputs — ANDNOT popcounts over the panel's bitmaps.
 pub fn exclusive_counts(panel: &Panel) -> ExclusiveCounts {
     let n = panel.origins.len();
-    let mut acc = vec![0usize; n];
-    let mut inacc = vec![0usize; n];
-    for u in 0..panel.len() {
-        // Exclusively accessible: exactly one origin ever saw the host.
-        let seers: Vec<usize> = (0..n).filter(|&oi| panel.seen[oi][u] != 0).collect();
-        if let [only] = seers[..] {
-            acc[only] += 1;
-        }
-        // Exclusively long-term inaccessible: exactly one origin long-term
-        // misses it.
-        let missers: Vec<usize> = (0..n)
-            .filter(|&oi| classify(panel, oi, u) == Class::LongTerm)
-            .collect();
-        if let [only] = missers[..] {
-            inacc[only] += 1;
-        }
-    }
     ExclusiveCounts {
-        exclusive_accessible: acc,
-        exclusive_inaccessible: inacc,
+        // Exclusively accessible: only this origin ever saw the host.
+        exclusive_accessible: (0..n)
+            .map(|oi| exclusive_set(&panel.ever_seen_sets, oi).cardinality() as usize)
+            .collect(),
+        // Exclusively long-term inaccessible: only this origin long-term
+        // misses it.
+        exclusive_inaccessible: (0..n)
+            .map(|oi| exclusive_set(&panel.longterm_sets, oi).cardinality() as usize)
+            .collect(),
     }
 }
 
-/// Hosts exclusively accessible from `origin_idx`, as union indices.
+/// Hosts exclusively accessible from `origin_idx`, as union indices
+/// (ascending — the bitmap yields addresses sorted, and the union list is
+/// sorted too, so the index mapping preserves the old iteration order).
 pub fn exclusive_hosts(panel: &Panel, origin_idx: usize) -> Vec<usize> {
-    let n = panel.origins.len();
-    (0..panel.len())
-        .filter(|&u| {
-            panel.seen[origin_idx][u] != 0
-                && (0..n).all(|oi| oi == origin_idx || panel.seen[oi][u] == 0)
-        })
+    exclusive_set(&panel.ever_seen_sets, origin_idx)
+        .iter()
+        .filter_map(|addr| panel.addrs.binary_search(&addr).ok())
         .collect()
 }
 

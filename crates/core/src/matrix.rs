@@ -10,9 +10,7 @@ use crate::experiment::{OriginRun, RunStatus};
 use crate::outcome::HostOutcome;
 use originscan_netmodel::{OriginId, Protocol, World};
 use originscan_scanner::engine::ScanOutput;
-// Keyed lookup only — the map is never iterated, so its order can't leak.
-#[allow(clippy::disallowed_types)]
-use std::collections::HashMap;
+use originscan_store::ScanSet;
 
 /// Hour grid of the paper's burst analysis (21-hour trials).
 pub const SCAN_HOURS: u8 = 21;
@@ -34,6 +32,12 @@ pub struct TrialMatrix {
     /// Per-origin supervised run status, aligned with the roster. Failed
     /// origins contribute nothing to ground truth and read all-MISSED.
     pub statuses: Vec<RunStatus>,
+    /// Ground truth as a compressed bitmap (same members as `addrs`).
+    pub gt_set: ScanSet,
+    /// Per-origin L7-success sets, aligned with the roster.
+    pub seen_sets: Vec<ScanSet>,
+    /// Per-origin single-probe success sets, aligned with the roster.
+    pub one_probe_sets: Vec<ScanSet>,
 }
 
 impl TrialMatrix {
@@ -93,23 +97,24 @@ impl TrialMatrix {
         }
         gt.sort_unstable();
         gt.dedup();
-        #[allow(clippy::disallowed_types)] // keyed lookup only, never iterated
-        let index: HashMap<u32, u32> = gt.iter().enumerate().map(|(i, &a)| (a, i as u32)).collect();
+        let gt_set = ScanSet::from_sorted(&gt);
 
         // Scan hour per host: identical across origins (shared seed), so
-        // take it from whichever origin recorded a response first.
+        // take it from whichever origin recorded a response first. The
+        // sorted ground-truth list doubles as the index (binary search),
+        // so no hash map — and no iteration-order hazard — is involved.
         let mut hour = vec![u8::MAX; gt.len()];
         let mut outcomes = vec![vec![HostOutcome::MISSED; gt.len()]; origins.len()];
         for (oi, run) in runs.iter().enumerate().take(n) {
             let Some(out) = &run.output else { continue };
             for r in &out.records {
-                if let Some(&i) = index.get(&r.addr) {
-                    outcomes[oi][i as usize] = HostOutcome::from_record(r);
-                    if hour[i as usize] == u8::MAX {
+                if let Ok(i) = gt.binary_search(&r.addr) {
+                    outcomes[oi][i] = HostOutcome::from_record(r);
+                    if hour[i] == u8::MAX {
                         let h = (r.response_time_s / duration_s * f64::from(SCAN_HOURS))
                             .floor()
                             .min(f64::from(SCAN_HOURS - 1)) as u8;
-                        hour[i as usize] = h;
+                        hour[i] = h;
                     }
                 }
             }
@@ -122,6 +127,32 @@ impl TrialMatrix {
                 *h = 0;
             }
         }
+        // Per-origin success sets: built in ascending host-index order, so
+        // the addresses arrive pre-sorted and the bitmaps build in one pass.
+        let seen_sets: Vec<ScanSet> = outcomes
+            .iter()
+            .map(|row| {
+                ScanSet::from_sorted(
+                    &row.iter()
+                        .enumerate()
+                        .filter(|(_, o)| o.l7_success())
+                        .map(|(i, _)| gt[i])
+                        .collect::<Vec<u32>>(),
+                )
+            })
+            .collect();
+        let one_probe_sets: Vec<ScanSet> = outcomes
+            .iter()
+            .map(|row| {
+                ScanSet::from_sorted(
+                    &row.iter()
+                        .enumerate()
+                        .filter(|(_, o)| o.one_probe_success())
+                        .map(|(i, _)| gt[i])
+                        .collect::<Vec<u32>>(),
+                )
+            })
+            .collect();
         TrialMatrix {
             protocol,
             trial,
@@ -129,6 +160,9 @@ impl TrialMatrix {
             hour,
             outcomes,
             statuses,
+            gt_set,
+            seen_sets,
+            one_probe_sets,
         }
     }
 
@@ -147,25 +181,24 @@ impl TrialMatrix {
         self.addrs.is_empty()
     }
 
-    /// Index of `addr` in the ground-truth list.
+    /// Index of `addr` in the ground-truth list, answered by the bitmap's
+    /// rank kernel (`rank(addr) - 1` when the address is a member).
     pub fn index_of(&self, addr: u32) -> Option<usize> {
-        self.addrs.binary_search(&addr).ok()
+        if self.gt_set.contains(addr) {
+            Some((self.gt_set.rank(addr) - 1) as usize)
+        } else {
+            None
+        }
     }
 
-    /// Hosts an origin completed the L7 handshake with.
+    /// Hosts an origin completed the L7 handshake with (bitmap popcount).
     pub fn seen_count(&self, origin_idx: usize) -> usize {
-        self.outcomes[origin_idx]
-            .iter()
-            .filter(|o| o.l7_success())
-            .count()
+        self.seen_sets[origin_idx].cardinality() as usize
     }
 
     /// Hosts an origin would have seen with a single-probe scan.
     pub fn seen_count_one_probe(&self, origin_idx: usize) -> usize {
-        self.outcomes[origin_idx]
-            .iter()
-            .filter(|o| o.one_probe_success())
-            .count()
+        self.one_probe_sets[origin_idx].cardinality() as usize
     }
 
     /// Iterate `(host_idx, addr, outcome)` for one origin.

@@ -11,6 +11,7 @@ use crate::results::ExperimentResults;
 use originscan_netmodel::{OriginId, Protocol};
 use originscan_stats::combos::k_subsets;
 use originscan_stats::descriptive::FiveNumber;
+use originscan_store::ScanSet;
 
 /// Probe policy for coverage computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,25 +24,20 @@ pub enum ProbePolicy {
     Double,
 }
 
-/// Union coverage of an origin subset in one trial.
+/// Union coverage of an origin subset in one trial: a multi-set union
+/// popcount over the matrix's per-origin bitmaps — no per-host loop, so
+/// the §7 sweep over every k-subset stays cheap at full scale.
 pub fn combo_coverage(matrix: &TrialMatrix, combo: &[usize], policy: ProbePolicy) -> f64 {
     let n = matrix.len();
     if n == 0 {
         return 1.0;
     }
-    let mut covered = 0usize;
-    for i in 0..n {
-        let hit = combo.iter().any(|&oi| {
-            let o = matrix.outcomes[oi][i];
-            match policy {
-                ProbePolicy::Single => o.one_probe_success(),
-                ProbePolicy::Double => o.l7_success(),
-            }
-        });
-        if hit {
-            covered += 1;
-        }
-    }
+    let sets = match policy {
+        ProbePolicy::Single => &matrix.one_probe_sets,
+        ProbePolicy::Double => &matrix.seen_sets,
+    };
+    let members: Vec<&ScanSet> = combo.iter().map(|&oi| &sets[oi]).collect();
+    let covered = ScanSet::union_cardinality_many(&members);
     covered as f64 / n as f64
 }
 

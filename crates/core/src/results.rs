@@ -4,10 +4,8 @@ use crate::experiment::{ExperimentConfig, RunStatus};
 use crate::matrix::TrialMatrix;
 use crate::outcome::HostOutcome;
 use originscan_netmodel::{OriginId, Protocol, World};
+use originscan_store::{ScanSet, ScanSetStore, StoreKey};
 use originscan_telemetry::TelemetrySnapshot;
-// Keyed lookup only — the map is never iterated, so its order can't leak.
-#[allow(clippy::disallowed_types)]
-use std::collections::HashMap;
 
 /// All data produced by one experiment.
 #[derive(Debug)]
@@ -162,6 +160,23 @@ impl<'w> ExperimentResults<'w> {
         assert!(!trials.is_empty(), "protocol not scanned");
         Panel::build(proto, &self.cfg.origins, &trials)
     }
+
+    /// Collect every per-origin L7-success bitmap into a persistable
+    /// [`ScanSetStore`], one entry per `(protocol, trial, origin)`.
+    /// Entry order (and therefore the serialized bytes) is canonical and
+    /// byte-identical across same-seed runs.
+    pub fn scan_set_store(&self) -> ScanSetStore {
+        let mut store = ScanSetStore::new();
+        for m in &self.matrices {
+            for (oi, set) in m.seen_sets.iter().enumerate() {
+                store.insert(
+                    StoreKey::new(m.protocol.name(), m.trial, oi as u16),
+                    set.clone(),
+                );
+            }
+        }
+        store
+    }
 }
 
 /// Cross-trial union view for one protocol: who was present when, and who
@@ -183,6 +198,15 @@ pub struct Panel {
     /// Position of each union host in each trial matrix (`u32::MAX` if the
     /// host was absent from that trial).
     pub trial_pos: Vec<Vec<u32>>,
+    /// `ever_seen_sets[origin]`: addresses the origin completed L7 with in
+    /// at least one trial (compressed bitmap).
+    pub ever_seen_sets: Vec<ScanSet>,
+    /// Addresses present in ≥ 2 trials' ground truth.
+    pub multi_present_set: ScanSet,
+    /// `longterm_sets[origin]`: addresses long-term inaccessible from the
+    /// origin — present in ≥ 2 trials, never seen by it
+    /// (`multi_present_set ∖ ever_seen_sets[origin]`).
+    pub longterm_sets: Vec<ScanSet>,
 }
 
 impl Panel {
@@ -193,20 +217,18 @@ impl Panel {
         }
         union.sort_unstable();
         union.dedup();
-        #[allow(clippy::disallowed_types)] // keyed lookup only, never iterated
-        let index: HashMap<u32, u32> = union
-            .iter()
-            .enumerate()
-            .map(|(i, &a)| (a, i as u32))
-            .collect();
 
+        // The sorted union doubles as the index (binary search): no hash
+        // map, hence no iteration-order hazard anywhere in the build.
         let n = union.len();
         let mut present = vec![0u8; n];
         let mut seen = vec![vec![0u8; n]; origins.len()];
         let mut trial_pos = vec![vec![u32::MAX; n]; trials.len()];
         for (t, m) in trials.iter().enumerate() {
             for (pos, &addr) in m.addrs.iter().enumerate() {
-                let u = index[&addr] as usize;
+                let Ok(u) = union.binary_search(&addr) else {
+                    continue; // unreachable: the union contains every addr
+                };
                 present[u] |= 1 << t;
                 trial_pos[t][u] = pos as u32;
                 for (oi, col) in m.outcomes.iter().enumerate() {
@@ -216,6 +238,25 @@ impl Panel {
                 }
             }
         }
+
+        // Bitmap views: scanning union indices ascending yields sorted
+        // addresses, so each set builds in one pass.
+        let collect_set = |pred: &dyn Fn(usize) -> bool| -> ScanSet {
+            ScanSet::from_sorted(
+                &(0..n)
+                    .filter(|&u| pred(u))
+                    .map(|u| union[u])
+                    .collect::<Vec<u32>>(),
+            )
+        };
+        let ever_seen_sets: Vec<ScanSet> = (0..origins.len())
+            .map(|oi| collect_set(&|u| seen[oi][u] != 0))
+            .collect();
+        let multi_present_set = collect_set(&|u| present[u].count_ones() >= 2);
+        let longterm_sets: Vec<ScanSet> = ever_seen_sets
+            .iter()
+            .map(|ever| multi_present_set.andnot(ever))
+            .collect();
         Panel {
             protocol,
             origins: origins.to_vec(),
@@ -224,6 +265,9 @@ impl Panel {
             present,
             seen,
             trial_pos,
+            ever_seen_sets,
+            multi_present_set,
+            longterm_sets,
         }
     }
 

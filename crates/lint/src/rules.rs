@@ -8,20 +8,26 @@ use std::collections::BTreeSet;
 
 /// Crates whose library code must be deterministic: they produce or
 /// transform trial results that the paper's analyses compare bit-wise.
+/// The store crate is here because its serialized bytes are themselves a
+/// compared artifact (same-seed runs must write identical files).
 const DET_SCOPE: &[&str] = &[
     "crates/netmodel/src/",
     "crates/scanner/src/",
     "crates/core/src/",
     "crates/telemetry/src/",
+    "crates/store/src/",
 ];
 
 /// Crates whose library code must not panic: wire codecs and the scan
-/// engine run inside supervised sessions that expect typed errors, and
-/// the telemetry hub is called from inside those same sessions.
+/// engine run inside supervised sessions that expect typed errors, the
+/// telemetry hub is called from inside those same sessions, and the
+/// store decodes untrusted (possibly corrupted) files, which must
+/// surface as typed `StoreError`s.
 const PANIC_SCOPE: &[&str] = &[
     "crates/wire/src/",
     "crates/scanner/src/",
     "crates/telemetry/src/",
+    "crates/store/src/",
 ];
 
 /// Modules that *emit ordered output* (reports, serialized results,

@@ -9,6 +9,7 @@
 use crate::engine::HostScanRecord;
 use crate::zgrab::{L7Detail, L7Outcome, SshSoftware};
 use crate::CloseKind;
+use originscan_store::{ScanSet, ScanSetStore, StoreError, StoreKey};
 use originscan_wire::ipv4::{fmt_addr, parse_addr};
 
 /// The CSV header line.
@@ -122,6 +123,51 @@ pub fn from_csv_all(text: &str) -> Vec<HostScanRecord> {
         .collect()
 }
 
+/// The scan's L7-success set as a compressed bitmap — the unit the
+/// paper's set analyses consume.
+pub fn to_scan_set(records: &[HostScanRecord]) -> ScanSet {
+    records
+        .iter()
+        .filter(|r| r.l7_success())
+        .map(|r| r.addr)
+        .collect()
+}
+
+/// The L7-success set a single-probe scan would have produced (first
+/// probe answered *and* handshake completed).
+pub fn to_scan_set_one_probe(records: &[HostScanRecord]) -> ScanSet {
+    records
+        .iter()
+        .filter(|r| r.l7_success() && (r.synack_mask & 1) != 0)
+        .map(|r| r.addr)
+        .collect()
+}
+
+/// Both archival renderings of one scan: the CSV document and a
+/// single-entry serialized [`ScanSetStore`] holding its L7-success set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanArtifacts {
+    /// CSV document (header + one line per record).
+    pub csv: String,
+    /// Serialized scan-set store (see `originscan-store`'s format docs).
+    pub scan_set: Vec<u8>,
+}
+
+/// Render both artifacts for one `(protocol, trial, origin)` scan.
+pub fn to_artifacts(
+    protocol: &str,
+    trial: u8,
+    origin: u16,
+    records: &[HostScanRecord],
+) -> Result<ScanArtifacts, StoreError> {
+    let mut store = ScanSetStore::new();
+    store.insert(StoreKey::new(protocol, trial, origin), to_scan_set(records));
+    Ok(ScanArtifacts {
+        csv: to_csv_all(records),
+        scan_set: store.to_bytes()?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +235,38 @@ mod tests {
         assert!(doc.starts_with(HEADER));
         let back = from_csv_all(&doc);
         assert_eq!(back, records);
+    }
+
+    #[test]
+    fn scan_sets_filter_by_success_and_probe() {
+        let mut records = sample();
+        // A host only the *second* probe reached: counts for the scan as
+        // run, not for the simulated single-probe scan.
+        records.push(HostScanRecord {
+            addr: 3,
+            synack_mask: 0b10,
+            got_rst: false,
+            response_time_s: 1.0,
+            l7: L7Outcome::Success(L7Detail::Http { code: 200 }),
+            l7_attempts: 1,
+        });
+        let set = to_scan_set(&records);
+        assert_eq!(set.to_vec(), vec![2, 3, 0x0a000001, 0xc0a80101]);
+        let one = to_scan_set_one_probe(&records);
+        assert_eq!(one.to_vec(), vec![2, 0x0a000001, 0xc0a80101]);
+        assert_eq!(one.andnot_cardinality(&set), 0, "one-probe ⊆ two-probe");
+    }
+
+    #[test]
+    fn artifacts_are_deterministic_and_loadable() {
+        let records = sample();
+        let a = to_artifacts("HTTP", 0, 3, &records).unwrap();
+        let b = to_artifacts("HTTP", 0, 3, &records).unwrap();
+        assert_eq!(a, b, "artifacts are a pure function of the records");
+        assert!(a.csv.starts_with(HEADER));
+        let store = originscan_store::ScanSetStore::from_bytes(&a.scan_set).unwrap();
+        let key = StoreKey::new("HTTP", 0, 3);
+        assert_eq!(store.get(&key).unwrap(), &to_scan_set(&records));
     }
 
     #[test]

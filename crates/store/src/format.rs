@@ -1,0 +1,695 @@
+//! The versioned on-disk scan-set format: little-endian, checksummed,
+//! deterministic.
+//!
+//! A store file is laid out as:
+//!
+//! ```text
+//! header   magic "OSCS" | version u16 | flags u16 | entry_count u32
+//!          | toc_len u32 | toc_crc u32                      (20 bytes)
+//! toc      entry_count × { proto_len u8, proto bytes, trial u8,
+//!          origin u16, offset u64, len u64 }       (crc32 = toc_crc)
+//! entries  one serialized scan set per TOC record, at its offset
+//! ```
+//!
+//! Each entry is itself sectioned for chunk-granular lazy loads:
+//!
+//! ```text
+//! set header  chunk_count u32 | dir_crc u32                 (8 bytes)
+//! directory   chunk_count × { key u16, kind u8, reserved u8,
+//!             cardinality u32, payload_len u32, payload_crc u32 }
+//!             (16 bytes each; crc32 = dir_crc)
+//! payloads    concatenated container payloads, directory order
+//! ```
+//!
+//! Container payloads: array = cardinality × `u16`; bitmap = 1024 ×
+//! `u64`; run = run-count × (`u16` start, `u16` inclusive end). Every
+//! checksum is CRC-32 (IEEE, reflected, polynomial `0xEDB88320`).
+//! Entries are sorted by `(protocol, trial, origin)` and containers are
+//! canonical (smallest representation), so same-seed experiments
+//! serialize byte-identically. All corruption surfaces as a typed
+//! [`StoreError`] — never a panic.
+
+use crate::container::{Container, ContainerKind, ARRAY_MAX, WORDS};
+use crate::scanset::ScanSet;
+
+/// File magic: "OriginSCan Store".
+pub const MAGIC: [u8; 4] = *b"OSCS";
+
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Byte length of the fixed file header.
+pub const HEADER_LEN: usize = 20;
+
+/// Byte length of the per-entry set header (`chunk_count | dir_crc`).
+pub const SET_HEADER_LEN: usize = 8;
+
+/// Byte length of one chunk-directory record.
+pub const DIR_RECORD_LEN: usize = 16;
+
+/// Everything that can go wrong reading or writing a store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The file's version is newer than this reader understands.
+    UnsupportedVersion {
+        /// The version actually found.
+        found: u16,
+    },
+    /// A section is shorter than its declared length.
+    Truncated {
+        /// Which section came up short.
+        section: &'static str,
+        /// Bytes the section required.
+        needed: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// A section's checksum does not match its contents.
+    ChecksumMismatch {
+        /// Which section failed verification.
+        section: &'static str,
+        /// The checksum stored in the file.
+        stored: u32,
+        /// The checksum computed over the bytes read.
+        computed: u32,
+    },
+    /// A structurally invalid section (bad container code, unsorted
+    /// values, cardinality mismatch, ...).
+    Corrupt {
+        /// Which section is malformed.
+        section: &'static str,
+        /// What invariant it violates.
+        detail: &'static str,
+    },
+    /// A value exceeds what the format can represent.
+    TooLarge {
+        /// Which field overflowed.
+        section: &'static str,
+    },
+    /// The requested `(protocol, trial, origin)` is not in the store.
+    KeyNotFound {
+        /// Rendered key.
+        key: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::BadMagic { found } => {
+                write!(f, "bad store magic {found:02x?} (expected {MAGIC:02x?})")
+            }
+            StoreError::UnsupportedVersion { found } => {
+                write!(f, "unsupported store version {found} (reader supports {VERSION})")
+            }
+            StoreError::Truncated {
+                section,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated store: section `{section}` needs {needed} bytes, {available} available"
+            ),
+            StoreError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch in section `{section}`: stored {stored:08x}, computed {computed:08x}"
+            ),
+            StoreError::Corrupt { section, detail } => {
+                write!(f, "corrupt store section `{section}`: {detail}")
+            }
+            StoreError::TooLarge { section } => {
+                write!(f, "value too large for store format in `{section}`")
+            }
+            StoreError::KeyNotFound { key } => write!(f, "scan set `{key}` not in store"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = make_crc_table();
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC_TABLE[idx];
+    }
+    !crc
+}
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked little-endian cursor over a byte slice.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(data: &'a [u8], section: &'static str) -> Cursor<'a> {
+        Cursor {
+            data,
+            pos: 0,
+            section,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self.pos.checked_add(n).ok_or(StoreError::TooLarge {
+            section: self.section,
+        })?;
+        if end > self.data.len() {
+            return Err(StoreError::Truncated {
+                section: self.section,
+                needed: end as u64,
+                available: self.data.len() as u64,
+            });
+        }
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, StoreError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, StoreError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, StoreError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        self.take(n)
+    }
+
+    pub(crate) fn is_exhausted(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+/// One chunk-directory record, as parsed from an entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkDirEntry {
+    /// Chunk key (the high 16 address bits).
+    pub key: u16,
+    /// Container representation.
+    pub kind: ContainerKind,
+    /// Member count (readable without touching the payload).
+    pub cardinality: u32,
+    /// Payload byte length.
+    pub payload_len: u32,
+    /// CRC-32 of the payload.
+    pub payload_crc: u32,
+    /// Payload offset relative to the entry's payload base.
+    pub payload_offset: u64,
+}
+
+/// Serialize a container payload.
+pub fn encode_container(c: &Container, out: &mut Vec<u8>) {
+    match c {
+        Container::Array(a) => {
+            for &v in a {
+                put_u16(out, v);
+            }
+        }
+        Container::Bitmap(w) => {
+            for &word in w.iter() {
+                put_u64(out, word);
+            }
+        }
+        Container::Run(r) => {
+            for &(s, e) in r {
+                put_u16(out, s);
+                put_u16(out, e);
+            }
+        }
+    }
+}
+
+/// Decode and structurally validate one container payload.
+pub fn decode_container(
+    kind: ContainerKind,
+    cardinality: u32,
+    payload: &[u8],
+) -> Result<Container, StoreError> {
+    let section = "chunk payload";
+    let corrupt = |detail: &'static str| StoreError::Corrupt { section, detail };
+    match kind {
+        ContainerKind::Array => {
+            if payload.len() != cardinality as usize * 2 {
+                return Err(corrupt("array payload length != 2 × cardinality"));
+            }
+            if cardinality as usize > ARRAY_MAX {
+                return Err(corrupt("array container above the 4096 cutoff"));
+            }
+            let mut values = Vec::with_capacity(cardinality as usize);
+            for pair in payload.chunks_exact(2) {
+                values.push(u16::from_le_bytes([pair[0], pair[1]]));
+            }
+            if values.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(corrupt("array values not strictly ascending"));
+            }
+            Ok(Container::Array(values))
+        }
+        ContainerKind::Bitmap => {
+            if payload.len() != WORDS * 8 {
+                return Err(corrupt("bitmap payload is not 8192 bytes"));
+            }
+            let mut words = Box::new([0u64; WORDS]);
+            for (dst, chunk) in words.iter_mut().zip(payload.chunks_exact(8)) {
+                *dst = u64::from_le_bytes([
+                    chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
+                ]);
+            }
+            let c = Container::Bitmap(words);
+            if c.cardinality() != cardinality {
+                return Err(corrupt("bitmap popcount != declared cardinality"));
+            }
+            Ok(c)
+        }
+        ContainerKind::Run => {
+            if !payload.len().is_multiple_of(4) {
+                return Err(corrupt("run payload length not a multiple of 4"));
+            }
+            let mut runs = Vec::with_capacity(payload.len() / 4);
+            for quad in payload.chunks_exact(4) {
+                let s = u16::from_le_bytes([quad[0], quad[1]]);
+                let e = u16::from_le_bytes([quad[2], quad[3]]);
+                if e < s {
+                    return Err(corrupt("run with end before start"));
+                }
+                runs.push((s, e));
+            }
+            // Sorted, non-overlapping, non-adjacent (else not canonical).
+            if runs
+                .windows(2)
+                .any(|w| u32::from(w[1].0) <= u32::from(w[0].1) + 1)
+            {
+                return Err(corrupt("runs unsorted, overlapping, or adjacent"));
+            }
+            let c = Container::Run(runs);
+            if c.cardinality() != cardinality {
+                return Err(corrupt("run lengths != declared cardinality"));
+            }
+            Ok(c)
+        }
+    }
+}
+
+/// Serialize one scan set as an entry section (set header + directory +
+/// payloads).
+pub fn encode_set(set: &ScanSet) -> Result<Vec<u8>, StoreError> {
+    let chunk_count = u32::try_from(set.chunk_count()).map_err(|_| StoreError::TooLarge {
+        section: "chunk_count",
+    })?;
+    let mut directory = Vec::with_capacity(set.chunk_count() * DIR_RECORD_LEN);
+    let mut payloads = Vec::new();
+    for (key, c) in set.chunks() {
+        let mut payload = Vec::with_capacity(c.payload_bytes());
+        encode_container(c, &mut payload);
+        let payload_len = u32::try_from(payload.len()).map_err(|_| StoreError::TooLarge {
+            section: "chunk payload",
+        })?;
+        put_u16(&mut directory, key);
+        directory.push(c.kind().code());
+        directory.push(0); // reserved
+        put_u32(&mut directory, c.cardinality());
+        put_u32(&mut directory, payload_len);
+        put_u32(&mut directory, crc32(&payload));
+        payloads.extend_from_slice(&payload);
+    }
+    let mut out = Vec::with_capacity(SET_HEADER_LEN + directory.len() + payloads.len());
+    put_u32(&mut out, chunk_count);
+    put_u32(&mut out, crc32(&directory));
+    out.extend_from_slice(&directory);
+    out.extend_from_slice(&payloads);
+    Ok(out)
+}
+
+/// Parse and verify an entry's set header and chunk directory, without
+/// touching payload bytes (the lazy loader's first step). Returns the
+/// directory with per-chunk payload offsets resolved.
+pub fn decode_set_directory(bytes: &[u8]) -> Result<Vec<ChunkDirEntry>, StoreError> {
+    let mut cur = Cursor::new(bytes, "set header");
+    let chunk_count = cur.u32()? as usize;
+    let dir_crc = cur.u32()?;
+    let dir_len = chunk_count
+        .checked_mul(DIR_RECORD_LEN)
+        .ok_or(StoreError::TooLarge {
+            section: "chunk directory",
+        })?;
+    let mut cur = Cursor::new(
+        bytes.get(SET_HEADER_LEN..).unwrap_or(&[]),
+        "chunk directory",
+    );
+    let dir_bytes = cur.bytes(dir_len)?;
+    let computed = crc32(dir_bytes);
+    if computed != dir_crc {
+        return Err(StoreError::ChecksumMismatch {
+            section: "chunk directory",
+            stored: dir_crc,
+            computed,
+        });
+    }
+    let mut dir = Vec::with_capacity(chunk_count);
+    let mut rec = Cursor::new(dir_bytes, "chunk directory");
+    let mut payload_offset = 0u64;
+    for _ in 0..chunk_count {
+        let key = rec.u16()?;
+        let code = rec.u8()?;
+        let _reserved = rec.u8()?;
+        let cardinality = rec.u32()?;
+        let payload_len = rec.u32()?;
+        let payload_crc = rec.u32()?;
+        let kind = ContainerKind::from_code(code).ok_or(StoreError::Corrupt {
+            section: "chunk directory",
+            detail: "unknown container type code",
+        })?;
+        dir.push(ChunkDirEntry {
+            key,
+            kind,
+            cardinality,
+            payload_len,
+            payload_crc,
+            payload_offset,
+        });
+        payload_offset += u64::from(payload_len);
+    }
+    if dir.windows(2).any(|w| w[0].key >= w[1].key) {
+        return Err(StoreError::Corrupt {
+            section: "chunk directory",
+            detail: "chunk keys unsorted or duplicated",
+        });
+    }
+    Ok(dir)
+}
+
+/// Verify one chunk payload's checksum and decode it.
+pub fn decode_chunk(entry: &ChunkDirEntry, payload: &[u8]) -> Result<Container, StoreError> {
+    let computed = crc32(payload);
+    if computed != entry.payload_crc {
+        return Err(StoreError::ChecksumMismatch {
+            section: "chunk payload",
+            stored: entry.payload_crc,
+            computed,
+        });
+    }
+    decode_container(entry.kind, entry.cardinality, payload)
+}
+
+/// Decode a whole entry back into a [`ScanSet`], verifying every
+/// checksum.
+pub fn decode_set(bytes: &[u8]) -> Result<ScanSet, StoreError> {
+    let dir = decode_set_directory(bytes)?;
+    let payload_base = SET_HEADER_LEN + dir.len() * DIR_RECORD_LEN;
+    let mut chunks = Vec::with_capacity(dir.len());
+    let payloads = bytes.get(payload_base..).unwrap_or(&[]);
+    let mut cur = Cursor::new(payloads, "chunk payload");
+    for entry in &dir {
+        let payload = cur.bytes(entry.payload_len as usize)?;
+        chunks.push((entry.key, decode_chunk(entry, payload)?));
+    }
+    if !cur.is_exhausted() {
+        return Err(StoreError::Corrupt {
+            section: "chunk payload",
+            detail: "trailing bytes after the last payload",
+        });
+    }
+    ScanSet::from_chunks(chunks).ok_or(StoreError::Corrupt {
+        section: "chunk directory",
+        detail: "chunk keys unsorted or duplicated",
+    })
+}
+
+/// Human-readable description of the on-disk format, derived from the
+/// same constants the serializers use. Pinned by the format golden test:
+/// any layout change shows up as a golden-file diff.
+pub fn describe() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "originscan-store on-disk format");
+    let _ = writeln!(out, "================================");
+    let _ = writeln!(
+        out,
+        "magic: {:?} | version: {VERSION} | endianness: little",
+        std::str::from_utf8(&MAGIC).unwrap_or("OSCS"),
+    );
+    let _ = writeln!(
+        out,
+        "checksum: CRC-32 IEEE (reflected, poly 0xEDB88320), empty = {:08x}",
+        crc32(&[]),
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "file header ({HEADER_LEN} bytes):");
+    let _ = writeln!(
+        out,
+        "  magic[4] version:u16 flags:u16 entry_count:u32 toc_len:u32 toc_crc:u32"
+    );
+    let _ = writeln!(out, "toc record (variable):");
+    let _ = writeln!(
+        out,
+        "  proto_len:u8 proto[proto_len] trial:u8 origin:u16 offset:u64 len:u64"
+    );
+    let _ = writeln!(out, "  ordered by (protocol, trial, origin)");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "entry = set header ({SET_HEADER_LEN} bytes) + directory + payloads:"
+    );
+    let _ = writeln!(out, "  set header: chunk_count:u32 dir_crc:u32");
+    let _ = writeln!(
+        out,
+        "  directory record ({DIR_RECORD_LEN} bytes): key:u16 kind:u8 reserved:u8 cardinality:u32 payload_len:u32 payload_crc:u32"
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "container payloads:");
+    let _ = writeln!(
+        out,
+        "  array  (code {}): cardinality x u16, strictly ascending; max {ARRAY_MAX} elements",
+        ContainerKind::Array.code(),
+    );
+    let _ = writeln!(
+        out,
+        "  bitmap (code {}): {WORDS} x u64 ({} bytes)",
+        ContainerKind::Bitmap.code(),
+        WORDS * 8,
+    );
+    let _ = writeln!(
+        out,
+        "  run    (code {}): runs x (start:u16, end:u16 inclusive), sorted, non-adjacent",
+        ContainerKind::Run.code(),
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "canonical container rule: smallest serialization of {{2n array (n <= {ARRAY_MAX}), 4r run, {} bitmap}}; ties prefer array, then run",
+        WORDS * 8,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn set_roundtrip_all_kinds() {
+        // Array chunk, run chunk, bitmap chunk in one set.
+        let mut addrs: Vec<u32> = vec![1, 5, 9]; // chunk 0: array
+        addrs.extend(0x0001_0000u32..0x0001_8000); // chunk 1: run
+        addrs.extend((0..20000u32).map(|v| 0x0002_0000 + v * 3)); // chunk 2: bitmap
+        let set = ScanSet::from_sorted(&addrs);
+        let kinds: Vec<ContainerKind> = set.chunks().map(|(_, c)| c.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ContainerKind::Array,
+                ContainerKind::Run,
+                ContainerKind::Bitmap
+            ]
+        );
+        let bytes = encode_set(&set).unwrap();
+        let back = decode_set(&bytes).unwrap();
+        assert_eq!(back, set);
+        // The decoded representation is identical, not just the set.
+        let back_kinds: Vec<ContainerKind> = back.chunks().map(|(_, c)| c.kind()).collect();
+        assert_eq!(back_kinds, kinds);
+        // Re-encoding is byte-identical.
+        assert_eq!(encode_set(&back).unwrap(), bytes);
+    }
+
+    #[test]
+    fn directory_is_readable_without_payloads() {
+        let set = ScanSet::from_sorted(&[3, 0x0005_0001, 0x0005_0002]);
+        let bytes = encode_set(&set).unwrap();
+        let dir = decode_set_directory(&bytes).unwrap();
+        assert_eq!(dir.len(), 2);
+        assert_eq!(dir[0].key, 0);
+        assert_eq!(dir[1].key, 5);
+        let total: u64 = dir.iter().map(|d| u64::from(d.cardinality)).sum();
+        assert_eq!(total, set.cardinality());
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_checksum_mismatch() {
+        let set = ScanSet::from_sorted(&[10, 20, 30]);
+        let mut bytes = encode_set(&set).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        match decode_set(&bytes) {
+            Err(StoreError::ChecksumMismatch { section, .. }) => {
+                assert_eq!(section, "chunk payload")
+            }
+            other => panic!("expected payload checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_directory_byte_is_checksum_mismatch() {
+        let set = ScanSet::from_sorted(&[10, 20, 30]);
+        let mut bytes = encode_set(&set).unwrap();
+        bytes[SET_HEADER_LEN] ^= 0x01;
+        match decode_set_directory(&bytes) {
+            Err(StoreError::ChecksumMismatch { section, .. }) => {
+                assert_eq!(section, "chunk directory")
+            }
+            other => panic!("expected directory checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_entry_is_typed() {
+        let set = ScanSet::from_sorted(&(0..100).collect::<Vec<u32>>());
+        let bytes = encode_set(&set).unwrap();
+        for cut in [1, SET_HEADER_LEN, SET_HEADER_LEN + 4, bytes.len() - 1] {
+            match decode_set(&bytes[..cut]) {
+                Err(StoreError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_structures_are_corrupt_errors() {
+        // Unknown container code.
+        let set = ScanSet::from_sorted(&[1, 2, 3]);
+        let mut bytes = encode_set(&set).unwrap();
+        bytes[SET_HEADER_LEN + 2] = 9; // kind byte of the first record
+                                       // Fix the directory CRC so the code check is reached.
+        let dir_end = SET_HEADER_LEN + DIR_RECORD_LEN;
+        let crc = crc32(&bytes[SET_HEADER_LEN..dir_end]);
+        bytes[4..8].copy_from_slice(&crc.to_le_bytes());
+        match decode_set(&bytes) {
+            Err(StoreError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("container type"), "{detail}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // Unsorted array payload.
+        let err = decode_container(ContainerKind::Array, 2, &[5, 0, 1, 0]);
+        assert!(matches!(err, Err(StoreError::Corrupt { .. })));
+        // Adjacent runs are not canonical.
+        let err = decode_container(ContainerKind::Run, 4, &[0, 0, 1, 0, 2, 0, 3, 0]);
+        assert!(matches!(err, Err(StoreError::Corrupt { .. })));
+        // Cardinality lie on a bitmap.
+        let mut payload = vec![0u8; WORDS * 8];
+        payload[0] = 0b11;
+        let err = decode_container(ContainerKind::Bitmap, 3, &payload);
+        assert!(matches!(err, Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn describe_mentions_every_section() {
+        let d = describe();
+        for needle in [
+            "magic",
+            "toc record",
+            "directory record",
+            "array",
+            "bitmap",
+            "run",
+            "CRC-32",
+        ] {
+            assert!(d.contains(needle), "describe() missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! [`ScanSet`]: a roaring-style compressed bitmap over the simulated
+//! address space.
+//!
+//! Addresses are split into a high-16-bit *chunk key* and a low-16-bit
+//! in-chunk value; each populated chunk holds one [`Container`]. The
+//! paper's 2²⁴ simulated space therefore spans at most 256 chunks, and a
+//! full `u32` address fits without special cases.
+//!
+//! All canonical constructors ([`ScanSet::from_sorted`],
+//! [`ScanSet::from_unsorted`], the set operations) produce optimized
+//! containers, so a set's serialized form is a pure function of its
+//! members — the determinism contract the on-disk format relies on.
+
+use crate::container::{Container, ContainerIter, SetOp, WORDS};
+
+/// A compressed set of `u32` addresses.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScanSet {
+    /// `(chunk_key, container)` pairs, sorted by key, no empty chunks.
+    chunks: Vec<(u16, Container)>,
+}
+
+#[inline]
+fn key_of(addr: u32) -> u16 {
+    (addr >> 16) as u16
+}
+
+#[inline]
+fn low_of(addr: u32) -> u16 {
+    (addr & 0xFFFF) as u16
+}
+
+#[inline]
+fn join(key: u16, low: u16) -> u32 {
+    u32::from(key) << 16 | u32::from(low)
+}
+
+impl ScanSet {
+    /// The empty set.
+    pub fn new() -> ScanSet {
+        ScanSet { chunks: Vec::new() }
+    }
+
+    /// Build from sorted, de-duplicated addresses. Out-of-order input is
+    /// detected and routed through [`ScanSet::from_unsorted`], so the
+    /// result is always the canonical form of the member set.
+    pub fn from_sorted(addrs: &[u32]) -> ScanSet {
+        if addrs.windows(2).any(|w| w[0] >= w[1]) {
+            return ScanSet::from_unsorted(addrs.to_vec());
+        }
+        let mut chunks: Vec<(u16, Container)> = Vec::new();
+        let mut i = 0usize;
+        while i < addrs.len() {
+            let key = key_of(addrs[i]);
+            let end = addrs[i..].partition_point(|&a| key_of(a) == key) + i;
+            let values: Vec<u16> = addrs[i..end].iter().map(|&a| low_of(a)).collect();
+            chunks.push((key, Container::from_sorted(values).optimized()));
+            i = end;
+        }
+        ScanSet { chunks }
+    }
+
+    /// Build from arbitrary addresses (sorts and de-duplicates).
+    pub fn from_unsorted(mut addrs: Vec<u32>) -> ScanSet {
+        addrs.sort_unstable();
+        addrs.dedup();
+        ScanSet::from_sorted(&addrs)
+    }
+
+    /// Insert one address; returns true when it was new. Containers are
+    /// *not* re-canonicalized per insert — call [`ScanSet::optimized`]
+    /// before serializing incrementally built sets.
+    pub fn insert(&mut self, addr: u32) -> bool {
+        let key = key_of(addr);
+        match self.chunks.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(pos) => self.chunks[pos].1.insert(low_of(addr)),
+            Err(pos) => {
+                self.chunks
+                    .insert(pos, (key, Container::Array(vec![low_of(addr)])));
+                true
+            }
+        }
+    }
+
+    /// Convert every chunk to its canonical representation.
+    pub fn optimized(self) -> ScanSet {
+        ScanSet {
+            chunks: self
+                .chunks
+                .into_iter()
+                .filter(|(_, c)| !c.is_empty())
+                .map(|(k, c)| (k, c.optimized()))
+                .collect(),
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, addr: u32) -> bool {
+        self.chunks
+            .binary_search_by_key(&key_of(addr), |&(k, _)| k)
+            .is_ok_and(|pos| self.chunks[pos].1.contains(low_of(addr)))
+    }
+
+    /// Number of members.
+    pub fn cardinality(&self) -> u64 {
+        self.chunks
+            .iter()
+            .map(|(_, c)| u64::from(c.cardinality()))
+            .sum()
+    }
+
+    /// True when the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.iter().all(|(_, c)| c.is_empty())
+    }
+
+    /// Number of populated chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Iterate the `(key, container)` chunks in key order.
+    pub fn chunks(&self) -> impl Iterator<Item = (u16, &Container)> {
+        self.chunks.iter().map(|(k, c)| (*k, c))
+    }
+
+    /// Assemble from chunks already in key order (the deserializer's
+    /// path). Returns `None` when keys are unsorted or duplicated.
+    pub fn from_chunks(chunks: Vec<(u16, Container)>) -> Option<ScanSet> {
+        if chunks.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return None;
+        }
+        Some(ScanSet { chunks })
+    }
+
+    /// Iterate members in ascending address order.
+    pub fn iter(&self) -> ScanSetIter<'_> {
+        ScanSetIter {
+            chunks: self.chunks.iter(),
+            cur: None,
+        }
+    }
+
+    /// Collect into a sorted vector.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
+
+    /// Number of members ≤ `addr`.
+    pub fn rank(&self, addr: u32) -> u64 {
+        let key = key_of(addr);
+        let mut count = 0u64;
+        for (k, c) in &self.chunks {
+            if *k < key {
+                count += u64::from(c.cardinality());
+            } else if *k == key {
+                count += u64::from(c.rank(low_of(addr)));
+            } else {
+                break;
+            }
+        }
+        count
+    }
+
+    /// The `k`-th smallest member (0-based), if present.
+    pub fn select(&self, k: u64) -> Option<u32> {
+        let mut remaining = k;
+        for (key, c) in &self.chunks {
+            let card = u64::from(c.cardinality());
+            if remaining < card {
+                let low = c.select(remaining as u32)?;
+                return Some(join(*key, low));
+            }
+            remaining -= card;
+        }
+        None
+    }
+
+    /// Intersection.
+    pub fn and(&self, other: &ScanSet) -> ScanSet {
+        self.binary_op(other, SetOp::And)
+    }
+
+    /// Union.
+    pub fn or(&self, other: &ScanSet) -> ScanSet {
+        self.binary_op(other, SetOp::Or)
+    }
+
+    /// Difference (`self` minus `other`).
+    pub fn andnot(&self, other: &ScanSet) -> ScanSet {
+        self.binary_op(other, SetOp::AndNot)
+    }
+
+    /// Symmetric difference.
+    pub fn xor(&self, other: &ScanSet) -> ScanSet {
+        self.binary_op(other, SetOp::Xor)
+    }
+
+    /// `|self ∩ other|` without materializing the intersection.
+    pub fn intersection_cardinality(&self, other: &ScanSet) -> u64 {
+        self.merge_chunks(other)
+            .map(|pair| match pair {
+                (Some(a), Some(b)) => u64::from(a.op_cardinality(b, SetOp::And)),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// `|self ∪ other|` without materializing the union.
+    pub fn union_cardinality(&self, other: &ScanSet) -> u64 {
+        self.cardinality() + other.cardinality() - self.intersection_cardinality(other)
+    }
+
+    /// `|self ∖ other|` without materializing the difference.
+    pub fn andnot_cardinality(&self, other: &ScanSet) -> u64 {
+        self.cardinality() - self.intersection_cardinality(other)
+    }
+
+    /// Cardinality of the union of many sets, chunk-at-a-time: single
+    /// holders contribute their popcount directly, shared chunks are
+    /// OR-accumulated into one scratch word block. This is the kernel
+    /// behind the §6/§7 multi-origin combination sweeps.
+    pub fn union_cardinality_many(sets: &[&ScanSet]) -> u64 {
+        let mut cursors: Vec<usize> = vec![0; sets.len()];
+        let mut total = 0u64;
+        let mut scratch = Box::new([0u64; WORDS]);
+        loop {
+            // The smallest chunk key not yet consumed across all sets.
+            let mut key: Option<u16> = None;
+            for (si, s) in sets.iter().enumerate() {
+                if let Some(&(k, _)) = s.chunks.get(cursors[si]) {
+                    key = Some(key.map_or(k, |cur: u16| cur.min(k)));
+                }
+            }
+            let Some(key) = key else { break };
+            let mut holders: Vec<&Container> = Vec::new();
+            for (si, s) in sets.iter().enumerate() {
+                if let Some(&(k, ref c)) = s.chunks.get(cursors[si]) {
+                    if k == key {
+                        holders.push(c);
+                        cursors[si] += 1;
+                    }
+                }
+            }
+            match holders[..] {
+                [one] => total += u64::from(one.cardinality()),
+                _ => {
+                    scratch.fill(0);
+                    for c in &holders {
+                        c.or_into(&mut scratch);
+                    }
+                    total += scratch
+                        .iter()
+                        .map(|w| u64::from(w.count_ones()))
+                        .sum::<u64>();
+                }
+            }
+        }
+        total
+    }
+
+    /// Union of many sets.
+    pub fn union_many(sets: &[&ScanSet]) -> ScanSet {
+        let mut acc = ScanSet::new();
+        for s in sets {
+            acc = acc.or(s);
+        }
+        acc
+    }
+
+    fn binary_op(&self, other: &ScanSet, op: SetOp) -> ScanSet {
+        let mut chunks: Vec<(u16, Container)> = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        let empty = Container::new();
+        while i < self.chunks.len() || j < other.chunks.len() {
+            let ka = self.chunks.get(i).map(|&(k, _)| k);
+            let kb = other.chunks.get(j).map(|&(k, _)| k);
+            let (key, a, b) = match (ka, kb) {
+                (Some(ka), Some(kb)) if ka == kb => {
+                    let pair = (ka, Some(&self.chunks[i].1), Some(&other.chunks[j].1));
+                    i += 1;
+                    j += 1;
+                    pair
+                }
+                (Some(ka), Some(kb)) if ka < kb => {
+                    let pair = (ka, Some(&self.chunks[i].1), None);
+                    i += 1;
+                    pair
+                }
+                (Some(ka), None) => {
+                    let pair = (ka, Some(&self.chunks[i].1), None);
+                    i += 1;
+                    pair
+                }
+                (_, Some(kb)) => {
+                    let pair = (kb, None, Some(&other.chunks[j].1));
+                    j += 1;
+                    pair
+                }
+                (None, None) => break,
+            };
+            let out = match (a, b) {
+                (Some(a), Some(b)) => a.op(b, op),
+                // One-sided chunks: And drops them, AndNot keeps only the
+                // left side, Or/Xor keep either side verbatim.
+                (Some(a), None) => match op {
+                    SetOp::And => empty.clone(),
+                    _ => a.clone(),
+                },
+                (None, Some(b)) => match op {
+                    SetOp::Or | SetOp::Xor => b.clone(),
+                    _ => empty.clone(),
+                },
+                (None, None) => empty.clone(),
+            };
+            if !out.is_empty() {
+                chunks.push((key, out));
+            }
+        }
+        ScanSet { chunks }
+    }
+
+    /// Merge-walk both chunk lists, yielding aligned container pairs.
+    fn merge_chunks<'a>(
+        &'a self,
+        other: &'a ScanSet,
+    ) -> impl Iterator<Item = (Option<&'a Container>, Option<&'a Container>)> {
+        MergeChunks {
+            a: &self.chunks,
+            b: &other.chunks,
+            i: 0,
+            j: 0,
+        }
+    }
+}
+
+impl FromIterator<u32> for ScanSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> ScanSet {
+        ScanSet::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+struct MergeChunks<'a> {
+    a: &'a [(u16, Container)],
+    b: &'a [(u16, Container)],
+    i: usize,
+    j: usize,
+}
+
+impl<'a> Iterator for MergeChunks<'a> {
+    type Item = (Option<&'a Container>, Option<&'a Container>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let ka = self.a.get(self.i).map(|&(k, _)| k);
+        let kb = self.b.get(self.j).map(|&(k, _)| k);
+        match (ka, kb) {
+            (None, None) => None,
+            (Some(_), None) => {
+                let item = (Some(&self.a[self.i].1), None);
+                self.i += 1;
+                Some(item)
+            }
+            (None, Some(_)) => {
+                let item = (None, Some(&self.b[self.j].1));
+                self.j += 1;
+                Some(item)
+            }
+            (Some(ka), Some(kb)) => match ka.cmp(&kb) {
+                std::cmp::Ordering::Less => {
+                    let item = (Some(&self.a[self.i].1), None);
+                    self.i += 1;
+                    Some(item)
+                }
+                std::cmp::Ordering::Greater => {
+                    let item = (None, Some(&self.b[self.j].1));
+                    self.j += 1;
+                    Some(item)
+                }
+                std::cmp::Ordering::Equal => {
+                    let item = (Some(&self.a[self.i].1), Some(&self.b[self.j].1));
+                    self.i += 1;
+                    self.j += 1;
+                    Some(item)
+                }
+            },
+        }
+    }
+}
+
+/// Ascending iterator over a [`ScanSet`]'s members.
+#[derive(Debug)]
+pub struct ScanSetIter<'a> {
+    chunks: std::slice::Iter<'a, (u16, Container)>,
+    cur: Option<(u16, ContainerIter<'a>)>,
+}
+
+impl Iterator for ScanSetIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if let Some((key, it)) = &mut self.cur {
+                if let Some(low) = it.next() {
+                    return Some(join(*key, low));
+                }
+            }
+            let (key, c) = self.chunks.next()?;
+            self.cur = Some((*key, c.iter()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn sample(seed: u64, n: usize, space: u32) -> Vec<u32> {
+        // Deterministic pseudo-random addresses (splitmix-style).
+        let mut state = seed;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            out.push((z >> 33) as u32 % space);
+        }
+        out
+    }
+
+    #[test]
+    fn from_sorted_and_unsorted_agree() {
+        let addrs = sample(7, 10_000, 1 << 24);
+        let a = ScanSet::from_unsorted(addrs.clone());
+        let mut sorted = addrs;
+        sorted.sort_unstable();
+        sorted.dedup();
+        let b = ScanSet::from_sorted(&sorted);
+        assert_eq!(a, b);
+        assert_eq!(a.to_vec(), sorted);
+        assert_eq!(a.cardinality() as usize, sorted.len());
+    }
+
+    #[test]
+    fn insert_matches_bulk_build() {
+        let addrs = sample(11, 5000, 1 << 24);
+        let mut inc = ScanSet::new();
+        for &a in &addrs {
+            inc.insert(a);
+        }
+        assert!(!inc.insert(addrs[0]));
+        let bulk = ScanSet::from_unsorted(addrs);
+        assert_eq!(inc, bulk, "incremental and bulk builds are the same set");
+        assert_eq!(inc.optimized(), bulk);
+    }
+
+    #[test]
+    fn ops_match_btreeset_oracle() {
+        let a: BTreeSet<u32> = sample(1, 20_000, 1 << 24).into_iter().collect();
+        let b: BTreeSet<u32> = sample(2, 20_000, 1 << 24).into_iter().collect();
+        let sa: ScanSet = a.iter().copied().collect();
+        let sb: ScanSet = b.iter().copied().collect();
+        assert_eq!(
+            sa.and(&sb).to_vec(),
+            a.intersection(&b).copied().collect::<Vec<u32>>()
+        );
+        assert_eq!(
+            sa.or(&sb).to_vec(),
+            a.union(&b).copied().collect::<Vec<u32>>()
+        );
+        assert_eq!(
+            sa.andnot(&sb).to_vec(),
+            a.difference(&b).copied().collect::<Vec<u32>>()
+        );
+        assert_eq!(
+            sa.xor(&sb).to_vec(),
+            a.symmetric_difference(&b).copied().collect::<Vec<u32>>()
+        );
+        assert_eq!(
+            sa.intersection_cardinality(&sb) as usize,
+            a.intersection(&b).count()
+        );
+        assert_eq!(sa.union_cardinality(&sb) as usize, a.union(&b).count());
+        assert_eq!(
+            sa.andnot_cardinality(&sb) as usize,
+            a.difference(&b).count()
+        );
+    }
+
+    #[test]
+    fn union_many_kernels() {
+        let sets: Vec<ScanSet> = (0..5)
+            .map(|i| ScanSet::from_unsorted(sample(100 + i, 8000, 1 << 20)))
+            .collect();
+        let refs: Vec<&ScanSet> = sets.iter().collect();
+        let mut naive: BTreeSet<u32> = BTreeSet::new();
+        for s in &sets {
+            naive.extend(s.iter());
+        }
+        assert_eq!(ScanSet::union_cardinality_many(&refs), naive.len() as u64);
+        let union = ScanSet::union_many(&refs);
+        assert_eq!(union.cardinality(), naive.len() as u64);
+        assert_eq!(union.to_vec(), naive.into_iter().collect::<Vec<u32>>());
+        assert_eq!(ScanSet::union_cardinality_many(&[]), 0);
+    }
+
+    #[test]
+    fn rank_select_across_chunks() {
+        let addrs = sample(3, 3000, 1 << 24);
+        let s = ScanSet::from_unsorted(addrs);
+        let v = s.to_vec();
+        for (k, &addr) in v.iter().enumerate() {
+            assert_eq!(s.select(k as u64), Some(addr));
+            assert_eq!(s.rank(addr), k as u64 + 1);
+        }
+        assert_eq!(s.select(v.len() as u64), None);
+        assert_eq!(s.rank(u32::MAX), v.len() as u64);
+        assert_eq!(s.rank(0), u64::from(s.contains(0)));
+    }
+
+    #[test]
+    fn empty_set_behaviors() {
+        let e = ScanSet::new();
+        assert!(e.is_empty());
+        assert_eq!(e.cardinality(), 0);
+        assert_eq!(e.to_vec(), Vec::<u32>::new());
+        let s = ScanSet::from_sorted(&[1, 2, 3]);
+        assert_eq!(e.or(&s), s);
+        assert_eq!(s.and(&e), e);
+        assert_eq!(s.andnot(&e), s);
+        assert_eq!(s.xor(&s), e);
+    }
+}

@@ -1,0 +1,781 @@
+//! [`ScanSetStore`]: one compressed scan set per `(protocol, trial,
+//! origin)`, persisted in the versioned format of [`crate::format`], and
+//! [`StoreReader`], the lazy chunk-granular loader over such a file.
+//!
+//! The writer keeps entries in a `BTreeMap`, so the TOC, the entry
+//! order, and therefore the whole file are a pure function of the stored
+//! sets — same-seed experiments serialize byte-identically. The reader
+//! verifies the header and TOC checksum up front, each entry's chunk
+//! directory when the entry is opened, and each chunk payload only when
+//! a query actually touches it.
+
+use crate::format::{
+    crc32, decode_chunk, decode_set, decode_set_directory, encode_set, put_u16, put_u32, put_u64,
+    ChunkDirEntry, Cursor, StoreError, DIR_RECORD_LEN, HEADER_LEN, MAGIC, SET_HEADER_LEN, VERSION,
+};
+use crate::scanset::ScanSet;
+use crate::Container;
+use originscan_telemetry::metrics::names;
+use originscan_telemetry::{MetricBatch, Scope, Telemetry};
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+
+/// Identity of one stored scan set.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StoreKey {
+    /// Protocol label (e.g. `"HTTP"`), ≤ 255 bytes.
+    pub protocol: String,
+    /// Trial index.
+    pub trial: u8,
+    /// Origin index in the experiment roster.
+    pub origin: u16,
+}
+
+impl StoreKey {
+    /// Build a key.
+    pub fn new(protocol: &str, trial: u8, origin: u16) -> StoreKey {
+        StoreKey {
+            protocol: protocol.to_string(),
+            trial,
+            origin,
+        }
+    }
+}
+
+impl std::fmt::Display for StoreKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/trial{}/origin{}",
+            self.protocol, self.trial, self.origin
+        )
+    }
+}
+
+/// Deterministic build-side statistics of a store (what would be
+/// written), for telemetry counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreBuildStats {
+    /// Number of `(protocol, trial, origin)` entries.
+    pub entries: u64,
+    /// Total containers across all entries.
+    pub containers: u64,
+    /// Array containers.
+    pub array_containers: u64,
+    /// Bitmap containers.
+    pub bitmap_containers: u64,
+    /// Run containers.
+    pub run_containers: u64,
+    /// Total container payload bytes (excluding headers/directories).
+    pub payload_bytes: u64,
+}
+
+/// An in-memory store of scan sets, writable to the on-disk format.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanSetStore {
+    entries: BTreeMap<StoreKey, ScanSet>,
+}
+
+impl ScanSetStore {
+    /// An empty store.
+    pub fn new() -> ScanSetStore {
+        ScanSetStore {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Insert (or replace) one scan set.
+    pub fn insert(&mut self, key: StoreKey, set: ScanSet) -> Option<ScanSet> {
+        self.entries.insert(key, set)
+    }
+
+    /// Look up one scan set.
+    pub fn get(&self, key: &StoreKey) -> Option<&ScanSet> {
+        self.entries.get(key)
+    }
+
+    /// Iterate keys in canonical `(protocol, trial, origin)` order.
+    pub fn keys(&self) -> impl Iterator<Item = &StoreKey> {
+        self.entries.keys()
+    }
+
+    /// Iterate `(key, set)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&StoreKey, &ScanSet)> {
+        self.entries.iter()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Deterministic build statistics.
+    pub fn stats(&self) -> StoreBuildStats {
+        let mut s = StoreBuildStats {
+            entries: self.entries.len() as u64,
+            ..StoreBuildStats::default()
+        };
+        for set in self.entries.values() {
+            for (_, c) in set.chunks() {
+                s.containers += 1;
+                match c {
+                    Container::Array(_) => s.array_containers += 1,
+                    Container::Bitmap(_) => s.bitmap_containers += 1,
+                    Container::Run(_) => s.run_containers += 1,
+                }
+                s.payload_bytes += c.payload_bytes() as u64;
+            }
+        }
+        s
+    }
+
+    /// Flush build statistics into the telemetry hub as `store.*`
+    /// counters under `scope` (deterministic values only — wall-clock
+    /// timings go through the progress sink instead).
+    pub fn flush_telemetry(&self, hub: &Telemetry, scope: Scope, bytes_written: u64) {
+        let s = self.stats();
+        let mut batch = MetricBatch::new();
+        batch.add(names::STORE_ENTRIES_WRITTEN, s.entries);
+        batch.add(names::STORE_CONTAINERS_WRITTEN, s.containers);
+        batch.add(names::STORE_BYTES_WRITTEN, bytes_written);
+        hub.flush(scope, batch);
+    }
+
+    /// Serialize the whole store (header + TOC + entries).
+    pub fn to_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        let entry_count = u32::try_from(self.entries.len()).map_err(|_| StoreError::TooLarge {
+            section: "entry_count",
+        })?;
+        let mut blobs: Vec<(&StoreKey, Vec<u8>)> = Vec::with_capacity(self.entries.len());
+        let mut toc_len = 0usize;
+        for (key, set) in &self.entries {
+            if key.protocol.len() > usize::from(u8::MAX) {
+                return Err(StoreError::TooLarge {
+                    section: "protocol label",
+                });
+            }
+            toc_len += 1 + key.protocol.len() + 1 + 2 + 8 + 8;
+            blobs.push((key, encode_set(set)?));
+        }
+        let toc_len_u32 =
+            u32::try_from(toc_len).map_err(|_| StoreError::TooLarge { section: "toc_len" })?;
+        let mut toc = Vec::with_capacity(toc_len);
+        let mut offset = (HEADER_LEN + toc_len) as u64;
+        for (key, blob) in &blobs {
+            // Protocol length fits u8: checked above against u8::MAX.
+            toc.push(u8::try_from(key.protocol.len()).unwrap_or(u8::MAX));
+            toc.extend_from_slice(key.protocol.as_bytes());
+            toc.push(key.trial);
+            put_u16(&mut toc, key.origin);
+            put_u64(&mut toc, offset);
+            put_u64(&mut toc, blob.len() as u64);
+            offset += blob.len() as u64;
+        }
+        let mut out = Vec::with_capacity(offset as usize);
+        out.extend_from_slice(&MAGIC);
+        put_u16(&mut out, VERSION);
+        put_u16(&mut out, 0); // flags
+        put_u32(&mut out, entry_count);
+        put_u32(&mut out, toc_len_u32);
+        put_u32(&mut out, crc32(&toc));
+        out.extend_from_slice(&toc);
+        for (_, blob) in &blobs {
+            out.extend_from_slice(blob);
+        }
+        Ok(out)
+    }
+
+    /// Write to a file, returning the byte count written.
+    pub fn write_to(&self, path: &Path) -> Result<u64, StoreError> {
+        let bytes = self.to_bytes()?;
+        std::fs::write(path, &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Eagerly decode a serialized store, verifying every checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ScanSetStore, StoreError> {
+        let toc = parse_header_toc(bytes)?;
+        let mut entries = BTreeMap::new();
+        for rec in toc {
+            let blob = slice_entry(bytes, &rec)?;
+            entries.insert(rec.key, decode_set(blob)?);
+        }
+        Ok(ScanSetStore { entries })
+    }
+}
+
+/// One parsed TOC record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TocRecord {
+    key: StoreKey,
+    offset: u64,
+    len: u64,
+}
+
+fn parse_header_toc(bytes: &[u8]) -> Result<Vec<TocRecord>, StoreError> {
+    let mut cur = Cursor::new(bytes, "file header");
+    let magic = cur.bytes(4)?;
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic {
+            found: [magic[0], magic[1], magic[2], magic[3]],
+        });
+    }
+    let version = cur.u16()?;
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    let _flags = cur.u16()?;
+    let entry_count = cur.u32()? as usize;
+    let toc_len = cur.u32()? as usize;
+    let toc_crc = cur.u32()?;
+    let mut cur = Cursor::new(bytes.get(HEADER_LEN..).unwrap_or(&[]), "toc");
+    let toc_bytes = cur.bytes(toc_len)?;
+    let computed = crc32(toc_bytes);
+    if computed != toc_crc {
+        return Err(StoreError::ChecksumMismatch {
+            section: "toc",
+            stored: toc_crc,
+            computed,
+        });
+    }
+    let mut toc = Vec::with_capacity(entry_count);
+    let mut rec = Cursor::new(toc_bytes, "toc");
+    for _ in 0..entry_count {
+        let proto_len = usize::from(rec.u8()?);
+        let proto = rec.bytes(proto_len)?;
+        let protocol = std::str::from_utf8(proto)
+            .map_err(|_| StoreError::Corrupt {
+                section: "toc",
+                detail: "protocol label is not UTF-8",
+            })?
+            .to_string();
+        let trial = rec.u8()?;
+        let origin = rec.u16()?;
+        let offset = rec.u64()?;
+        let len = rec.u64()?;
+        toc.push(TocRecord {
+            key: StoreKey {
+                protocol,
+                trial,
+                origin,
+            },
+            offset,
+            len,
+        });
+    }
+    if !rec.is_exhausted() {
+        return Err(StoreError::Corrupt {
+            section: "toc",
+            detail: "trailing bytes after the last record",
+        });
+    }
+    if toc.windows(2).any(|w| w[0].key >= w[1].key) {
+        return Err(StoreError::Corrupt {
+            section: "toc",
+            detail: "keys unsorted or duplicated",
+        });
+    }
+    Ok(toc)
+}
+
+fn slice_entry<'a>(bytes: &'a [u8], rec: &TocRecord) -> Result<&'a [u8], StoreError> {
+    let start = rec.offset as usize;
+    let end = start
+        .checked_add(rec.len as usize)
+        .ok_or(StoreError::TooLarge {
+            section: "toc offset",
+        })?;
+    bytes.get(start..end).ok_or(StoreError::Truncated {
+        section: "entry",
+        needed: rec.offset + rec.len,
+        available: bytes.len() as u64,
+    })
+}
+
+/// Cumulative read-side counters (interior-mutable: reads take `&self`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Entries whose directory was opened.
+    pub entries_opened: u64,
+    /// Chunk payloads actually loaded and verified.
+    pub chunks_loaded: u64,
+    /// Bytes read from the file.
+    pub bytes_read: u64,
+}
+
+/// A lazy, checksum-verifying reader over a store file.
+#[derive(Debug)]
+pub struct StoreReader {
+    file: RefCell<std::fs::File>,
+    toc: Vec<TocRecord>,
+    entries_opened: Cell<u64>,
+    chunks_loaded: Cell<u64>,
+    bytes_read: Cell<u64>,
+}
+
+impl StoreReader {
+    /// Open a store file: reads and verifies the header and TOC only.
+    pub fn open(path: &Path) -> Result<StoreReader, StoreError> {
+        let mut file = std::fs::File::open(path)?;
+        let mut header = vec![0u8; HEADER_LEN];
+        read_exact_at(&mut file, 0, &mut header, "file header")?;
+        let mut cur = Cursor::new(&header, "file header");
+        let magic = cur.bytes(4)?;
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic {
+                found: [magic[0], magic[1], magic[2], magic[3]],
+            });
+        }
+        let version = cur.u16()?;
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion { found: version });
+        }
+        let _flags = cur.u16()?;
+        let _entry_count = cur.u32()?;
+        let toc_len = cur.u32()? as usize;
+        let mut full = vec![0u8; HEADER_LEN + toc_len];
+        read_exact_at(&mut file, 0, &mut full, "toc")?;
+        let toc = parse_header_toc(&full)?;
+        let reader = StoreReader {
+            file: RefCell::new(file),
+            toc,
+            entries_opened: Cell::new(0),
+            chunks_loaded: Cell::new(0),
+            bytes_read: Cell::new((HEADER_LEN * 2 + toc_len) as u64),
+        };
+        Ok(reader)
+    }
+
+    /// Keys present in the store, canonical order.
+    pub fn keys(&self) -> impl Iterator<Item = &StoreKey> {
+        self.toc.iter().map(|r| &r.key)
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.toc.len()
+    }
+
+    /// True when the store has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.toc.is_empty()
+    }
+
+    /// True when `key` is present.
+    pub fn contains_key(&self, key: &StoreKey) -> bool {
+        self.toc.binary_search_by(|r| r.key.cmp(key)).is_ok()
+    }
+
+    /// Cumulative read statistics.
+    pub fn stats(&self) -> ReadStats {
+        ReadStats {
+            entries_opened: self.entries_opened.get(),
+            chunks_loaded: self.chunks_loaded.get(),
+            bytes_read: self.bytes_read.get(),
+        }
+    }
+
+    /// Flush read statistics into the telemetry hub as `store.*`
+    /// counters under `scope`.
+    pub fn flush_telemetry(&self, hub: &Telemetry, scope: Scope) {
+        let s = self.stats();
+        let mut batch = MetricBatch::new();
+        batch.add(names::STORE_ENTRIES_LOADED, s.entries_opened);
+        batch.add(names::STORE_CHUNKS_LOADED, s.chunks_loaded);
+        batch.add(names::STORE_BYTES_READ, s.bytes_read);
+        hub.flush(scope, batch);
+    }
+
+    fn record(&self, key: &StoreKey) -> Result<&TocRecord, StoreError> {
+        match self.toc.binary_search_by(|r| r.key.cmp(key)) {
+            Ok(i) => Ok(&self.toc[i]),
+            Err(_) => Err(StoreError::KeyNotFound {
+                key: key.to_string(),
+            }),
+        }
+    }
+
+    fn read_at(
+        &self,
+        offset: u64,
+        len: usize,
+        section: &'static str,
+    ) -> Result<Vec<u8>, StoreError> {
+        let mut buf = vec![0u8; len];
+        read_exact_at(&mut self.file.borrow_mut(), offset, &mut buf, section)?;
+        self.bytes_read.set(self.bytes_read.get() + len as u64);
+        Ok(buf)
+    }
+
+    /// Eagerly load one scan set, verifying its directory and every
+    /// chunk payload.
+    pub fn load(&self, key: &StoreKey) -> Result<ScanSet, StoreError> {
+        let rec = self.record(key)?;
+        let blob = self.read_at(rec.offset, rec.len as usize, "entry")?;
+        self.entries_opened.set(self.entries_opened.get() + 1);
+        let set = decode_set(&blob)?;
+        self.chunks_loaded
+            .set(self.chunks_loaded.get() + set.chunk_count() as u64);
+        Ok(set)
+    }
+
+    /// Open one entry lazily: reads and verifies only the chunk
+    /// directory. Payloads load (and verify) on first touch, per chunk.
+    pub fn lazy(&self, key: &StoreKey) -> Result<LazyScanSet<'_>, StoreError> {
+        let rec = self.record(key)?;
+        // Directory length is implied by chunk_count in the set header.
+        let head = self.read_at(rec.offset, SET_HEADER_LEN, "set header")?;
+        let mut cur = Cursor::new(&head, "set header");
+        let chunk_count = cur.u32()? as usize;
+        let dir_len = chunk_count
+            .checked_mul(DIR_RECORD_LEN)
+            .ok_or(StoreError::TooLarge {
+                section: "chunk directory",
+            })?;
+        let head_and_dir = self.read_at(rec.offset, SET_HEADER_LEN + dir_len, "chunk directory")?;
+        let dir = decode_set_directory(&head_and_dir)?;
+        self.entries_opened.set(self.entries_opened.get() + 1);
+        Ok(LazyScanSet {
+            reader: self,
+            payload_base: rec.offset + (SET_HEADER_LEN + dir_len) as u64,
+            entry_len: rec.len,
+            dir,
+            cache: RefCell::new(BTreeMap::new()),
+        })
+    }
+}
+
+fn read_exact_at(
+    file: &mut std::fs::File,
+    offset: u64,
+    buf: &mut [u8],
+    section: &'static str,
+) -> Result<(), StoreError> {
+    file.seek(SeekFrom::Start(offset))?;
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let n = file.read(&mut buf[filled..])?;
+        if n == 0 {
+            return Err(StoreError::Truncated {
+                section,
+                needed: offset + buf.len() as u64,
+                available: offset + filled as u64,
+            });
+        }
+        filled += n;
+    }
+    Ok(())
+}
+
+/// One lazily loaded scan set: the verified chunk directory plus a cache
+/// of the containers actually touched.
+#[derive(Debug)]
+pub struct LazyScanSet<'r> {
+    reader: &'r StoreReader,
+    payload_base: u64,
+    entry_len: u64,
+    dir: Vec<ChunkDirEntry>,
+    cache: RefCell<BTreeMap<u16, Container>>,
+}
+
+impl LazyScanSet<'_> {
+    /// Total cardinality — answered from the directory alone, without
+    /// loading any payload.
+    pub fn cardinality(&self) -> u64 {
+        self.dir.iter().map(|d| u64::from(d.cardinality)).sum()
+    }
+
+    /// Number of chunks in the entry.
+    pub fn chunk_count(&self) -> usize {
+        self.dir.len()
+    }
+
+    /// Number of chunk payloads loaded so far.
+    pub fn loaded_chunks(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Cardinality of one chunk, from the directory (no payload I/O).
+    pub fn chunk_cardinality(&self, key: u16) -> u64 {
+        match self.dir.binary_search_by_key(&key, |d| d.key) {
+            Ok(i) => u64::from(self.dir[i].cardinality),
+            Err(_) => 0,
+        }
+    }
+
+    fn load_chunk(&self, idx: usize) -> Result<(), StoreError> {
+        let d = self.dir[idx];
+        if self.cache.borrow().contains_key(&d.key) {
+            return Ok(());
+        }
+        let end = d
+            .payload_offset
+            .checked_add(u64::from(d.payload_len))
+            .ok_or(StoreError::TooLarge {
+                section: "chunk payload",
+            })?;
+        // Guard against directories pointing past the entry.
+        let payload_room = self
+            .entry_len
+            .saturating_sub((SET_HEADER_LEN + self.dir.len() * DIR_RECORD_LEN) as u64);
+        if end > payload_room {
+            return Err(StoreError::Truncated {
+                section: "chunk payload",
+                needed: end,
+                available: payload_room,
+            });
+        }
+        let bytes = self.reader.read_at(
+            self.payload_base + d.payload_offset,
+            d.payload_len as usize,
+            "chunk payload",
+        )?;
+        let container = decode_chunk(&d, &bytes)?;
+        self.reader
+            .chunks_loaded
+            .set(self.reader.chunks_loaded.get() + 1);
+        self.cache.borrow_mut().insert(d.key, container);
+        Ok(())
+    }
+
+    /// Membership test, loading at most one chunk.
+    pub fn contains(&self, addr: u32) -> Result<bool, StoreError> {
+        let key = (addr >> 16) as u16;
+        let Ok(idx) = self.dir.binary_search_by_key(&key, |d| d.key) else {
+            return Ok(false);
+        };
+        self.load_chunk(idx)?;
+        Ok(self
+            .cache
+            .borrow()
+            .get(&key)
+            .is_some_and(|c| c.contains((addr & 0xFFFF) as u16)))
+    }
+
+    /// Load every remaining chunk and assemble the full [`ScanSet`].
+    pub fn materialize(&self) -> Result<ScanSet, StoreError> {
+        for idx in 0..self.dir.len() {
+            self.load_chunk(idx)?;
+        }
+        let cache = self.cache.borrow();
+        let chunks: Vec<(u16, Container)> = self
+            .dir
+            .iter()
+            .filter_map(|d| cache.get(&d.key).map(|c| (d.key, c.clone())))
+            .collect();
+        ScanSet::from_chunks(chunks).ok_or(StoreError::Corrupt {
+            section: "chunk directory",
+            detail: "chunk keys unsorted or duplicated",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ScanSetStore {
+        let mut store = ScanSetStore::new();
+        for (trial, origin) in [(0u8, 0u16), (0, 1), (1, 0)] {
+            let addrs: Vec<u32> = (0..5000u32)
+                .map(|v| v * 97 + u32::from(trial) * 13 + u32::from(origin))
+                .collect();
+            store.insert(
+                StoreKey::new("HTTP", trial, origin),
+                ScanSet::from_unsorted(addrs),
+            );
+        }
+        store.insert(
+            StoreKey::new("SSH", 0, 0),
+            ScanSet::from_sorted(&[0x0100_0000, 0x0100_0001]),
+        );
+        store
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "originscan_store_test_{}_{name}.oscs",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_are_deterministic() {
+        let store = sample_store();
+        let a = store.to_bytes().unwrap();
+        let b = store.to_bytes().unwrap();
+        assert_eq!(a, b, "serialization is deterministic");
+        let back = ScanSetStore::from_bytes(&a).unwrap();
+        assert_eq!(back, store);
+        assert_eq!(back.to_bytes().unwrap(), a, "re-serialization is identity");
+    }
+
+    #[test]
+    fn reader_loads_and_counts() {
+        let store = sample_store();
+        let path = temp_path("reader");
+        store.write_to(&path).unwrap();
+        let reader = StoreReader::open(&path).unwrap();
+        assert_eq!(reader.len(), 4);
+        assert!(reader.contains_key(&StoreKey::new("SSH", 0, 0)));
+        assert!(!reader.contains_key(&StoreKey::new("TLS", 0, 0)));
+        let keys: Vec<StoreKey> = reader.keys().cloned().collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys sorted");
+        for key in &keys {
+            let set = reader.load(key).unwrap();
+            assert_eq!(&set, store.get(key).unwrap());
+        }
+        let err = reader.load(&StoreKey::new("TLS", 0, 0));
+        assert!(matches!(err, Err(StoreError::KeyNotFound { .. })));
+        let stats = reader.stats();
+        assert_eq!(stats.entries_opened, 4);
+        assert!(stats.chunks_loaded > 0 && stats.bytes_read > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lazy_loads_only_touched_chunks() {
+        let store = sample_store();
+        let path = temp_path("lazy");
+        store.write_to(&path).unwrap();
+        let reader = StoreReader::open(&path).unwrap();
+        let key = StoreKey::new("HTTP", 0, 0);
+        let lazy = reader.lazy(&key).unwrap();
+        let eager = store.get(&key).unwrap();
+        assert_eq!(lazy.cardinality(), eager.cardinality());
+        assert_eq!(lazy.chunk_count(), eager.chunk_count());
+        assert_eq!(lazy.loaded_chunks(), 0, "directory reads load no payload");
+        // Touch one address: exactly one chunk loads.
+        assert!(lazy.contains(0).unwrap());
+        assert!(!lazy.contains(1).unwrap());
+        assert_eq!(lazy.loaded_chunks(), 1);
+        // Absent chunk: no load at all.
+        assert!(!lazy.contains(0xFFFF_0000).unwrap());
+        assert_eq!(lazy.loaded_chunks(), 1);
+        assert_eq!(
+            lazy.chunk_cardinality(0),
+            u64::from(eager.chunks().next().unwrap().1.cardinality())
+        );
+        let materialized = lazy.materialize().unwrap();
+        assert_eq!(&materialized, eager);
+        assert_eq!(lazy.loaded_chunks(), lazy.chunk_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_files_surface_typed_errors() {
+        let store = sample_store();
+        let bytes = store.to_bytes().unwrap();
+        // Bad magic.
+        let mut b = bytes.clone();
+        b[0] = b'X';
+        assert!(matches!(
+            ScanSetStore::from_bytes(&b),
+            Err(StoreError::BadMagic { .. })
+        ));
+        // Future version.
+        let mut b = bytes.clone();
+        b[4] = 9;
+        assert!(matches!(
+            ScanSetStore::from_bytes(&b),
+            Err(StoreError::UnsupportedVersion { found: 9 })
+        ));
+        // Flipped TOC byte.
+        let mut b = bytes.clone();
+        b[HEADER_LEN] ^= 0x40;
+        assert!(matches!(
+            ScanSetStore::from_bytes(&b),
+            Err(StoreError::ChecksumMismatch { section: "toc", .. })
+        ));
+        // Flipped TOC checksum itself.
+        let mut b = bytes.clone();
+        b[16] ^= 0x01;
+        assert!(matches!(
+            ScanSetStore::from_bytes(&b),
+            Err(StoreError::ChecksumMismatch { section: "toc", .. })
+        ));
+        // Truncations at every section boundary.
+        for cut in [
+            2,
+            HEADER_LEN - 1,
+            HEADER_LEN + 3,
+            bytes.len() / 2,
+            bytes.len() - 1,
+        ] {
+            assert!(
+                matches!(
+                    ScanSetStore::from_bytes(&bytes[..cut]),
+                    Err(StoreError::Truncated { .. }) | Err(StoreError::ChecksumMismatch { .. })
+                ),
+                "cut at {cut}"
+            );
+        }
+        // Flipped payload byte in the last entry.
+        let mut b = bytes.clone();
+        let last = b.len() - 1;
+        b[last] ^= 0xFF;
+        assert!(matches!(
+            ScanSetStore::from_bytes(&b),
+            Err(StoreError::ChecksumMismatch {
+                section: "chunk payload",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn corrupted_file_on_disk_via_reader() {
+        let store = sample_store();
+        let path = temp_path("corrupt");
+        let bytes = store.to_bytes().unwrap();
+        // Flip one byte in the middle of the entries region.
+        let mut b = bytes.clone();
+        let mid = HEADER_LEN + (b.len() - HEADER_LEN) * 3 / 4;
+        b[mid] ^= 0x10;
+        std::fs::write(&path, &b).unwrap();
+        let reader = StoreReader::open(&path).unwrap();
+        let any_fails = reader.keys().cloned().collect::<Vec<_>>().iter().any(|k| {
+            matches!(
+                reader.load(k),
+                Err(StoreError::ChecksumMismatch { .. }) | Err(StoreError::Corrupt { .. })
+            )
+        });
+        assert!(any_fails, "a flipped entry byte must fail verification");
+        // Truncated file: lazy access to the last entry fails with a
+        // typed Truncated error — at directory read or at payload read,
+        // depending on where the cut lands.
+        std::fs::write(&path, &bytes[..bytes.len() - 8]).unwrap();
+        let reader = StoreReader::open(&path).unwrap();
+        let last_key = reader.keys().last().cloned().unwrap();
+        let outcome = reader.lazy(&last_key).and_then(|lazy| lazy.materialize());
+        assert!(matches!(outcome, Err(StoreError::Truncated { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_and_telemetry_flush() {
+        let store = sample_store();
+        let s = store.stats();
+        assert_eq!(s.entries, 4);
+        assert_eq!(
+            s.containers,
+            s.array_containers + s.bitmap_containers + s.run_containers
+        );
+        assert!(s.payload_bytes > 0);
+        let hub = Telemetry::new();
+        let scope = Scope::new("HTTP", 0, 0);
+        store.flush_telemetry(&hub, scope, 1234);
+        let snap = hub.snapshot();
+        assert_eq!(snap.counter(scope, names::STORE_ENTRIES_WRITTEN), 4);
+        assert_eq!(snap.counter(scope, names::STORE_BYTES_WRITTEN), 1234);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the compressed bitmap: set-operation kernels vs a
+//! naive `BTreeSet` oracle, and serialize→deserialize roundtrip identity
+//! across all three container kinds — including the 4096-element
+//! promotion/demotion boundary.
+// Gated: runs only with `--features proptest` (vendored shim; see
+// third_party/proptest). The default offline build skips these suites.
+#![cfg(feature = "proptest")]
+
+use originscan_store::{ScanSet, ScanSetStore, StoreKey, ARRAY_MAX};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Map a drawn `(mode, raw)` pair to an address. The three modes keep
+/// the members concentrated so that containers of every kind (sparse
+/// arrays, dense bitmaps/runs, cutoff-straddling chunks) actually occur.
+fn to_addr((mode, raw): (u32, u32)) -> u32 {
+    match mode % 3 {
+        // Sparse: spread across four chunks → array containers.
+        0 => ((raw % 4) << 16) | (raw.wrapping_mul(2_654_435_761) & 0xFFFF),
+        // Dense window in chunk 0 → run/bitmap containers.
+        1 => raw % 2048,
+        // Around the array/bitmap cutoff inside one chunk.
+        _ => (5 << 16) + (raw % 8192),
+    }
+}
+
+/// Strategy for the raw `(mode, raw)` pair lists.
+fn raw_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    pvec((0u32..3, 0u32..0x0004_0000), 0..6000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every binary kernel agrees with the BTreeSet oracle.
+    #[test]
+    fn ops_match_btreeset_oracle(ra in raw_strategy(), rb in raw_strategy()) {
+        let a: Vec<u32> = ra.into_iter().map(to_addr).collect();
+        let b: Vec<u32> = rb.into_iter().map(to_addr).collect();
+        let oa: BTreeSet<u32> = a.iter().copied().collect();
+        let ob: BTreeSet<u32> = b.iter().copied().collect();
+        let sa = ScanSet::from_unsorted(a);
+        let sb = ScanSet::from_unsorted(b);
+        prop_assert_eq!(sa.cardinality() as usize, oa.len());
+
+        let and: Vec<u32> = oa.intersection(&ob).copied().collect();
+        prop_assert_eq!(sa.and(&sb).to_vec(), and);
+        let or: Vec<u32> = oa.union(&ob).copied().collect();
+        prop_assert_eq!(sa.or(&sb).to_vec(), or);
+        let andnot: Vec<u32> = oa.difference(&ob).copied().collect();
+        prop_assert_eq!(sa.andnot(&sb).to_vec(), andnot);
+        let xor: Vec<u32> = oa.symmetric_difference(&ob).copied().collect();
+        prop_assert_eq!(sa.xor(&sb).to_vec(), xor);
+
+        // Cardinality-only kernels agree without materializing.
+        prop_assert_eq!(sa.intersection_cardinality(&sb) as usize,
+                        oa.intersection(&ob).count());
+        prop_assert_eq!(sa.andnot_cardinality(&sb) as usize,
+                        oa.difference(&ob).count());
+        prop_assert_eq!(ScanSet::union_cardinality_many(&[&sa, &sb]) as usize,
+                        oa.union(&ob).count());
+    }
+
+    /// Rank/select agree with the oracle's sorted order.
+    #[test]
+    fn rank_select_match_oracle(ra in raw_strategy()) {
+        let a: Vec<u32> = ra.into_iter().map(to_addr).collect();
+        let oracle: BTreeSet<u32> = a.iter().copied().collect();
+        let set = ScanSet::from_unsorted(a);
+        for (k, &addr) in oracle.iter().enumerate().step_by(97) {
+            prop_assert_eq!(set.select(k as u64), Some(addr));
+            prop_assert_eq!(set.rank(addr), k as u64 + 1);
+        }
+        prop_assert_eq!(set.select(oracle.len() as u64), None);
+    }
+
+    /// Serialize→deserialize is the identity, and the bytes are a pure
+    /// function of the member set.
+    #[test]
+    fn roundtrip_identity(ra in raw_strategy()) {
+        let a: Vec<u32> = ra.into_iter().map(to_addr).collect();
+        let set = ScanSet::from_unsorted(a.clone());
+        let mut store = ScanSetStore::new();
+        store.insert(StoreKey::new("HTTP", 0, 0), set.clone());
+        let bytes = store.to_bytes().unwrap();
+        let back = ScanSetStore::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.get(&StoreKey::new("HTTP", 0, 0)).unwrap(), &set);
+        prop_assert_eq!(back.to_bytes().unwrap(), bytes);
+
+        // Insertion-order independence: the reversed build serializes to
+        // the same bytes (canonical containers).
+        let mut rev = a;
+        rev.reverse();
+        let mut store2 = ScanSetStore::new();
+        store2.insert(StoreKey::new("HTTP", 0, 0), ScanSet::from_unsorted(rev));
+        prop_assert_eq!(store2.to_bytes().unwrap(), bytes);
+    }
+
+    /// Roundtrip across the array↔bitmap cutoff: sets sized right at,
+    /// just below, and just above ARRAY_MAX members in a single chunk.
+    #[test]
+    fn roundtrip_at_promotion_boundary(delta in -2i64..3, stride in 1u32..5) {
+        let n = (ARRAY_MAX as i64 + delta) as u32;
+        let addrs: Vec<u32> = (0..n).map(|i| i * stride).collect();
+        let set = ScanSet::from_sorted(&addrs);
+        prop_assert_eq!(set.cardinality(), u64::from(n));
+        let mut store = ScanSetStore::new();
+        store.insert(StoreKey::new("SSH", 1, 2), set.clone());
+        let bytes = store.to_bytes().unwrap();
+        let back = ScanSetStore::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.get(&StoreKey::new("SSH", 1, 2)).unwrap(), &set);
+        prop_assert_eq!(back.to_bytes().unwrap(), bytes);
+    }
+}

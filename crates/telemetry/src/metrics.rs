@@ -79,6 +79,18 @@ pub mod names {
     pub const FAULT_OUTAGE_SILENCED: &str = "fault.outage_probes_silenced";
     /// L7 connections timed out inside an outage window (counter).
     pub const FAULT_OUTAGE_L7_TIMEOUTS: &str = "fault.outage_l7_timeouts";
+    /// Scan-set store entries serialized (counter).
+    pub const STORE_ENTRIES_WRITTEN: &str = "store.entries_written";
+    /// Compressed containers serialized across all entries (counter).
+    pub const STORE_CONTAINERS_WRITTEN: &str = "store.containers_written";
+    /// Store file bytes written (counter).
+    pub const STORE_BYTES_WRITTEN: &str = "store.bytes_written";
+    /// Store entries whose directory was opened by a reader (counter).
+    pub const STORE_ENTRIES_LOADED: &str = "store.entries_loaded";
+    /// Chunk payloads loaded and checksum-verified (counter).
+    pub const STORE_CHUNKS_LOADED: &str = "store.chunks_loaded";
+    /// Store file bytes read (counter).
+    pub const STORE_BYTES_READ: &str = "store.bytes_read";
 
     /// The full catalogue as (name, record type) pairs, in serialization
     /// order. Pinned by the schema golden test.
@@ -108,6 +120,12 @@ pub mod names {
         (FAULT_REPLIES_DUPLICATED, "counter"),
         (FAULT_OUTAGE_SILENCED, "counter"),
         (FAULT_OUTAGE_L7_TIMEOUTS, "counter"),
+        (STORE_ENTRIES_WRITTEN, "counter"),
+        (STORE_CONTAINERS_WRITTEN, "counter"),
+        (STORE_BYTES_WRITTEN, "counter"),
+        (STORE_ENTRIES_LOADED, "counter"),
+        (STORE_CHUNKS_LOADED, "counter"),
+        (STORE_BYTES_READ, "counter"),
     ];
 }
 

@@ -21,6 +21,11 @@
 //! * [`telemetry`] — deterministic observability: structured events keyed
 //!   to simulated time, a metrics registry, JSONL export, and per-origin
 //!   scan timelines. Byte-identical across same-seed runs.
+//! * [`store`] — compressed scan-set storage: roaring-style bitmaps over
+//!   the simulated address space with word-level set-operation kernels,
+//!   persisted per `(protocol, trial, origin)` in a versioned,
+//!   checksummed, byte-deterministic format with a lazy chunk-granular
+//!   reader.
 //! * [`core`] — the experiment runner and every analysis in the paper:
 //!   coverage, transient/long-term classification, exclusivity, country and
 //!   AS breakdowns, packet-loss estimation, SSH behaviour, and multi-origin
@@ -54,5 +59,6 @@ pub use originscan_core as core;
 pub use originscan_netmodel as netmodel;
 pub use originscan_scanner as scanner;
 pub use originscan_stats as stats;
+pub use originscan_store as store;
 pub use originscan_telemetry as telemetry;
 pub use originscan_wire as wire;
