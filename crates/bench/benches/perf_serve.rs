@@ -1,0 +1,256 @@
+//! Load generator for the serve stack: in-process clients hammer a real
+//! HTTP server over loopback and report latency percentiles and
+//! throughput, cold-cache vs warm-cache.
+//!
+//! The store is synthetic (six correlated origins over 2²² addresses,
+//! the same generator family as `perf_setops`), so the bench measures
+//! the serve stack — parsing, planning, cache, set kernels, HTTP — not
+//! experiment time. Two phases over an identical query mix:
+//!
+//! * **cold** — fresh engine, every query a plan miss: bitmaps load
+//!   from disk and set kernels run.
+//! * **warm** — same queries again: plan-memo hits, no store or kernel
+//!   work, so the remaining cost is parsing + HTTP.
+//!
+//! Timings go through the telemetry progress sink (`bench_timed` /
+//! `serve_load` JSONL on stderr); the stdout table is the artifact
+//! recorded in EXPERIMENTS.md. The bench asserts the warm best-k pass
+//! is ≥5× faster than the cold one, and a floor on warm throughput.
+
+// Wall-clock timing is the bench harness's job; results never feed analyses.
+#![allow(clippy::disallowed_methods)]
+
+use originscan_serve::{QueryEngine, Server, ServerConfig};
+use originscan_store::{ScanSet, ScanSetStore, StoreKey, StoreReader};
+use originscan_telemetry::progress::{emit_progress, FieldValue};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Synthetic address space: 2²² (large enough that materializing a
+/// bitmap costs real work, small enough to build in milliseconds).
+const SPACE: u32 = 1 << 22;
+const DENSITY: f64 = 0.05;
+const ORIGINS: u16 = 6;
+const CLIENT_THREADS: usize = 4;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Correlated origin views: shared host membership, per-origin misses.
+fn origin_set(origin: u64) -> ScanSet {
+    let mut base = 2020u64;
+    let mut per_origin = 0xC0FFEE ^ (origin << 32);
+    let threshold = (DENSITY * f64::from(u32::MAX)) as u64;
+    let mut out = Vec::new();
+    for addr in 0..SPACE {
+        let host_draw = splitmix(&mut base) & 0xFFFF_FFFF;
+        if host_draw < threshold {
+            let miss_draw = splitmix(&mut per_origin) & 0xFF;
+            if miss_draw >= 26 {
+                out.push(addr);
+            }
+        }
+    }
+    ScanSet::from_sorted(&out)
+}
+
+fn build_store(path: &std::path::Path) {
+    let mut store = ScanSetStore::new();
+    for origin in 0..ORIGINS {
+        store.insert(
+            StoreKey::new("HTTP", 0, origin),
+            origin_set(u64::from(origin)),
+        );
+    }
+    store.write_to(path).expect("write bench store");
+}
+
+/// The query mix one client round sends: set-op heavy with point
+/// lookups mixed in, every query distinct within the round.
+fn query_mix() -> Vec<String> {
+    let mut queries = Vec::new();
+    for o in 0..ORIGINS {
+        queries.push(format!("coverage proto=HTTP trial=0 origins={o}"));
+    }
+    for a in 0..ORIGINS {
+        for b in (a + 1)..ORIGINS {
+            queries.push(format!("diff proto=HTTP trial=0 a={a} b={b}"));
+        }
+    }
+    for o in 0..ORIGINS {
+        queries.push(format!("exclusive proto=HTTP trial=0 origin={o}"));
+        queries.push(format!("rank proto=HTTP trial=0 origin={o} addr=2000000"));
+        queries.push(format!("member proto=HTTP trial=0 origin={o} addr=1000000"));
+    }
+    queries.push("best-k proto=HTTP trial=0 k=2".to_string());
+    queries.push("best-k proto=HTTP trial=0 k=3".to_string());
+    queries
+}
+
+fn http_query(addr: SocketAddr, query: &str) -> u16 {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(
+        format!(
+            "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{query}",
+            query.len()
+        )
+        .as_bytes(),
+    )
+    .expect("send");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read");
+    out.split(' ')
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+struct PhaseReport {
+    wall_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+    req_per_s: f64,
+}
+
+/// Run the query mix through `CLIENT_THREADS` concurrent clients,
+/// collecting per-request latencies.
+fn run_phase(label: &str, addr: SocketAddr, rounds: usize) -> PhaseReport {
+    let queries = Arc::new(query_mix());
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..CLIENT_THREADS {
+        let queries = Arc::clone(&queries);
+        handles.push(std::thread::spawn(move || {
+            let mut latencies_us = Vec::new();
+            for round in 0..rounds {
+                // Interleave clients across the mix so threads do not
+                // lockstep on the same query.
+                for i in 0..queries.len() {
+                    let q = &queries[(i + t + round) % queries.len()];
+                    let sent = Instant::now();
+                    let status = http_query(addr, q);
+                    assert_eq!(status, 200, "query failed under load: {q}");
+                    latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
+                }
+            }
+            latencies_us
+        }));
+    }
+    let mut latencies: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let wall_s = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    let report = PhaseReport {
+        wall_s,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        req_per_s: latencies.len() as f64 / wall_s,
+    };
+    emit_progress(
+        "serve_load",
+        &[
+            ("phase", FieldValue::from(label)),
+            ("requests", FieldValue::from(latencies.len() as u64)),
+            ("wall_s", FieldValue::from(report.wall_s)),
+            ("p50_us", FieldValue::from(report.p50_us)),
+            ("p99_us", FieldValue::from(report.p99_us)),
+            ("req_per_s", FieldValue::from(report.req_per_s)),
+        ],
+    );
+    report
+}
+
+/// Time one best-k pass (the heaviest plan) on its own.
+fn best_k_pass(addr: SocketAddr) -> f64 {
+    let t = Instant::now();
+    assert_eq!(http_query(addr, "best-k proto=HTTP trial=0 k=3"), 200);
+    t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("originscan-perf-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let store_path = dir.join("load.oscs");
+    let build_t = Instant::now();
+    build_store(&store_path);
+    eprintln!("store built in {:.2}s", build_t.elapsed().as_secs_f64());
+
+    let engine = Arc::new(QueryEngine::from_readers(vec![StoreReader::open(
+        &store_path,
+    )
+    .expect("open store")]));
+    let server =
+        Server::start(Arc::clone(&engine), None, ServerConfig::default()).expect("start server");
+    let addr = server.local_addr();
+
+    // Cold best-k: plan miss, six bitmap loads, 20 subset unions.
+    let cold_bestk_s = best_k_pass(addr);
+    // Warm best-k: plan-memo hit.
+    let warm_bestk_s = best_k_pass(addr);
+
+    engine.clear_caches();
+    let cold = run_phase("cold", addr, 1);
+    let warm = run_phase("warm", addr, 4);
+
+    println!("\n================================================================");
+    println!("perf_serve — HTTP load over loopback ({CLIENT_THREADS} clients)");
+    println!("================================================================");
+    println!("phase   requests/s      p50 (us)      p99 (us)    wall (s)");
+    println!(
+        "cold    {:>10.0}    {:>10.0}    {:>10.0}    {:>8.3}",
+        cold.req_per_s, cold.p50_us, cold.p99_us, cold.wall_s
+    );
+    println!(
+        "warm    {:>10.0}    {:>10.0}    {:>10.0}    {:>8.3}",
+        warm.req_per_s, warm.p50_us, warm.p99_us, warm.wall_s
+    );
+    let bestk_speedup = cold_bestk_s / warm_bestk_s.max(1e-9);
+    println!(
+        "best-k k=3: cold {:.1} ms, warm {:.3} ms ({bestk_speedup:.0}x)",
+        cold_bestk_s * 1e3,
+        warm_bestk_s * 1e3
+    );
+    emit_progress(
+        "serve_load",
+        &[
+            ("phase", FieldValue::from("best-k")),
+            ("cold_s", FieldValue::from(cold_bestk_s)),
+            ("warm_s", FieldValue::from(warm_bestk_s)),
+            ("speedup", FieldValue::from(bestk_speedup)),
+        ],
+    );
+
+    // The caches must buy real factors, not noise. The best-k plan goes
+    // from bitmap loads + 20 subset unions to one memo lookup; 5x is a
+    // loose floor (typical is orders of magnitude).
+    assert!(
+        bestk_speedup >= 5.0,
+        "warm best-k must be >=5x faster than cold (got {bestk_speedup:.1}x)"
+    );
+    // Throughput floor, far under typical loopback numbers, so CI noise
+    // cannot trip it while a serialization bug (e.g. every request
+    // re-materializing bitmaps) still would.
+    assert!(
+        warm.req_per_s >= 200.0,
+        "warm throughput too low: {:.0} req/s",
+        warm.req_per_s
+    );
+    assert!(
+        warm.p50_us <= cold.p99_us,
+        "warm median should not exceed cold tail"
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    println!("\nperf_serve: OK");
+}

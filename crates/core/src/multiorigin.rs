@@ -135,6 +135,34 @@ pub fn named_combo_coverage(
         / f64::from(trials)
 }
 
+/// The k-subset of `sets` with the largest union cardinality — the §7
+/// "which k origins buy the most coverage" question asked of bitmaps
+/// directly, so callers that hold materialized scan sets (the serve
+/// query engine) need no [`TrialMatrix`].
+///
+/// Returns the winning member indices (ascending) and the union
+/// cardinality, or `None` when `k` is zero or exceeds `sets.len()`.
+/// Ties break toward the lexicographically smallest index subset, which
+/// `k_subsets` emits first — so the answer is deterministic.
+pub fn best_k_union(sets: &[&ScanSet], k: usize) -> Option<(Vec<usize>, u64)> {
+    if k == 0 || k > sets.len() {
+        return None;
+    }
+    let mut best: Option<(Vec<usize>, u64)> = None;
+    for combo in k_subsets(sets.len(), k) {
+        let members: Vec<&ScanSet> = combo.iter().map(|&i| sets[i]).collect();
+        let covered = ScanSet::union_cardinality_many(&members);
+        let better = match &best {
+            Some((_, c)) => covered > *c,
+            None => true,
+        };
+        if better {
+            best = Some((combo, covered));
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +231,30 @@ mod tests {
             two_origins_1p.summary().median,
             one_origin_2p.summary().median
         );
+    }
+
+    #[test]
+    fn best_k_union_picks_largest_union() {
+        let a = ScanSet::from_sorted(&[1, 2, 3]);
+        let b = ScanSet::from_sorted(&[3, 4]);
+        let c = ScanSet::from_sorted(&[10, 11, 12, 13]);
+        let sets = vec![&a, &b, &c];
+        // Best pair is {a, c}: |{1,2,3,10,11,12,13}| = 7.
+        let (combo, card) = best_k_union(&sets, 2).unwrap();
+        assert_eq!(combo, vec![0, 2]);
+        assert_eq!(card, 7);
+        // k = n degenerates to the full union.
+        let (all, full) = best_k_union(&sets, 3).unwrap();
+        assert_eq!(all, vec![0, 1, 2]);
+        assert_eq!(full, 8);
+        // Out-of-range k is refused, not panicked on.
+        assert!(best_k_union(&sets, 0).is_none());
+        assert!(best_k_union(&sets, 4).is_none());
+        // Ties break toward the first (lexicographically smallest) combo.
+        let d = ScanSet::from_sorted(&[20, 21, 22]);
+        let tied = vec![&a, &d];
+        let (combo, _) = best_k_union(&tied, 1).unwrap();
+        assert_eq!(combo, vec![0]);
     }
 
     #[test]

@@ -9,25 +9,30 @@ use std::collections::BTreeSet;
 /// Crates whose library code must be deterministic: they produce or
 /// transform trial results that the paper's analyses compare bit-wise.
 /// The store crate is here because its serialized bytes are themselves a
-/// compared artifact (same-seed runs must write identical files).
+/// compared artifact (same-seed runs must write identical files), and
+/// the serve crate because query responses are pinned by golden tests
+/// (its socket-facing module audits its wall-clock uses explicitly).
 const DET_SCOPE: &[&str] = &[
     "crates/netmodel/src/",
     "crates/scanner/src/",
     "crates/core/src/",
     "crates/telemetry/src/",
     "crates/store/src/",
+    "crates/serve/src/",
 ];
 
 /// Crates whose library code must not panic: wire codecs and the scan
 /// engine run inside supervised sessions that expect typed errors, the
-/// telemetry hub is called from inside those same sessions, and the
-/// store decodes untrusted (possibly corrupted) files, which must
-/// surface as typed `StoreError`s.
+/// telemetry hub is called from inside those same sessions, the store
+/// decodes untrusted (possibly corrupted) files, which must surface as
+/// typed `StoreError`s, and the serve crate answers untrusted network
+/// input, which must surface as typed `QueryError`s.
 const PANIC_SCOPE: &[&str] = &[
     "crates/wire/src/",
     "crates/scanner/src/",
     "crates/telemetry/src/",
     "crates/store/src/",
+    "crates/serve/src/",
 ];
 
 /// Modules that *emit ordered output* (reports, serialized results,

@@ -15,6 +15,9 @@ const WIRE_PATH: &str = "crates/wire/src/fixture.rs";
 /// Virtual path in a crate outside the det/panic scopes: only the
 /// everywhere rules (`obs-*`, `lint-bad-allow`) apply.
 const LIB_PATH: &str = "crates/stats/src/fixture.rs";
+/// Virtual path inside the serve crate (det + panic scopes; its socket
+/// module audits wall-clock reads with `lint:allow`).
+const SERVE_PATH: &str = "crates/serve/src/fixture.rs";
 
 fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -69,6 +72,11 @@ fn bad_cases() -> Vec<BadCase> {
             WIRE_PATH,
             vec![("lint-bad-allow", 2), ("lint-bad-allow", 5)],
         ),
+        (
+            "serve_wall_clock_bad.rs",
+            SERVE_PATH,
+            vec![("det-wall-clock", 4)],
+        ),
     ]
 }
 
@@ -87,6 +95,7 @@ fn clean_cases() -> Vec<(&'static str, &'static str)> {
         ("obs_dbg_clean.rs", LIB_PATH),
         ("lint_bad_allow_clean.rs", WIRE_PATH),
         ("exempt_clean.rs", WIRE_PATH),
+        ("serve_wall_clock_clean.rs", SERVE_PATH),
     ]
 }
 

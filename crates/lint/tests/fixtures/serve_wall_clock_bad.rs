@@ -1,0 +1,6 @@
+//! Fixture: the serve crate is inside the determinism scope — an
+//! unaudited wall-clock read in query handling is a violation.
+pub fn handle(query: &str) -> usize {
+    let t = std::time::Instant::now();
+    query.len() + t.elapsed().as_secs() as usize
+}

@@ -45,5 +45,6 @@ pub use engine::{
     ScanCheckpoint, ScanConfig, ScanOutput, ScanSession, ScanSummary,
 };
 pub use error::{ConfigError, ScanError};
+pub use output::OutputError;
 pub use target::{CloseKind, L7Ctx, L7Reply, Network, ProbeCtx, Protocol, SynReply};
 pub use zgrab::{GrabResult, L7Detail, L7Outcome, SshSoftware};

@@ -1,0 +1,575 @@
+//! The query engine: typed queries executed lazily against one or more
+//! scan-set stores, behind two sharded LRU caches.
+//!
+//! A [`QueryEngine`] owns a pool of [`StoreReader`]s (one per store
+//! file) and a key → reader index. Point lookups (`rank`, `member`)
+//! stay chunk-granular — they go through [`originscan_store::LazyScanSet`]
+//! accessors and
+//! decode at most one chunk — while set-operation queries materialize
+//! whole bitmaps into the `sets` cache as [`Arc<ScanSet>`], so repeated
+//! unions over the same origins pay the store read once. On top of
+//! that, every finished response body is memoized in the `plans` cache
+//! under the query's canonical form, so an identical query (however it
+//! was spelled) is answered without touching a single bitmap.
+//!
+//! Responses are deterministic by construction: a pure function of the
+//! store contents and the canonical query, byte-identical across
+//! engines, runs, and cache states.
+
+use crate::cache::{CacheStats, ShardedLru};
+use crate::error::QueryError;
+use crate::query::Query;
+use originscan_core::multiorigin::best_k_union;
+use originscan_store::{ScanSet, StoreError, StoreKey, StoreReader};
+use originscan_telemetry::json::JsonObj;
+use originscan_telemetry::metrics::{names, SERVE_LATENCY_BOUNDS};
+use originscan_telemetry::{Scope, Telemetry};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// How many shards and entries each engine cache gets. Sixteen shards
+/// comfortably cover the server's worker pool; 64 entries per shard
+/// bound resident bitmaps to about a thousand sets.
+const CACHE_SHARDS: usize = 16;
+const CACHE_CAPACITY_PER_SHARD: usize = 64;
+
+/// Cumulative engine counters, for `/stats` and telemetry flushes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries executed (including failed ones).
+    pub queries: u64,
+    /// Queries that returned a [`QueryError`].
+    pub errors: u64,
+    /// Memoized-response cache counters.
+    pub plans: CacheStats,
+    /// Materialized-bitmap cache counters.
+    pub sets: CacheStats,
+}
+
+/// The engine proper. Cheap to share: wrap it in an [`Arc`] and hand
+/// clones to every worker thread.
+#[derive(Debug)]
+pub struct QueryEngine {
+    readers: Vec<Mutex<StoreReader>>,
+    /// Which reader holds each stored key. Later stores shadow earlier
+    /// ones on key collision, deterministically (open order decides).
+    index: BTreeMap<StoreKey, usize>,
+    sets: ShardedLru<Arc<ScanSet>>,
+    plans: ShardedLru<Arc<str>>,
+    queries: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl QueryEngine {
+    /// Open every store file and build the key index.
+    pub fn open(paths: &[&Path]) -> Result<QueryEngine, QueryError> {
+        let mut readers = Vec::with_capacity(paths.len());
+        for p in paths {
+            readers.push(StoreReader::open(p).map_err(QueryError::from)?);
+        }
+        Ok(QueryEngine::from_readers(readers))
+    }
+
+    /// Build an engine over already-open readers.
+    pub fn from_readers(readers: Vec<StoreReader>) -> QueryEngine {
+        let mut index = BTreeMap::new();
+        for (i, r) in readers.iter().enumerate() {
+            for k in r.keys() {
+                index.insert(k.clone(), i);
+            }
+        }
+        QueryEngine {
+            readers: readers.into_iter().map(Mutex::new).collect(),
+            index,
+            sets: ShardedLru::new(CACHE_SHARDS, CACHE_CAPACITY_PER_SHARD),
+            plans: ShardedLru::new(CACHE_SHARDS, CACHE_CAPACITY_PER_SHARD),
+            queries: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of keys served across all stores.
+    pub fn key_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Parse and execute one query text.
+    pub fn execute_text(&self, text: &str) -> Result<Arc<str>, QueryError> {
+        let q = match Query::parse(text) {
+            Ok(q) => q,
+            Err(e) => {
+                // Parse failures count as queries too: a flood of
+                // malformed requests must be visible in `/stats`.
+                self.queries.fetch_add(1, Ordering::Relaxed);
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        self.execute(&q)
+    }
+
+    /// Execute one parsed query, returning the JSON response body.
+    pub fn execute(&self, q: &Query) -> Result<Arc<str>, QueryError> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let canonical = q.canonical();
+        if let Some(body) = self.plans.get(&canonical) {
+            return Ok(body);
+        }
+        match self.answer(q, &canonical) {
+            Ok(body) => {
+                let body: Arc<str> = Arc::from(body);
+                self.plans.insert(canonical, Arc::clone(&body));
+                Ok(body)
+            }
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            plans: self.plans.stats(),
+            sets: self.sets.stats(),
+        }
+    }
+
+    /// `/stats` as a JSON body (deterministic field order).
+    pub fn stats_json(&self) -> String {
+        let s = self.stats();
+        let mut o = JsonObj::new();
+        o.field_u64("queries", s.queries);
+        o.field_u64("errors", s.errors);
+        o.field_u64("plan_hits", s.plans.hits);
+        o.field_u64("plan_misses", s.plans.misses);
+        o.field_u64("set_hits", s.sets.hits);
+        o.field_u64("set_misses", s.sets.misses);
+        o.field_u64("set_evictions", s.sets.evictions);
+        o.field_u64("keys", self.index.len() as u64);
+        o.finish()
+    }
+
+    /// Drop every cached bitmap and memoized response.
+    pub fn clear_caches(&self) {
+        self.sets.clear();
+        self.plans.clear();
+    }
+
+    /// Flush engine counters into a telemetry hub under `scope`.
+    pub fn flush_telemetry(&self, hub: &Telemetry, scope: Scope) {
+        let s = self.stats();
+        hub.add(scope, names::SERVE_QUERIES, s.queries);
+        hub.add(scope, names::SERVE_ERRORS, s.errors);
+        hub.add(scope, names::SERVE_PLAN_HITS, s.plans.hits);
+        hub.add(scope, names::SERVE_SET_HITS, s.sets.hits);
+        hub.add(scope, names::SERVE_SET_LOADS, s.sets.misses);
+    }
+
+    // -----------------------------------------------------------------
+    // Query evaluation
+    // -----------------------------------------------------------------
+
+    fn lock_reader(&self, idx: usize) -> Result<MutexGuard<'_, StoreReader>, QueryError> {
+        let m = self.readers.get(idx).ok_or(QueryError::Store(
+            // Unreachable by construction (index values come from
+            // enumerate over `readers`), but typed instead of panicking.
+            StoreError::Corrupt {
+                section: "engine index",
+                detail: "reader index out of range",
+            },
+        ))?;
+        match m.lock() {
+            Ok(g) => Ok(g),
+            // A worker that panicked mid-read cannot have corrupted the
+            // reader (its caches only ever gain verified chunks).
+            Err(poisoned) => Ok(poisoned.into_inner()),
+        }
+    }
+
+    fn reader_for(&self, key: &StoreKey) -> Result<usize, QueryError> {
+        self.index
+            .get(key)
+            .copied()
+            .ok_or_else(|| QueryError::KeyNotFound {
+                key: key.to_string(),
+            })
+    }
+
+    /// All origins stored for `(proto, trial)`, ascending.
+    fn origins_for(&self, proto: &str, trial: u8) -> Result<Vec<u16>, QueryError> {
+        let lo = StoreKey::new(proto, trial, 0);
+        let hi = StoreKey::new(proto, trial, u16::MAX);
+        let origins: Vec<u16> = self.index.range(lo..=hi).map(|(k, _)| k.origin).collect();
+        if origins.is_empty() {
+            return Err(QueryError::NoOrigins {
+                proto: proto.to_string(),
+                trial,
+            });
+        }
+        Ok(origins)
+    }
+
+    /// The materialized bitmap for one key, through the `sets` cache.
+    fn set_for(&self, key: &StoreKey) -> Result<Arc<ScanSet>, QueryError> {
+        let cache_key = key.to_string();
+        if let Some(set) = self.sets.get(&cache_key) {
+            return Ok(set);
+        }
+        let idx = self.reader_for(key)?;
+        let set = {
+            let reader = self.lock_reader(idx)?;
+            reader.load(key).map_err(QueryError::from)?
+        };
+        let set = Arc::new(set);
+        self.sets.insert(cache_key, Arc::clone(&set));
+        Ok(set)
+    }
+
+    /// Materialized bitmaps for a list of origins of one `(proto, trial)`.
+    fn sets_for(
+        &self,
+        proto: &str,
+        trial: u8,
+        origins: &[u16],
+    ) -> Result<Vec<Arc<ScanSet>>, QueryError> {
+        origins
+            .iter()
+            .map(|&o| self.set_for(&StoreKey::new(proto, trial, o)))
+            .collect()
+    }
+
+    fn answer(&self, q: &Query, canonical: &str) -> Result<String, QueryError> {
+        let mut o = JsonObj::new();
+        o.field_str("query", q.kind());
+        match q {
+            Query::Coverage {
+                proto,
+                trial,
+                origins,
+            } => {
+                let all = self.origins_for(proto, *trial)?;
+                let selected = self.sets_for(proto, *trial, origins)?;
+                let universe = self.sets_for(proto, *trial, &all)?;
+                let sel_refs: Vec<&ScanSet> = selected.iter().map(Arc::as_ref).collect();
+                let uni_refs: Vec<&ScanSet> = universe.iter().map(Arc::as_ref).collect();
+                let covered = ScanSet::union_cardinality_many(&sel_refs);
+                let total = ScanSet::union_cardinality_many(&uni_refs);
+                o.field_str("proto", proto);
+                o.field_u64("trial", u64::from(*trial));
+                o.field_u64_array(
+                    "origins",
+                    &origins.iter().map(|&x| u64::from(x)).collect::<Vec<_>>(),
+                );
+                o.field_u64("covered", covered);
+                o.field_u64("universe", total);
+                let frac = if total == 0 {
+                    1.0
+                } else {
+                    covered as f64 / total as f64
+                };
+                o.field_f64("coverage", frac);
+            }
+            Query::Union {
+                proto,
+                trial,
+                origins,
+            } => {
+                let sets = self.sets_for(proto, *trial, origins)?;
+                let refs: Vec<&ScanSet> = sets.iter().map(Arc::as_ref).collect();
+                o.field_str("proto", proto);
+                o.field_u64("trial", u64::from(*trial));
+                o.field_u64_array(
+                    "origins",
+                    &origins.iter().map(|&x| u64::from(x)).collect::<Vec<_>>(),
+                );
+                o.field_u64("count", ScanSet::union_cardinality_many(&refs));
+            }
+            Query::Diff { proto, trial, a, b } => {
+                let sa = self.set_for(&StoreKey::new(proto, *trial, *a))?;
+                let sb = self.set_for(&StoreKey::new(proto, *trial, *b))?;
+                o.field_str("proto", proto);
+                o.field_u64("trial", u64::from(*trial));
+                o.field_u64("a", u64::from(*a));
+                o.field_u64("b", u64::from(*b));
+                o.field_u64("only_a", sa.andnot_cardinality(&sb));
+                o.field_u64("only_b", sb.andnot_cardinality(&sa));
+                o.field_u64("common", sa.intersection_cardinality(&sb));
+            }
+            Query::Exclusive {
+                proto,
+                trial,
+                origin,
+            } => {
+                let all = self.origins_for(proto, *trial)?;
+                let own = self.set_for(&StoreKey::new(proto, *trial, *origin))?;
+                let others: Vec<u16> = all.iter().copied().filter(|&x| x != *origin).collect();
+                let other_sets = self.sets_for(proto, *trial, &others)?;
+                let refs: Vec<&ScanSet> = other_sets.iter().map(Arc::as_ref).collect();
+                let rest = ScanSet::union_many(&refs);
+                o.field_str("proto", proto);
+                o.field_u64("trial", u64::from(*trial));
+                o.field_u64("origin", u64::from(*origin));
+                o.field_u64("exclusive", own.andnot_cardinality(&rest));
+                o.field_u64("total", own.cardinality());
+            }
+            Query::BestK { proto, trial, k } => {
+                let all = self.origins_for(proto, *trial)?;
+                if *k > all.len() {
+                    return Err(QueryError::BadK {
+                        k: *k,
+                        available: all.len(),
+                    });
+                }
+                let sets = self.sets_for(proto, *trial, &all)?;
+                let refs: Vec<&ScanSet> = sets.iter().map(Arc::as_ref).collect();
+                let (combo, covered) = best_k_union(&refs, *k).ok_or(QueryError::BadK {
+                    k: *k,
+                    available: all.len(),
+                })?;
+                let total = ScanSet::union_cardinality_many(&refs);
+                let best: Vec<u64> = combo
+                    .iter()
+                    .filter_map(|&i| all.get(i).map(|&x| u64::from(x)))
+                    .collect();
+                o.field_str("proto", proto);
+                o.field_u64("trial", u64::from(*trial));
+                o.field_u64("k", *k as u64);
+                o.field_u64_array("best", &best);
+                o.field_u64("covered", covered);
+                o.field_u64("universe", total);
+                let frac = if total == 0 {
+                    1.0
+                } else {
+                    covered as f64 / total as f64
+                };
+                o.field_f64("coverage", frac);
+            }
+            Query::Rank {
+                proto,
+                trial,
+                origin,
+                addr,
+            } => {
+                let key = StoreKey::new(proto, *trial, *origin);
+                let idx = self.reader_for(&key)?;
+                let reader = self.lock_reader(idx)?;
+                let lazy = reader.lazy(&key).map_err(QueryError::from)?;
+                let rank = lazy.rank(*addr).map_err(QueryError::from)?;
+                o.field_str("proto", proto);
+                o.field_u64("trial", u64::from(*trial));
+                o.field_u64("origin", u64::from(*origin));
+                o.field_u64("addr", u64::from(*addr));
+                o.field_u64("rank", rank);
+                o.field_u64("cardinality", lazy.cardinality());
+            }
+            Query::Member {
+                proto,
+                trial,
+                origin,
+                addr,
+            } => {
+                let key = StoreKey::new(proto, *trial, *origin);
+                let idx = self.reader_for(&key)?;
+                let reader = self.lock_reader(idx)?;
+                let lazy = reader.lazy(&key).map_err(QueryError::from)?;
+                let member = lazy.contains(*addr).map_err(QueryError::from)?;
+                o.field_str("proto", proto);
+                o.field_u64("trial", u64::from(*trial));
+                o.field_u64("origin", u64::from(*origin));
+                o.field_u64("addr", u64::from(*addr));
+                o.field_str("member", if member { "true" } else { "false" });
+            }
+        }
+        let hash = crate::query::fnv1a64(canonical.as_bytes());
+        o.field_str("plan", &format!("{hash:016x}"));
+        Ok(o.finish())
+    }
+}
+
+/// Render a [`QueryError`] as the deterministic JSON error body the
+/// server answers with.
+pub fn error_body(e: &QueryError) -> String {
+    let mut o = JsonObj::new();
+    o.field_str("error", e.kind());
+    o.field_str("detail", &e.to_string());
+    o.finish()
+}
+
+/// The latency histogram bounds the server observes request times under
+/// (re-exported so the bench and the server agree on buckets).
+pub const LATENCY_BOUNDS: &[f64] = SERVE_LATENCY_BOUNDS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use originscan_store::ScanSetStore;
+
+    fn build_store(dir: &Path, name: &str, entries: &[(&str, u8, u16, Vec<u32>)]) -> StoreReader {
+        let mut store = ScanSetStore::new();
+        for (proto, trial, origin, addrs) in entries {
+            store.insert(
+                StoreKey::new(proto, *trial, *origin),
+                ScanSet::from_unsorted(addrs.clone()),
+            );
+        }
+        let path = dir.join(name);
+        store.write_to(&path).unwrap();
+        StoreReader::open(&path).unwrap()
+    }
+
+    fn test_engine(dir: &Path) -> QueryEngine {
+        let reader = build_store(
+            dir,
+            "a.oscs",
+            &[
+                ("HTTP", 0, 0, vec![1, 2, 3, 100_000]),
+                ("HTTP", 0, 1, vec![2, 3, 4]),
+                ("HTTP", 0, 2, vec![900_000, 900_001]),
+                ("SSH", 1, 0, vec![7]),
+            ],
+        );
+        QueryEngine::from_readers(vec![reader])
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "originscan-serve-engine-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn coverage_union_diff_exclusive() {
+        let dir = tmpdir("cov");
+        let e = test_engine(&dir);
+        // Universe: {1,2,3,4,100000,900000,900001} = 7 addrs.
+        let body = e.execute(&Query::parse("coverage proto=HTTP trial=0 origins=0").unwrap());
+        let body = body.unwrap();
+        assert!(body.contains("\"covered\":4"), "{body}");
+        assert!(body.contains("\"universe\":7"), "{body}");
+
+        let body = e
+            .execute(&Query::parse("union proto=HTTP trial=0 origins=0,1").unwrap())
+            .unwrap();
+        assert!(body.contains("\"count\":5"), "{body}");
+
+        let body = e
+            .execute(&Query::parse("diff proto=HTTP trial=0 a=0 b=1").unwrap())
+            .unwrap();
+        assert!(body.contains("\"only_a\":2"), "{body}");
+        assert!(body.contains("\"only_b\":1"), "{body}");
+        assert!(body.contains("\"common\":2"), "{body}");
+
+        let body = e
+            .execute(&Query::parse("exclusive proto=HTTP trial=0 origin=2").unwrap())
+            .unwrap();
+        assert!(body.contains("\"exclusive\":2"), "{body}");
+        assert!(body.contains("\"total\":2"), "{body}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn best_k_finds_complementary_pair() {
+        let dir = tmpdir("bestk");
+        let e = test_engine(&dir);
+        let body = e
+            .execute(&Query::parse("best-k proto=HTTP trial=0 k=2").unwrap())
+            .unwrap();
+        // Origin 0 covers 4, origin 2 adds its disjoint pair → 6 of 7;
+        // the {0,1} pair only reaches 5.
+        assert!(body.contains("\"best\":[0,2]"), "{body}");
+        assert!(body.contains("\"covered\":6"), "{body}");
+        let err = e
+            .execute(&Query::parse("best-k proto=HTTP trial=0 k=9").unwrap())
+            .unwrap_err();
+        assert_eq!(err.kind(), "bad-k");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn point_lookups_and_missing_keys() {
+        let dir = tmpdir("point");
+        let e = test_engine(&dir);
+        let body = e
+            .execute(&Query::parse("rank proto=HTTP trial=0 origin=0 addr=3").unwrap())
+            .unwrap();
+        assert!(body.contains("\"rank\":3"), "{body}");
+        assert!(body.contains("\"cardinality\":4"), "{body}");
+        let body = e
+            .execute(&Query::parse("member proto=HTTP trial=0 origin=0 addr=100000").unwrap())
+            .unwrap();
+        assert!(body.contains("\"member\":\"true\""), "{body}");
+
+        let err = e
+            .execute(&Query::parse("member proto=HTTP trial=0 origin=9 addr=1").unwrap())
+            .unwrap_err();
+        assert_eq!(err.http_status(), 404);
+        let err = e
+            .execute(&Query::parse("coverage proto=DNS trial=0 origins=0").unwrap())
+            .unwrap_err();
+        assert_eq!(err.kind(), "no-origins");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plan_cache_memoizes_identical_queries() {
+        let dir = tmpdir("memo");
+        let e = test_engine(&dir);
+        let q1 = Query::parse("coverage proto=HTTP trial=0 origins=1,0,0").unwrap();
+        let q2 = Query::parse("coverage  proto=HTTP  trial=0  origins=0,1").unwrap();
+        let b1 = e.execute(&q1).unwrap();
+        let before = e.stats();
+        let b2 = e.execute(&q2).unwrap();
+        let after = e.stats();
+        assert_eq!(b1, b2, "different spellings, same canonical plan");
+        assert_eq!(after.plans.hits, before.plans.hits + 1);
+        assert_eq!(
+            after.sets.misses, before.sets.misses,
+            "memoized answer must not touch the store"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn two_engines_answer_byte_identically() {
+        let dir = tmpdir("det");
+        let a = test_engine(&dir);
+        let b = test_engine(&dir);
+        let queries = [
+            "coverage proto=HTTP trial=0 origins=0,1,2",
+            "best-k proto=HTTP trial=0 k=2",
+            "diff proto=HTTP trial=0 a=0 b=2",
+            "rank proto=SSH trial=1 origin=0 addr=7",
+        ];
+        for q in queries {
+            let qa = a.execute_text(q).unwrap();
+            // Warm `b` differently (run the query twice) — cache state
+            // must not leak into response bytes.
+            let _ = b.execute_text(q).unwrap();
+            let qb = b.execute_text(q).unwrap();
+            assert_eq!(qa, qb, "{q}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn later_stores_shadow_earlier_keys() {
+        let dir = tmpdir("shadow");
+        let r1 = build_store(&dir, "one.oscs", &[("HTTP", 0, 0, vec![1])]);
+        let r2 = build_store(&dir, "two.oscs", &[("HTTP", 0, 0, vec![1, 2, 3])]);
+        let e = QueryEngine::from_readers(vec![r1, r2]);
+        let body = e
+            .execute_text("union proto=HTTP trial=0 origins=0")
+            .unwrap();
+        assert!(body.contains("\"count\":3"), "{body}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,516 @@
+//! A hand-rolled HTTP/1.1 front end for the query engine.
+//!
+//! This module is the crate's one audited I/O boundary: it owns the
+//! listener, the worker pool, and every wall-clock read (timeouts and
+//! latency measurement). Everything behind it — parsing, planning,
+//! execution, response bytes — is deterministic; the clock only decides
+//! *when* a connection is abandoned, never *what* a query answers.
+//!
+//! Shape: an accept thread pushes connections into a bounded queue; a
+//! fixed pool of workers pops and serves them, one request per
+//! connection (`Connection: close`). When the queue is full the accept
+//! thread answers `503` with `Retry-After` inline and drops the
+//! connection — backpressure costs one write, not a worker. Shutdown is
+//! graceful: the listener closes first (new connections are refused by
+//! the OS), then workers drain every queued connection before joining.
+
+use crate::engine::{error_body, QueryEngine};
+use originscan_telemetry::json::JsonObj;
+use originscan_telemetry::metrics::{names, SERVE_LATENCY_BOUNDS};
+use originscan_telemetry::{Scope, Telemetry};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything tunable about the server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Worker threads serving popped connections.
+    pub workers: usize,
+    /// Connections allowed to wait for a worker before `503`.
+    pub queue_depth: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Largest request (head + body) accepted before `413`.
+    pub max_request_bytes: usize,
+    /// The `Retry-After` seconds a backpressured client is told.
+    pub retry_after_s: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_request_bytes: 64 * 1024,
+            retry_after_s: 1,
+        }
+    }
+}
+
+/// The telemetry scope every server metric lands under.
+fn serve_scope() -> Scope {
+    Scope::new("serve", 0, 0)
+}
+
+struct Shared {
+    engine: Arc<QueryEngine>,
+    hub: Option<Arc<Telemetry>>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    cfg: ServerConfig,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("shutdown", &self.shutdown.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// A running server: accept thread + worker pool over one engine.
+#[derive(Debug)]
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the pool, and start accepting.
+    pub fn start(
+        engine: Arc<QueryEngine>,
+        hub: Option<Arc<Telemetry>>,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            hub,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cfg: cfg.clone(),
+        });
+
+        let mut workers = Vec::with_capacity(cfg.workers.max(1));
+        for _ in 0..cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+
+        Ok(Server {
+            local_addr,
+            shared,
+            accept_handle: Some(accept_handle),
+            workers,
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting, drain queued connections, join every thread.
+    /// In-flight requests complete; connections arriving after the
+    /// listener closes are refused by the OS.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The accept thread is parked in `accept()`; a throwaway
+        // connection wakes it so it can observe the flag and drop the
+        // listener.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        self.shared.available.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The wake-up connection (or a raced client) — refuse it.
+            return;
+        }
+        if let Some(hub) = &shared.hub {
+            hub.add(serve_scope(), names::SERVE_HTTP_REQUESTS, 1);
+        }
+        let mut queue = lock(&shared.queue);
+        if queue.len() >= shared.cfg.queue_depth {
+            drop(queue);
+            if let Some(hub) = &shared.hub {
+                hub.add(serve_scope(), names::SERVE_HTTP_REJECTED, 1);
+            }
+            reject_busy(stream, shared);
+            continue;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        shared.available.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = match shared.available.wait(queue) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        let Some(stream) = stream else { return };
+        serve_connection(stream, shared);
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// One answer on the way out; socket errors are connection-fatal and
+/// silent (the client is gone — there is nobody to tell).
+fn respond(mut stream: TcpStream, status: u16, extra_headers: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Content Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n{extra_headers}\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+    // Half-close, then drain whatever the client is still sending (e.g.
+    // the rest of an oversized body). Closing with unread bytes queued
+    // makes the kernel reset the connection, destroying the response
+    // before the client reads it. The drain is bounded by the socket
+    // read timeout and a byte cap, so a hostile client cannot pin a
+    // worker.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    let mut drained = 0usize;
+    while drained < 256 * 1024 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+fn reject_busy(stream: TcpStream, shared: &Shared) {
+    // Short read timeout: the post-response drain in `respond` runs on
+    // the accept thread here, and a slow client must not stall accepts.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let mut o = JsonObj::new();
+    o.field_str("error", "busy");
+    o.field_str("detail", "request queue full; retry shortly");
+    respond(
+        stream,
+        503,
+        &format!("Retry-After: {}\r\n", shared.cfg.retry_after_s),
+        &o.finish(),
+    );
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let request = match read_request(&stream, shared.cfg.max_request_bytes) {
+        Ok(r) => r,
+        Err(RequestError::TooLarge) => {
+            let mut o = JsonObj::new();
+            o.field_str("error", "too-large");
+            o.field_str("detail", "request exceeds the configured size limit");
+            respond(stream, 413, "", &o.finish());
+            return;
+        }
+        Err(RequestError::Malformed(detail)) => {
+            let mut o = JsonObj::new();
+            o.field_str("error", "malformed-request");
+            o.field_str("detail", detail);
+            respond(stream, 400, "", &o.finish());
+            return;
+        }
+        // Socket-level failure mid-read: nothing to answer to.
+        Err(RequestError::Io) => return,
+    };
+    route(stream, shared, &request);
+}
+
+fn route(stream: TcpStream, shared: &Shared, req: &Request) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let mut o = JsonObj::new();
+            o.field_str("status", "ok");
+            o.field_u64("keys", shared.engine.key_count() as u64);
+            respond(stream, 200, "", &o.finish());
+        }
+        ("GET", "/stats") => {
+            respond(stream, 200, "", &shared.engine.stats_json());
+        }
+        ("GET", "/query") => match req.query_param_q() {
+            Some(q) => answer_query(stream, shared, &q),
+            None => {
+                let mut o = JsonObj::new();
+                o.field_str("error", "missing-query");
+                o.field_str("detail", "GET /query needs ?q=<query text>");
+                respond(stream, 400, "", &o.finish());
+            }
+        },
+        ("POST", "/query") => answer_query(stream, shared, &req.body),
+        (_, "/query") | (_, "/healthz") | (_, "/stats") => {
+            let mut o = JsonObj::new();
+            o.field_str("error", "method-not-allowed");
+            o.field_str("detail", "use GET or POST");
+            respond(stream, 405, "", &o.finish());
+        }
+        _ => {
+            let mut o = JsonObj::new();
+            o.field_str("error", "not-found");
+            o.field_str("detail", "routes: /query, /healthz, /stats");
+            respond(stream, 404, "", &o.finish());
+        }
+    }
+}
+
+fn answer_query(stream: TcpStream, shared: &Shared, text: &str) {
+    #[allow(clippy::disallowed_methods)]
+    // lint:allow(det-wall-clock) — latency telemetry at the audited I/O boundary; the measured duration never reaches a response body.
+    let started = std::time::Instant::now();
+    let result = shared.engine.execute_text(text.trim());
+    if let Some(hub) = &shared.hub {
+        let us = started.elapsed().as_secs_f64() * 1e6;
+        hub.observe(
+            serve_scope(),
+            names::SERVE_LATENCY_US,
+            SERVE_LATENCY_BOUNDS,
+            us,
+        );
+    }
+    match result {
+        Ok(body) => respond(stream, 200, "", &body),
+        Err(e) => respond(stream, e.http_status(), "", &error_body(&e)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request parsing
+// ---------------------------------------------------------------------
+
+struct Request {
+    method: String,
+    path: String,
+    raw_query: String,
+    body: String,
+}
+
+impl Request {
+    /// The percent-decoded `q` parameter of the query string, if any.
+    fn query_param_q(&self) -> Option<String> {
+        for pair in self.raw_query.split('&') {
+            if let Some(v) = pair.strip_prefix("q=") {
+                return Some(percent_decode(v));
+            }
+        }
+        None
+    }
+}
+
+enum RequestError {
+    TooLarge,
+    Malformed(&'static str),
+    Io,
+}
+
+/// Read one HTTP/1.1 request (head + optional `Content-Length` body),
+/// bounded by `max_bytes`.
+fn read_request(stream: &TcpStream, max_bytes: usize) -> Result<Request, RequestError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let mut reader = stream;
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > max_bytes {
+            return Err(RequestError::TooLarge);
+        }
+        let n = reader.read(&mut chunk).map_err(|_| RequestError::Io)?;
+        if n == 0 {
+            return Err(RequestError::Malformed("connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| RequestError::Malformed("request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or(RequestError::Malformed("empty request"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(RequestError::Malformed("missing method"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or(RequestError::Malformed("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or(RequestError::Malformed("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed("unsupported HTTP version"));
+    }
+    let (path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| RequestError::Malformed("bad Content-Length"))?;
+            }
+        }
+    }
+    let body_start = head_end + 4;
+    if body_start.saturating_add(content_length) > max_bytes {
+        return Err(RequestError::TooLarge);
+    }
+    while buf.len() < body_start + content_length {
+        let n = reader.read(&mut chunk).map_err(|_| RequestError::Io)?;
+        if n == 0 {
+            return Err(RequestError::Malformed("connection closed mid-body"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let body = std::str::from_utf8(&buf[body_start..body_start + content_length])
+        .map_err(|_| RequestError::Malformed("request body is not UTF-8"))?
+        .to_string();
+    Ok(Request {
+        method,
+        path,
+        raw_query,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Minimal percent-decoding: `%XX` and `+`-as-space, enough for query
+/// text in a URL. Malformed escapes pass through verbatim (the query
+/// parser will reject them with a typed error).
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                }) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(
+            percent_decode("coverage+proto%3DHTTP+trial%3D0"),
+            "coverage proto=HTTP trial=0"
+        );
+        assert_eq!(percent_decode("a%2Cb"), "a,b");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("trail%"), "trail%");
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"partial"), None);
+    }
+}

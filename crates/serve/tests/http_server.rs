@@ -1,0 +1,225 @@
+//! End-to-end tests of the HTTP front end over real loopback sockets:
+//! routing, error statuses, request-size limits, backpressure, and
+//! graceful shutdown semantics (in-flight requests complete while new
+//! connections are refused).
+
+use originscan_serve::{QueryEngine, Server, ServerConfig};
+use originscan_store::{ScanSet, ScanSetStore, StoreKey, StoreReader};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn test_engine(tag: &str) -> Arc<QueryEngine> {
+    let dir = std::env::temp_dir().join(format!("originscan-http-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let mut store = ScanSetStore::new();
+    store.insert(
+        StoreKey::new("HTTP", 0, 0),
+        ScanSet::from_unsorted(vec![1, 2, 3, 100_000]),
+    );
+    store.insert(
+        StoreKey::new("HTTP", 0, 1),
+        ScanSet::from_unsorted(vec![2, 3, 4]),
+    );
+    store.insert(
+        StoreKey::new("HTTP", 0, 2),
+        ScanSet::from_unsorted(vec![900_000, 900_001]),
+    );
+    let path = dir.join("t.oscs");
+    store.write_to(&path).expect("write store");
+    let engine = QueryEngine::from_readers(vec![StoreReader::open(&path).expect("open")]);
+    std::fs::remove_dir_all(&dir).ok();
+    Arc::new(engine)
+}
+
+/// Send raw bytes, read the whole response (server closes when done).
+fn roundtrip(addr: SocketAddr, request: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    s.write_all(request.as_bytes()).expect("send");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read response");
+    out
+}
+
+fn get(addr: SocketAddr, target: &str) -> String {
+    roundtrip(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn post_query(addr: SocketAddr, query: &str) -> String {
+    roundtrip(
+        addr,
+        &format!(
+            "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{query}",
+            query.len()
+        ),
+    )
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or("")
+}
+
+#[test]
+fn routes_and_statuses() {
+    let server =
+        Server::start(test_engine("routes"), None, ServerConfig::default()).expect("start");
+    let addr = server.local_addr();
+
+    let r = get(addr, "/healthz");
+    assert_eq!(status_of(&r), 200, "{r}");
+    assert!(body_of(&r).contains("\"status\":\"ok\""), "{r}");
+
+    let r = post_query(addr, "coverage proto=HTTP trial=0 origins=0,1");
+    assert_eq!(status_of(&r), 200, "{r}");
+    assert!(body_of(&r).contains("\"coverage\":"), "{r}");
+
+    // GET with a percent-encoded query answers identically to POST.
+    let r2 = get(
+        addr,
+        "/query?q=coverage+proto%3DHTTP+trial%3D0+origins%3D0,1",
+    );
+    assert_eq!(status_of(&r2), 200, "{r2}");
+    assert_eq!(body_of(&r2), body_of(&r), "GET and POST must agree");
+
+    let r = post_query(addr, "member proto=HTTP trial=0 origin=9 addr=1");
+    assert_eq!(status_of(&r), 404, "{r}");
+    assert!(body_of(&r).contains("\"error\":\"key-not-found\""), "{r}");
+
+    let r = post_query(addr, "nonsense");
+    assert_eq!(status_of(&r), 400, "{r}");
+
+    let r = get(addr, "/nope");
+    assert_eq!(status_of(&r), 404, "{r}");
+    assert!(body_of(&r).contains("\"error\":\"not-found\""), "{r}");
+
+    let r = roundtrip(
+        addr,
+        "DELETE /query HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status_of(&r), 405, "{r}");
+
+    let r = get(addr, "/stats");
+    assert_eq!(status_of(&r), 200, "{r}");
+    assert!(body_of(&r).contains("\"queries\":"), "{r}");
+
+    server.shutdown();
+}
+
+#[test]
+fn oversized_requests_get_413() {
+    let cfg = ServerConfig {
+        max_request_bytes: 512,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(test_engine("large"), None, cfg).expect("start");
+    let addr = server.local_addr();
+    let r = post_query(addr, &"x".repeat(4096));
+    assert_eq!(status_of(&r), 413, "{r}");
+    assert!(body_of(&r).contains("\"error\":\"too-large\""), "{r}");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_400() {
+    let server =
+        Server::start(test_engine("malformed"), None, ServerConfig::default()).expect("start");
+    let addr = server.local_addr();
+    let r = roundtrip(addr, "NOT-HTTP\r\n\r\n");
+    assert_eq!(status_of(&r), 400, "{r}");
+    let r = roundtrip(addr, "GET /query SPDY/3\r\n\r\n");
+    assert_eq!(status_of(&r), 400, "{r}");
+    server.shutdown();
+}
+
+#[test]
+fn backpressure_answers_503_with_retry_after() {
+    // One worker, queue of one: a held-open connection pins the worker,
+    // a second fills the queue, and every further connection bounces
+    // with 503 until the hogs release.
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(test_engine("busy"), None, cfg).expect("start");
+    let addr = server.local_addr();
+
+    // Pin the worker (popped from the queue, blocked in its bounded
+    // read), then fill the queue with a second idle connection.
+    let mut hog_worker = TcpStream::connect(addr).expect("connect worker hog");
+    std::thread::sleep(Duration::from_millis(100));
+    let mut hog_queue = TcpStream::connect(addr).expect("connect queue hog");
+    std::thread::sleep(Duration::from_millis(100));
+
+    let r = get(addr, "/healthz");
+    assert_eq!(status_of(&r), 503, "{r}");
+    assert!(r.contains("Retry-After:"), "{r}");
+    assert!(body_of(&r).contains("\"error\":\"busy\""), "{r}");
+
+    // Release both hogs; each gets real service, proving the rejection
+    // was backpressure, not breakage.
+    for hog in [&mut hog_worker, &mut hog_queue] {
+        hog.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .expect("send");
+        let mut out = String::new();
+        hog.read_to_string(&mut out).expect("read");
+        assert_eq!(status_of(&out), 200, "{out}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_completes_in_flight_and_refuses_new() {
+    let server =
+        Server::start(test_engine("shutdown"), None, ServerConfig::default()).expect("start");
+    let addr = server.local_addr();
+
+    // In-flight: connected and accepted, but the request not yet sent.
+    let mut in_flight = TcpStream::connect(addr).expect("connect in-flight");
+    in_flight
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .ok();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Send the request concurrently with shutdown: it must complete.
+    let writer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(50));
+        in_flight
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .expect("send in-flight");
+        let mut out = String::new();
+        in_flight.read_to_string(&mut out).expect("read in-flight");
+        out
+    });
+
+    server.shutdown();
+    let response = writer.join().expect("writer thread");
+    assert_eq!(
+        status_of(&response),
+        200,
+        "in-flight request must complete through shutdown: {response}"
+    );
+
+    // After shutdown the listener is gone: connects are refused.
+    let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+    assert!(
+        refused.is_err(),
+        "new connections must be refused after shutdown"
+    );
+}

@@ -520,6 +520,65 @@ mod tests {
     }
 
     #[test]
+    fn rank_select_on_empty_set() {
+        let e = ScanSet::new();
+        assert_eq!(e.rank(0), 0);
+        assert_eq!(e.rank(u32::MAX), 0);
+        assert_eq!(e.select(0), None);
+        assert_eq!(e.select(u64::MAX), None);
+    }
+
+    #[test]
+    fn rank_select_run_container_boundaries() {
+        // Two runs inside one chunk: [100, 200] and [500, 503]. The
+        // canonical form of dense intervals is a run container; rank and
+        // select must be exact at every run edge, especially the *last*
+        // element of the final run.
+        let addrs: Vec<u32> = (100..=200).chain(500..=503).collect();
+        let s = ScanSet::from_sorted(&addrs);
+        assert!(
+            matches!(s.chunks().next().unwrap().1, Container::Run(_)),
+            "dense intervals canonicalize to a run container"
+        );
+        assert_eq!(s.cardinality(), 105);
+        // First element of the first run.
+        assert_eq!(s.rank(99), 0);
+        assert_eq!(s.rank(100), 1);
+        assert_eq!(s.select(0), Some(100));
+        // Last element of the first run / gap between runs.
+        assert_eq!(s.rank(200), 101);
+        assert_eq!(s.rank(201), 101);
+        assert_eq!(s.rank(499), 101);
+        assert_eq!(s.select(100), Some(200));
+        assert_eq!(s.select(101), Some(500));
+        // Last element of the last run: the k = |S|-1 select and the
+        // one-past-the-end select.
+        assert_eq!(s.select(104), Some(503));
+        assert_eq!(s.rank(503), 105);
+        assert_eq!(s.rank(504), 105);
+        assert_eq!(s.select(105), None);
+    }
+
+    #[test]
+    fn rank_select_cross_chunk_boundaries() {
+        // Members straddling chunk edges: the last address of chunk 0,
+        // the first of chunk 1, and a far-away chunk. rank/select must
+        // carry cardinality across chunk boundaries exactly.
+        let addrs = vec![0x0000_FFFF, 0x0001_0000, 0x0001_0001, 0x00FF_0000];
+        let s = ScanSet::from_sorted(&addrs);
+        assert_eq!(s.chunk_count(), 3);
+        for (k, &addr) in addrs.iter().enumerate() {
+            assert_eq!(s.select(k as u64), Some(addr), "select {k}");
+            assert_eq!(s.rank(addr), k as u64 + 1, "rank {addr:#x}");
+        }
+        // rank between chunks (no members in (0x00010001, 0x00FF0000)).
+        assert_eq!(s.rank(0x0002_0000), 3);
+        // rank exactly on an empty chunk boundary below the first member.
+        assert_eq!(s.rank(0x0000_FFFE), 0);
+        assert_eq!(s.select(addrs.len() as u64), None);
+    }
+
+    #[test]
     fn empty_set_behaviors() {
         let e = ScanSet::new();
         assert!(e.is_empty());

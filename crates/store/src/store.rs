@@ -426,6 +426,15 @@ impl StoreReader {
         Ok(set)
     }
 
+    /// Cardinality of one entry from its chunk directory alone — no
+    /// payload is read or verified. This is the cache-friendly accessor
+    /// the query engine uses for `coverage` denominators and `best-k`
+    /// pruning: answering "how many hosts did origin X see?" costs one
+    /// directory read, not a full entry load.
+    pub fn cardinality(&self, key: &StoreKey) -> Result<u64, StoreError> {
+        Ok(self.lazy(key)?.cardinality())
+    }
+
     /// Open one entry lazily: reads and verifies only the chunk
     /// directory. Payloads load (and verify) on first touch, per chunk.
     pub fn lazy(&self, key: &StoreKey) -> Result<LazyScanSet<'_>, StoreError> {
@@ -559,6 +568,51 @@ impl LazyScanSet<'_> {
             .is_some_and(|c| c.contains((addr & 0xFFFF) as u16)))
     }
 
+    /// Number of members ≤ `addr`, loading at most one chunk: chunks
+    /// before the address's own contribute their directory cardinality,
+    /// and only the holding chunk's payload is decoded for the in-chunk
+    /// rank.
+    pub fn rank(&self, addr: u32) -> Result<u64, StoreError> {
+        let key = (addr >> 16) as u16;
+        let mut count = 0u64;
+        for (idx, d) in self.dir.iter().enumerate() {
+            if d.key < key {
+                count += u64::from(d.cardinality);
+            } else if d.key == key {
+                self.load_chunk(idx)?;
+                count += self
+                    .cache
+                    .borrow()
+                    .get(&key)
+                    .map_or(0, |c| u64::from(c.rank((addr & 0xFFFF) as u16)));
+            } else {
+                break;
+            }
+        }
+        Ok(count)
+    }
+
+    /// The `k`-th smallest member (0-based), loading at most one chunk:
+    /// the directory's per-chunk cardinalities locate the holding chunk,
+    /// and only its payload is decoded for the in-chunk select.
+    pub fn select(&self, k: u64) -> Result<Option<u32>, StoreError> {
+        let mut remaining = k;
+        for (idx, d) in self.dir.iter().enumerate() {
+            let card = u64::from(d.cardinality);
+            if remaining < card {
+                self.load_chunk(idx)?;
+                let low = self
+                    .cache
+                    .borrow()
+                    .get(&d.key)
+                    .and_then(|c| c.select(remaining as u32));
+                return Ok(low.map(|low| u32::from(d.key) << 16 | u32::from(low)));
+            }
+            remaining -= card;
+        }
+        Ok(None)
+    }
+
     /// Load every remaining chunk and assemble the full [`ScanSet`].
     pub fn materialize(&self) -> Result<ScanSet, StoreError> {
         for idx in 0..self.dir.len() {
@@ -668,6 +722,68 @@ mod tests {
         let materialized = lazy.materialize().unwrap();
         assert_eq!(&materialized, eager);
         assert_eq!(lazy.loaded_chunks(), lazy.chunk_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn directory_cardinality_reads_no_payload() {
+        let store = sample_store();
+        let path = temp_path("dircard");
+        store.write_to(&path).unwrap();
+        let reader = StoreReader::open(&path).unwrap();
+        for key in store.keys() {
+            assert_eq!(
+                reader.cardinality(key).unwrap(),
+                store.get(key).unwrap().cardinality()
+            );
+        }
+        assert_eq!(
+            reader.stats().chunks_loaded,
+            0,
+            "cardinality answers from directories alone"
+        );
+        assert!(matches!(
+            reader.cardinality(&StoreKey::new("TLS", 0, 0)),
+            Err(StoreError::KeyNotFound { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lazy_rank_select_load_one_chunk() {
+        let store = sample_store();
+        let path = temp_path("lazyrank");
+        store.write_to(&path).unwrap();
+        let reader = StoreReader::open(&path).unwrap();
+        let key = StoreKey::new("HTTP", 0, 0);
+        let eager = store.get(&key).unwrap();
+        let members = eager.to_vec();
+
+        // rank of an address mid-set: matches the eager set, touches at
+        // most one chunk.
+        let lazy = reader.lazy(&key).unwrap();
+        let probe = members[members.len() / 2];
+        assert_eq!(lazy.rank(probe).unwrap(), eager.rank(probe));
+        assert!(lazy.loaded_chunks() <= 1, "rank loads one chunk at most");
+        // Address beyond every chunk: pure directory sum, no new loads.
+        let loaded = lazy.loaded_chunks();
+        assert_eq!(lazy.rank(u32::MAX).unwrap(), eager.cardinality());
+        assert_eq!(lazy.loaded_chunks(), loaded);
+
+        // select round-trips against the eager oracle.
+        let lazy = reader.lazy(&key).unwrap();
+        let k = members.len() as u64 - 1;
+        assert_eq!(lazy.select(k).unwrap(), Some(members[members.len() - 1]));
+        assert!(lazy.loaded_chunks() <= 1, "select loads one chunk at most");
+        assert_eq!(lazy.select(members.len() as u64).unwrap(), None);
+        assert_eq!(lazy.select(0).unwrap(), Some(members[0]));
+
+        // rank/select duality on the lazy path.
+        let lazy = reader.lazy(&key).unwrap();
+        for k in [0u64, 7, members.len() as u64 / 2] {
+            let addr = lazy.select(k).unwrap().unwrap();
+            assert_eq!(lazy.rank(addr).unwrap(), k + 1);
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -5,12 +5,17 @@
 //! about the two things that usually drift: field order (caller-fixed,
 //! insertion order) and float formatting (Rust's `{:?}` shortest
 //! round-trip representation, which is platform-independent).
+//!
+//! The writer is public API: `originscan-serve` builds its HTTP response
+//! bodies with [`JsonObj`], so query responses inherit the exact same
+//! escaping and float-formatting contract the telemetry JSONL stream is
+//! pinned to.
 
 use std::fmt::Write as _;
 
 /// A JSON value as the telemetry serializer understands it.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) enum JsonVal {
+pub enum JsonVal {
     /// Unsigned integer.
     U(u64),
     /// Float, rendered with `{:?}` (shortest round-trip, always with a
@@ -22,13 +27,20 @@ pub(crate) enum JsonVal {
 
 /// Incremental single-line JSON object writer.
 #[derive(Debug)]
-pub(crate) struct JsonObj {
+pub struct JsonObj {
     buf: String,
     first: bool,
 }
 
+impl Default for JsonObj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl JsonObj {
-    pub(crate) fn new() -> Self {
+    /// Start an empty object.
+    pub fn new() -> Self {
         Self {
             buf: String::from("{"),
             first: true,
@@ -45,24 +57,29 @@ impl JsonObj {
         self.buf.push_str("\":");
     }
 
-    pub(crate) fn field_str(&mut self, k: &str, v: &str) {
+    /// Append a string field (escaped on write).
+    pub fn field_str(&mut self, k: &str, v: &str) {
         self.key(k);
         self.buf.push('"');
         escape_into(&mut self.buf, v);
         self.buf.push('"');
     }
 
-    pub(crate) fn field_u64(&mut self, k: &str, v: u64) {
+    /// Append an unsigned integer field.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
         self.key(k);
         let _ = write!(self.buf, "{v}");
     }
 
-    pub(crate) fn field_f64(&mut self, k: &str, v: f64) {
+    /// Append a float field (`{:?}` shortest round-trip form, always
+    /// with a decimal point or exponent).
+    pub fn field_f64(&mut self, k: &str, v: f64) {
         self.key(k);
         let _ = write!(self.buf, "{v:?}");
     }
 
-    pub(crate) fn field_val(&mut self, k: &str, v: &JsonVal) {
+    /// Append one [`JsonVal`] field.
+    pub fn field_val(&mut self, k: &str, v: &JsonVal) {
         match *v {
             JsonVal::U(u) => self.field_u64(k, u),
             JsonVal::F(f) => self.field_f64(k, f),
@@ -70,7 +87,8 @@ impl JsonObj {
         }
     }
 
-    pub(crate) fn field_f64_array(&mut self, k: &str, vs: &[f64]) {
+    /// Append an array-of-floats field.
+    pub fn field_f64_array(&mut self, k: &str, vs: &[f64]) {
         self.key(k);
         self.buf.push('[');
         for (i, v) in vs.iter().enumerate() {
@@ -82,7 +100,8 @@ impl JsonObj {
         self.buf.push(']');
     }
 
-    pub(crate) fn field_u64_array(&mut self, k: &str, vs: &[u64]) {
+    /// Append an array-of-integers field.
+    pub fn field_u64_array(&mut self, k: &str, vs: &[u64]) {
         self.key(k);
         self.buf.push('[');
         for (i, v) in vs.iter().enumerate() {
@@ -94,7 +113,8 @@ impl JsonObj {
         self.buf.push(']');
     }
 
-    pub(crate) fn finish(mut self) -> String {
+    /// Close the object and return the JSON text.
+    pub fn finish(mut self) -> String {
         self.buf.push('}');
         self.buf
     }

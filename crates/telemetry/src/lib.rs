@@ -44,7 +44,7 @@
 #![deny(missing_docs)]
 
 pub mod event;
-mod json;
+pub mod json;
 pub mod metrics;
 pub mod progress;
 pub mod schema;

@@ -23,6 +23,12 @@ pub const L7_ATTEMPT_BOUNDS: &[f64] = &[1.5, 2.5, 4.5, 8.5];
 /// Simulated-second buckets for fault stalls and supervisor backoff.
 pub const STALL_BOUNDS: &[f64] = &[1.0, 10.0, 60.0, 300.0, 900.0, 3600.0];
 
+/// Microsecond buckets for serve query latency (spans a cached point
+/// lookup to a cold multi-origin union over a large store).
+pub const SERVE_LATENCY_BOUNDS: &[f64] = &[
+    50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 50000.0, 250000.0,
+];
+
 /// Canonical metric names. Instrumentation sites use these constants so
 /// the schema golden test pins the full metric catalogue.
 pub mod names {
@@ -91,6 +97,23 @@ pub mod names {
     pub const STORE_CHUNKS_LOADED: &str = "store.chunks_loaded";
     /// Store file bytes read (counter).
     pub const STORE_BYTES_READ: &str = "store.bytes_read";
+    /// Queries executed by the serve engine (counter).
+    pub const SERVE_QUERIES: &str = "serve.queries";
+    /// Queries answered from the memoized-plan cache (counter).
+    pub const SERVE_PLAN_HITS: &str = "serve.plan_hits";
+    /// Materialized scan sets served from the bitmap cache (counter).
+    pub const SERVE_SET_HITS: &str = "serve.set_hits";
+    /// Scan sets materialized from the store on a cache miss (counter).
+    pub const SERVE_SET_LOADS: &str = "serve.set_loads";
+    /// Queries that ended in a [`crate::event::Scope`]-visible error (counter).
+    pub const SERVE_ERRORS: &str = "serve.errors";
+    /// HTTP requests accepted off the listener (counter).
+    pub const SERVE_HTTP_REQUESTS: &str = "serve.http.requests";
+    /// HTTP requests rejected with 503 under backpressure (counter).
+    pub const SERVE_HTTP_REJECTED: &str = "serve.http.rejected";
+    /// Query latency in microseconds (histogram,
+    /// [`super::SERVE_LATENCY_BOUNDS`]).
+    pub const SERVE_LATENCY_US: &str = "serve.latency_us";
 
     /// The full catalogue as (name, record type) pairs, in serialization
     /// order. Pinned by the schema golden test.
@@ -126,6 +149,14 @@ pub mod names {
         (STORE_ENTRIES_LOADED, "counter"),
         (STORE_CHUNKS_LOADED, "counter"),
         (STORE_BYTES_READ, "counter"),
+        (SERVE_QUERIES, "counter"),
+        (SERVE_PLAN_HITS, "counter"),
+        (SERVE_SET_HITS, "counter"),
+        (SERVE_SET_LOADS, "counter"),
+        (SERVE_ERRORS, "counter"),
+        (SERVE_HTTP_REQUESTS, "counter"),
+        (SERVE_HTTP_REJECTED, "counter"),
+        (SERVE_LATENCY_US, "histogram"),
     ];
 }
 

@@ -55,6 +55,7 @@ pub fn describe() -> String {
         ("response_frac", metrics::RESPONSE_FRAC_BOUNDS),
         ("l7_attempts", metrics::L7_ATTEMPT_BOUNDS),
         ("stall", metrics::STALL_BOUNDS),
+        ("serve_latency", metrics::SERVE_LATENCY_BOUNDS),
     ] {
         let rendered: Vec<String> = bounds.iter().map(|b| format!("{b:?}")).collect();
         let _ = writeln!(out, "bounds {label} [{}]", rendered.join(","));

@@ -26,6 +26,10 @@
 //!   persisted per `(protocol, trial, origin)` in a versioned,
 //!   checksummed, byte-deterministic format with a lazy chunk-granular
 //!   reader.
+//! * [`serve`] — a sharded query engine and hand-rolled HTTP/1.1 server
+//!   over stored scan sets: typed queries (`coverage`, `diff`,
+//!   `exclusive`, `best-k`, point lookups) behind LRU caches, with
+//!   deterministic JSON responses.
 //! * [`core`] — the experiment runner and every analysis in the paper:
 //!   coverage, transient/long-term classification, exclusivity, country and
 //!   AS breakdowns, packet-loss estimation, SSH behaviour, and multi-origin
@@ -58,6 +62,7 @@ pub mod cli;
 pub use originscan_core as core;
 pub use originscan_netmodel as netmodel;
 pub use originscan_scanner as scanner;
+pub use originscan_serve as serve;
 pub use originscan_stats as stats;
 pub use originscan_store as store;
 pub use originscan_telemetry as telemetry;

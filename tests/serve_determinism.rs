@@ -1,0 +1,122 @@
+//! End-to-end determinism of the serve stack: two engines over stores
+//! built by two same-seed experiment runs answer every query
+//! byte-identically — first in-process, then through real HTTP servers
+//! on loopback. Cache state is deliberately skewed between the two
+//! sides to prove response bytes are a pure function of (store, query).
+
+use originscan::core::{Experiment, ExperimentConfig};
+use originscan::netmodel::{OriginId, Protocol, WorldConfig};
+use originscan::serve::{QueryEngine, Server, ServerConfig};
+use originscan::store::StoreReader;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn build_store(dir: &Path, name: &str) -> PathBuf {
+    let world = WorldConfig::tiny(2020).build();
+    let cfg = ExperimentConfig {
+        origins: vec![OriginId::Brazil, OriginId::Germany, OriginId::Japan],
+        protocols: vec![Protocol::Http],
+        trials: 2,
+        ..ExperimentConfig::default()
+    };
+    let results = Experiment::new(&world, cfg).run().expect("experiment");
+    let path = dir.join(name);
+    results
+        .scan_set_store()
+        .write_to(&path)
+        .expect("write store");
+    path
+}
+
+const QUERIES: &[&str] = &[
+    "coverage proto=HTTP trial=0 origins=0,1",
+    "coverage proto=HTTP trial=1 origins=0,1,2",
+    "union proto=HTTP trial=0 origins=1,2",
+    "diff proto=HTTP trial=0 a=0 b=2",
+    "exclusive proto=HTTP trial=1 origin=1",
+    "best-k proto=HTTP trial=0 k=2",
+    "rank proto=HTTP trial=0 origin=0 addr=40000",
+    "member proto=HTTP trial=0 origin=0 addr=40000",
+];
+
+#[test]
+fn same_seed_stores_and_engines_agree() {
+    let dir = std::env::temp_dir().join(format!("originscan-serve-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let pa = build_store(&dir, "a.oscs");
+    let pb = build_store(&dir, "b.oscs");
+    assert_eq!(
+        std::fs::read(&pa).expect("read a"),
+        std::fs::read(&pb).expect("read b"),
+        "same-seed store files must be byte-identical"
+    );
+
+    let ea = QueryEngine::from_readers(vec![StoreReader::open(&pa).expect("open a")]);
+    let eb = QueryEngine::from_readers(vec![StoreReader::open(&pb).expect("open b")]);
+    for q in QUERIES {
+        // Skew b's caches: answer every query once (misses), then again
+        // (plan-memo hits). Bytes must match a's cold answers.
+        let _ = eb.execute_text(q).expect(q);
+        let warm = eb.execute_text(q).expect(q);
+        let cold = ea.execute_text(q).expect(q);
+        assert_eq!(cold, warm, "{q}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn http_query(addr: std::net::SocketAddr, query: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .ok();
+    s.write_all(
+        format!(
+            "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{query}",
+            query.len()
+        )
+        .as_bytes(),
+    )
+    .expect("send");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read");
+    out.split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default()
+}
+
+#[test]
+fn two_servers_answer_byte_identically_over_http() {
+    let dir = std::env::temp_dir().join(format!("originscan-serve-det2-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let pa = build_store(&dir, "a.oscs");
+    let pb = build_store(&dir, "b.oscs");
+
+    let sa = Server::start(
+        Arc::new(QueryEngine::from_readers(vec![
+            StoreReader::open(&pa).expect("open a")
+        ])),
+        None,
+        ServerConfig::default(),
+    )
+    .expect("server a");
+    let sb = Server::start(
+        Arc::new(QueryEngine::from_readers(vec![
+            StoreReader::open(&pb).expect("open b")
+        ])),
+        None,
+        ServerConfig::default(),
+    )
+    .expect("server b");
+
+    for q in QUERIES {
+        let ra = http_query(sa.local_addr(), q);
+        let _ = http_query(sb.local_addr(), q); // skew b's caches
+        let rb = http_query(sb.local_addr(), q);
+        assert!(!ra.is_empty(), "{q}: empty body");
+        assert_eq!(ra, rb, "{q}");
+    }
+    sa.shutdown();
+    sb.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
