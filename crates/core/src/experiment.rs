@@ -718,6 +718,45 @@ mod tests {
     }
 
     #[test]
+    fn every_backoff_step_respects_the_simulated_time_cap() {
+        // Deep retry ladders: attempts past the 2^30 exponent clamp must
+        // still produce finite, capped steps — checked on the actual
+        // RetryBackoff events, not just the accumulated total.
+        let cfg = ScanConfig::new(64, Protocol::Http, 1);
+        let policy = SupervisorPolicy {
+            max_retries: 40,
+            ..Default::default()
+        };
+        let hub = Telemetry::new();
+        let run = supervise_scan(&AlwaysPanics, &cfg, None, &policy, Some(&hub));
+        assert_eq!(run.attempts, 41);
+        let snap = hub.into_snapshot();
+        let mut steps = 0u32;
+        for e in snap.events_for(Scope::new("HTTP", 0, 0)) {
+            if let EventKind::RetryBackoff { backoff_s, .. } = e.kind {
+                steps += 1;
+                assert!(backoff_s.is_finite());
+                assert!(
+                    backoff_s > 0.0 && backoff_s <= policy.backoff_cap_s,
+                    "step {steps} overflowed the cap: {backoff_s}"
+                );
+            }
+        }
+        assert_eq!(steps, 40, "one RetryBackoff event per retry");
+        // 60 + 120 + 240 + 480 uncapped, then 36 × 900 at the cap.
+        assert!((run.sim_backoff_s - (900.0 + 36.0 * 900.0)).abs() < 1e-9);
+
+        // A cap below the base clamps every step to the cap.
+        let policy = SupervisorPolicy {
+            max_retries: 3,
+            backoff_cap_s: 10.0,
+            ..Default::default()
+        };
+        let run = supervise_scan(&AlwaysPanics, &cfg, None, &policy, None);
+        assert!((run.sim_backoff_s - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn invalid_config_fails_without_retries() {
         let mut cfg = ScanConfig::new(64, Protocol::Http, 1);
         cfg.probes = 0;

@@ -5,6 +5,8 @@
 //! Internet, and every analysis in the paper.
 //!
 //! * [`experiment`] — run ZMap+ZGrab scans from many origins in lockstep.
+//! * [`adversarial`] — the scanner/defender co-simulation: politeness ×
+//!   aggression sweeps with adaptive-resilience outcomes.
 //! * [`matrix`] / [`results`] / [`outcome`] — per-trial ground truth and
 //!   packed per-(origin, host) outcomes.
 //! * [`classify`] — the §3 missing-host taxonomy (Fig 2).
@@ -28,6 +30,7 @@
 #![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod asdist;
 pub mod bursts;
 pub mod classify;
@@ -46,6 +49,10 @@ pub mod ssh;
 pub mod summary;
 pub mod transient;
 
+pub use adversarial::{
+    AdversarialConfig, AdversarialError, AdversarialResults, AdversarialSweep, CellOutcome,
+    CellStatus, PolitenessProfile,
+};
 pub use experiment::{
     Experiment, ExperimentConfig, ExperimentError, FailCause, OriginRun, RunStatus,
     SupervisorPolicy,

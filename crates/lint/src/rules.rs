@@ -33,6 +33,12 @@ const PANIC_SCOPE: &[&str] = &[
     "crates/telemetry/src/",
     "crates/store/src/",
     "crates/serve/src/",
+    // The adversarial co-simulation runs inside the same supervised
+    // sessions: the defender sits on the probe path of every scan and
+    // the sweep harness drives parallel cells whose panics would tear
+    // down the whole matrix, so both must surface typed errors.
+    "crates/netmodel/src/defend.rs",
+    "crates/core/src/adversarial.rs",
 ];
 
 /// Modules that *emit ordered output* (reports, serialized results,

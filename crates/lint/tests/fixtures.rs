@@ -18,6 +18,11 @@ const LIB_PATH: &str = "crates/stats/src/fixture.rs";
 /// Virtual path inside the serve crate (det + panic scopes; its socket
 /// module audits wall-clock reads with `lint:allow`).
 const SERVE_PATH: &str = "crates/serve/src/fixture.rs";
+/// Exact-file panic-scope entries: the defender agent layer and the
+/// adversarial sweep harness are panic-scoped individually, while their
+/// sibling modules are not.
+const DEFEND_PATH: &str = "crates/netmodel/src/defend.rs";
+const ADVERSARIAL_PATH: &str = "crates/core/src/adversarial.rs";
 
 fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -54,6 +59,16 @@ fn bad_cases() -> Vec<BadCase> {
             vec![("det-hash-report", 2), ("det-hash-report", 4)],
         ),
         ("panic_unwrap_bad.rs", WIRE_PATH, vec![("panic-unwrap", 3)]),
+        (
+            "panic_unwrap_bad.rs",
+            DEFEND_PATH,
+            vec![("panic-unwrap", 3)],
+        ),
+        (
+            "panic_unwrap_bad.rs",
+            ADVERSARIAL_PATH,
+            vec![("panic-unwrap", 3)],
+        ),
         ("panic_expect_bad.rs", WIRE_PATH, vec![("panic-expect", 3)]),
         ("panic_macro_bad.rs", WIRE_PATH, vec![("panic-macro", 5)]),
         (
@@ -88,6 +103,11 @@ fn clean_cases() -> Vec<(&'static str, &'static str)> {
         ("det_hash_iter_clean.rs", DET_PATH),
         ("det_hash_report_clean.rs", REPORT_PATH),
         ("panic_unwrap_clean.rs", WIRE_PATH),
+        ("panic_unwrap_clean.rs", DEFEND_PATH),
+        ("panic_unwrap_clean.rs", ADVERSARIAL_PATH),
+        // A sibling of an exact-file entry is *not* panic-scoped: the
+        // same unwrap that fires at DEFEND_PATH passes one file over.
+        ("panic_unwrap_bad.rs", "crates/netmodel/src/netimpl.rs"),
         ("panic_expect_clean.rs", WIRE_PATH),
         ("panic_macro_clean.rs", WIRE_PATH),
         ("panic_lossy_cast_clean.rs", WIRE_PATH),

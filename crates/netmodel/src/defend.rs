@@ -1,0 +1,586 @@
+//! Stateful defender agents: rate-triggered detection, escalating block
+//! windows, and a greynoise-style reputation store.
+//!
+//! The destination policies under [`crate::policy`] are *memoryless* —
+//! pure functions of `(world, origin, addr, trial, time)` — which is what
+//! keeps replays byte-identical. Real defenders are not memoryless: an
+//! IDS counts probes over a sliding window, blocks for a while, escalates
+//! on repeat offenders, and feeds shared blocklists that outlive any one
+//! scan. This module adds that statefulness as a [`Network`] wrapper in
+//! the style of [`crate::fault::FaultyNet`]:
+//!
+//! - **Per-(source IP, AS) detectors** count probes over tumbling
+//!   simulated-time windows. Crossing the threshold trips a detection,
+//!   starts a block window, and escalates the block duration
+//!   geometrically on each repeat.
+//! - **A reputation store keyed by origin** accumulates detections from
+//!   every AS. Crossing [`AggressionProfile::listing_threshold`] *lists*
+//!   the origin: from then on every defended probe is dropped, across
+//!   trials, which is the co-simulation's version of landing on a shared
+//!   blocklist.
+//!
+//! Determinism: all state transitions are pure functions of the probe
+//! stream — there is no RNG here at all — so a single-threaded scan
+//! against a [`DefenderNet`] is exactly reproducible. State persists
+//! across trials through a global clock (`trial × duration + time`),
+//! letting block windows and listings straddle trial boundaries the way
+//! real blocklist entries straddle scan days.
+
+use crate::world::World;
+use originscan_scanner::target::{CloseKind, L7Ctx, L7Reply, Network, ProbeCtx, SynReply};
+use originscan_telemetry::metrics::names;
+use originscan_telemetry::{EventKind, MetricBatch, Scope, Telemetry};
+use originscan_wire::tcp::TcpHeader;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+
+/// How hard the defender swarm pushes back. One profile governs every
+/// AS-level detector plus the shared reputation store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggressionProfile {
+    /// Profile name used in sweep matrices and telemetry.
+    pub name: &'static str,
+    /// Probes from one source IP into one AS within [`Self::window_s`]
+    /// that trip detection. `0` disables detection entirely.
+    pub window_probes: u32,
+    /// Tumbling detection-window length in simulated seconds.
+    pub window_s: f64,
+    /// First block duration in simulated seconds.
+    pub block_base_s: f64,
+    /// Block-duration multiplier per escalation level.
+    pub escalation: f64,
+    /// Escalation ceiling (block duration stops growing here).
+    pub max_level: u32,
+    /// Detections (swarm-wide, per origin) before the reputation store
+    /// lists the origin outright. `0` disables listing.
+    pub listing_threshold: u32,
+    /// Blocked probes get a RST (visible signal) instead of silence.
+    pub rst_on_block: bool,
+}
+
+impl AggressionProfile {
+    /// No defense at all: every probe passes straight through.
+    pub fn off() -> Self {
+        Self {
+            name: "off",
+            window_probes: 0,
+            window_s: 1.0,
+            block_base_s: 0.0,
+            escalation: 1.0,
+            max_level: 1,
+            listing_threshold: 0,
+            rst_on_block: false,
+        }
+    }
+
+    /// Tolerant enterprise IDS: generous windows, short non-escalating
+    /// blocks, never reports to the reputation store.
+    pub fn lenient() -> Self {
+        Self {
+            name: "lenient",
+            window_probes: 256,
+            window_s: 600.0,
+            block_base_s: 600.0,
+            escalation: 1.0,
+            max_level: 1,
+            listing_threshold: 0,
+            rst_on_block: false,
+        }
+    }
+
+    /// Alert operator: tight windows, hour-scale escalating blocks, RSTs
+    /// on block (tarpit-style), feeds the reputation store.
+    pub fn aggressive() -> Self {
+        Self {
+            name: "aggressive",
+            window_probes: 48,
+            window_s: 900.0,
+            block_base_s: 1800.0,
+            escalation: 2.0,
+            max_level: 6,
+            listing_threshold: 24,
+            rst_on_block: true,
+        }
+    }
+
+    /// Hair-trigger: blocks almost immediately, silent drops, lists
+    /// origins after a handful of detections.
+    pub fn paranoid() -> Self {
+        Self {
+            name: "paranoid",
+            window_probes: 12,
+            window_s: 1200.0,
+            block_base_s: 3600.0,
+            escalation: 2.0,
+            max_level: 8,
+            listing_threshold: 8,
+            rst_on_block: false,
+        }
+    }
+
+    /// The sweep roster, mildest first.
+    pub fn roster() -> [Self; 4] {
+        [
+            Self::off(),
+            Self::lenient(),
+            Self::aggressive(),
+            Self::paranoid(),
+        ]
+    }
+}
+
+/// One AS's detector state against one scanning source IP.
+#[derive(Debug, Clone, Copy, Default)]
+struct DetectorState {
+    /// Start of the current tumbling window (global simulated seconds).
+    window_start: f64,
+    /// Probes counted in the current window.
+    window_count: u32,
+    /// Global simulated time at which the current block lapses.
+    blocked_until: f64,
+    /// Escalation level reached (0 = never tripped).
+    level: u32,
+    /// Set while a block is active, so its expiry can be observed (and
+    /// reported) on the first probe that passes through again.
+    in_block: bool,
+}
+
+/// Cumulative defender-side counters, exposed to sweep harnesses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DefenseStats {
+    /// Rate-detector trips across the swarm.
+    pub detections: u64,
+    /// Probes swallowed or reset by an active block window.
+    pub blocked_probes: u64,
+    /// Probes dropped because the origin is reputation-listed.
+    pub reputation_drops: u64,
+    /// Origins listed by the reputation store.
+    pub listings: u64,
+}
+
+/// Mutable swarm state: every detector, plus the shared reputation store.
+#[derive(Debug, Default)]
+struct SwarmState {
+    /// Detector per (scanner source IP, AS index).
+    detectors: BTreeMap<(u32, u32), DetectorState>,
+    /// Detections accumulated per origin by the reputation store.
+    origin_detections: BTreeMap<u16, u32>,
+    /// Origins the reputation store has listed (never unlisted).
+    listed: BTreeSet<u16>,
+    /// Counters since the last [`DefenderNet::flush_trial_metrics`].
+    pending: DefenseStats,
+    /// Counters since construction.
+    total: DefenseStats,
+}
+
+/// A [`Network`] wrapper that fronts the inner model with stateful
+/// defender agents configured by an [`AggressionProfile`].
+///
+/// Interior mutability keeps the [`Network`] trait's `&self` contract;
+/// the mutex is uncontended in the deterministic single-threaded scans
+/// the co-simulation runs per sweep cell.
+#[derive(Debug)]
+pub struct DefenderNet<'a, N: Network + ?Sized> {
+    inner: &'a N,
+    world: &'a World,
+    profile: AggressionProfile,
+    /// Per-trial scan duration, used to splice trials onto one global
+    /// clock so blocks and listings persist across trials.
+    duration_s: f64,
+    state: Mutex<SwarmState>,
+    telemetry: Option<&'a Telemetry>,
+}
+
+impl<'a, N: Network + ?Sized> DefenderNet<'a, N> {
+    /// Wrap `inner` with a defender swarm. `duration_s` is the per-trial
+    /// scan duration used to build the cross-trial global clock.
+    pub fn new(
+        inner: &'a N,
+        world: &'a World,
+        profile: AggressionProfile,
+        duration_s: f64,
+    ) -> Self {
+        Self {
+            inner,
+            world,
+            profile,
+            duration_s,
+            state: Mutex::new(SwarmState::default()),
+            telemetry: None,
+        }
+    }
+
+    /// Record detections, block transitions, and listings into `hub`.
+    pub fn with_telemetry(mut self, hub: &'a Telemetry) -> Self {
+        self.telemetry = Some(hub);
+        self
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> &AggressionProfile {
+        &self.profile
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SwarmState> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            // State mutations are totalizing (no partial writes survive a
+            // panic point), so a poisoned guard is still coherent.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Cumulative counters since construction.
+    pub fn stats(&self) -> DefenseStats {
+        self.lock().total
+    }
+
+    /// Has the reputation store listed `origin`?
+    pub fn is_listed(&self, origin: u16) -> bool {
+        self.lock().listed.contains(&origin)
+    }
+
+    /// Detections the reputation store has accumulated against `origin`.
+    pub fn origin_detections(&self, origin: u16) -> u32 {
+        self.lock()
+            .origin_detections
+            .get(&origin)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Flush counters accumulated since the previous flush to the metrics
+    /// registry under `scope`. Call once per trial from the harness; the
+    /// defender takes one registry lock per flush, not per probe.
+    pub fn flush_trial_metrics(&self, scope: Scope) {
+        let pending = {
+            let mut st = self.lock();
+            std::mem::take(&mut st.pending)
+        };
+        let Some(hub) = self.telemetry else {
+            return;
+        };
+        let mut batch = MetricBatch::new();
+        batch.add(names::DEFENDER_DETECTIONS, pending.detections);
+        batch.add(names::DEFENDER_BLOCKED_PROBES, pending.blocked_probes);
+        batch.add(names::DEFENDER_REPUTATION_DROPS, pending.reputation_drops);
+        batch.add(names::DEFENDER_LISTINGS, pending.listings);
+        hub.flush(scope, batch);
+    }
+
+    /// The reply a blocked probe gets: a valid RST when the profile
+    /// advertises its blocks, silence otherwise.
+    fn blocked_reply(&self, probe: &TcpHeader) -> SynReply {
+        if self.profile.rst_on_block {
+            SynReply::Rst(TcpHeader::rst_reply(probe))
+        } else {
+            SynReply::Silent
+        }
+    }
+
+    /// Is `(src_ip, AS)` inside an active block, or the origin listed, at
+    /// global time `g`? Read-only: used by the L7 path, which must not
+    /// advance detector windows (the probes that opened the connection
+    /// already did).
+    fn blocked_readonly(&self, origin: u16, src_ip: u32, as_index: u32, g: f64) -> bool {
+        let st = self.lock();
+        if st.listed.contains(&origin) {
+            return true;
+        }
+        st.detectors
+            .get(&(src_ip, as_index))
+            .is_some_and(|d| g < d.blocked_until)
+    }
+}
+
+impl<N: Network + ?Sized> Network for DefenderNet<'_, N> {
+    fn syn(&self, ctx: &ProbeCtx, probe: &TcpHeader) -> SynReply {
+        let p = &self.profile;
+        if p.window_probes == 0 && p.listing_threshold == 0 {
+            // Defense off: zero locks, byte-identical to the inner model.
+            return self.inner.syn(ctx, probe);
+        }
+        let as_index = self.world.as_index_of(ctx.dst);
+        let g = f64::from(ctx.trial) * self.duration_s + ctx.time_s;
+        let scope = Scope::new(ctx.protocol.name(), ctx.trial, ctx.origin);
+        {
+            let mut st = self.lock();
+            if st.listed.contains(&ctx.origin) {
+                st.pending.reputation_drops += 1;
+                st.total.reputation_drops += 1;
+                return self.blocked_reply(probe);
+            }
+            let det = st.detectors.entry((ctx.src_ip, as_index)).or_default();
+            if g < det.blocked_until {
+                st.pending.blocked_probes += 1;
+                st.total.blocked_probes += 1;
+                return self.blocked_reply(probe);
+            }
+            if det.in_block {
+                det.in_block = false;
+                if let Some(hub) = self.telemetry {
+                    hub.emit(scope, ctx.time_s, EventKind::BlockEnded { as_index });
+                }
+            }
+            if g - det.window_start >= p.window_s {
+                det.window_start = g;
+                det.window_count = 0;
+            }
+            det.window_count += 1;
+            if det.window_count > p.window_probes {
+                det.level = (det.level + 1).min(p.max_level);
+                let exp = (det.level - 1).min(30) as i32;
+                let block_s = p.block_base_s * p.escalation.powi(exp);
+                det.blocked_until = g + block_s;
+                det.in_block = true;
+                det.window_count = 0;
+                let level = det.level;
+                st.pending.detections += 1;
+                st.total.detections += 1;
+                st.pending.blocked_probes += 1;
+                st.total.blocked_probes += 1;
+                let n = st.origin_detections.entry(ctx.origin).or_insert(0);
+                *n += 1;
+                let n = *n;
+                let mut listed_now = false;
+                if p.listing_threshold > 0
+                    && n >= p.listing_threshold
+                    && st.listed.insert(ctx.origin)
+                {
+                    st.pending.listings += 1;
+                    st.total.listings += 1;
+                    listed_now = true;
+                }
+                if let Some(hub) = self.telemetry {
+                    hub.emit(
+                        scope,
+                        ctx.time_s,
+                        EventKind::ScanDetected { as_index, level },
+                    );
+                    hub.emit(
+                        scope,
+                        ctx.time_s,
+                        EventKind::BlockStarted { as_index, block_s },
+                    );
+                    if listed_now {
+                        hub.emit(scope, ctx.time_s, EventKind::OriginListed { detections: n });
+                    }
+                }
+                return self.blocked_reply(probe);
+            }
+        }
+        self.inner.syn(ctx, probe)
+    }
+
+    fn l7(&self, ctx: &L7Ctx, request: &[u8]) -> L7Reply {
+        let p = &self.profile;
+        if p.window_probes == 0 && p.listing_threshold == 0 {
+            return self.inner.l7(ctx, request);
+        }
+        let as_index = self.world.as_index_of(ctx.dst);
+        let g = f64::from(ctx.trial) * self.duration_s + ctx.time_s;
+        if self.blocked_readonly(ctx.origin, ctx.src_ip, as_index, g) {
+            // A block that lands between handshake and application layer:
+            // visible defenders reset the connection, silent ones let it
+            // hang.
+            return if p.rst_on_block {
+                L7Reply::ConnClosed(CloseKind::Rst)
+            } else {
+                L7Reply::Timeout
+            };
+        }
+        self.inner.l7(ctx, request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netimpl::SimNet;
+    use crate::origin::OriginId;
+    use crate::world::WorldConfig;
+    use originscan_scanner::Protocol;
+
+    const DUR: f64 = 75_600.0;
+    const ORIGINS: &[OriginId] = &[OriginId::Us1];
+
+    fn probe_ctx(dst: u32, time_s: f64, trial: u8, src_ip: u32) -> ProbeCtx {
+        ProbeCtx {
+            origin: 0,
+            src_ip,
+            dst,
+            protocol: Protocol::Http,
+            time_s,
+            probe_idx: 0,
+            trial,
+        }
+    }
+
+    fn syn_header() -> TcpHeader {
+        TcpHeader::syn_probe(44321, 80, 7)
+    }
+
+    /// Drive `n` probes into one AS at `dt`-second spacing, returning how
+    /// many got a non-silent answer is irrelevant here — we inspect stats.
+    fn drive<N: Network + ?Sized>(
+        net: &DefenderNet<'_, N>,
+        base: u32,
+        n: u32,
+        dt: f64,
+        start_s: f64,
+        trial: u8,
+    ) {
+        let probe = syn_header();
+        for i in 0..n {
+            let ctx = probe_ctx(
+                base + (i % 200),
+                start_s + f64::from(i) * dt,
+                trial,
+                0x0a00_0001,
+            );
+            let _ = net.syn(&ctx, &probe);
+        }
+    }
+
+    #[test]
+    fn off_profile_is_transparent() {
+        let world = WorldConfig::tiny(5).build();
+        let net = SimNet::new(&world, ORIGINS, DUR);
+        let defended = DefenderNet::new(&net, &world, AggressionProfile::off(), DUR);
+        let probe = syn_header();
+        for addr in 0..2000u32 {
+            let ctx = probe_ctx(addr, f64::from(addr) * 0.5, 0, 0x0a00_0001);
+            assert_eq!(defended.syn(&ctx, &probe), net.syn(&ctx, &probe));
+        }
+        assert_eq!(defended.stats(), DefenseStats::default());
+    }
+
+    #[test]
+    fn fast_probing_trips_detector_and_blocks() {
+        let world = WorldConfig::tiny(5).build();
+        let net = SimNet::new(&world, ORIGINS, DUR);
+        let prof = AggressionProfile::aggressive();
+        let defended = DefenderNet::new(&net, &world, prof, DUR);
+        // One AS, probes well inside the window: trip after window_probes.
+        drive(&defended, 0, 200, 1.0, 0.0, 0);
+        let stats = defended.stats();
+        assert!(stats.detections >= 1, "detector never tripped: {stats:?}");
+        assert!(
+            stats.blocked_probes >= 200 - prof.window_probes as u64,
+            "block window failed to swallow the rest: {stats:?}"
+        );
+        // Blocked probes answer with a validated RST under this profile.
+        let probe = syn_header();
+        let reply = defended.syn(&probe_ctx(3, 201.0, 0, 0x0a00_0001), &probe);
+        assert!(matches!(reply, SynReply::Rst(_)), "{reply:?}");
+    }
+
+    #[test]
+    fn slow_probing_stays_under_threshold() {
+        let world = WorldConfig::tiny(5).build();
+        let net = SimNet::new(&world, ORIGINS, DUR);
+        let prof = AggressionProfile::aggressive();
+        let defended = DefenderNet::new(&net, &world, prof, DUR);
+        // Spread the same probe count so each window sees < threshold.
+        let dt = prof.window_s / f64::from(prof.window_probes - 8);
+        drive(&defended, 0, 200, dt, 0.0, 0);
+        assert_eq!(defended.stats().detections, 0);
+    }
+
+    #[test]
+    fn blocks_escalate_and_expire() {
+        let world = WorldConfig::tiny(5).build();
+        let net = SimNet::new(&world, ORIGINS, DUR);
+        let mut prof = AggressionProfile::aggressive();
+        prof.listing_threshold = 0; // keep the store out of this test
+        let defended = DefenderNet::new(&net, &world, prof, DUR);
+        // Trip once.
+        drive(&defended, 0, prof.window_probes + 1, 1.0, 0.0, 0);
+        assert_eq!(defended.stats().detections, 1);
+        // Probe inside the first block: swallowed without re-detection.
+        drive(&defended, 0, 4, 1.0, 200.0, 0);
+        assert_eq!(defended.stats().detections, 1);
+        // After the first block expires, trip again; the second block must
+        // last escalation× longer (observe: a probe at base + block_base
+        // past the second trip is still blocked).
+        let t1 = prof.block_base_s + 300.0;
+        drive(&defended, 0, prof.window_probes + 1, 1.0, t1, 0);
+        assert_eq!(defended.stats().detections, 2);
+        let second_trip_at = t1 + f64::from(prof.window_probes);
+        let probe = syn_header();
+        let mid = second_trip_at + prof.block_base_s * 1.5;
+        let blocked_before = defended.stats().blocked_probes;
+        let _ = defended.syn(&probe_ctx(7, mid, 0, 0x0a00_0001), &probe);
+        assert_eq!(
+            defended.stats().blocked_probes,
+            blocked_before + 1,
+            "escalated block should outlast the base duration"
+        );
+    }
+
+    #[test]
+    fn listing_persists_across_trials() {
+        let world = WorldConfig::tiny(5).build();
+        let net = SimNet::new(&world, ORIGINS, DUR);
+        let mut prof = AggressionProfile::paranoid();
+        prof.listing_threshold = 3;
+        let defended = DefenderNet::new(&net, &world, prof, DUR);
+        // Hammer three different ASes (distinct /24 blocks are spaced by
+        // AS assignment; use well-separated bases) until listed.
+        let mut base = 0u32;
+        while !defended.is_listed(0) {
+            drive(&defended, base, prof.window_probes + 1, 1.0, 0.0, 0);
+            base += 256 * 8;
+            assert!(base < 200_000, "never listed");
+        }
+        assert_eq!(defended.stats().listings, 1);
+        // Next trial, fresh clock: still dropped via reputation.
+        let probe = syn_header();
+        let reply = defended.syn(&probe_ctx(1, 5.0, 1, 0x0a00_0001), &probe);
+        assert_eq!(reply, SynReply::Silent);
+        assert!(defended.stats().reputation_drops >= 1);
+    }
+
+    #[test]
+    fn rotating_source_ip_resets_detectors() {
+        let world = WorldConfig::tiny(5).build();
+        let net = SimNet::new(&world, ORIGINS, DUR);
+        let mut prof = AggressionProfile::aggressive();
+        prof.listing_threshold = 0;
+        let defended = DefenderNet::new(&net, &world, prof, DUR);
+        drive(&defended, 0, prof.window_probes + 1, 1.0, 0.0, 0);
+        assert_eq!(defended.stats().detections, 1);
+        // A different source IP gets a fresh detector: not blocked.
+        let probe = syn_header();
+        let before = defended.stats().blocked_probes;
+        let mut ctx = probe_ctx(9, 120.0, 0, 0x0a00_0002);
+        ctx.src_ip = 0x0a00_0002;
+        let _ = defended.syn(&ctx, &probe);
+        assert_eq!(defended.stats().blocked_probes, before);
+    }
+
+    #[test]
+    fn telemetry_records_detection_sequence() {
+        let world = WorldConfig::tiny(5).build();
+        let net = SimNet::new(&world, ORIGINS, DUR);
+        let hub = Telemetry::new();
+        let prof = AggressionProfile::aggressive();
+        let defended = DefenderNet::new(&net, &world, prof, DUR).with_telemetry(&hub);
+        drive(&defended, 0, prof.window_probes + 20, 1.0, 0.0, 0);
+        let scope = Scope::new("HTTP", 0, 0);
+        defended.flush_trial_metrics(scope);
+        let snap = hub.snapshot();
+        let kinds: Vec<&str> = snap.events_for(scope).map(|e| e.kind.name()).collect();
+        assert!(kinds.contains(&"scan_detected"), "{kinds:?}");
+        assert!(kinds.contains(&"block_started"), "{kinds:?}");
+        assert_eq!(snap.counter(scope, names::DEFENDER_DETECTIONS), 1);
+        assert!(snap.counter(scope, names::DEFENDER_BLOCKED_PROBES) >= 19);
+        // Second flush is empty: counters are per-trial deltas.
+        defended.flush_trial_metrics(Scope::new("HTTP", 1, 0));
+        let snap = hub.snapshot();
+        assert_eq!(
+            snap.counter(Scope::new("HTTP", 1, 0), names::DEFENDER_DETECTIONS),
+            0
+        );
+    }
+}

@@ -26,6 +26,9 @@
 //! * [`fault`] — deterministic fault injection (vantage outages, crashes,
 //!   pipeline stalls, reply corruption/duplication) layered over any
 //!   network, for proving the methodology degrades gracefully.
+//! * [`defend`] — stateful adversarial defenders (windowed rate
+//!   detectors, escalating blocks, a cross-trial reputation store)
+//!   layered over any network, for the scanner-vs-defender co-simulation.
 //! * [`rng`] — the counter-based determinism everything relies on.
 //!
 //! Determinism contract: any two evaluations with the same `WorldConfig`
@@ -37,6 +40,7 @@
 
 pub mod asn;
 pub mod burst;
+pub mod defend;
 pub mod fault;
 pub mod geo;
 pub mod host;
@@ -47,6 +51,7 @@ pub mod policy;
 pub mod rng;
 pub mod world;
 
+pub use defend::{AggressionProfile, DefenderNet, DefenseStats};
 pub use fault::{FaultPlan, FaultyNet, InjectedFault};
 pub use host::Protocol;
 pub use netimpl::SimNet;

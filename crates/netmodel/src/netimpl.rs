@@ -14,7 +14,8 @@ use crate::burst;
 use crate::host::{self, Protocol};
 use crate::origin::OriginId;
 use crate::path;
-use crate::policy::{self, alibaba, geo_restrict, ids, maxstartups, Block};
+use crate::policy::defender::{self, DefenseQuery, Verdict};
+use crate::policy::{geo_restrict, maxstartups};
 use crate::rng::Tag;
 use crate::world::World;
 use originscan_scanner::target::{CloseKind, L7Ctx, L7Reply, Network, ProbeCtx, SynReply};
@@ -91,13 +92,19 @@ impl<'w> SimNet<'w> {
             return HostState::Absent;
         }
         let asr = w.as_of(addr);
-        match policy::block_status(w, o, addr, proto, trial) {
-            Block::DropL4 => return HostState::SilentlyFiltered,
-            Block::DropL7 => return HostState::L7Filtered,
-            Block::None => {}
-        }
-        if ids::blocked(w, o, asr, proto, trial, time_s, self.duration_s) {
-            return HostState::SilentlyFiltered;
+        let q = DefenseQuery {
+            origin: o,
+            asr,
+            addr,
+            proto,
+            trial,
+            time_s,
+            duration_s: self.duration_s,
+        };
+        match defender::l4_verdict(w, &q) {
+            Verdict::DropL4 => return HostState::SilentlyFiltered,
+            Verdict::DropL7 => return HostState::L7Filtered,
+            Verdict::Allow | Verdict::RstAfterHandshake => {}
         }
         let params = path::path_params(w, o, asr, proto, trial);
         if path::host_persistent_unreachable(w, o, addr, params.persistent_f) {
@@ -210,16 +217,16 @@ impl Network for SimNet<'_> {
                 }
                 // Alibaba's temporal SSH blocking: RST right after the
                 // TCP handshake, network-wide.
-                if proto == Protocol::Ssh
-                    && alibaba::rst_after_handshake(
-                        w,
-                        o,
-                        asr,
-                        ctx.trial,
-                        ctx.time_s,
-                        self.duration_s,
-                    )
-                {
+                let q = DefenseQuery {
+                    origin: o,
+                    asr,
+                    addr,
+                    proto,
+                    trial: ctx.trial,
+                    time_s: ctx.time_s,
+                    duration_s: self.duration_s,
+                };
+                if defender::handshake_verdict(w, &q) == Verdict::RstAfterHandshake {
                     return L7Reply::ConnClosed(CloseKind::Rst);
                 }
                 // MaxStartups probabilistic refusal (per attempt).

@@ -7,33 +7,46 @@
 //! handshake and then immediately RSTs. It is the only network in the
 //! study with this signature, and it applies to SSH only.
 
+use super::defender::{self, Defender, DefenseQuery, Detection, Verdict};
 use crate::asn::{AsRecord, AsTags};
+use crate::host::Protocol;
 use crate::origin::OriginId;
 use crate::rng::Tag;
 use crate::world::World;
 
-/// Fraction of the scan after which `origin` is detected in `trial`, or
-/// `None` if this trial escapes detection.
+/// When (if ever) is `origin` detected in `trial`?
 ///
 /// Keyed by origin and trial only (not AS): both Alibaba ASes flip
-/// together, matching the network-wide behaviour in Fig 12.
-pub fn detection_point(world: &World, origin: OriginId, trial: u8) -> Option<f64> {
-    if origin.spec().source_ips >= super::ids::EVASION_IPS {
-        return None; // multiple source IPs evade the detector
+/// together, matching the network-wide behaviour in Fig 12. Unlike the
+/// rate IDS, Alibaba re-detects each trial independently (Fig 12 shows
+/// varying, sometimes absent, detection in later trials), so no trial
+/// ever yields [`Detection::Prior`].
+pub fn detection(world: &World, origin: OriginId, trial: u8) -> Detection {
+    if defender::evades(origin) {
+        return Detection::Never; // multiple source IPs evade the detector
     }
     let det = world.det();
     let o = origin.key();
     let t = u64::from(trial);
     if trial == 0 {
         // Trial 1: detected about two-thirds of the way in.
-        Some(det.range(Tag::Temporal, &[1, o, t], 0.60, 0.72))
+        Detection::At(det.range(Tag::Temporal, &[1, o, t], 0.60, 0.72))
     } else {
         // Later trials: sometimes never triggered, otherwise anywhere.
         if det.bernoulli(Tag::Temporal, &[2, o, t], 0.12) {
-            None
+            Detection::Never
         } else {
-            Some(det.range(Tag::Temporal, &[3, o, t], 0.15, 0.85))
+            Detection::At(det.range(Tag::Temporal, &[3, o, t], 0.15, 0.85))
         }
+    }
+}
+
+/// Fraction of the scan after which `origin` is detected in `trial`, or
+/// `None` if this trial escapes detection.
+pub fn detection_point(world: &World, origin: OriginId, trial: u8) -> Option<f64> {
+    match detection(world, origin, trial) {
+        Detection::At(d) => Some(d),
+        Detection::Never | Detection::Prior => None,
     }
 }
 
@@ -46,12 +59,28 @@ pub fn rst_after_handshake(
     time_s: f64,
     duration_s: f64,
 ) -> bool {
-    if !asr.tags.has(AsTags::ALIBABA_SSH) {
-        return false;
+    asr.tags.has(AsTags::ALIBABA_SSH)
+        && detection(world, origin, trial).blocked_at(time_s, duration_s)
+}
+
+/// Alibaba's temporal SSH blocking as a [`Defender`] agent: it lets the
+/// TCP handshake complete and resets the connection immediately after.
+#[derive(Debug, Clone, Copy)]
+pub struct AlibabaSsh;
+
+impl Defender for AlibabaSsh {
+    fn name(&self) -> &'static str {
+        "alibaba-ssh"
     }
-    match detection_point(world, origin, trial) {
-        Some(d) => time_s / duration_s > d,
-        None => false,
+
+    fn verdict(&self, world: &World, q: &DefenseQuery<'_>) -> Verdict {
+        if q.proto == Protocol::Ssh
+            && rst_after_handshake(world, q.origin, q.asr, q.trial, q.time_s, q.duration_s)
+        {
+            Verdict::RstAfterHandshake
+        } else {
+            Verdict::Allow
+        }
     }
 }
 

@@ -1,0 +1,255 @@
+//! The `Defender` agent abstraction every destination-side policy speaks.
+//!
+//! §4 and §6 of the paper catalogue *mechanisms* — reputation walls,
+//! geographic restrictions, rate-triggered IDSes, Alibaba's temporal SSH
+//! RST — but operationally they are all the same thing: an agent sitting
+//! in front of some address space that looks at an incoming probe and
+//! decides how (or whether) to interfere. This module names that shape.
+//! Each concrete policy module exposes its behaviour as a [`Defender`],
+//! and the network implementation consults the [`l4_roster`] instead of
+//! hard-coding the mechanism list, so new agents (including the stateful
+//! adaptive ones in [`crate::defend`]) slot in without touching the
+//! decision pipeline.
+//!
+//! The shared temporal plumbing lives here too: the paper's two
+//! time-triggered detectors (IDS, Alibaba) both follow the pattern
+//! "origins spreading load over many source IPs evade; otherwise a
+//! stable detection instant splits the scan into an open prefix and a
+//! blocked suffix, and detection may be remembered across trials".
+//! [`Detection`] captures that pattern once; both agents return one.
+
+use crate::asn::AsRecord;
+use crate::host::Protocol;
+use crate::origin::OriginId;
+use crate::rng::Tag;
+use crate::world::World;
+
+use super::{alibaba, geo_restrict, ids, reputation};
+
+/// What a defender does to one probe (or the connection behind it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The agent does not interfere.
+    Allow,
+    /// The SYN is silently discarded at layer 4.
+    DropL4,
+    /// The TCP handshake completes but the application connection goes
+    /// nowhere (filtering above TCP).
+    DropL7,
+    /// The TCP handshake completes and is then immediately reset —
+    /// Alibaba's §6 signature.
+    RstAfterHandshake,
+}
+
+/// Everything a stateless defender may condition on: the probe's
+/// coordinates plus the scan clock. Long-term agents ignore the clock;
+/// temporal agents ignore nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct DefenseQuery<'a> {
+    /// Scanning origin.
+    pub origin: OriginId,
+    /// AS record of the probed address.
+    pub asr: &'a AsRecord,
+    /// Probed address.
+    pub addr: u32,
+    /// Probed protocol.
+    pub proto: Protocol,
+    /// Trial number (temporal agents remember detections across trials).
+    pub trial: u8,
+    /// Simulated seconds since the start of this trial's scan.
+    pub time_s: f64,
+    /// Total simulated scan duration (normalizes detection instants).
+    pub duration_s: f64,
+}
+
+/// A destination-side agent deciding the fate of probes into its space.
+///
+/// Implementations must be pure functions of the world seed and the
+/// query — the determinism contract of the whole model rests on it.
+pub trait Defender: std::fmt::Debug + Sync {
+    /// Stable agent name (diagnostics, timelines).
+    fn name(&self) -> &'static str;
+    /// The agent's verdict on one probe.
+    fn verdict(&self, world: &World, q: &DefenseQuery<'_>) -> Verdict;
+}
+
+/// Outcome of a temporal detector for one `(origin, trial)` scan —
+/// the deduplicated core of the IDS and Alibaba mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Detection {
+    /// This trial escapes detection entirely.
+    Never,
+    /// Detected in an earlier trial: blocked from the first probe on.
+    Prior,
+    /// Detected at this fraction of the current scan; earlier probes
+    /// pass, later ones are blocked (monotone in time).
+    At(f64),
+}
+
+impl Detection {
+    /// Is the origin blocked at `time_s` of a `duration_s`-second scan?
+    pub fn blocked_at(&self, time_s: f64, duration_s: f64) -> bool {
+        match *self {
+            Detection::Never => false,
+            Detection::Prior => true,
+            Detection::At(d) => time_s / duration_s > d,
+        }
+    }
+}
+
+/// Does `origin` evade rate-triggered detection by spreading its scan
+/// over many source IPs (§4.3: US₆₄'s per-IP rate stays under every
+/// modelled threshold)?
+pub fn evades(origin: OriginId) -> bool {
+    origin.spec().source_ips >= ids::EVASION_IPS
+}
+
+/// Split a long-term-blocked host into L4-silent vs L7-filtered, stably
+/// per address (92 % of long-term-inaccessible HTTP(S) hosts are
+/// L4-unresponsive). Shared by every long-term agent so overlapping
+/// agents agree on the failure mode.
+pub(crate) fn filtered_verdict(world: &World, addr: u32) -> Verdict {
+    if world
+        .det()
+        .bernoulli(Tag::Block, &[90, u64::from(addr)], 0.92)
+    {
+        Verdict::DropL4
+    } else {
+        Verdict::DropL7
+    }
+}
+
+/// The agents consulted at SYN time, in decision order: long-term walls
+/// first (their L4/L7 split takes precedence), then the temporal IDS.
+/// Alibaba acts after the handshake and is consulted separately via
+/// [`handshake_verdict`].
+pub fn l4_roster() -> &'static [&'static dyn Defender] {
+    &[
+        &reputation::ReputationWall,
+        &geo_restrict::GeoWall,
+        &ids::RateIds,
+    ]
+}
+
+/// First non-[`Verdict::Allow`] verdict among the L4-stage agents.
+pub fn l4_verdict(world: &World, q: &DefenseQuery<'_>) -> Verdict {
+    for agent in l4_roster() {
+        let v = agent.verdict(world, q);
+        if v != Verdict::Allow {
+            return v;
+        }
+    }
+    Verdict::Allow
+}
+
+/// Verdict of the post-handshake stage (Alibaba's temporal SSH RST).
+pub fn handshake_verdict(world: &World, q: &DefenseQuery<'_>) -> Verdict {
+    alibaba::AlibabaSsh.verdict(world, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{block_status, Block};
+    use crate::world::WorldConfig;
+
+    fn query<'a>(
+        asr: &'a AsRecord,
+        origin: OriginId,
+        addr: u32,
+        proto: Protocol,
+        trial: u8,
+        time_s: f64,
+    ) -> DefenseQuery<'a> {
+        DefenseQuery {
+            origin,
+            asr,
+            addr,
+            proto,
+            trial,
+            time_s,
+            duration_s: 75_600.0,
+        }
+    }
+
+    #[test]
+    fn detection_blocked_at_semantics() {
+        assert!(!Detection::Never.blocked_at(75_599.0, 75_600.0));
+        assert!(Detection::Prior.blocked_at(0.0, 75_600.0));
+        let d = Detection::At(0.5);
+        assert!(!d.blocked_at(0.4 * 75_600.0, 75_600.0));
+        assert!(d.blocked_at(0.6 * 75_600.0, 75_600.0));
+    }
+
+    #[test]
+    fn roster_agrees_with_block_status_on_long_term_walls() {
+        // The trait-based pipeline must reproduce the pre-refactor
+        // decision exactly: where block_status blocks, l4_verdict returns
+        // the same L4/L7 split; where it does not and no IDS applies,
+        // l4_verdict allows.
+        let w = WorldConfig::tiny(8).build();
+        let dxtl = w.as_by_name("DXTL Tseung Kwan O Service").unwrap();
+        let lo = dxtl.first_slash24 * 256;
+        for addr in lo..lo + 512 {
+            let q = query(dxtl, OriginId::Censys, addr, Protocol::Http, 0, 0.0);
+            let expect = match block_status(&w, OriginId::Censys, addr, Protocol::Http, 0) {
+                Block::DropL4 => Verdict::DropL4,
+                Block::DropL7 => Verdict::DropL7,
+                Block::None => Verdict::Allow,
+            };
+            if expect != Verdict::Allow {
+                assert_eq!(l4_verdict(&w, &q), expect, "addr {addr}");
+            }
+        }
+    }
+
+    #[test]
+    fn rate_ids_agent_matches_blocked_fn() {
+        let w = WorldConfig::tiny(77).build();
+        let bochum = w.as_by_name("Ruhr-Universitaet Bochum").unwrap();
+        let addr = bochum.first_slash24 * 256 + 3;
+        for (trial, frac) in [(0u8, 0.01), (0, 0.9), (1, 0.0), (2, 0.5)] {
+            let t = frac * 75_600.0;
+            let q = query(bochum, OriginId::Japan, addr, Protocol::Https, trial, t);
+            let agent = ids::RateIds.verdict(&w, &q);
+            let legacy = ids::blocked(
+                &w,
+                OriginId::Japan,
+                bochum,
+                Protocol::Https,
+                trial,
+                t,
+                75_600.0,
+            );
+            assert_eq!(agent == Verdict::DropL4, legacy, "trial {trial} t {t}");
+        }
+    }
+
+    #[test]
+    fn alibaba_agent_matches_rst_fn_and_is_ssh_only() {
+        let w = WorldConfig::tiny(55).build();
+        let ali = w.as_by_name("HZ Alibaba Advertising").unwrap();
+        let addr = ali.first_slash24 * 256;
+        let late = 0.9 * 75_600.0;
+        let q_ssh = query(ali, OriginId::Japan, addr, Protocol::Ssh, 0, late);
+        assert_eq!(
+            handshake_verdict(&w, &q_ssh),
+            Verdict::RstAfterHandshake,
+            "late trial-0 SSH must be reset"
+        );
+        let q_http = query(ali, OriginId::Japan, addr, Protocol::Http, 0, late);
+        assert_eq!(handshake_verdict(&w, &q_http), Verdict::Allow);
+        let q_us64 = query(ali, OriginId::Us64, addr, Protocol::Ssh, 0, late);
+        assert_eq!(handshake_verdict(&w, &q_us64), Verdict::Allow);
+    }
+
+    #[test]
+    fn agents_have_distinct_names() {
+        let mut names: Vec<&str> = l4_roster().iter().map(|a| a.name()).collect();
+        names.push(alibaba::AlibabaSsh.name());
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "{names:?}");
+    }
+}

@@ -8,6 +8,7 @@
 //! per-IP rate below the detection threshold. SK Broadband shows the same
 //! behaviour for SSH only.
 
+use super::defender::{self, Defender, DefenseQuery, Detection, Verdict};
 use crate::asn::{AsRecord, AsTags};
 use crate::host::{proto_key, Protocol};
 use crate::origin::OriginId;
@@ -45,33 +46,27 @@ pub fn has_ids(world: &World, asr: &AsRecord, proto: Protocol) -> bool {
             .bernoulli(Tag::Ids, &[1, u64::from(asr.index)], GENERATED_IDS_P)
 }
 
-/// Is `origin` blocked by this AS's IDS at scan time `time_s` of `trial`?
+/// When (if ever) does this AS's IDS detect `origin` scanning `proto`?
 ///
 /// Detection happens once, early in the *first* trial (a stable
-/// per-(AS, origin address space) instant); every later moment — and every
-/// later trial — is blocked. Origins spreading load over many source IPs
-/// are never detected.
-pub fn blocked(
+/// per-(AS, origin address space) instant); every later trial remembers
+/// it. Origins spreading load over many source IPs are never detected.
+pub fn detection(
     world: &World,
     origin: OriginId,
     asr: &AsRecord,
     proto: Protocol,
     trial: u8,
-    time_s: f64,
-    duration_s: f64,
-) -> bool {
-    if !has_ids(world, asr, proto) {
-        return false;
-    }
-    if origin.spec().source_ips >= EVASION_IPS {
-        return false;
+) -> Detection {
+    if !has_ids(world, asr, proto) || defender::evades(origin) {
+        return Detection::Never;
     }
     if trial > 0 {
-        return true;
+        return Detection::Prior;
     }
     // Detection instant as a fraction of the first scan (~2 h of 21 h for
     // the Bochum anecdote; we draw 5–30 %).
-    let d = world.det().range(
+    Detection::At(world.det().range(
         Tag::Ids,
         &[
             2,
@@ -81,8 +76,39 @@ pub fn blocked(
         ],
         0.05,
         0.30,
-    );
-    time_s / duration_s > d
+    ))
+}
+
+/// Is `origin` blocked by this AS's IDS at scan time `time_s` of `trial`?
+pub fn blocked(
+    world: &World,
+    origin: OriginId,
+    asr: &AsRecord,
+    proto: Protocol,
+    trial: u8,
+    time_s: f64,
+    duration_s: f64,
+) -> bool {
+    detection(world, origin, asr, proto, trial).blocked_at(time_s, duration_s)
+}
+
+/// The rate-triggered IDS as a [`Defender`] agent: silently drops every
+/// SYN once the origin's per-IP probe rate has tripped the threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct RateIds;
+
+impl Defender for RateIds {
+    fn name(&self) -> &'static str {
+        "rate-ids"
+    }
+
+    fn verdict(&self, world: &World, q: &DefenseQuery<'_>) -> Verdict {
+        if detection(world, q.origin, q.asr, q.proto, q.trial).blocked_at(q.time_s, q.duration_s) {
+            Verdict::DropL4
+        } else {
+            Verdict::Allow
+        }
+    }
 }
 
 #[cfg(test)]

@@ -5,10 +5,12 @@
 //! blocking ([`reputation`]), geographic restrictions ([`geo_restrict`]),
 //! and rate-triggered intrusion detection ([`ids`]); §6 adds the two
 //! SSH-specific mechanisms ([`alibaba`], [`maxstartups`]). Each module
-//! implements one mechanism; [`block_status`] combines the long-term ones
-//! into a single verdict for the network implementation.
+//! implements one mechanism and exposes it as a [`defender::Defender`]
+//! agent; [`block_status`] combines the long-term ones into a single
+//! verdict for the network implementation.
 
 pub mod alibaba;
+pub mod defender;
 pub mod geo_restrict;
 pub mod ids;
 pub mod maxstartups;
@@ -16,8 +18,8 @@ pub mod reputation;
 
 use crate::host::Protocol;
 use crate::origin::OriginId;
-use crate::rng::Tag;
 use crate::world::World;
+use defender::{Defender, DefenseQuery, Verdict};
 
 /// Long-term blocking verdict for one (origin, host) pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,20 +47,29 @@ pub fn block_status(
     trial: u8,
 ) -> Block {
     let asr = world.as_of(addr);
-    let blocked = reputation::blocks(world, origin, asr, addr, proto, trial)
-        || geo_restrict::blocks(world, origin, asr, addr);
-    if !blocked {
-        return Block::None;
+    // Long-term agents ignore the scan clock; zero is as good as any.
+    let q = DefenseQuery {
+        origin,
+        asr,
+        addr,
+        proto,
+        trial,
+        time_s: 0.0,
+        duration_s: 1.0,
+    };
+    for agent in [
+        &reputation::ReputationWall as &dyn Defender,
+        &geo_restrict::GeoWall,
+    ] {
+        match agent.verdict(world, &q) {
+            Verdict::Allow => {}
+            Verdict::DropL4 => return Block::DropL4,
+            Verdict::DropL7 => return Block::DropL7,
+            // Long-term walls never reset handshakes.
+            Verdict::RstAfterHandshake => return Block::DropL7,
+        }
     }
-    // Split blocked hosts into L4-silent vs L7-filtered, stably per host.
-    if world
-        .det()
-        .bernoulli(Tag::Block, &[90, u64::from(addr)], 0.92)
-    {
-        Block::DropL4
-    } else {
-        Block::DropL7
-    }
+    Block::None
 }
 
 #[cfg(test)]

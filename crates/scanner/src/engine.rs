@@ -28,7 +28,8 @@
 use crate::blocklist::Blocklist;
 use crate::cyclic::Cycle;
 use crate::error::{ConfigError, ScanError};
-use crate::rate::Pacer;
+use crate::rate::{Pacer, PacerSnapshot};
+use crate::resilience::{AdaptivePolicy, Controller, ControllerState, Reaction};
 use crate::target::{L7Ctx, Network, ProbeCtx, Protocol, SynReply};
 use crate::zgrab::{self, L7Outcome};
 use originscan_telemetry::metrics::{self, names};
@@ -84,6 +85,14 @@ pub struct ScanConfig {
     /// the wire codecs. Costs ~2× per probe; default on in tests, off in
     /// large benches.
     pub wire_check: bool,
+    /// Adaptive resilience policy (None: classic open-loop scan,
+    /// byte-identical to builds before the controller existed). When set,
+    /// the engine feeds every address outcome to a
+    /// [`crate::resilience::Controller`] and applies its reactions: rate
+    /// backoff/recovery at batch boundaries, source-IP rotation through
+    /// [`ScanConfig::source_ips`], and deferral of suspect /24s to an
+    /// end-of-scan tail pass.
+    pub adapt: Option<AdaptivePolicy>,
 }
 
 impl ScanConfig {
@@ -110,6 +119,7 @@ impl ScanConfig {
             shard: (0, 1),
             concurrent_origins: 1,
             wire_check: false,
+            adapt: None,
         }
     }
 
@@ -143,6 +153,13 @@ impl ScanConfig {
         }
         if self.batch == 0 {
             return Err(ConfigError::ZeroBatch);
+        }
+        if let Some(adapt) = &self.adapt {
+            if adapt.window_addrs == 0
+                || !(adapt.backoff_factor > 0.0 && adapt.backoff_factor < 1.0)
+            {
+                return Err(ConfigError::BadAdaptivePolicy);
+            }
         }
         Ok(())
     }
@@ -262,6 +279,18 @@ pub trait FaultHook: Sync {
     fn before_address(&self, ctx: &FaultCtx) -> FaultAction;
 }
 
+/// Adaptive-scan state captured alongside a [`ScanCheckpoint`]. The
+/// pacer of an adaptive scan is no longer a closed-form function of its
+/// probe count (mid-scan rate changes re-anchor it), so resuming needs a
+/// full snapshot of both the pacer and the controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptCheckpoint {
+    /// Complete pacer state at the checkpoint.
+    pub pacer: PacerSnapshot,
+    /// Complete controller state at the checkpoint.
+    pub ctrl: ControllerState,
+}
+
 /// Resumable scan state: everything needed to continue a scan from the
 /// middle of its permutation with bit-identical results.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -272,6 +301,8 @@ pub struct ScanCheckpoint {
     pub stall_s: f64,
     /// Partial output: all records and counters up to the checkpoint.
     pub output: ScanOutput,
+    /// Adaptive-scan state (None for classic open-loop scans).
+    pub adapt: Option<AdaptCheckpoint>,
 }
 
 /// A single-slot, thread-safe checkpoint mailbox.
@@ -424,6 +455,162 @@ fn scan_metrics(out: &ScanOutput, stall_s: f64, checkpoint_writes: u64) -> Metri
     b
 }
 
+/// Outcome of probing one address, as observed by the adaptive
+/// controller.
+struct AddrOutcome {
+    /// At least one probe got a validated SYN-ACK.
+    responsive: bool,
+    /// A validated RST arrived.
+    rst: bool,
+    /// Send time of the address's last probe (the controller's clock).
+    last_t: f64,
+}
+
+/// Probe one address end to end: pace and send every SYN, validate
+/// replies, run the ZGrab follow-up, and append to `out`. Extracted from
+/// the main loop so the adaptive tail pass probes deferred addresses
+/// through the exact same path.
+#[allow(clippy::too_many_arguments)]
+fn probe_address<N: Network + ?Sized>(
+    net: &N,
+    cfg: &ScanConfig,
+    validator: &Validator,
+    pacer: &mut Pacer,
+    stall_s: f64,
+    addr: u32,
+    src_override: Option<u32>,
+    out: &mut ScanOutput,
+) -> Result<AddrOutcome, ScanError> {
+    out.summary.addresses_probed += 1;
+    let dport = cfg.protocol.port();
+    // ZMap spreads flows over source IPs/ports by address hash; an
+    // adaptive scan pins the source to the controller's active one.
+    let mix = (addr ^ (addr >> 16)).wrapping_mul(0x9E37_79B9);
+    let src_ip = match src_override {
+        Some(ip) => ip,
+        None => cfg.source_ips[(mix as usize) % cfg.source_ips.len()],
+    };
+    let sport = cfg
+        .sport_base
+        .wrapping_add(((mix >> 8) % u32::from(cfg.sport_range.max(1))) as u16);
+
+    let mut synack_mask = 0u8;
+    let mut got_rst = false;
+    let mut response_time = 0.0f64;
+    let mut last_t = 0.0f64;
+    let seq = validator.probe_seq(src_ip, addr, sport, dport);
+    for probe_idx in 0..cfg.probes {
+        let t = pacer.next_send_time() + stall_s + f64::from(probe_idx) * cfg.probe_delay_s;
+        last_t = t;
+        out.summary.probes_sent += 1;
+        let probe = TcpHeader::syn_probe(sport, dport, seq);
+        if cfg.wire_check && !wire_roundtrip(&probe, src_ip, addr) {
+            return Err(ScanError::WireCheck { addr });
+        }
+        let ctx = ProbeCtx {
+            origin: cfg.origin,
+            src_ip,
+            dst: addr,
+            protocol: cfg.protocol,
+            time_s: t,
+            probe_idx,
+            trial: cfg.trial,
+        };
+        match net.syn(&ctx, &probe) {
+            SynReply::SynAck(h) => {
+                if validator.check_reply(&h, src_ip, addr) {
+                    if synack_mask == 0 && !got_rst {
+                        response_time = t;
+                    }
+                    synack_mask |= 1 << probe_idx;
+                    if cfg.wire_check && !wire_roundtrip(&h, addr, src_ip) {
+                        return Err(ScanError::WireCheck { addr });
+                    }
+                } else {
+                    out.summary.validation_failures += 1;
+                }
+            }
+            SynReply::Rst(h) => {
+                if validator.check_reply(&h, src_ip, addr) {
+                    if synack_mask == 0 && !got_rst {
+                        response_time = t;
+                    }
+                    got_rst = true;
+                } else {
+                    out.summary.validation_failures += 1;
+                }
+            }
+            SynReply::Silent => {}
+        }
+    }
+
+    if synack_mask != 0 {
+        out.summary.synacks += u64::from(u32::from(synack_mask).count_ones());
+        // ZGrab follows up immediately on L4-responsive hosts.
+        let l7ctx = L7Ctx {
+            origin: cfg.origin,
+            src_ip,
+            dst: addr,
+            protocol: cfg.protocol,
+            time_s: response_time,
+            trial: cfg.trial,
+            attempt: 0,
+            concurrent_origins: cfg.concurrent_origins,
+        };
+        let grab = zgrab::grab(net, l7ctx, cfg.l7_retries);
+        if grab.outcome.is_success() {
+            out.summary.l7_successes += 1;
+        }
+        out.records.push(HostScanRecord {
+            addr,
+            synack_mask,
+            got_rst,
+            response_time_s: response_time,
+            l7: grab.outcome,
+            l7_attempts: grab.attempts,
+        });
+    } else if got_rst {
+        out.records.push(HostScanRecord {
+            addr,
+            synack_mask: 0,
+            got_rst: true,
+            response_time_s: response_time,
+            l7: L7Outcome::Timeout,
+            l7_attempts: 0,
+        });
+    }
+    Ok(AddrOutcome {
+        responsive: synack_mask != 0,
+        rst: got_rst,
+        last_t,
+    })
+}
+
+/// Apply a controller [`Reaction`] to the running scan: re-rate the pacer
+/// at the batch boundary and emit the adaptation timeline events.
+fn apply_reaction(
+    reaction: &Reaction,
+    cfg: &ScanConfig,
+    pacer: &mut Pacer,
+    tele: &Tele<'_>,
+    time_s: f64,
+) {
+    if let Some((level, rate_mult)) = reaction.backoff {
+        pacer.set_rate((cfg.rate_pps * rate_mult).max(f64::MIN_POSITIVE));
+        tele.emit(time_s, EventKind::BackoffEngaged { level, rate_mult });
+    }
+    if let Some((level, rate_mult)) = reaction.recovered {
+        pacer.set_rate((cfg.rate_pps * rate_mult).max(f64::MIN_POSITIVE));
+        tele.emit(time_s, EventKind::BackoffReleased { level, rate_mult });
+    }
+    if let Some(source_idx) = reaction.rotated {
+        tele.emit(time_s, EventKind::SourceRotated { source_idx });
+    }
+    if let Some((prefix, release_s)) = reaction.suspect {
+        tele.emit(time_s, EventKind::PrefixDeferred { prefix, release_s });
+    }
+}
+
 /// Execute one scan against `net` under supervision: consult the fault
 /// hook before every address, periodically checkpoint resumable state,
 /// and optionally resume from a prior checkpoint.
@@ -440,7 +627,11 @@ pub fn run_scan_session<N: Network + ?Sized>(
     let cycle = Cycle::new(cfg.space, cfg.seed);
     let validator = Validator::from_seed(cfg.seed);
     let mut pacer = Pacer::new(cfg.rate_pps, cfg.batch);
-    let dport = cfg.protocol.port();
+    let n_sources = u32::try_from(cfg.source_ips.len()).unwrap_or(u32::MAX);
+    let mut ctrl = cfg
+        .adapt
+        .clone()
+        .map(|policy| Controller::new(policy, n_sources));
 
     let mut iter = cycle.iter_shard(cfg.shard.0, cfg.shard.1);
     let mut out = ScanOutput::default();
@@ -449,7 +640,15 @@ pub fn run_scan_session<N: Network + ?Sized>(
         if !iter.fast_forward(cp.steps) {
             return Err(ScanError::BadCheckpoint { steps: cp.steps });
         }
-        pacer.advance_to(cp.output.summary.probes_sent);
+        match (cp.adapt, ctrl.as_mut()) {
+            (Some(acp), Some(c)) => {
+                // An adaptive pacer is not a closed-form function of its
+                // probe count; restore both snapshots wholesale.
+                pacer = Pacer::restore(&acp.pacer);
+                *c = Controller::from_state(c.policy().clone(), n_sources, acp.ctrl);
+            }
+            _ => pacer.advance_to(cp.output.summary.probes_sent),
+        }
         stall_s = cp.stall_s;
         out = cp.output;
         tele.emit(
@@ -479,6 +678,10 @@ pub fn run_scan_session<N: Network + ?Sized>(
                     steps: iter.steps_taken(),
                     stall_s,
                     output: out.clone(),
+                    adapt: ctrl.as_ref().map(|c| AdaptCheckpoint {
+                        pacer: pacer.snapshot(),
+                        ctrl: c.state().clone(),
+                    }),
                 });
                 checkpoint_writes += 1;
                 tele.emit(
@@ -537,99 +740,60 @@ pub fn run_scan_session<N: Network + ?Sized>(
             out.summary.blocked += 1;
             continue;
         }
-        out.summary.addresses_probed += 1;
-        // ZMap spreads flows over source IPs/ports by address hash.
-        let mix = (addr ^ (addr >> 16)).wrapping_mul(0x9E37_79B9);
-        let src_ip = cfg.source_ips[(mix as usize) % cfg.source_ips.len()];
-        let sport = cfg
-            .sport_base
-            .wrapping_add(((mix >> 8) % u32::from(cfg.sport_range.max(1))) as u16);
-
-        let mut synack_mask = 0u8;
-        let mut got_rst = false;
-        let mut response_time = 0.0f64;
-        let seq = validator.probe_seq(src_ip, addr, sport, dport);
-        for probe_idx in 0..cfg.probes {
-            let t = pacer.next_send_time() + stall_s + f64::from(probe_idx) * cfg.probe_delay_s;
-            out.summary.probes_sent += 1;
-            let probe = TcpHeader::syn_probe(sport, dport, seq);
-            if cfg.wire_check && !wire_roundtrip(&probe, src_ip, addr) {
-                return Err(ScanError::WireCheck { addr });
+        match ctrl.as_mut() {
+            None => {
+                probe_address(
+                    net, cfg, &validator, &mut pacer, stall_s, addr, None, &mut out,
+                )?;
             }
-            let ctx = ProbeCtx {
-                origin: cfg.origin,
-                src_ip,
-                dst: addr,
-                protocol: cfg.protocol,
-                time_s: t,
-                probe_idx,
-                trial: cfg.trial,
-            };
-            match net.syn(&ctx, &probe) {
-                SynReply::SynAck(h) => {
-                    if validator.check_reply(&h, src_ip, addr) {
-                        if synack_mask == 0 && !got_rst {
-                            response_time = t;
-                        }
-                        synack_mask |= 1 << probe_idx;
-                        if cfg.wire_check && !wire_roundtrip(&h, addr, src_ip) {
-                            return Err(ScanError::WireCheck { addr });
-                        }
-                    } else {
-                        out.summary.validation_failures += 1;
-                    }
+            Some(c) => {
+                if c.should_defer(addr, pacer.peek_send_time() + stall_s) {
+                    // Parked for the tail pass; probed (and counted) there.
+                    continue;
                 }
-                SynReply::Rst(h) => {
-                    if validator.check_reply(&h, src_ip, addr) {
-                        if synack_mask == 0 && !got_rst {
-                            response_time = t;
-                        }
-                        got_rst = true;
-                    } else {
-                        out.summary.validation_failures += 1;
-                    }
-                }
-                SynReply::Silent => {}
+                let src = cfg.source_ips[c.source_index() as usize % cfg.source_ips.len()];
+                let o = probe_address(
+                    net,
+                    cfg,
+                    &validator,
+                    &mut pacer,
+                    stall_s,
+                    addr,
+                    Some(src),
+                    &mut out,
+                )?;
+                let reaction = c.observe(addr, o.responsive, o.rst, o.last_t);
+                apply_reaction(&reaction, cfg, &mut pacer, &tele, o.last_t);
             }
-        }
-
-        if synack_mask != 0 {
-            out.summary.synacks += u64::from(u32::from(synack_mask).count_ones());
-            // ZGrab follows up immediately on L4-responsive hosts.
-            let l7ctx = L7Ctx {
-                origin: cfg.origin,
-                src_ip,
-                dst: addr,
-                protocol: cfg.protocol,
-                time_s: response_time,
-                trial: cfg.trial,
-                attempt: 0,
-                concurrent_origins: cfg.concurrent_origins,
-            };
-            let grab = zgrab::grab(net, l7ctx, cfg.l7_retries);
-            if grab.outcome.is_success() {
-                out.summary.l7_successes += 1;
-            }
-            out.records.push(HostScanRecord {
-                addr,
-                synack_mask,
-                got_rst,
-                response_time_s: response_time,
-                l7: grab.outcome,
-                l7_attempts: grab.attempts,
-            });
-        } else if got_rst {
-            out.records.push(HostScanRecord {
-                addr,
-                synack_mask: 0,
-                got_rst: true,
-                response_time_s: response_time,
-                l7: L7Outcome::Timeout,
-                l7_attempts: 0,
-            });
         }
     }
-    out.summary.duration_s = pacer.duration_for(out.summary.probes_sent) + stall_s;
+    if let Some(c) = ctrl.as_mut() {
+        // Tail pass: re-probe quarantined addresses now that their block
+        // windows have had the rest of the scan to lapse. Bounded by the
+        // policy's deferral cap; runs unsupervised (no fault hook or
+        // checkpoints) at the current backed-off rate through the same
+        // probe path as the main pass.
+        for addr in c.take_deferred() {
+            let src = cfg.source_ips[c.source_index() as usize % cfg.source_ips.len()];
+            probe_address(
+                net,
+                cfg,
+                &validator,
+                &mut pacer,
+                stall_s,
+                addr,
+                Some(src),
+                &mut out,
+            )?;
+        }
+    }
+    out.summary.duration_s = match &ctrl {
+        // duration_elapsed() equals duration_for(probes_sent) bit-for-bit
+        // while the rate never changes; adaptive scans need the
+        // segment-aware form.
+        Some(_) => pacer.duration_elapsed() + stall_s,
+        None => pacer.duration_for(out.summary.probes_sent) + stall_s,
+    };
     tele.emit(
         out.summary.duration_s,
         EventKind::ScanCompleted {
@@ -639,6 +803,16 @@ pub fn run_scan_session<N: Network + ?Sized>(
     );
     if let Some(hub) = tele.hub {
         hub.flush(tele.scope, scan_metrics(&out, stall_s, checkpoint_writes));
+        if let Some(c) = &ctrl {
+            let st = c.state();
+            let mut b = MetricBatch::new();
+            b.add(names::ADAPT_BACKOFFS, st.backoffs);
+            b.add(names::ADAPT_RECOVERIES, st.recoveries);
+            b.add(names::ADAPT_ROTATIONS, st.rotations);
+            b.add(names::ADAPT_DEFERRED_ADDRESSES, st.deferred_total);
+            b.set_gauge(names::ADAPT_RATE_MULT, c.rate_mult());
+            hub.flush(tele.scope, b);
+        }
     }
     Ok(out)
 }

@@ -33,6 +33,9 @@ pub enum ConfigError {
     NonPositiveRate,
     /// `batch` is zero: the pacer could never release a probe.
     ZeroBatch,
+    /// The adaptive policy is malformed (zero window, or a backoff factor
+    /// outside `(0, 1)`).
+    BadAdaptivePolicy,
 }
 
 impl fmt::Display for ConfigError {
@@ -55,6 +58,10 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::NonPositiveRate => write!(f, "send rate must be positive"),
             ConfigError::ZeroBatch => write!(f, "probe batch size must be at least 1"),
+            ConfigError::BadAdaptivePolicy => write!(
+                f,
+                "adaptive policy needs a positive window and a backoff factor in (0, 1)"
+            ),
         }
     }
 }

@@ -35,6 +35,7 @@ pub mod engine;
 pub mod error;
 pub mod output;
 pub mod rate;
+pub mod resilience;
 pub mod target;
 pub mod zgrab;
 

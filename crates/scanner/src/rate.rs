@@ -18,6 +18,30 @@ pub struct Pacer {
     sent_in_batch: u32,
     batch_start_time: f64,
     batches_sent: u64,
+    /// Send-clock time at which the current rate took effect. Batch `b`
+    /// (for `b ≥ anchor_batches`) starts at
+    /// `anchor_time + (b − anchor_batches) · batch / rate`, so a mid-scan
+    /// [`Pacer::set_rate`] re-anchors the schedule instead of silently
+    /// rewriting history. Both stay zero until the first rate change,
+    /// keeping the original pure-function-of-call-count behaviour (and
+    /// [`Pacer::advance_to`]) bit-identical.
+    anchor_time: f64,
+    /// Batch index at which the current rate took effect.
+    anchor_batches: u64,
+}
+
+/// A full copy of a [`Pacer`]'s state, for checkpointing scans whose rate
+/// changed mid-flight (where [`Pacer::advance_to`]'s closed form no
+/// longer applies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacerSnapshot {
+    rate: f64,
+    batch: u32,
+    sent_in_batch: u32,
+    batch_start_time: f64,
+    batches_sent: u64,
+    anchor_time: f64,
+    anchor_batches: u64,
 }
 
 impl Pacer {
@@ -31,7 +55,14 @@ impl Pacer {
             sent_in_batch: 0,
             batch_start_time: 0.0,
             batches_sent: 0,
+            anchor_time: 0.0,
+            anchor_batches: 0,
         }
+    }
+
+    /// Start time of batch index `b` under the current anchor and rate.
+    fn batch_start(&self, b: u64) -> f64 {
+        self.anchor_time + (b - self.anchor_batches) as f64 * f64::from(self.batch) / self.rate
     }
 
     /// Timestamp (seconds since scan start) at which the next probe leaves
@@ -40,7 +71,7 @@ impl Pacer {
         if self.sent_in_batch == self.batch {
             self.batches_sent += 1;
             self.sent_in_batch = 0;
-            self.batch_start_time = self.batches_sent as f64 * self.batch as f64 / self.rate;
+            self.batch_start_time = self.batch_start(self.batches_sent);
         }
         self.sent_in_batch += 1;
         // Probes within a batch go out back-to-back at the batch start.
@@ -52,23 +83,98 @@ impl Pacer {
     /// whether an outage window has opened before the probe is committed.
     pub fn peek_send_time(&self) -> f64 {
         if self.sent_in_batch == self.batch {
-            (self.batches_sent + 1) as f64 * self.batch as f64 / self.rate
+            self.batch_start(self.batches_sent + 1)
         } else {
             self.batch_start_time
         }
     }
 
-    /// Total scan duration for `n` probes at this rate.
+    /// The current send rate in probes/second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Total scan duration for `n` probes at this rate. Only meaningful
+    /// while the rate has never changed; adaptive scans use
+    /// [`Pacer::duration_elapsed`] instead.
     pub fn duration_for(&self, n: u64) -> f64 {
         n as f64 / self.rate
     }
 
+    /// Send-clock seconds consumed by every probe released so far, valid
+    /// across any number of rate changes. For a pacer whose rate never
+    /// changed this equals `duration_for(probes_sent)` exactly (same
+    /// floating-point operations), so switching callers to this method is
+    /// byte-compatible.
+    pub fn duration_elapsed(&self) -> f64 {
+        if self.batches_sent < self.anchor_batches {
+            // A rate change closed the in-flight batch and nothing has
+            // been sent since: the old schedule ran through anchor_time.
+            return self.anchor_time;
+        }
+        let probes = (self.batches_sent - self.anchor_batches) * u64::from(self.batch)
+            + u64::from(self.sent_in_batch);
+        self.anchor_time + probes as f64 / self.rate
+    }
+
+    /// Change the send rate mid-scan, effective at the boundary of the
+    /// current batch: probes already released keep their timestamps, the
+    /// current batch (if mid-flight, it is closed early) drains on the old
+    /// schedule, and every later batch is re-anchored to the new rate.
+    /// Timestamps remain monotone non-decreasing across the change.
+    pub fn set_rate(&mut self, rate: f64) {
+        assert!(rate > 0.0, "rate must be positive");
+        if self.sent_in_batch == 0 && self.batches_sent == self.anchor_batches {
+            // Nothing sent since the last anchor: re-rate in place.
+            self.rate = rate;
+            return;
+        }
+        // The next batch starts where the current one ends on the old
+        // schedule; anchor the new rate there.
+        self.anchor_time = self.batch_start_time + f64::from(self.batch) / self.rate;
+        self.anchor_batches = self.batches_sent + 1;
+        self.rate = rate;
+        // Force the next call to roll over into the anchored batch.
+        self.sent_in_batch = self.batch;
+    }
+
+    /// Capture the complete pacing state for a checkpoint.
+    pub fn snapshot(&self) -> PacerSnapshot {
+        PacerSnapshot {
+            rate: self.rate,
+            batch: self.batch,
+            sent_in_batch: self.sent_in_batch,
+            batch_start_time: self.batch_start_time,
+            batches_sent: self.batches_sent,
+            anchor_time: self.anchor_time,
+            anchor_batches: self.anchor_batches,
+        }
+    }
+
+    /// Rebuild a pacer from a [`PacerSnapshot`]; the restored pacer emits
+    /// exactly the timestamps the captured one would have.
+    pub fn restore(snap: &PacerSnapshot) -> Self {
+        Self {
+            rate: snap.rate,
+            batch: snap.batch,
+            sent_in_batch: snap.sent_in_batch,
+            batch_start_time: snap.batch_start_time,
+            batches_sent: snap.batches_sent,
+            anchor_time: snap.anchor_time,
+            anchor_batches: snap.anchor_batches,
+        }
+    }
+
     /// Jump to the state a fresh pacer reaches after `n` calls to
-    /// [`Pacer::next_send_time`]. The pacer is a pure function of its call
-    /// count — batch `b` starts at `b · batch / rate` — so a checkpointed
-    /// scan can resume with probe `n+1` stamped exactly as an
-    /// uninterrupted run would stamp it.
+    /// [`Pacer::next_send_time`]. A never-re-rated pacer is a pure
+    /// function of its call count — batch `b` starts at `b · batch / rate`
+    /// — so a checkpointed scan can resume with probe `n+1` stamped
+    /// exactly as an uninterrupted run would stamp it. Scans that re-rate
+    /// mid-flight resume from a [`PacerSnapshot`] instead; this resets any
+    /// anchor accordingly.
     pub fn advance_to(&mut self, n: u64) {
+        self.anchor_time = 0.0;
+        self.anchor_batches = 0;
         if n == 0 {
             self.sent_in_batch = 0;
             self.batch_start_time = 0.0;
@@ -162,5 +268,142 @@ mod tests {
         // ~21h to cover 2^24 addresses twice (2 probes).
         let r = rate_for_duration(2 << 24, 75_600.0);
         assert!((r - (2 << 24) as f64 / 75_600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_past_planned_end_still_matches_stepping() {
+        // The resumable runner advances to whatever count the checkpoint
+        // recorded; nothing guarantees that count is within the "planned"
+        // probe budget, so far-past-the-end jumps must stay exact.
+        for n in [1_000u64, 65_537, 1 << 20] {
+            let mut stepped = Pacer::new(999.0, 16);
+            for _ in 0..n {
+                stepped.next_send_time();
+            }
+            let mut jumped = Pacer::new(999.0, 16);
+            jumped.advance_to(n);
+            for i in 0..40 {
+                assert_eq!(
+                    stepped.next_send_time(),
+                    jumped.next_send_time(),
+                    "probe {n}+{i}"
+                );
+            }
+            assert_eq!(stepped.duration_elapsed(), jumped.duration_elapsed());
+        }
+    }
+
+    #[test]
+    fn rate_for_zero_probes_is_usable() {
+        // Zero probes over any window degenerates to the minimum positive
+        // rate — still a valid Pacer (the constructor asserts rate > 0).
+        let r = rate_for_duration(0, 75_600.0);
+        assert!(r > 0.0);
+        let mut p = Pacer::new(r, 16);
+        assert_eq!(p.next_send_time(), 0.0);
+    }
+
+    #[test]
+    fn batch_larger_than_total_probes() {
+        // A batch bigger than the whole scan: every probe shares t = 0 and
+        // the elapsed clock still accounts each probe at 1/rate.
+        let mut p = Pacer::new(50.0, 1024);
+        for _ in 0..10 {
+            assert_eq!(p.next_send_time(), 0.0);
+        }
+        assert_eq!(p.duration_elapsed(), p.duration_for(10));
+        let mut jumped = Pacer::new(50.0, 1024);
+        jumped.advance_to(10);
+        assert_eq!(jumped.peek_send_time(), 0.0);
+    }
+
+    #[test]
+    fn duration_elapsed_matches_duration_for_without_rate_changes() {
+        let mut p = Pacer::new(777.0, 5);
+        assert_eq!(p.duration_elapsed(), 0.0);
+        for n in 1..=200u64 {
+            p.next_send_time();
+            assert_eq!(p.duration_elapsed(), p.duration_for(n), "probe {n}");
+        }
+    }
+
+    #[test]
+    fn set_rate_keeps_timestamps_monotone() {
+        let mut p = Pacer::new(1000.0, 4);
+        let mut last = -1.0;
+        for i in 0..300 {
+            if i == 37 {
+                p.set_rate(125.0); // back off 8×
+            }
+            if i == 151 {
+                p.set_rate(500.0); // partial recovery
+            }
+            let t = p.next_send_time();
+            assert!(t >= last, "probe {i}: {t} < {last}");
+            last = t;
+        }
+        assert!((p.rate() - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_rate_slows_future_batches_only() {
+        let mut p = Pacer::new(100.0, 4);
+        let mut times: Vec<f64> = (0..4).map(|_| p.next_send_time()).collect();
+        p.set_rate(10.0);
+        times.extend((0..8).map(|_| p.next_send_time()));
+        // First batch untouched; batch 2 starts where batch 1 ended on the
+        // *old* schedule (4 probes / 100 pps = 0.04 s).
+        assert_eq!(times[3], 0.0);
+        assert!((times[4] - 0.04).abs() < 1e-12, "{}", times[4]);
+        // Batch 3 is a full new-rate batch later: 0.04 + 4/10.
+        assert!((times[8] - 0.44).abs() < 1e-12, "{}", times[8]);
+    }
+
+    #[test]
+    fn set_rate_before_any_send_is_a_plain_re_rate() {
+        let mut p = Pacer::new(100.0, 4);
+        p.set_rate(50.0);
+        let mut fresh = Pacer::new(50.0, 4);
+        for _ in 0..20 {
+            assert_eq!(p.next_send_time(), fresh.next_send_time());
+        }
+        assert_eq!(p.duration_elapsed(), fresh.duration_elapsed());
+    }
+
+    #[test]
+    fn duration_elapsed_accounts_each_rate_segment() {
+        let mut p = Pacer::new(100.0, 4);
+        for _ in 0..4 {
+            p.next_send_time();
+        }
+        p.set_rate(10.0);
+        // Old batch fully drained: elapsed is its end on the old schedule.
+        assert!((p.duration_elapsed() - 0.04).abs() < 1e-12);
+        for _ in 0..4 {
+            p.next_send_time();
+        }
+        // Plus one full batch at the new rate.
+        assert!((p.duration_elapsed() - 0.44).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_exactly() {
+        let mut p = Pacer::new(640.0, 8);
+        for i in 0..100 {
+            if i == 40 {
+                p.set_rate(80.0);
+            }
+            p.next_send_time();
+        }
+        let snap = p.snapshot();
+        let mut resumed = Pacer::restore(&snap);
+        for i in 0..50 {
+            if i == 20 {
+                p.set_rate(320.0);
+                resumed.set_rate(320.0);
+            }
+            assert_eq!(p.next_send_time(), resumed.next_send_time(), "probe {i}");
+        }
+        assert_eq!(p.duration_elapsed(), resumed.duration_elapsed());
     }
 }

@@ -121,6 +121,61 @@ pub enum EventKind {
         /// Destination address whose reply was duplicated.
         addr: u32,
     },
+    /// A defender agent's rate detector tripped on this origin's probes
+    /// into one AS.
+    ScanDetected {
+        /// Index of the AS whose detector fired.
+        as_index: u32,
+        /// Escalation level the detector moved to (1-based).
+        level: u32,
+    },
+    /// A defender agent started a block window against this origin.
+    BlockStarted {
+        /// Index of the blocking AS.
+        as_index: u32,
+        /// Simulated seconds the block will last.
+        block_s: f64,
+    },
+    /// A defender block window expired (observed at the first probe that
+    /// passed through again).
+    BlockEnded {
+        /// Index of the AS whose block expired.
+        as_index: u32,
+    },
+    /// The greynoise-style reputation store listed the origin: every
+    /// defended probe is dropped from now on, across trials.
+    OriginListed {
+        /// Detections accumulated when the listing triggered.
+        detections: u32,
+    },
+    /// The adaptive controller backed its send rate off one level.
+    BackoffEngaged {
+        /// Backoff level after the transition (1-based).
+        level: u32,
+        /// Rate multiplier now applied to the configured rate.
+        rate_mult: f64,
+    },
+    /// The adaptive controller recovered one backoff level after healthy
+    /// windows.
+    BackoffReleased {
+        /// Backoff level after the transition (0 = full rate restored).
+        level: u32,
+        /// Rate multiplier now applied to the configured rate.
+        rate_mult: f64,
+    },
+    /// The adaptive controller rotated to another source IP.
+    SourceRotated {
+        /// Index into the configured source-IP pool now active.
+        source_idx: u32,
+    },
+    /// The adaptive controller quarantined a /24 prefix: its remaining
+    /// addresses are deferred to the end-of-scan retry pass.
+    PrefixDeferred {
+        /// The /24 prefix (address >> 8).
+        prefix: u32,
+        /// Simulated time at which the quarantine lapses.
+        release_s: f64,
+    },
 }
 
 impl EventKind {
@@ -141,6 +196,14 @@ impl EventKind {
             EventKind::OutageEnded => "outage_ended",
             EventKind::ReplyCorrupted { .. } => "reply_corrupted",
             EventKind::ReplyDuplicated { .. } => "reply_duplicated",
+            EventKind::ScanDetected { .. } => "scan_detected",
+            EventKind::BlockStarted { .. } => "block_started",
+            EventKind::BlockEnded { .. } => "block_ended",
+            EventKind::OriginListed { .. } => "origin_listed",
+            EventKind::BackoffEngaged { .. } => "backoff_engaged",
+            EventKind::BackoffReleased { .. } => "backoff_released",
+            EventKind::SourceRotated { .. } => "source_rotated",
+            EventKind::PrefixDeferred { .. } => "prefix_deferred",
         }
     }
 
@@ -185,6 +248,35 @@ impl EventKind {
             EventKind::OutageStarted | EventKind::OutageEnded => vec![],
             EventKind::ReplyCorrupted { addr } => vec![("addr", JsonVal::U(u64::from(addr)))],
             EventKind::ReplyDuplicated { addr } => vec![("addr", JsonVal::U(u64::from(addr)))],
+            EventKind::ScanDetected { as_index, level } => vec![
+                ("as_index", JsonVal::U(u64::from(as_index))),
+                ("level", JsonVal::U(u64::from(level))),
+            ],
+            EventKind::BlockStarted { as_index, block_s } => vec![
+                ("as_index", JsonVal::U(u64::from(as_index))),
+                ("block_s", JsonVal::F(block_s)),
+            ],
+            EventKind::BlockEnded { as_index } => {
+                vec![("as_index", JsonVal::U(u64::from(as_index)))]
+            }
+            EventKind::OriginListed { detections } => {
+                vec![("detections", JsonVal::U(u64::from(detections)))]
+            }
+            EventKind::BackoffEngaged { level, rate_mult } => vec![
+                ("level", JsonVal::U(u64::from(level))),
+                ("rate_mult", JsonVal::F(rate_mult)),
+            ],
+            EventKind::BackoffReleased { level, rate_mult } => vec![
+                ("level", JsonVal::U(u64::from(level))),
+                ("rate_mult", JsonVal::F(rate_mult)),
+            ],
+            EventKind::SourceRotated { source_idx } => {
+                vec![("source_idx", JsonVal::U(u64::from(source_idx)))]
+            }
+            EventKind::PrefixDeferred { prefix, release_s } => vec![
+                ("prefix", JsonVal::U(u64::from(prefix))),
+                ("release_s", JsonVal::F(release_s)),
+            ],
         }
     }
 
@@ -225,6 +317,29 @@ impl EventKind {
             EventKind::OutageEnded,
             EventKind::ReplyCorrupted { addr: 0 },
             EventKind::ReplyDuplicated { addr: 0 },
+            EventKind::ScanDetected {
+                as_index: 0,
+                level: 1,
+            },
+            EventKind::BlockStarted {
+                as_index: 0,
+                block_s: 0.0,
+            },
+            EventKind::BlockEnded { as_index: 0 },
+            EventKind::OriginListed { detections: 0 },
+            EventKind::BackoffEngaged {
+                level: 1,
+                rate_mult: 0.5,
+            },
+            EventKind::BackoffReleased {
+                level: 0,
+                rate_mult: 1.0,
+            },
+            EventKind::SourceRotated { source_idx: 0 },
+            EventKind::PrefixDeferred {
+                prefix: 0,
+                release_s: 0.0,
+            },
         ]
     }
 }
@@ -299,6 +414,6 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len(), "duplicate kind in samples");
-        assert_eq!(names.len(), 14);
+        assert_eq!(names.len(), 22);
     }
 }

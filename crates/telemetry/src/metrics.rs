@@ -114,6 +114,24 @@ pub mod names {
     /// Query latency in microseconds (histogram,
     /// [`super::SERVE_LATENCY_BOUNDS`]).
     pub const SERVE_LATENCY_US: &str = "serve.latency_us";
+    /// Defender rate-detector trips against this origin (counter).
+    pub const DEFENDER_DETECTIONS: &str = "defender.detections";
+    /// SYN probes swallowed or reset by an active block window (counter).
+    pub const DEFENDER_BLOCKED_PROBES: &str = "defender.blocked_probes";
+    /// SYN probes dropped because the origin is reputation-listed (counter).
+    pub const DEFENDER_REPUTATION_DROPS: &str = "defender.reputation_drops";
+    /// Origins newly listed by the reputation store (counter).
+    pub const DEFENDER_LISTINGS: &str = "defender.listings";
+    /// Adaptive-controller rate backoffs engaged (counter).
+    pub const ADAPT_BACKOFFS: &str = "adapt.backoffs";
+    /// Adaptive-controller backoff levels recovered (counter).
+    pub const ADAPT_RECOVERIES: &str = "adapt.recoveries";
+    /// Adaptive-controller source-IP rotations (counter).
+    pub const ADAPT_ROTATIONS: &str = "adapt.rotations";
+    /// Addresses deferred to the end-of-scan retry pass (counter).
+    pub const ADAPT_DEFERRED_ADDRESSES: &str = "adapt.deferred_addresses";
+    /// Final rate multiplier when the scan completed (gauge).
+    pub const ADAPT_RATE_MULT: &str = "adapt.rate_mult";
 
     /// The full catalogue as (name, record type) pairs, in serialization
     /// order. Pinned by the schema golden test.
@@ -157,6 +175,15 @@ pub mod names {
         (SERVE_HTTP_REQUESTS, "counter"),
         (SERVE_HTTP_REJECTED, "counter"),
         (SERVE_LATENCY_US, "histogram"),
+        (DEFENDER_DETECTIONS, "counter"),
+        (DEFENDER_BLOCKED_PROBES, "counter"),
+        (DEFENDER_REPUTATION_DROPS, "counter"),
+        (DEFENDER_LISTINGS, "counter"),
+        (ADAPT_BACKOFFS, "counter"),
+        (ADAPT_RECOVERIES, "counter"),
+        (ADAPT_ROTATIONS, "counter"),
+        (ADAPT_DEFERRED_ADDRESSES, "counter"),
+        (ADAPT_RATE_MULT, "gauge"),
     ];
 }
 

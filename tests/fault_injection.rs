@@ -131,6 +131,88 @@ fn killed_and_resumed_scan_equals_uninterrupted() {
 }
 
 #[test]
+fn overlapping_outage_windows_behave_as_their_union() {
+    use originscan::netmodel::fault::FaultyNet;
+
+    let world = WorldConfig::tiny(44).build();
+    let origins = [OriginId::Us1];
+    let net = SimNet::new(&world, &origins, DUR);
+    let mut sc = ScanConfig::new(world.space(), Protocol::Http, 55);
+    sc.rate_pps = rate_for_duration(world.space() * 2, DUR);
+    let scan = |plan: &FaultPlan| {
+        let fa = FaultyNet::new(&net, plan, DUR);
+        let hook = plan.hook(DUR);
+        supervise_scan(&fa, &sc, Some(&hook), &SupervisorPolicy::default(), None)
+    };
+
+    // Two overlapping dark windows are indistinguishable from one merged
+    // window: an address is silenced iff it falls in *any* window.
+    let overlapping = FaultPlan::new(9)
+        .outage(0, 0, 0.3, 0.5)
+        .outage(0, 0, 0.4, 0.7);
+    let merged = FaultPlan::new(9).outage(0, 0, 0.3, 0.7);
+    let a = scan(&overlapping);
+    let b = scan(&merged);
+    assert_eq!(a.output, b.output, "overlap must act as the union");
+
+    // The union actually silenced something (vs. fault-free).
+    let clean = supervise_scan(&net, &sc, None, &SupervisorPolicy::default(), None);
+    let count = |r: &originscan::core::OriginRun| r.output.as_ref().unwrap().records.len();
+    assert!(count(&a) < count(&clean), "the outage cost nothing");
+}
+
+#[test]
+fn zero_duration_stall_is_identical_to_fault_free() {
+    use originscan::netmodel::fault::FaultyNet;
+
+    let world = WorldConfig::tiny(45).build();
+    let origins = [OriginId::Us1];
+    let net = SimNet::new(&world, &origins, DUR);
+    let mut sc = ScanConfig::new(world.space(), Protocol::Http, 56);
+    sc.rate_pps = rate_for_duration(world.space() * 2, DUR);
+
+    let clean = supervise_scan(&net, &sc, None, &SupervisorPolicy::default(), None);
+    let plan = FaultPlan::new(9).stall(0, 0, 0.5, 0.0);
+    let fa = FaultyNet::new(&net, &plan, DUR);
+    let hook = plan.hook(DUR);
+    let stalled = supervise_scan(&fa, &sc, Some(&hook), &SupervisorPolicy::default(), None);
+    assert_eq!(stalled.status, RunStatus::Completed);
+    assert_eq!(
+        stalled.output, clean.output,
+        "a zero-second stall must not shift a single timestamp"
+    );
+}
+
+#[test]
+fn crash_inside_outage_window_resumes_across_the_boundary() {
+    use originscan::netmodel::fault::FaultyNet;
+
+    let world = WorldConfig::tiny(46).build();
+    let origins = [OriginId::Us1];
+    let net = SimNet::new(&world, &origins, DUR);
+    let mut sc = ScanConfig::new(world.space(), Protocol::Http, 57);
+    sc.rate_pps = rate_for_duration(world.space() * 2, DUR);
+
+    // Reference: the outage alone, no crash.
+    let outage_only = FaultPlan::new(9).outage(0, 0, 0.4, 0.6);
+    let fa = FaultyNet::new(&net, &outage_only, DUR);
+    let hook_a = outage_only.hook(DUR);
+    let reference = supervise_scan(&fa, &sc, Some(&hook_a), &SupervisorPolicy::default(), None);
+    assert_eq!(reference.status, RunStatus::Completed);
+
+    // Crash mid-outage: the periodic checkpoint the resume starts from
+    // was taken *inside* the dark window, so the replayed span straddles
+    // the fault boundary. The resumed scan must still equal the
+    // uninterrupted-with-outage run, silenced window included.
+    let with_crash = FaultPlan::new(9).outage(0, 0, 0.4, 0.6).crash(0, 0, 0.5, 1);
+    let fb = FaultyNet::new(&net, &with_crash, DUR);
+    let hook_b = with_crash.hook(DUR);
+    let resumed = supervise_scan(&fb, &sc, Some(&hook_b), &SupervisorPolicy::default(), None);
+    assert_eq!(resumed.status, RunStatus::Resumed { retries: 1 });
+    assert_eq!(resumed.output, reference.output);
+}
+
+#[test]
 fn experiment_with_unrecoverable_origin_degrades_not_dies() {
     let world = WorldConfig::tiny(43).build();
     let plan = FaultPlan::new(3).crash(2, 1, 0.1, u32::MAX);
