@@ -93,8 +93,8 @@ pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
 /// `EXPERIMENTS.md` — so it stays human-readable; progress/liveness
 /// chatter goes to stderr through the telemetry sink instead.
 fn artifact_line(line: &str) {
-    // lint:allow(obs-print) — stdout is the bench artifact itself; the
-    // audited sink for it is this one function.
+    // lint:allow(obs-print) reason= stdout is the bench artifact itself;
+    // the audited sink for it is this one function.
     println!("{line}");
 }
 

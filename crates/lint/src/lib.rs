@@ -18,9 +18,22 @@
 //!    sink) so output stays structured, deterministic, and grep-able;
 //!    the audited sinks themselves carry `lint:allow` escapes.
 //!
-//! The analyzer is a hand-rolled lexer plus token-pattern rules — no
+//! The analyzer is a hand-rolled lexer plus an item-level parser — no
 //! `syn`, no dependencies — consistent with the workspace's vendored-deps
-//! policy, so it builds offline from a bare toolchain.
+//! policy, so it builds offline from a bare toolchain. On top of the
+//! per-file token rules it builds a cross-crate call graph
+//! ([`callgraph`]) and runs three interprocedural passes:
+//!
+//! * [`reach`] — panic-reachability from supervised entry points, with
+//!   the shortest call chain as the diagnostic;
+//! * [`taint`] — determinism taint from wall clocks / hash iteration /
+//!   thread IDs / pointer casts into output functions;
+//! * [`locks`] — lock-order cycles and lock-held-across-blocking-call
+//!   sites over the serve tier's `Mutex`es.
+//!
+//! Interprocedural findings carry stable fingerprints and diff against a
+//! checked-in baseline (`lint-baseline.txt`) so CI fails only on *new*
+//! findings ([`report`]).
 //!
 //! ## Escape hatch
 //!
@@ -28,19 +41,26 @@
 //! immediately above) the offending line:
 //!
 //! ```text
-//! // lint:allow(rule-id) — reason the invariant still holds
+//! // lint:allow(rule-id) reason= why the invariant still holds
 //! ```
 //!
-//! The reason is mandatory; a bare `lint:allow` is itself a violation
-//! (`lint-bad-allow`).
+//! The `reason=` annotation is mandatory; a bare `lint:allow` is itself
+//! a violation (`lint-bad-allow`), and a grant that no longer suppresses
+//! anything is flagged as `lint-stale-allow`.
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 #![deny(missing_docs)]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod locks;
+pub mod parse;
+pub mod reach;
 pub mod registry;
+pub mod report;
 pub mod rules;
+pub mod taint;
 
 use std::fmt;
 use std::io;
@@ -144,8 +164,45 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "lint-bad-allow",
-        summary: "lint:allow escapes must name a known rule and give a non-empty reason",
-        hint: "write `// lint:allow(rule-id) — reason`; the reason is the audit trail",
+        summary: "lint:allow escapes must name a known rule and carry a reason= annotation",
+        hint: "write `// lint:allow(rule-id) reason= justification`; the reason is the \
+               audit trail",
+    },
+    Rule {
+        id: "lint-stale-allow",
+        summary: "lint:allow escapes whose rule no longer fires at that site must be deleted",
+        hint: "the escape suppresses nothing — the code was fixed or moved; delete the \
+               comment so dead grants cannot silence future regressions",
+    },
+    Rule {
+        id: "reach-panic",
+        summary: "bans panic!/unwrap/expect/slice-index sites reachable from supervised \
+                  entry points, across any number of call hops and crates",
+        hint: "follow the printed call chain; return a typed error through the chain, or \
+               restructure so the failure is impossible and justify with lint:allow",
+    },
+    Rule {
+        id: "det-taint",
+        summary: "bans wall clocks, entropy RNGs, hash-order iteration, thread IDs, and \
+                  pointer-to-int casts in any function reachable from an output/serialization \
+                  function",
+        hint: "follow the printed flow chain; thread deterministic inputs through \
+               explicitly — output bytes must be a pure function of (seed, origin, trial)",
+    },
+    Rule {
+        id: "lock-cycle",
+        summary: "bans serve-tier Mutex classes acquired in a cyclic order (potential \
+                  deadlock)",
+        hint: "impose a single global acquisition order (document it next to the Mutex \
+               fields), or merge the locks; a cycle means two requests can deadlock",
+    },
+    Rule {
+        id: "lock-blocking",
+        summary: "bans holding a serve-tier Mutex across blocking work (file/socket I/O, \
+                  sleeps, channel receives)",
+        hint: "copy what you need out of the guard and drop it before blocking, or move \
+               the blocking work outside the critical section (see ROADMAP: lock-free \
+               serve snapshots)",
     },
 ];
 
@@ -165,6 +222,15 @@ pub struct Violation {
     pub rule: &'static str,
     /// Human-readable description of this specific occurrence.
     pub msg: String,
+    /// Extra diagnostic lines (call chains / flow chains); empty for
+    /// per-file rules.
+    pub chain: Vec<String>,
+    /// Line-number-free site anchor used to build the fingerprint; empty
+    /// for per-file rules (the message head substitutes).
+    pub anchor: String,
+    /// Stable fingerprint (`rule@file@anchor`), assigned by
+    /// [`report::assign_fingerprints`] after all passes run.
+    pub fingerprint: String,
 }
 
 impl fmt::Display for Violation {
@@ -174,6 +240,9 @@ impl fmt::Display for Violation {
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.msg
         )?;
+        for c in &self.chain {
+            write!(f, "\n    {c}")?;
+        }
         if let Some(r) = rule(self.rule) {
             write!(f, "\n    hint: {}", r.hint)?;
         }
@@ -190,18 +259,78 @@ pub fn check_source(rel_path: &str, src: &str) -> Vec<Violation> {
     rules::check_file(rel_path, src)
 }
 
-/// Analyze the whole workspace rooted at `root`: every `crates/*/src`
-/// Rust file plus the cross-file registry rules. Violations are sorted
-/// by (file, line, rule).
-pub fn check_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+/// Analyze a set of in-memory `(path, source)` files as a complete
+/// workspace: the per-file rules, the cross-crate interprocedural passes
+/// (panic-reachability, determinism taint, lock order), and stale-allow
+/// detection, with fingerprints assigned. Registry (`reg-*`) rules need
+/// the real tree and only run through [`check_workspace`].
+pub fn check_files(inputs: &[(String, String)]) -> Vec<Violation> {
+    let mut files = Vec::with_capacity(inputs.len());
+    let mut allows = Vec::with_capacity(inputs.len());
+    for (path, src) in inputs {
+        let path = path.replace('\\', "/");
+        let (toks, comments) = lexer::lex(src);
+        allows.push(rules::parse_allows(&path, &toks, &comments));
+        files.push(parse::SourceFile {
+            path,
+            toks,
+            comments,
+        });
+    }
     let mut out = Vec::new();
+    for (i, f) in files.iter().enumerate() {
+        // `bad` allows are already in per-file results; clear so the
+        // stale sweep below cannot double-report them.
+        out.extend(rules::check_file_tokens(&f.path, &f.toks, &mut allows[i]));
+        allows[i].bad.clear();
+    }
+    let ws = parse::parse_workspace(&files);
+    let bodies = callgraph::fn_bodies(&ws);
+    let graph = callgraph::build(&ws, &files, &bodies);
+    out.extend(reach::check(&ws, &graph, &files, &bodies, &mut allows));
+    out.extend(taint::check(&ws, &graph, &files, &bodies, &mut allows));
+    out.extend(locks::check(&ws, &graph, &files, &bodies, &mut allows));
+    // Stale allows: a grant no pass needed. Exempt paths never run the
+    // rules, so their grants are judged elsewhere (or not at all).
+    for (i, f) in files.iter().enumerate() {
+        if rules::path_exempt(&f.path) {
+            continue;
+        }
+        for e in &allows[i].entries {
+            if !e.used {
+                out.push(Violation {
+                    file: f.path.clone(),
+                    line: e.comment_line,
+                    rule: "lint-stale-allow",
+                    msg: format!(
+                        "lint:allow({}) no longer suppresses anything at this site",
+                        e.rule
+                    ),
+                    chain: Vec::new(),
+                    anchor: format!("allow/{}", e.rule),
+                    fingerprint: String::new(),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    report::assign_fingerprints(&mut out);
+    out
+}
+
+/// Analyze the whole workspace rooted at `root`: every `crates/*/src`
+/// Rust file through [`check_files`], plus the cross-file registry
+/// rules. Violations are sorted by (file, line, rule).
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut inputs = Vec::new();
     for file in workspace_sources(root)? {
         let src = std::fs::read_to_string(&file)?;
-        let rel = rel_to(root, &file);
-        out.extend(check_source(&rel, &src));
+        inputs.push((rel_to(root, &file), src));
     }
+    let mut out = check_files(&inputs);
     out.extend(registry::check_registry(root)?);
     out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    report::assign_fingerprints(&mut out);
     Ok(out)
 }
 

@@ -63,6 +63,9 @@ fn check_policy_mods(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
                 line: 1,
                 rule: "reg-policy-mod",
                 msg: format!("policy module `{stem}` is not declared in policy/mod.rs"),
+                chain: Vec::new(),
+                anchor: String::new(),
+                fingerprint: String::new(),
             });
         }
     }
@@ -85,6 +88,9 @@ fn check_bench_docs(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
                 line: 1,
                 rule: "reg-bench-doc",
                 msg: format!("artifact bench `{stem}` is not documented in EXPERIMENTS.md"),
+                chain: Vec::new(),
+                anchor: String::new(),
+                fingerprint: String::new(),
             });
         }
     }

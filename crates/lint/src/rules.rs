@@ -63,7 +63,13 @@ fn in_scope(path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| path.starts_with(p))
 }
 
-fn path_exempt(path: &str) -> bool {
+/// Is this path inside the determinism scope? (Used by the taint pass
+/// to avoid double-reporting sites the per-file `det-*` rules own.)
+pub(crate) fn in_det_scope(path: &str) -> bool {
+    in_scope(path, DET_SCOPE)
+}
+
+pub(crate) fn path_exempt(path: &str) -> bool {
     EXEMPT_FRAGMENTS.iter().any(|f| path.contains(f))
         || path.ends_with("/main.rs")
         || path.ends_with("build.rs")
@@ -73,34 +79,41 @@ fn path_exempt(path: &str) -> bool {
 pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
     let path = rel_path.replace('\\', "/");
     let (toks, comments) = lex(src);
-    let allows = parse_allows(&path, &toks, &comments);
+    let mut allows = parse_allows(&path, &toks, &comments);
+    check_file_tokens(&path, &toks, &mut allows)
+}
+
+/// Run every applicable per-file rule over an already-lexed file,
+/// marking used `lint:allow` escapes in `allows` so the workspace driver
+/// can later flag the stale ones.
+pub(crate) fn check_file_tokens(path: &str, toks: &[Tok], allows: &mut Allows) -> Vec<Violation> {
     let mut out: Vec<Violation> = allows.bad.clone();
 
-    if !path_exempt(&path) {
-        let code = strip_exempt(&toks);
+    if !path_exempt(path) {
+        let code = strip_exempt(toks);
         let mut found = Vec::new();
-        if in_scope(&path, DET_SCOPE) {
-            det_wall_clock(&path, &code, &mut found);
-            det_unseeded_rng(&path, &code, &mut found);
-            det_hash_iter(&path, &code, &mut found);
+        if in_scope(path, DET_SCOPE) {
+            det_wall_clock(path, &code, &mut found);
+            det_unseeded_rng(path, &code, &mut found);
+            det_hash_iter(path, &code, &mut found);
         }
-        if REPORT_FILES.contains(&path.as_str()) {
-            det_hash_report(&path, &code, &mut found);
+        if REPORT_FILES.contains(&path) {
+            det_hash_report(path, &code, &mut found);
         }
-        if in_scope(&path, PANIC_SCOPE) {
-            panic_unwrap_expect(&path, &code, &mut found);
-            panic_macro(&path, &code, &mut found);
-            panic_lossy_cast(&path, &code, &mut found);
+        if in_scope(path, PANIC_SCOPE) {
+            panic_unwrap_expect(path, &code, &mut found);
+            panic_macro(path, &code, &mut found);
+            panic_lossy_cast(path, &code, &mut found);
         }
         // Observability rules cover every library crate: structured
         // output goes through the telemetry sinks, not bare stdio.
-        obs_print(&path, &code, &mut found);
-        obs_dbg(&path, &code, &mut found);
-        out.extend(
-            found
-                .into_iter()
-                .filter(|v| !allows.suppresses(v.rule, v.line)),
-        );
+        obs_print(path, &code, &mut found);
+        obs_dbg(path, &code, &mut found);
+        for v in found {
+            if !allows.suppresses(v.rule, v.line) {
+                out.push(v);
+            }
+        }
     }
     out.sort_by_key(|v| (v.line, v.rule));
     out
@@ -112,6 +125,9 @@ fn violation(path: &str, line: u32, rule_id: &'static str, msg: String) -> Viola
         line,
         rule: rule_id,
         msg,
+        chain: Vec::new(),
+        anchor: String::new(),
+        fingerprint: String::new(),
     }
 }
 
@@ -119,23 +135,47 @@ fn violation(path: &str, line: u32, rule_id: &'static str, msg: String) -> Viola
 // lint:allow escapes
 // ---------------------------------------------------------------------
 
-struct Allows {
-    /// (rule-id, target line) pairs granted by well-formed escapes.
-    granted: BTreeSet<(String, u32)>,
+/// One well-formed `lint:allow` escape, with usage tracking for stale
+/// detection.
+#[derive(Debug, Clone)]
+pub(crate) struct AllowEntry {
+    /// Rule id the escape grants.
+    pub(crate) rule: String,
+    /// Target line the grant applies to.
+    pub(crate) line: u32,
+    /// Line of the escape comment itself (for stale diagnostics).
+    pub(crate) comment_line: u32,
+    /// Whether any pass actually needed the grant.
+    pub(crate) used: bool,
+}
+
+/// The escapes parsed from one file.
+#[derive(Debug, Default)]
+pub(crate) struct Allows {
+    /// Well-formed grants, in comment order.
+    pub(crate) entries: Vec<AllowEntry>,
     /// Malformed escapes, reported as `lint-bad-allow`.
-    bad: Vec<Violation>,
+    pub(crate) bad: Vec<Violation>,
 }
 
 impl Allows {
-    fn suppresses(&self, rule_id: &str, line: u32) -> bool {
-        self.granted.contains(&(rule_id.to_string(), line))
+    /// Does a grant cover (rule, line)? Marks every matching grant used.
+    pub(crate) fn suppresses(&mut self, rule_id: &str, line: u32) -> bool {
+        let mut any = false;
+        for e in &mut self.entries {
+            if e.rule == rule_id && e.line == line {
+                e.used = true;
+                any = true;
+            }
+        }
+        any
     }
 }
 
-/// Parse every `lint:allow(rule-id) — reason` escape. An escape on a
-/// line with code applies to that line; a comment-only line applies to
-/// the next line bearing a token.
-fn parse_allows(path: &str, toks: &[Tok], comments: &[Comment]) -> Allows {
+/// Parse every `lint:allow(rule-id) reason= justification` escape. An
+/// escape on a line with code applies to that line; a comment-only line
+/// applies to the next line bearing a token.
+pub(crate) fn parse_allows(path: &str, toks: &[Tok], comments: &[Comment]) -> Allows {
     let tok_lines: BTreeSet<u32> = toks.iter().map(|t| t.line).collect();
     let target_of = |comment_line: u32| -> u32 {
         if tok_lines.contains(&comment_line) {
@@ -148,10 +188,7 @@ fn parse_allows(path: &str, toks: &[Tok], comments: &[Comment]) -> Allows {
                 .unwrap_or(comment_line)
         }
     };
-    let mut allows = Allows {
-        granted: BTreeSet::new(),
-        bad: Vec::new(),
-    };
+    let mut allows = Allows::default();
     for c in comments {
         // Doc comments (`///`, `//!`, `/** */`) are prose *about* the
         // linter, not escapes; only plain comments can grant one.
@@ -176,10 +213,16 @@ fn parse_allows(path: &str, toks: &[Tok], comments: &[Comment]) -> Allows {
             };
             let id = open[..close].trim();
             rest = &open[close + 1..];
-            // The reason runs to the next escape (or end of comment).
+            // The reason runs to the next escape (or end of comment) and
+            // must be spelled `reason= justification` so escapes are
+            // grep-able and unambiguous about being the audit trail.
             let reason_end = rest.find("lint:allow").unwrap_or(rest.len());
-            let reason = rest[..reason_end]
+            let annot = rest[..reason_end]
                 .trim_matches(|ch: char| ch.is_whitespace() || "—–-:,.".contains(ch));
+            let reason = annot
+                .strip_prefix("reason=")
+                .map(str::trim)
+                .filter(|r| !r.is_empty());
             if rule(id).is_none() {
                 allows.bad.push(violation(
                     path,
@@ -187,15 +230,22 @@ fn parse_allows(path: &str, toks: &[Tok], comments: &[Comment]) -> Allows {
                     "lint-bad-allow",
                     format!("unknown rule `{id}` in lint:allow"),
                 ));
-            } else if reason.is_empty() {
+            } else if reason.is_none() {
                 allows.bad.push(violation(
                     path,
                     c.line,
                     "lint-bad-allow",
-                    format!("lint:allow({id}) is missing its audit reason"),
+                    format!(
+                        "lint:allow({id}) must carry `reason=` followed by the audit justification"
+                    ),
                 ));
             } else {
-                allows.granted.insert((id.to_string(), target_of(c.line)));
+                allows.entries.push(AllowEntry {
+                    rule: id.to_string(),
+                    line: target_of(c.line),
+                    comment_line: c.line,
+                    used: false,
+                });
             }
         }
     }
@@ -306,7 +356,7 @@ fn det_wall_clock(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
 }
 
 /// Identifiers that always mean "randomness not derived from the seed".
-const UNSEEDED_RNG_IDENTS: &[&str] = &[
+pub(crate) const UNSEEDED_RNG_IDENTS: &[&str] = &[
     "thread_rng",
     "ThreadRng",
     "from_entropy",
@@ -340,7 +390,7 @@ fn det_unseeded_rng(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
 }
 
 /// Iteration methods whose visit order is the hash order.
-const HASH_ITER_METHODS: &[&str] = &[
+pub(crate) const HASH_ITER_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "into_iter",
@@ -355,7 +405,7 @@ const HASH_ITER_METHODS: &[&str] = &[
 
 /// Collect names bound (via `let`, field, or parameter annotations) to a
 /// `HashMap`/`HashSet` type anywhere in the file.
-fn hash_bindings(toks: &[Tok]) -> BTreeSet<String> {
+pub(crate) fn hash_bindings(toks: &[Tok]) -> BTreeSet<String> {
     let mut bound = BTreeSet::new();
     for (i, t) in toks.iter().enumerate() {
         let Some(name) = t.ident() else { continue };
@@ -543,7 +593,7 @@ fn panic_unwrap_expect(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
     }
 }
 
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+pub(crate) const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 fn panic_macro(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
     for (i, t) in toks.iter().enumerate() {

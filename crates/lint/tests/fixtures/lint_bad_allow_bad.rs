@@ -1,5 +1,5 @@
 //! Fixture: malformed escapes are violations themselves.
-// lint:allow(no-such-rule) — the rule id must exist
+// lint:allow(no-such-rule) reason= the rule id must exist
 pub fn a() {}
 
 // lint:allow(panic-unwrap)

@@ -1,6 +1,6 @@
 //! Fixture: a well-formed escape suppresses exactly its line.
 pub fn first(xs: &[u8]) -> u8 {
     debug_assert!(!xs.is_empty());
-    // lint:allow(panic-unwrap) — fixture: emptiness asserted one line up
+    // lint:allow(panic-unwrap) reason= fixture: emptiness asserted one line up
     *xs.first().unwrap()
 }

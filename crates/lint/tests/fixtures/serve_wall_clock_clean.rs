@@ -2,7 +2,7 @@
 //! carrying the `lint:allow` escape with its audit reason is accepted,
 //! and the surrounding deterministic code stays covered.
 pub fn handle(query: &str) -> (usize, f64) {
-    // lint:allow(det-wall-clock) — latency telemetry at the audited socket boundary; never reaches a response body.
+    // lint:allow(det-wall-clock) reason= latency telemetry at the audited socket boundary; never reaches a response body.
     let t = std::time::Instant::now();
     (query.len(), t.elapsed().as_secs_f64())
 }

@@ -20,9 +20,12 @@ impl Country {
         Self([b[0], b[1]])
     }
 
-    /// The ISO code as a string.
+    /// The ISO code as a string. Codes are ASCII by construction
+    /// ([`Country::new`] stores two bytes of an ISO pair); a non-UTF-8
+    /// pair cannot occur, but degrade to a placeholder rather than
+    /// panicking on a supervised path.
     pub fn code(&self) -> &str {
-        core::str::from_utf8(&self.0).expect("codes are ASCII")
+        core::str::from_utf8(&self.0).unwrap_or("??")
     }
 }
 

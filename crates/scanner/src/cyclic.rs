@@ -124,8 +124,8 @@ pub fn primitive_root(p: u64) -> u64 {
         }
         return g;
     }
-    // lint:allow(panic-macro) — mathematically dead arm: every prime has a
-    // primitive root, so the candidate loop always returns first
+    // lint:allow(panic-macro) reason= mathematically dead arm: every prime
+    // has a primitive root, so the candidate loop always returns first
     unreachable!("every prime has a primitive root");
 }
 

@@ -326,7 +326,7 @@ fn route(stream: TcpStream, shared: &Shared, req: &Request) {
 
 fn answer_query(stream: TcpStream, shared: &Shared, text: &str) {
     #[allow(clippy::disallowed_methods)]
-    // lint:allow(det-wall-clock) — latency telemetry at the audited I/O boundary; the measured duration never reaches a response body.
+    // lint:allow(det-wall-clock) reason= latency telemetry at the audited I/O boundary; the measured duration never reaches a response body.
     let started = std::time::Instant::now();
     let result = shared.engine.execute_text(text.trim());
     if let Some(hub) = &shared.hub {

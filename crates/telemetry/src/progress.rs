@@ -70,8 +70,8 @@ pub fn format_progress(kind: &str, fields: &[(&str, FieldValue)]) -> String {
 
 /// Write one progress line to stderr.
 pub fn emit_progress(kind: &str, fields: &[(&str, FieldValue)]) {
-    // lint:allow(obs-print) — this IS the stderr progress sink the rest
-    // of the workspace routes through; nothing below this line.
+    // lint:allow(obs-print) reason= this IS the stderr progress sink the
+    // rest of the workspace routes through; nothing below this line.
     eprintln!("{}", format_progress(kind, fields));
 }
 

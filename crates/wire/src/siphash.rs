@@ -58,7 +58,7 @@ impl SipHash13 {
         let rem = chunks.remainder();
         let mut last = [0u8; 8];
         last[..rem.len()].copy_from_slice(rem);
-        // lint:allow(panic-lossy-cast) — SipHash's final word carries `len mod 256` by spec
+        // lint:allow(panic-lossy-cast) reason= SipHash's final word carries `len mod 256` by spec
         last[7] = msg.len() as u8;
         let m = u64::from_le_bytes(last);
         v[3] ^= m;

@@ -75,7 +75,7 @@ fn frame_handshake(hs_type: u8, body: &[u8]) -> Vec<u8> {
         body.len() < (1 << 24),
         "handshake body exceeds 24-bit length"
     );
-    // lint:allow(panic-lossy-cast) — guarded: hello bodies are built here and stay tiny
+    // lint:allow(panic-lossy-cast) reason= guarded: hello bodies are built here and stay tiny
     let len = body.len() as u32;
     hs.extend_from_slice(&len.to_be_bytes()[1..]); // 24-bit length
     hs.extend_from_slice(body);
@@ -87,7 +87,7 @@ fn frame_handshake(hs_type: u8, body: &[u8]) -> Vec<u8> {
         hs.len() <= usize::from(u16::MAX),
         "record exceeds u16 length"
     );
-    // lint:allow(panic-lossy-cast) — guarded: a framed hello never nears the 2^16 record cap
+    // lint:allow(panic-lossy-cast) reason= guarded: a framed hello never nears the 2^16 record cap
     rec.extend_from_slice(&(hs.len() as u16).to_be_bytes());
     rec.extend_from_slice(&hs);
     rec
