@@ -11,6 +11,7 @@
 
 use originscan_bench::{bench_world, header, paper_says, timed};
 use originscan_core::adversarial::{AdversarialConfig, AdversarialSweep};
+use originscan_telemetry::progress::{emit_progress, FieldValue};
 
 fn main() {
     header(
@@ -35,7 +36,13 @@ fn main() {
         || match AdversarialSweep::new(world, cfg).run() {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("sweep failed: {e}");
+                emit_progress(
+                    "bench_error",
+                    &[
+                        ("label", FieldValue::from("adversarial sweep")),
+                        ("error", FieldValue::from(format!("{e}").as_str())),
+                    ],
+                );
                 std::process::exit(1);
             }
         },

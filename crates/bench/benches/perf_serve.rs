@@ -14,15 +14,27 @@
 //!
 //! Timings go through the telemetry progress sink (`bench_timed` /
 //! `serve_load` JSONL on stderr); the stdout table is the artifact
-//! recorded in EXPERIMENTS.md. The bench asserts the warm best-k pass
-//! is ≥5× faster than the cold one, and a floor on warm throughput.
+//! recorded in EXPERIMENTS.md. After the warm phase the bench pulls
+//! `GET /trace` and checks span attribution: ≥90% of warm request wall
+//! time must land in named child spans (read/execute/write and the
+//! kernels below them), so the instrumentation cannot silently rot. The
+//! bench asserts the warm best-k pass is ≥5× faster than the cold one
+//! and a floor on warm throughput, then writes `BENCH_serve.json` (the
+//! bench-diff gate input) and `BENCH_serve.profile.jsonl` (the merged
+//! flame tree of the warm traces).
 
 // Wall-clock timing is the bench harness's job; results never feed analyses.
 #![allow(clippy::disallowed_methods)]
 
+use originscan_bench::jsonv::JsonValue;
+use originscan_bench::record::{BenchRecord, Dir};
 use originscan_serve::{QueryEngine, Server, ServerConfig};
 use originscan_store::{ScanSet, ScanSetStore, StoreKey, StoreReader};
+use originscan_telemetry::profile::Profile;
 use originscan_telemetry::progress::{emit_progress, FieldValue};
+use originscan_telemetry::span::SpanRecord;
+use originscan_telemetry::Telemetry;
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
@@ -112,6 +124,95 @@ fn http_query(addr: SocketAddr, query: &str) -> u16 {
         .unwrap_or(0)
 }
 
+/// GET `path` and return the response body.
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes())
+        .expect("send");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read");
+    match out.split_once("\r\n\r\n") {
+        Some((_, body)) => body.to_string(),
+        None => panic!("malformed response for {path}"),
+    }
+}
+
+/// Span trees pulled back out of a `GET /trace` response.
+struct TraceAnalysis {
+    /// Traces inspected.
+    traces: u64,
+    /// Fraction of root ("request") wall time attributed to direct
+    /// child spans, summed across traces.
+    attribution: f64,
+    /// The merged flame tree.
+    profile: Profile,
+}
+
+/// Parse `GET /trace` JSON and compute child-span attribution.
+///
+/// Span names arrive as owned strings but [`SpanRecord`] carries
+/// `&'static str` (tracers record static names); the vocabulary here is
+/// a dozen names in a one-shot process, so interning by leak is fine.
+fn analyze_traces(body: &str) -> TraceAnalysis {
+    let doc = JsonValue::parse(body.trim()).expect("parse /trace");
+    let mut names: BTreeMap<String, &'static str> = BTreeMap::new();
+    let mut profile = Profile::new();
+    let mut traces = 0u64;
+    let mut root_total = 0.0f64;
+    let mut child_total = 0.0f64;
+    for t in doc.get("traces").and_then(JsonValue::as_arr).unwrap_or(&[]) {
+        let mut spans = Vec::new();
+        for s in t.get("spans").and_then(JsonValue::as_arr).unwrap_or(&[]) {
+            let f = |key: &str| s.get(key).and_then(JsonValue::as_f64);
+            let name = s
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .expect("span name");
+            let name: &'static str = names
+                .entry(name.to_string())
+                .or_insert_with(|| Box::leak(name.to_string().into_boxed_str()));
+            spans.push(SpanRecord {
+                id: f("span").expect("span id") as u32,
+                parent: f("parent").map(|p| p as u32),
+                name,
+                start_s: f("start").expect("span start"),
+                end_s: f("end").expect("span end"),
+            });
+        }
+        let root_id = spans.iter().find(|s| s.parent.is_none()).map(|s| s.id);
+        for s in &spans {
+            if s.parent.is_none() {
+                root_total += s.duration_s();
+            } else if s.parent == root_id {
+                child_total += s.duration_s();
+            }
+        }
+        profile.add_spans(&spans);
+        traces += 1;
+    }
+    TraceAnalysis {
+        traces,
+        attribution: if root_total > 0.0 {
+            child_total / root_total
+        } else {
+            0.0
+        },
+        profile,
+    }
+}
+
+/// The largest `p99_us` across the per-kind serve-side latency
+/// histograms in the `/stats` body.
+fn stats_worst_p99_us(body: &str) -> f64 {
+    let doc = JsonValue::parse(body.trim()).expect("parse /stats");
+    doc.get("latency")
+        .and_then(JsonValue::as_obj)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|(_, v)| v.get("p99_us").and_then(JsonValue::as_f64))
+        .fold(0.0, f64::max)
+}
+
 struct PhaseReport {
     wall_s: f64,
     p50_us: f64,
@@ -183,14 +284,25 @@ fn main() {
     let store_path = dir.join("load.oscs");
     let build_t = Instant::now();
     build_store(&store_path);
-    eprintln!("store built in {:.2}s", build_t.elapsed().as_secs_f64());
+    emit_progress(
+        "bench_timed",
+        &[
+            ("label", FieldValue::from("serve store build")),
+            ("wall_s", FieldValue::from(build_t.elapsed().as_secs_f64())),
+        ],
+    );
 
     let engine = Arc::new(QueryEngine::from_readers(vec![StoreReader::open(
         &store_path,
     )
     .expect("open store")]));
-    let server =
-        Server::start(Arc::clone(&engine), None, ServerConfig::default()).expect("start server");
+    let hub = Arc::new(Telemetry::new());
+    let server = Server::start(
+        Arc::clone(&engine),
+        Some(Arc::clone(&hub)),
+        ServerConfig::default(),
+    )
+    .expect("start server");
     let addr = server.local_addr();
 
     // Cold best-k: plan miss, six bitmap loads, 20 subset unions.
@@ -201,6 +313,20 @@ fn main() {
     engine.clear_caches();
     let cold = run_phase("cold", addr, 1);
     let warm = run_phase("warm", addr, 4);
+
+    // The warm phase alone fills the 256-entry trace ring several times
+    // over, so everything pulled here is a warm request trace.
+    let analysis = analyze_traces(&http_get(addr, "/trace?n=256"));
+    let server_p99_us = stats_worst_p99_us(&http_get(addr, "/stats"));
+    emit_progress(
+        "serve_load",
+        &[
+            ("phase", FieldValue::from("trace")),
+            ("traces", FieldValue::from(analysis.traces)),
+            ("attribution", FieldValue::from(analysis.attribution)),
+            ("server_p99_us", FieldValue::from(server_p99_us)),
+        ],
+    );
 
     println!("\n================================================================");
     println!("perf_serve — HTTP load over loopback ({CLIENT_THREADS} clients)");
@@ -249,6 +375,49 @@ fn main() {
         warm.p50_us <= cold.p99_us,
         "warm median should not exceed cold tail"
     );
+    // Span-attribution floor: if request time stops landing in named
+    // child spans, a phase lost its instrumentation.
+    println!(
+        "span attribution: {:.1}% of request time in named child spans ({} traces)",
+        analysis.attribution * 100.0,
+        analysis.traces
+    );
+    assert!(analysis.traces > 0, "trace ring empty after the warm phase");
+    assert!(
+        analysis.attribution >= 0.90,
+        "span profile attributes only {:.1}% of warm request time to child spans",
+        analysis.attribution * 100.0
+    );
+
+    let mut rec = BenchRecord::new("serve");
+    rec.param("space", SPACE);
+    rec.param("density", DENSITY);
+    rec.param("origins", ORIGINS);
+    rec.param("client_threads", CLIENT_THREADS);
+    rec.param("queries_per_round", query_mix().len());
+    // Wall-clock metrics get wide tolerances (CI machines vary hugely);
+    // the gate exists to catch order-of-magnitude regressions. The
+    // attribution ratio is machine-independent, so it gates tightly.
+    rec.metric("cold_req_per_s", cold.req_per_s, Dir::Higher, Some(0.6));
+    rec.metric("warm_req_per_s", warm.req_per_s, Dir::Higher, Some(0.6));
+    rec.metric("warm_p50_us", warm.p50_us, Dir::Lower, Some(1.5));
+    rec.metric("warm_p99_us", warm.p99_us, Dir::Lower, Some(1.5));
+    rec.metric("cold_p99_us", cold.p99_us, Dir::Lower, Some(1.5));
+    rec.metric("server_p99_us", server_p99_us, Dir::Lower, Some(1.5));
+    rec.metric("bestk_speedup", bestk_speedup, Dir::Higher, Some(0.8));
+    rec.metric(
+        "span_attribution",
+        analysis.attribution,
+        Dir::Higher,
+        Some(0.05),
+    );
+    for n in analysis.profile.nodes() {
+        rec.profile_line(&n.path, n.count, n.total_s, n.self_s);
+    }
+    let rec_path = rec.write().expect("write BENCH_serve.json");
+    std::fs::write("BENCH_serve.profile.jsonl", analysis.profile.to_jsonl())
+        .expect("write span profile");
+    println!("record: {} + BENCH_serve.profile.jsonl", rec_path.display());
 
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();

@@ -15,6 +15,7 @@
 //! kernels are only interesting at the full 2²⁴ address space, and the
 //! synthetic sets build in milliseconds.
 
+use originscan_bench::record::{BenchRecord, Dir};
 use originscan_bench::{header, paper_says, timed};
 use originscan_store::ScanSet;
 use originscan_telemetry::progress::{emit_progress, FieldValue};
@@ -143,17 +144,17 @@ fn main() {
             .count() as u64
     });
     let (tk, kv) = time(|| a.and(b).intersection_cardinality(c));
-    row("intersection (3 sets)", tn, tk, nv, kv);
+    let intersect3_speedup = row("intersection (3 sets)", tn, tk, nv, kv);
 
     // §3 McNemar cells: |A ∩ B| (seed: paired per-host record loop).
     let (tn, nv) = time(|| oa.intersection(ob).count() as u64);
     let (tk, kv) = time(|| a.intersection_cardinality(b));
-    row("pairwise intersection", tn, tk, nv, kv);
+    let pairwise_speedup = row("pairwise intersection", tn, tk, nv, kv);
 
     // Scan diff exclusive side: A ∖ B materialized (seed: union walk).
     let (tn, nv) = time(|| oa.difference(ob).count() as u64);
     let (tk, kv) = time(|| a.andnot(b).cardinality());
-    row("difference (materialized)", tn, tk, nv, kv);
+    let diff_speedup = row("difference (materialized)", tn, tk, nv, kv);
 
     // Table-1 exclusivity: |A ∖ (B ∪ C)| (seed: exactly-one-seer scan).
     let (tn, nv) = time(|| {
@@ -162,7 +163,7 @@ fn main() {
             .count() as u64
     });
     let (tk, kv) = time(|| a.andnot_cardinality(&b.or(c)));
-    row("exclusive (A \\ (B|C))", tn, tk, nv, kv);
+    let exclusive_speedup = row("exclusive (A \\ (B|C))", tn, tk, nv, kv);
 
     // Membership: ground-truth index lookups (seed: HashMap probes; the
     // sorted baseline here is the binary search that replaced them).
@@ -174,7 +175,34 @@ fn main() {
     };
     let (tn, nv) = time(|| probe.iter().filter(|&&x| oa.contains(&x)).count() as u64);
     let (tk, kv) = time(|| probe.iter().filter(|&&x| a.contains(x)).count() as u64);
-    row("1M membership probes", tn, tk, nv, kv);
+    let member_speedup = row("1M membership probes", tn, tk, nv, kv);
+
+    // Speedup ratios divide out most machine variance, so they gate
+    // tighter than raw wall-clock numbers; the compressed size is fully
+    // deterministic and gates at 1%.
+    let mut rec = BenchRecord::new("setops");
+    rec.param("space", SPACE);
+    rec.param("density", DENSITY);
+    rec.param("origins", 3);
+    rec.metric("union3_speedup", union_speedup, Dir::Higher, Some(0.7));
+    rec.metric(
+        "intersect3_speedup",
+        intersect3_speedup,
+        Dir::Higher,
+        Some(0.7),
+    );
+    rec.metric("pairwise_speedup", pairwise_speedup, Dir::Higher, Some(0.7));
+    rec.metric("diff_speedup", diff_speedup, Dir::Higher, Some(0.7));
+    rec.metric(
+        "exclusive_speedup",
+        exclusive_speedup,
+        Dir::Higher,
+        Some(0.7),
+    );
+    rec.metric("member_speedup", member_speedup, Dir::Higher, Some(0.7));
+    rec.metric("compressed_bytes", bytes as f64, Dir::Lower, Some(0.01));
+    let rec_path = rec.write().expect("write BENCH_setops.json");
+    println!("record: {}", rec_path.display());
 
     println!("\n(speedups are routed to stderr as bench_speedup JSONL lines)");
     // The headline kernel (the §7 sweep's inner loop) must hold its ≥10×

@@ -1,0 +1,99 @@
+//! CI regression gate over `BENCH_*.json` records.
+//!
+//! Usage: `bench_diff <baseline_dir> <current_dir>`
+//!
+//! For every `BENCH_*.json` in the baseline directory, the matching file
+//! must exist in the current directory (a missing record means a bench
+//! stopped emitting and fails the gate), and every baselined metric is
+//! compared per `originscan_bench::record::diff_records`. Exit status is
+//! non-zero when any metric regresses past its tolerance. Records only
+//! present in the current directory are reported but never gate — they
+//! start gating once a baseline is checked in.
+
+use originscan_bench::jsonv::JsonValue;
+use originscan_bench::record::diff_records;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn load(path: &Path) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    JsonValue::parse(text.trim()).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn bench_files(dir: &Path) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        if let Some(name) = entry.file_name().to_str() {
+            if name.starts_with("BENCH_") && name.ends_with(".json") {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+fn run(baseline_dir: &Path, current_dir: &Path) -> Result<bool, String> {
+    let baselines = bench_files(baseline_dir)?;
+    if baselines.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json baselines in {}",
+            baseline_dir.display()
+        ));
+    }
+    let mut failed = false;
+    for name in &baselines {
+        let base = load(&baseline_dir.join(name))?;
+        let current_path = current_dir.join(name);
+        if !current_path.is_file() {
+            println!("FAIL {name}: no current record (bench stopped emitting?)");
+            failed = true;
+            continue;
+        }
+        let current = load(&current_path)?;
+        let diffs = diff_records(&base, &current).map_err(|e| format!("{name}: {e}"))?;
+        for d in diffs {
+            let verdict = if d.regressed { "FAIL" } else { "ok  " };
+            println!(
+                "{verdict} {name} {}: base {:.4} -> current {:.4} (regression {:.1}%, tol {:.0}%)",
+                d.name,
+                d.base,
+                d.current,
+                d.regression * 100.0,
+                d.tol * 100.0
+            );
+            failed |= d.regressed;
+        }
+    }
+    for name in bench_files(current_dir)? {
+        if !baselines.contains(&name) {
+            println!("info {name}: no baseline checked in; not gated");
+        }
+    }
+    Ok(failed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(baseline_dir), Some(current_dir), None) = (args.get(1), args.get(2), args.get(3))
+    else {
+        eprintln!("usage: bench_diff <baseline_dir> <current_dir>");
+        return ExitCode::from(2);
+    };
+    match run(Path::new(baseline_dir), Path::new(current_dir)) {
+        Ok(false) => {
+            println!("bench-diff: all gated metrics within tolerance");
+            ExitCode::SUCCESS
+        }
+        Ok(true) => {
+            println!("bench-diff: regression detected");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -8,6 +8,9 @@
 //! Scale control: set `ORIGINSCAN_SCALE` to `tiny`, `small` (default),
 //! `medium`, or `full`; the world seed is fixed so runs are comparable.
 
+pub mod jsonv;
+pub mod record;
+
 use originscan_core::experiment::{Experiment, ExperimentConfig};
 use originscan_core::results::ExperimentResults;
 use originscan_netmodel::{OriginId, Protocol, World, WorldConfig};

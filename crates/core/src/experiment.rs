@@ -38,7 +38,7 @@ use originscan_scanner::engine::{
 use originscan_scanner::error::ScanError;
 use originscan_scanner::target::Network;
 use originscan_telemetry::metrics::names;
-use originscan_telemetry::{EventKind, Scope, Telemetry};
+use originscan_telemetry::{EventKind, Scope, Telemetry, Tracer};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -320,9 +320,16 @@ pub fn supervise_scan<N: Network + ?Sized>(
         }
     };
     let store = CheckpointStore::new();
+    // The supervisor's own trace: a "supervise" root with one "attempt"
+    // span per try and a "backoff" span per retry wait, all on the
+    // accumulated-backoff clock (scan-internal time lives in the
+    // engine's own trace, recorded separately under the same scope).
+    let tracer = telemetry.map(|_| Tracer::sim());
+    let sup_guard = tracer.as_ref().map(|t| t.span("supervise"));
     let mut attempts: u32 = 0;
     let mut sim_backoff_s = 0.0f64;
     loop {
+        let attempt_start_s = sim_backoff_s;
         let session = ScanSession {
             hook,
             checkpoint_every: policy.checkpoint_every,
@@ -348,6 +355,15 @@ pub fn supervise_scan<N: Network + ?Sized>(
                         hub.set_gauge(scope, names::SUP_BACKOFF_SECONDS, sim_backoff_s);
                     }
                 }
+                if let Some(tr) = &tracer {
+                    let end = attempt_start_s + output.summary.duration_s;
+                    tr.record_span("attempt", attempt_start_s, end);
+                    tr.set_time(end);
+                }
+                drop(sup_guard);
+                if let (Some(hub), Some(tr)) = (telemetry, tracer) {
+                    hub.record_trace(scope, tr.finish());
+                }
                 return OriginRun {
                     status,
                     attempts,
@@ -370,6 +386,13 @@ pub fn supervise_scan<N: Network + ?Sized>(
                         cause: "invalid-config",
                     },
                 );
+                if let Some(tr) = &tracer {
+                    tr.record_span("attempt", attempt_start_s, attempt_start_s);
+                }
+                drop(sup_guard);
+                if let (Some(hub), Some(tr)) = (telemetry, tracer) {
+                    hub.record_trace(scope, tr.finish());
+                }
                 return OriginRun::failed(FailCause::InvalidConfig, attempts, sim_backoff_s);
             }
             Ok(Err(ScanError::Killed { time_s, .. })) => (FailCause::Killed, time_s),
@@ -387,6 +410,11 @@ pub fn supervise_scan<N: Network + ?Sized>(
                 cause: cause_str,
             },
         );
+        if let Some(tr) = &tracer {
+            // Kills carry a scan-clock death time; panics do not. Clamp
+            // to the attempt's start on the backoff clock either way.
+            tr.record_span("attempt", attempt_start_s, attempt_start_s.max(fail_time_s));
+        }
         if attempts > policy.max_retries {
             emit(fail_time_s, EventKind::OriginFailed { cause: cause_str });
             if sim_backoff_s > 0.0 {
@@ -394,12 +422,23 @@ pub fn supervise_scan<N: Network + ?Sized>(
                     hub.set_gauge(scope, names::SUP_BACKOFF_SECONDS, sim_backoff_s);
                 }
             }
+            if let Some(tr) = &tracer {
+                tr.set_time(attempt_start_s.max(fail_time_s));
+            }
+            drop(sup_guard);
+            if let (Some(hub), Some(tr)) = (telemetry, tracer) {
+                hub.record_trace(scope, tr.finish());
+            }
             return OriginRun::failed(cause, attempts, sim_backoff_s);
         }
         // Capped exponential backoff, in simulated time only.
         let exp = (attempts - 1).min(30) as i32;
         let step = (policy.backoff_base_s * 2f64.powi(exp)).min(policy.backoff_cap_s);
         sim_backoff_s += step;
+        if let Some(tr) = &tracer {
+            tr.record_span("backoff", sim_backoff_s - step, sim_backoff_s);
+            tr.set_time(sim_backoff_s);
+        }
         count(names::SUP_RETRIES, 1);
         emit(
             sim_backoff_s,

@@ -33,7 +33,7 @@ use crate::resilience::{AdaptivePolicy, Controller, ControllerState, Reaction};
 use crate::target::{L7Ctx, Network, ProbeCtx, Protocol, SynReply};
 use crate::zgrab::{self, L7Outcome};
 use originscan_telemetry::metrics::{self, names};
-use originscan_telemetry::{EventKind, MetricBatch, Scope, Telemetry};
+use originscan_telemetry::{EventKind, MetricBatch, Scope, Telemetry, Tracer};
 use originscan_wire::ipv4::Ipv4Header;
 use originscan_wire::tcp::TcpHeader;
 use originscan_wire::validation::Validator;
@@ -480,6 +480,7 @@ fn probe_address<N: Network + ?Sized>(
     addr: u32,
     src_override: Option<u32>,
     out: &mut ScanOutput,
+    tracer: Option<&Tracer>,
 ) -> Result<AddrOutcome, ScanError> {
     out.summary.addresses_probed += 1;
     let dport = cfg.protocol.port();
@@ -528,6 +529,9 @@ fn probe_address<N: Network + ?Sized>(
                     }
                 } else {
                     out.summary.validation_failures += 1;
+                    if let Some(tr) = tracer {
+                        tr.instant_at("validate", t);
+                    }
                 }
             }
             SynReply::Rst(h) => {
@@ -538,6 +542,9 @@ fn probe_address<N: Network + ?Sized>(
                     got_rst = true;
                 } else {
                     out.summary.validation_failures += 1;
+                    if let Some(tr) = tracer {
+                        tr.instant_at("validate", t);
+                    }
                 }
             }
             SynReply::Silent => {}
@@ -593,8 +600,18 @@ fn apply_reaction(
     cfg: &ScanConfig,
     pacer: &mut Pacer,
     tele: &Tele<'_>,
+    tracer: Option<&Tracer>,
     time_s: f64,
 ) {
+    if reaction.backoff.is_some()
+        || reaction.recovered.is_some()
+        || reaction.rotated.is_some()
+        || reaction.suspect.is_some()
+    {
+        if let Some(tr) = tracer {
+            tr.instant_at("adapt", time_s);
+        }
+    }
     if let Some((level, rate_mult)) = reaction.backoff {
         pacer.set_rate((cfg.rate_pps * rate_mult).max(f64::MIN_POSITIVE));
         tele.emit(time_s, EventKind::BackoffEngaged { level, rate_mult });
@@ -667,9 +684,27 @@ pub fn run_scan_session<N: Network + ?Sized>(
         );
     }
 
+    // Span tracing rides the same opt-in as event telemetry: a sim-clock
+    // tracer whose time tracks the pacer, recorded into the hub under
+    // the scan's scope when the attempt ends (completion or kill).
+    let tracer = session.telemetry.map(|_| Tracer::sim());
+    if let Some(tr) = &tracer {
+        tr.set_time(pacer.peek_send_time() + stall_s);
+    }
+    let scan_guard = tracer.as_ref().map(|t| t.span("scan"));
+    if let Some(tr) = &tracer {
+        // Permutation + validator setup (and any checkpoint
+        // fast-forward) happened between scan start and the first send.
+        tr.instant("permute");
+    }
+    let probe_guard = tracer.as_ref().map(|t| t.span("probe"));
+
     let mut since_checkpoint = 0u64;
     let mut checkpoint_writes = 0u64;
     loop {
+        if let Some(tr) = &tracer {
+            tr.set_time(pacer.peek_send_time() + stall_s);
+        }
         // Periodic checkpoint, taken *before* the iterator advances so the
         // saved state excludes any in-flight address.
         if session.checkpoint_every > 0 && since_checkpoint >= session.checkpoint_every {
@@ -709,6 +744,9 @@ pub fn run_scan_session<N: Network + ?Sized>(
                 FaultAction::Stall { delay_s } => {
                     stall_s += delay_s;
                     tele.emit(ctx.time_s, EventKind::PipelineStall { delay_s });
+                    if let Some(tr) = &tracer {
+                        tr.record_span("stall", ctx.time_s, ctx.time_s + delay_s);
+                    }
                     if let Some(hub) = tele.hub {
                         let mut b = MetricBatch::new();
                         b.add(names::FAULT_STALLS, 1);
@@ -725,6 +763,17 @@ pub fn run_scan_session<N: Network + ?Sized>(
                     );
                     if let Some(hub) = tele.hub {
                         hub.add(tele.scope, names::FAULT_KILLS, 1);
+                    }
+                    // A killed attempt still leaves its (truncated)
+                    // trace behind — that is the interesting case for a
+                    // flame view of where the attempt's time went.
+                    if let Some(tr) = &tracer {
+                        tr.set_time(ctx.time_s);
+                    }
+                    drop(probe_guard);
+                    drop(scan_guard);
+                    if let (Some(hub), Some(tr)) = (tele.hub, tracer) {
+                        hub.record_trace(tele.scope, tr.finish());
                     }
                     return Err(ScanError::Killed {
                         time_s: ctx.time_s,
@@ -743,7 +792,15 @@ pub fn run_scan_session<N: Network + ?Sized>(
         match ctrl.as_mut() {
             None => {
                 probe_address(
-                    net, cfg, &validator, &mut pacer, stall_s, addr, None, &mut out,
+                    net,
+                    cfg,
+                    &validator,
+                    &mut pacer,
+                    stall_s,
+                    addr,
+                    None,
+                    &mut out,
+                    tracer.as_ref(),
                 )?;
             }
             Some(c) => {
@@ -761,19 +818,30 @@ pub fn run_scan_session<N: Network + ?Sized>(
                     addr,
                     Some(src),
                     &mut out,
+                    tracer.as_ref(),
                 )?;
                 let reaction = c.observe(addr, o.responsive, o.rst, o.last_t);
-                apply_reaction(&reaction, cfg, &mut pacer, &tele, o.last_t);
+                apply_reaction(&reaction, cfg, &mut pacer, &tele, tracer.as_ref(), o.last_t);
             }
         }
     }
+    if let Some(tr) = &tracer {
+        tr.set_time(pacer.peek_send_time() + stall_s);
+    }
+    drop(probe_guard);
     if let Some(c) = ctrl.as_mut() {
         // Tail pass: re-probe quarantined addresses now that their block
         // windows have had the rest of the scan to lapse. Bounded by the
         // policy's deferral cap; runs unsupervised (no fault hook or
         // checkpoints) at the current backed-off rate through the same
         // probe path as the main pass.
-        for addr in c.take_deferred() {
+        let deferred = c.take_deferred();
+        let tail_guard = if deferred.is_empty() {
+            None
+        } else {
+            tracer.as_ref().map(|t| t.span("tail"))
+        };
+        for addr in deferred {
             let src = cfg.source_ips[c.source_index() as usize % cfg.source_ips.len()];
             probe_address(
                 net,
@@ -784,8 +852,13 @@ pub fn run_scan_session<N: Network + ?Sized>(
                 addr,
                 Some(src),
                 &mut out,
+                tracer.as_ref(),
             )?;
         }
+        if let Some(tr) = &tracer {
+            tr.set_time(pacer.peek_send_time() + stall_s);
+        }
+        drop(tail_guard);
     }
     out.summary.duration_s = match &ctrl {
         // duration_elapsed() equals duration_for(probes_sent) bit-for-bit
@@ -813,6 +886,13 @@ pub fn run_scan_session<N: Network + ?Sized>(
             b.set_gauge(names::ADAPT_RATE_MULT, c.rate_mult());
             hub.flush(tele.scope, b);
         }
+    }
+    if let Some(tr) = &tracer {
+        tr.set_time(out.summary.duration_s);
+    }
+    drop(scan_guard);
+    if let (Some(hub), Some(tr)) = (tele.hub, tracer) {
+        hub.record_trace(tele.scope, tr.finish());
     }
     Ok(out)
 }

@@ -23,7 +23,7 @@ use originscan_core::multiorigin::best_k_union;
 use originscan_store::{ScanSet, StoreError, StoreKey, StoreReader};
 use originscan_telemetry::json::JsonObj;
 use originscan_telemetry::metrics::{names, SERVE_LATENCY_BOUNDS};
-use originscan_telemetry::{Scope, Telemetry};
+use originscan_telemetry::{Scope, Telemetry, Tracer};
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -46,6 +46,12 @@ pub struct EngineStats {
     pub plans: CacheStats,
     /// Materialized-bitmap cache counters.
     pub sets: CacheStats,
+    /// Bitmap kernel invocations (unions, diffs, best-k, point lookups).
+    pub kernel_ops: u64,
+    /// Compressed-payload machine words charged to those kernels (the
+    /// [`ScanSet::word_count`] cost model — deterministic work units,
+    /// not wall time).
+    pub kernel_words: u64,
 }
 
 /// The engine proper. Cheap to share: wrap it in an [`Arc`] and hand
@@ -60,6 +66,8 @@ pub struct QueryEngine {
     plans: ShardedLru<Arc<str>>,
     queries: AtomicU64,
     errors: AtomicU64,
+    kernel_ops: AtomicU64,
+    kernel_words: AtomicU64,
 }
 
 impl QueryEngine {
@@ -87,6 +95,8 @@ impl QueryEngine {
             plans: ShardedLru::new(CACHE_SHARDS, CACHE_CAPACITY_PER_SHARD),
             queries: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            kernel_ops: AtomicU64::new(0),
+            kernel_words: AtomicU64::new(0),
         }
     }
 
@@ -97,27 +107,59 @@ impl QueryEngine {
 
     /// Parse and execute one query text.
     pub fn execute_text(&self, text: &str) -> Result<Arc<str>, QueryError> {
-        let q = match Query::parse(text) {
-            Ok(q) => q,
+        self.execute_text_traced(text, None).0
+    }
+
+    /// Parse and execute one query text, recording phase spans into
+    /// `tracer` when present. Also returns the parsed query kind
+    /// (`"invalid"` on parse failure) so the caller can key per-type
+    /// latency histograms without reparsing.
+    pub fn execute_text_traced(
+        &self,
+        text: &str,
+        tracer: Option<&Tracer>,
+    ) -> (Result<Arc<str>, QueryError>, &'static str) {
+        let parsed = {
+            let _g = tracer.map(|t| t.span("parse"));
+            Query::parse(text)
+        };
+        match parsed {
+            Ok(q) => (self.execute_traced(&q, tracer), q.kind()),
             Err(e) => {
                 // Parse failures count as queries too: a flood of
                 // malformed requests must be visible in `/stats`.
                 self.queries.fetch_add(1, Ordering::Relaxed);
                 self.errors.fetch_add(1, Ordering::Relaxed);
-                return Err(e);
+                (Err(e), "invalid")
             }
-        };
-        self.execute(&q)
+        }
     }
 
     /// Execute one parsed query, returning the JSON response body.
     pub fn execute(&self, q: &Query) -> Result<Arc<str>, QueryError> {
+        self.execute_traced(q, None)
+    }
+
+    /// Execute one parsed query, recording phase spans (`plan`, `cache`,
+    /// `resolve`, `load`, `kernel.*`) into `tracer` when present.
+    pub fn execute_traced(
+        &self,
+        q: &Query,
+        tracer: Option<&Tracer>,
+    ) -> Result<Arc<str>, QueryError> {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let canonical = q.canonical();
-        if let Some(body) = self.plans.get(&canonical) {
+        let canonical = {
+            let _g = tracer.map(|t| t.span("plan"));
+            q.canonical()
+        };
+        let cached = {
+            let _g = tracer.map(|t| t.span("cache"));
+            self.plans.get(&canonical)
+        };
+        if let Some(body) = cached {
             return Ok(body);
         }
-        match self.answer(q, &canonical) {
+        match self.answer(q, &canonical, tracer) {
             Ok(body) => {
                 let body: Arc<str> = Arc::from(body);
                 self.plans.insert(canonical, Arc::clone(&body));
@@ -130,6 +172,21 @@ impl QueryEngine {
         }
     }
 
+    /// Charge one kernel invocation over `words` work units, running it
+    /// under a `kernel.*` span when tracing.
+    fn kernel<T>(
+        &self,
+        tracer: Option<&Tracer>,
+        name: &'static str,
+        words: u64,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        self.kernel_ops.fetch_add(1, Ordering::Relaxed);
+        self.kernel_words.fetch_add(words, Ordering::Relaxed);
+        let _g = tracer.map(|t| t.span(name));
+        f()
+    }
+
     /// Cumulative counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
@@ -137,11 +194,19 @@ impl QueryEngine {
             errors: self.errors.load(Ordering::Relaxed),
             plans: self.plans.stats(),
             sets: self.sets.stats(),
+            kernel_ops: self.kernel_ops.load(Ordering::Relaxed),
+            kernel_words: self.kernel_words.load(Ordering::Relaxed),
         }
     }
 
     /// `/stats` as a JSON body (deterministic field order).
     pub fn stats_json(&self) -> String {
+        self.stats_obj().finish()
+    }
+
+    /// The `/stats` fields as an open [`JsonObj`], so the HTTP layer can
+    /// append its own sections (per-query-type latency) before closing.
+    pub fn stats_obj(&self) -> JsonObj {
         let s = self.stats();
         let mut o = JsonObj::new();
         o.field_u64("queries", s.queries);
@@ -151,8 +216,10 @@ impl QueryEngine {
         o.field_u64("set_hits", s.sets.hits);
         o.field_u64("set_misses", s.sets.misses);
         o.field_u64("set_evictions", s.sets.evictions);
+        o.field_u64("kernel_ops", s.kernel_ops);
+        o.field_u64("kernel_words", s.kernel_words);
         o.field_u64("keys", self.index.len() as u64);
-        o.finish()
+        o
     }
 
     /// Drop every cached bitmap and memoized response.
@@ -169,6 +236,8 @@ impl QueryEngine {
         hub.add(scope, names::SERVE_PLAN_HITS, s.plans.hits);
         hub.add(scope, names::SERVE_SET_HITS, s.sets.hits);
         hub.add(scope, names::SERVE_SET_LOADS, s.sets.misses);
+        hub.add(scope, names::STORE_KERNEL_OPS, s.kernel_ops);
+        hub.add(scope, names::STORE_KERNEL_WORDS, s.kernel_words);
     }
 
     // -----------------------------------------------------------------
@@ -216,13 +285,17 @@ impl QueryEngine {
     }
 
     /// The materialized bitmap for one key, through the `sets` cache.
-    fn set_for(&self, key: &StoreKey) -> Result<Arc<ScanSet>, QueryError> {
+    fn set_for(&self, key: &StoreKey, tracer: Option<&Tracer>) -> Result<Arc<ScanSet>, QueryError> {
         let cache_key = key.to_string();
         if let Some(set) = self.sets.get(&cache_key) {
             return Ok(set);
         }
-        let idx = self.reader_for(key)?;
+        let idx = {
+            let _g = tracer.map(|t| t.span("resolve"));
+            self.reader_for(key)?
+        };
         let set = {
+            let _g = tracer.map(|t| t.span("load"));
             let reader = self.lock_reader(idx)?;
             reader.load(key).map_err(QueryError::from)?
         };
@@ -237,14 +310,25 @@ impl QueryEngine {
         proto: &str,
         trial: u8,
         origins: &[u16],
+        tracer: Option<&Tracer>,
     ) -> Result<Vec<Arc<ScanSet>>, QueryError> {
         origins
             .iter()
-            .map(|&o| self.set_for(&StoreKey::new(proto, trial, o)))
+            .map(|&o| self.set_for(&StoreKey::new(proto, trial, o), tracer))
             .collect()
     }
 
-    fn answer(&self, q: &Query, canonical: &str) -> Result<String, QueryError> {
+    /// Summed work units of a kernel's operand sets.
+    fn words(sets: &[&ScanSet]) -> u64 {
+        sets.iter().map(|s| s.word_count()).sum()
+    }
+
+    fn answer(
+        &self,
+        q: &Query,
+        canonical: &str,
+        tracer: Option<&Tracer>,
+    ) -> Result<String, QueryError> {
         let mut o = JsonObj::new();
         o.field_str("query", q.kind());
         match q {
@@ -253,13 +337,20 @@ impl QueryEngine {
                 trial,
                 origins,
             } => {
-                let all = self.origins_for(proto, *trial)?;
-                let selected = self.sets_for(proto, *trial, origins)?;
-                let universe = self.sets_for(proto, *trial, &all)?;
+                let all = {
+                    let _g = tracer.map(|t| t.span("resolve"));
+                    self.origins_for(proto, *trial)?
+                };
+                let selected = self.sets_for(proto, *trial, origins, tracer)?;
+                let universe = self.sets_for(proto, *trial, &all, tracer)?;
                 let sel_refs: Vec<&ScanSet> = selected.iter().map(Arc::as_ref).collect();
                 let uni_refs: Vec<&ScanSet> = universe.iter().map(Arc::as_ref).collect();
-                let covered = ScanSet::union_cardinality_many(&sel_refs);
-                let total = ScanSet::union_cardinality_many(&uni_refs);
+                let covered = self.kernel(tracer, "kernel.union", Self::words(&sel_refs), || {
+                    ScanSet::union_cardinality_many(&sel_refs)
+                });
+                let total = self.kernel(tracer, "kernel.union", Self::words(&uni_refs), || {
+                    ScanSet::union_cardinality_many(&uni_refs)
+                });
                 o.field_str("proto", proto);
                 o.field_u64("trial", u64::from(*trial));
                 o.field_u64_array(
@@ -280,7 +371,7 @@ impl QueryEngine {
                 trial,
                 origins,
             } => {
-                let sets = self.sets_for(proto, *trial, origins)?;
+                let sets = self.sets_for(proto, *trial, origins, tracer)?;
                 let refs: Vec<&ScanSet> = sets.iter().map(Arc::as_ref).collect();
                 o.field_str("proto", proto);
                 o.field_u64("trial", u64::from(*trial));
@@ -288,51 +379,84 @@ impl QueryEngine {
                     "origins",
                     &origins.iter().map(|&x| u64::from(x)).collect::<Vec<_>>(),
                 );
-                o.field_u64("count", ScanSet::union_cardinality_many(&refs));
+                let count = self.kernel(tracer, "kernel.union", Self::words(&refs), || {
+                    ScanSet::union_cardinality_many(&refs)
+                });
+                o.field_u64("count", count);
             }
             Query::Diff { proto, trial, a, b } => {
-                let sa = self.set_for(&StoreKey::new(proto, *trial, *a))?;
-                let sb = self.set_for(&StoreKey::new(proto, *trial, *b))?;
+                let sa = self.set_for(&StoreKey::new(proto, *trial, *a), tracer)?;
+                let sb = self.set_for(&StoreKey::new(proto, *trial, *b), tracer)?;
                 o.field_str("proto", proto);
                 o.field_u64("trial", u64::from(*trial));
                 o.field_u64("a", u64::from(*a));
                 o.field_u64("b", u64::from(*b));
-                o.field_u64("only_a", sa.andnot_cardinality(&sb));
-                o.field_u64("only_b", sb.andnot_cardinality(&sa));
-                o.field_u64("common", sa.intersection_cardinality(&sb));
+                let pair_words = sa.word_count() + sb.word_count();
+                let only_a = self.kernel(tracer, "kernel.diff", pair_words, || {
+                    sa.andnot_cardinality(&sb)
+                });
+                let only_b = self.kernel(tracer, "kernel.diff", pair_words, || {
+                    sb.andnot_cardinality(&sa)
+                });
+                let common = self.kernel(tracer, "kernel.intersect", pair_words, || {
+                    sa.intersection_cardinality(&sb)
+                });
+                o.field_u64("only_a", only_a);
+                o.field_u64("only_b", only_b);
+                o.field_u64("common", common);
             }
             Query::Exclusive {
                 proto,
                 trial,
                 origin,
             } => {
-                let all = self.origins_for(proto, *trial)?;
-                let own = self.set_for(&StoreKey::new(proto, *trial, *origin))?;
+                let all = {
+                    let _g = tracer.map(|t| t.span("resolve"));
+                    self.origins_for(proto, *trial)?
+                };
+                let own = self.set_for(&StoreKey::new(proto, *trial, *origin), tracer)?;
                 let others: Vec<u16> = all.iter().copied().filter(|&x| x != *origin).collect();
-                let other_sets = self.sets_for(proto, *trial, &others)?;
+                let other_sets = self.sets_for(proto, *trial, &others, tracer)?;
                 let refs: Vec<&ScanSet> = other_sets.iter().map(Arc::as_ref).collect();
-                let rest = ScanSet::union_many(&refs);
+                let rest = self.kernel(tracer, "kernel.union", Self::words(&refs), || {
+                    ScanSet::union_many(&refs)
+                });
                 o.field_str("proto", proto);
                 o.field_u64("trial", u64::from(*trial));
                 o.field_u64("origin", u64::from(*origin));
-                o.field_u64("exclusive", own.andnot_cardinality(&rest));
+                let excl = self.kernel(
+                    tracer,
+                    "kernel.diff",
+                    own.word_count() + rest.word_count(),
+                    || own.andnot_cardinality(&rest),
+                );
+                o.field_u64("exclusive", excl);
                 o.field_u64("total", own.cardinality());
             }
             Query::BestK { proto, trial, k } => {
-                let all = self.origins_for(proto, *trial)?;
+                let all = {
+                    let _g = tracer.map(|t| t.span("resolve"));
+                    self.origins_for(proto, *trial)?
+                };
                 if *k > all.len() {
                     return Err(QueryError::BadK {
                         k: *k,
                         available: all.len(),
                     });
                 }
-                let sets = self.sets_for(proto, *trial, &all)?;
+                let sets = self.sets_for(proto, *trial, &all, tracer)?;
                 let refs: Vec<&ScanSet> = sets.iter().map(Arc::as_ref).collect();
-                let (combo, covered) = best_k_union(&refs, *k).ok_or(QueryError::BadK {
-                    k: *k,
-                    available: all.len(),
-                })?;
-                let total = ScanSet::union_cardinality_many(&refs);
+                let (combo, covered) = self
+                    .kernel(tracer, "kernel.bestk", Self::words(&refs), || {
+                        best_k_union(&refs, *k)
+                    })
+                    .ok_or(QueryError::BadK {
+                        k: *k,
+                        available: all.len(),
+                    })?;
+                let total = self.kernel(tracer, "kernel.union", Self::words(&refs), || {
+                    ScanSet::union_cardinality_many(&refs)
+                });
                 let best: Vec<u64> = combo
                     .iter()
                     .filter_map(|&i| all.get(i).map(|&x| u64::from(x)))
@@ -357,10 +481,18 @@ impl QueryEngine {
                 addr,
             } => {
                 let key = StoreKey::new(proto, *trial, *origin);
-                let idx = self.reader_for(&key)?;
+                let idx = {
+                    let _g = tracer.map(|t| t.span("resolve"));
+                    self.reader_for(&key)?
+                };
                 let reader = self.lock_reader(idx)?;
-                let lazy = reader.lazy(&key).map_err(QueryError::from)?;
-                let rank = lazy.rank(*addr).map_err(QueryError::from)?;
+                let lazy = {
+                    let _g = tracer.map(|t| t.span("load"));
+                    reader.lazy(&key).map_err(QueryError::from)?
+                };
+                let rank = self
+                    .kernel(tracer, "kernel.rank", 0, || lazy.rank(*addr))
+                    .map_err(QueryError::from)?;
                 o.field_str("proto", proto);
                 o.field_u64("trial", u64::from(*trial));
                 o.field_u64("origin", u64::from(*origin));
@@ -375,10 +507,18 @@ impl QueryEngine {
                 addr,
             } => {
                 let key = StoreKey::new(proto, *trial, *origin);
-                let idx = self.reader_for(&key)?;
+                let idx = {
+                    let _g = tracer.map(|t| t.span("resolve"));
+                    self.reader_for(&key)?
+                };
                 let reader = self.lock_reader(idx)?;
-                let lazy = reader.lazy(&key).map_err(QueryError::from)?;
-                let member = lazy.contains(*addr).map_err(QueryError::from)?;
+                let lazy = {
+                    let _g = tracer.map(|t| t.span("load"));
+                    reader.lazy(&key).map_err(QueryError::from)?
+                };
+                let member = self
+                    .kernel(tracer, "kernel.member", 0, || lazy.contains(*addr))
+                    .map_err(QueryError::from)?;
                 o.field_str("proto", proto);
                 o.field_u64("trial", u64::from(*trial));
                 o.field_u64("origin", u64::from(*origin));

@@ -1,10 +1,11 @@
 //! A hand-rolled HTTP/1.1 front end for the query engine.
 //!
-//! This module is the crate's one audited I/O boundary: it owns the
-//! listener, the worker pool, and every wall-clock read (timeouts and
-//! latency measurement). Everything behind it — parsing, planning,
-//! execution, response bytes — is deterministic; the clock only decides
-//! *when* a connection is abandoned, never *what* a query answers.
+//! This module sits at the crate's audited I/O boundary: it owns the
+//! listener, the worker pool, and — via [`crate::trace::WallTime`] —
+//! the wall clock (timeouts, latency measurement, request spans).
+//! Everything behind it — parsing, planning, execution, response
+//! bytes — is deterministic; the clock only decides *when* a
+//! connection is abandoned, never *what* a query answers.
 //!
 //! Shape: an accept thread pushes connections into a bounded queue; a
 //! fixed pool of workers pops and serves them, one request per
@@ -13,12 +14,22 @@
 //! connection — backpressure costs one write, not a worker. Shutdown is
 //! graceful: the listener closes first (new connections are refused by
 //! the OS), then workers drain every queued connection before joining.
+//!
+//! Every worker-served request runs under a wall-clock span tree
+//! (`request` → `read` / `execute` / `write`, with the engine adding
+//! `parse`, `plan`, `cache`, `resolve`, `load`, and `kernel.*`
+//! children), retained in a bounded [`TraceRing`] behind `GET /trace`.
+//! `GET /metrics` renders the telemetry hub plus engine counters in
+//! Prometheus text format, and `GET /stats` adds per-query-type
+//! latency histograms on top of the engine counters.
 
 use crate::engine::{error_body, QueryEngine};
+use crate::trace::{TraceRing, WallTime};
 use originscan_telemetry::json::JsonObj;
-use originscan_telemetry::metrics::{names, SERVE_LATENCY_BOUNDS};
-use originscan_telemetry::{Scope, Telemetry};
-use std::collections::VecDeque;
+use originscan_telemetry::metrics::{names, Histogram, SERVE_LATENCY_BOUNDS};
+use originscan_telemetry::span::Tracer;
+use originscan_telemetry::{prom, Scope, Telemetry};
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -64,12 +75,29 @@ fn serve_scope() -> Scope {
     Scope::new("serve", 0, 0)
 }
 
+/// Every route the server knows, with the `Allow` list for each. A
+/// known path with the wrong method answers `405` + `Allow`; an
+/// unknown path answers `404`.
+const ROUTES: &[(&str, &str)] = &[
+    ("/query", "GET, POST"),
+    ("/healthz", "GET"),
+    ("/stats", "GET"),
+    ("/metrics", "GET"),
+    ("/trace", "GET"),
+];
+
+/// How many traces `GET /trace` returns when `?n=` is absent.
+const TRACE_DEFAULT_N: usize = 16;
+
 struct Shared {
     engine: Arc<QueryEngine>,
     hub: Option<Arc<Telemetry>>,
     queue: Mutex<VecDeque<TcpStream>>,
     available: Condvar,
     shutdown: AtomicBool,
+    ring: TraceRing,
+    /// Per-query-kind latency histograms (microseconds), for `/stats`.
+    latency: Mutex<BTreeMap<&'static str, Histogram>>,
     cfg: ServerConfig,
 }
 
@@ -105,6 +133,8 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            ring: TraceRing::default(),
+            latency: Mutex::new(BTreeMap::new()),
             cfg: cfg.clone(),
         });
 
@@ -210,10 +240,29 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
     }
 }
 
+/// One fully-built answer, carried from routing to the socket write.
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    extra_headers: String,
+    body: String,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: String::new(),
+            body,
+        }
+    }
+}
+
 /// One answer on the way out; socket errors are connection-fatal and
 /// silent (the client is gone — there is nobody to tell).
-fn respond(mut stream: TcpStream, status: u16, extra_headers: &str, body: &str) {
-    let reason = match status {
+fn respond(mut stream: TcpStream, resp: &Response) {
+    let reason = match resp.status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
@@ -224,11 +273,14 @@ fn respond(mut stream: TcpStream, status: u16, extra_headers: &str, body: &str) 
         _ => "Unknown",
     };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n{extra_headers}\r\n",
-        body.len()
+        "HTTP/1.1 {} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n{}\r\n",
+        resp.status,
+        resp.content_type,
+        resp.body.len(),
+        resp.extra_headers
     );
     let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.write_all(resp.body.as_bytes());
     let _ = stream.flush();
     // Half-close, then drain whatever the client is still sending (e.g.
     // the rest of an oversized body). Closing with unread bytes queued
@@ -255,82 +307,118 @@ fn reject_busy(stream: TcpStream, shared: &Shared) {
     let mut o = JsonObj::new();
     o.field_str("error", "busy");
     o.field_str("detail", "request queue full; retry shortly");
-    respond(
-        stream,
-        503,
-        &format!("Retry-After: {}\r\n", shared.cfg.retry_after_s),
-        &o.finish(),
-    );
+    let mut resp = Response::json(503, o.finish());
+    resp.extra_headers = format!("Retry-After: {}\r\n", shared.cfg.retry_after_s);
+    respond(stream, &resp);
 }
 
 fn serve_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
-    let request = match read_request(&stream, shared.cfg.max_request_bytes) {
-        Ok(r) => r,
+    let tracer = WallTime::tracer();
+    let root = tracer.span("request");
+    let request = {
+        let _g = tracer.span("read");
+        read_request(&stream, shared.cfg.max_request_bytes)
+    };
+    let (kind, resp) = match request {
+        Ok(r) => route(shared, &r, &tracer),
         Err(RequestError::TooLarge) => {
             let mut o = JsonObj::new();
             o.field_str("error", "too-large");
             o.field_str("detail", "request exceeds the configured size limit");
-            respond(stream, 413, "", &o.finish());
-            return;
+            ("error", Response::json(413, o.finish()))
         }
         Err(RequestError::Malformed(detail)) => {
             let mut o = JsonObj::new();
             o.field_str("error", "malformed-request");
             o.field_str("detail", detail);
-            respond(stream, 400, "", &o.finish());
+            ("error", Response::json(400, o.finish()))
+        }
+        // Socket-level failure mid-read: nothing to answer, and no
+        // response to trace either.
+        Err(RequestError::Io) => {
+            drop(root);
             return;
         }
-        // Socket-level failure mid-read: nothing to answer to.
-        Err(RequestError::Io) => return,
     };
-    route(stream, shared, &request);
+    {
+        let _g = tracer.span("write");
+        respond(stream, &resp);
+    }
+    drop(root);
+    shared.ring.push(kind, resp.status, tracer.finish());
 }
 
-fn route(stream: TcpStream, shared: &Shared, req: &Request) {
+/// Dispatch one parsed request. Returns the trace kind (the query kind
+/// for `/query`, the route name otherwise) and the response to write.
+fn route(shared: &Shared, req: &Request, tracer: &Tracer) -> (&'static str, Response) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             let mut o = JsonObj::new();
             o.field_str("status", "ok");
             o.field_u64("keys", shared.engine.key_count() as u64);
-            respond(stream, 200, "", &o.finish());
+            ("healthz", Response::json(200, o.finish()))
         }
-        ("GET", "/stats") => {
-            respond(stream, 200, "", &shared.engine.stats_json());
+        ("GET", "/stats") => ("stats", Response::json(200, stats_body(shared))),
+        ("GET", "/metrics") => (
+            "metrics",
+            Response {
+                status: 200,
+                content_type: prom::CONTENT_TYPE,
+                extra_headers: String::new(),
+                body: metrics_body(shared),
+            },
+        ),
+        ("GET", "/trace") => {
+            let n = req
+                .query_param("n")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(TRACE_DEFAULT_N);
+            ("trace", Response::json(200, shared.ring.to_json(n)))
         }
-        ("GET", "/query") => match req.query_param_q() {
-            Some(q) => answer_query(stream, shared, &q),
+        ("GET", "/query") => match req.query_param("q") {
+            Some(q) => answer_query(shared, &q, tracer),
             None => {
                 let mut o = JsonObj::new();
                 o.field_str("error", "missing-query");
                 o.field_str("detail", "GET /query needs ?q=<query text>");
-                respond(stream, 400, "", &o.finish());
+                ("invalid", Response::json(400, o.finish()))
             }
         },
-        ("POST", "/query") => answer_query(stream, shared, &req.body),
-        (_, "/query") | (_, "/healthz") | (_, "/stats") => {
-            let mut o = JsonObj::new();
-            o.field_str("error", "method-not-allowed");
-            o.field_str("detail", "use GET or POST");
-            respond(stream, 405, "", &o.finish());
-        }
-        _ => {
-            let mut o = JsonObj::new();
-            o.field_str("error", "not-found");
-            o.field_str("detail", "routes: /query, /healthz, /stats");
-            respond(stream, 404, "", &o.finish());
-        }
+        ("POST", "/query") => answer_query(shared, &req.body, tracer),
+        (_, path) => match ROUTES.iter().find(|(p, _)| *p == path) {
+            Some((_, allow)) => {
+                let mut o = JsonObj::new();
+                o.field_str("error", "method-not-allowed");
+                o.field_str("detail", allow);
+                let mut resp = Response::json(405, o.finish());
+                resp.extra_headers = format!("Allow: {allow}\r\n");
+                ("method-not-allowed", resp)
+            }
+            None => {
+                let mut o = JsonObj::new();
+                o.field_str("error", "not-found");
+                o.field_str(
+                    "detail",
+                    "routes: /query, /healthz, /stats, /metrics, /trace",
+                );
+                ("not-found", Response::json(404, o.finish()))
+            }
+        },
     }
 }
 
-fn answer_query(stream: TcpStream, shared: &Shared, text: &str) {
-    #[allow(clippy::disallowed_methods)]
-    // lint:allow(det-wall-clock) reason= latency telemetry at the audited I/O boundary; the measured duration never reaches a response body.
-    let started = std::time::Instant::now();
-    let result = shared.engine.execute_text(text.trim());
+fn answer_query(shared: &Shared, text: &str, tracer: &Tracer) -> (&'static str, Response) {
+    // Latency derives from the request tracer's wall source — the one
+    // audited clock read in `WallTime::start` covers this too.
+    let started = tracer.now_s();
+    let (result, kind) = {
+        let _g = tracer.span("execute");
+        shared.engine.execute_text_traced(text.trim(), Some(tracer))
+    };
+    let us = (tracer.now_s() - started) * 1e6;
     if let Some(hub) = &shared.hub {
-        let us = started.elapsed().as_secs_f64() * 1e6;
         hub.observe(
             serve_scope(),
             names::SERVE_LATENCY_US,
@@ -338,10 +426,71 @@ fn answer_query(stream: TcpStream, shared: &Shared, text: &str) {
             us,
         );
     }
+    lock(&shared.latency)
+        .entry(kind)
+        .or_insert_with(|| Histogram::new(SERVE_LATENCY_BOUNDS))
+        .observe(us);
     match result {
-        Ok(body) => respond(stream, 200, "", &body),
-        Err(e) => respond(stream, e.http_status(), "", &error_body(&e)),
+        Ok(body) => (kind, Response::json(200, body.to_string())),
+        Err(e) => (kind, Response::json(e.http_status(), error_body(&e))),
     }
+}
+
+/// The `/stats` body: engine counters plus retained-trace count and a
+/// per-query-kind latency section (`count`, `p50_us`, `p99_us` from the
+/// worker-side histograms).
+fn stats_body(shared: &Shared) -> String {
+    let mut out = shared.engine.stats_obj().finish();
+    out.pop();
+    out.push_str(&format!(",\"traces\":{},\"latency\":{{", shared.ring.len()));
+    let lat = lock(&shared.latency);
+    for (i, (kind, h)) in lat.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut o = JsonObj::new();
+        o.field_u64("count", h.total());
+        o.field_f64("p50_us", h.percentile(0.50));
+        o.field_f64("p99_us", h.percentile(0.99));
+        out.push_str(&format!("{kind:?}:{}", o.finish()));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// The `/metrics` body: the telemetry hub snapshot (when the server has
+/// one) followed by engine-local counters, all in Prometheus text
+/// format.
+fn metrics_body(shared: &Shared) -> String {
+    let mut out = String::new();
+    if let Some(hub) = &shared.hub {
+        out.push_str(&prom::render(&hub.snapshot()));
+    }
+    out.push_str(&engine_prom(&shared.engine));
+    out
+}
+
+fn engine_prom(engine: &QueryEngine) -> String {
+    let s = engine.stats();
+    let mut out = String::new();
+    for (name, val) in [
+        ("serve_engine_queries", s.queries),
+        ("serve_engine_errors", s.errors),
+        ("serve_engine_plan_hits", s.plans.hits),
+        ("serve_engine_plan_misses", s.plans.misses),
+        ("serve_engine_set_hits", s.sets.hits),
+        ("serve_engine_set_misses", s.sets.misses),
+        ("serve_engine_set_evictions", s.sets.evictions),
+        ("serve_engine_kernel_ops", s.kernel_ops),
+        ("serve_engine_kernel_words", s.kernel_words),
+    ] {
+        out.push_str(&format!("# TYPE {name} counter\n{name} {val}\n"));
+    }
+    out.push_str(&format!(
+        "# TYPE serve_engine_keys gauge\nserve_engine_keys {}\n",
+        engine.key_count()
+    ));
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -356,11 +505,13 @@ struct Request {
 }
 
 impl Request {
-    /// The percent-decoded `q` parameter of the query string, if any.
-    fn query_param_q(&self) -> Option<String> {
+    /// The percent-decoded value of query parameter `name`, if present.
+    fn query_param(&self, name: &str) -> Option<String> {
         for pair in self.raw_query.split('&') {
-            if let Some(v) = pair.strip_prefix("q=") {
-                return Some(percent_decode(v));
+            if let Some((k, v)) = pair.split_once('=') {
+                if k == name {
+                    return Some(percent_decode(v));
+                }
             }
         }
         None
@@ -512,5 +663,28 @@ mod tests {
     fn head_end_detection() {
         assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
         assert_eq!(find_head_end(b"partial"), None);
+    }
+
+    #[test]
+    fn query_param_extraction() {
+        let req = Request {
+            method: "GET".to_string(),
+            path: "/trace".to_string(),
+            raw_query: "n=3&q=coverage+proto%3DHTTP".to_string(),
+            body: String::new(),
+        };
+        assert_eq!(req.query_param("n").as_deref(), Some("3"));
+        assert_eq!(req.query_param("q").as_deref(), Some("coverage proto=HTTP"));
+        assert_eq!(req.query_param("x"), None);
+    }
+
+    #[test]
+    fn route_table_lists_every_endpoint() {
+        for path in ["/query", "/healthz", "/stats", "/metrics", "/trace"] {
+            assert!(
+                ROUTES.iter().any(|(p, _)| *p == path),
+                "missing route {path}"
+            );
+        }
     }
 }

@@ -42,9 +42,11 @@ pub mod engine;
 pub mod error;
 pub mod http;
 pub mod query;
+pub mod trace;
 
 pub use cache::ShardedLru;
 pub use engine::{EngineStats, QueryEngine};
 pub use error::QueryError;
 pub use http::{Server, ServerConfig};
 pub use query::Query;
+pub use trace::{StoredTrace, TraceRing, WallTime};

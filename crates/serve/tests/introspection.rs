@@ -1,0 +1,377 @@
+//! Live-introspection endpoints over real loopback sockets: the route
+//! table's `405 + Allow` contract, `/metrics` completeness and
+//! determinism, `/trace` span structure, and the enriched `/stats`.
+//!
+//! Wall-clock values (latency histograms, span timestamps) are the one
+//! nondeterministic surface; these tests mask or ignore them and pin
+//! everything else — `/metrics` must be byte-identical across two live
+//! servers fed the same requests, and its *structure* (metric names,
+//! labels, bucket bounds) is pinned by a golden file:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p originscan-serve --test introspection
+//! ```
+
+use originscan_serve::{QueryEngine, Server, ServerConfig};
+use originscan_store::{ScanSet, ScanSetStore, StoreKey, StoreReader};
+use originscan_telemetry::Telemetry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/metrics_structure.txt"
+);
+
+fn store_path(dir: &Path) -> std::path::PathBuf {
+    let mut store = ScanSetStore::new();
+    store.insert(
+        StoreKey::new("HTTP", 0, 0),
+        ScanSet::from_unsorted(vec![1, 2, 3, 100_000]),
+    );
+    store.insert(
+        StoreKey::new("HTTP", 0, 1),
+        ScanSet::from_unsorted(vec![2, 3, 4]),
+    );
+    let path = dir.join("introspect.oscs");
+    store.write_to(&path).expect("write store");
+    path
+}
+
+fn start_server(path: &Path) -> (Server, Arc<Telemetry>) {
+    let engine = Arc::new(QueryEngine::from_readers(vec![
+        StoreReader::open(path).expect("open store")
+    ]));
+    let hub = Arc::new(Telemetry::new());
+    let server = Server::start(engine, Some(Arc::clone(&hub)), ServerConfig::default())
+        .expect("start server");
+    (server, hub)
+}
+
+fn roundtrip(addr: SocketAddr, request: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    s.write_all(request.as_bytes()).expect("send");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read response");
+    out
+}
+
+fn get(addr: SocketAddr, target: &str) -> String {
+    roundtrip(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn header_of<'a>(response: &'a str, name: &str) -> Option<&'a str> {
+    let head = response.split("\r\n\r\n").next().unwrap_or("");
+    head.lines().find_map(|l| {
+        let (k, v) = l.split_once(':')?;
+        k.eq_ignore_ascii_case(name).then(|| v.trim())
+    })
+}
+
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or("")
+}
+
+/// The fixed request sequence the determinism tests replay: one query
+/// per kind (including an error), then the introspection endpoints.
+fn drive(addr: SocketAddr) {
+    for q in [
+        "coverage proto=HTTP trial=0 origins=0,1",
+        "diff proto=HTTP trial=0 a=0 b=1",
+        "rank proto=HTTP trial=0 origin=0 addr=2",
+        "member proto=HTTP trial=0 origin=1 addr=4",
+        "not a query",
+    ] {
+        let r = roundtrip(
+            addr,
+            &format!(
+                "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{q}",
+                q.len()
+            ),
+        );
+        assert!(status_of(&r) > 0, "{r}");
+    }
+    assert_eq!(status_of(&get(addr, "/stats")), 200);
+    assert_eq!(status_of(&get(addr, "/trace?n=4")), 200);
+}
+
+/// Strip the trailing value from every exposition line, keeping metric
+/// names, labels, and bucket bounds — the structure the golden pins.
+fn metrics_structure(body: &str) -> String {
+    body.lines()
+        .map(|l| {
+            if l.starts_with('#') {
+                l.to_string()
+            } else {
+                l.rsplit_once(' ')
+                    .map_or(l, |(series, _)| series)
+                    .to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+/// Blank the values of wall-clock-derived series (request latency
+/// histograms); everything else must match to the byte.
+fn mask_wall_values(body: &str) -> String {
+    body.lines()
+        .map(|l| {
+            if l.starts_with("serve_latency_us") {
+                l.rsplit_once(' ')
+                    .map_or(l.to_string(), |(series, _)| format!("{series} <wall>"))
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+#[test]
+fn known_routes_answer_405_with_allow_for_wrong_methods() {
+    let dir =
+        std::env::temp_dir().join(format!("originscan-introspect-405-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let (server, _hub) = start_server(&store_path(&dir));
+    let addr = server.local_addr();
+
+    for (path, allow) in [
+        ("/query", "GET, POST"),
+        ("/healthz", "GET"),
+        ("/stats", "GET"),
+        ("/metrics", "GET"),
+        ("/trace", "GET"),
+    ] {
+        for method in ["DELETE", "PUT", "POST"] {
+            if path == "/query" && method == "POST" {
+                continue;
+            }
+            let r = roundtrip(
+                addr,
+                &format!("{method} {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"),
+            );
+            assert_eq!(status_of(&r), 405, "{method} {path}: {r}");
+            assert_eq!(header_of(&r, "Allow"), Some(allow), "{method} {path}: {r}");
+            assert!(
+                body_of(&r).contains("\"error\":\"method-not-allowed\""),
+                "{r}"
+            );
+        }
+    }
+    // Unknown paths stay 404 regardless of method.
+    let r = roundtrip(
+        addr,
+        "DELETE /nope HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status_of(&r), 404, "{r}");
+    assert!(header_of(&r, "Allow").is_none(), "{r}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_covers_every_registered_metric() {
+    let dir =
+        std::env::temp_dir().join(format!("originscan-introspect-cov-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let (server, hub) = start_server(&store_path(&dir));
+    let addr = server.local_addr();
+    drive(addr);
+
+    let r = get(addr, "/metrics");
+    assert_eq!(status_of(&r), 200, "{r}");
+    assert_eq!(
+        header_of(&r, "Content-Type"),
+        Some("text/plain; version=0.0.4"),
+        "{r}"
+    );
+    let body = body_of(&r);
+
+    // Every metric the hub has registered must appear — the rendering is
+    // mechanical, so this holds for any future metric too.
+    let snap = hub.snapshot();
+    assert!(!snap.counters.is_empty(), "hub recorded no counters");
+    assert!(!snap.histograms.is_empty(), "hub recorded no histograms");
+    let names = snap
+        .counters
+        .iter()
+        .map(|c| c.name)
+        .chain(snap.gauges.iter().map(|g| g.name))
+        .chain(snap.histograms.iter().map(|h| h.name));
+    for name in names {
+        let pname = name.replace('.', "_");
+        assert!(
+            body.contains(&format!("# TYPE {pname} ")),
+            "metric {pname} missing from /metrics:\n{body}"
+        );
+    }
+    // Engine-local series ride along.
+    for series in [
+        "serve_engine_queries",
+        "serve_engine_errors",
+        "serve_engine_plan_hits",
+        "serve_engine_kernel_ops",
+        "serve_engine_kernel_words",
+        "serve_engine_keys",
+    ] {
+        assert!(body.contains(series), "{series} missing:\n{body}");
+    }
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_identical_across_servers_and_structure_matches_golden() {
+    let dir =
+        std::env::temp_dir().join(format!("originscan-introspect-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let path = store_path(&dir);
+
+    let grab = || {
+        let (server, _hub) = start_server(&path);
+        let addr = server.local_addr();
+        drive(addr);
+        let r = get(addr, "/metrics");
+        assert_eq!(status_of(&r), 200, "{r}");
+        let body = body_of(&r).to_string();
+        server.shutdown();
+        body
+    };
+    let a = grab();
+    let b = grab();
+    assert_eq!(
+        mask_wall_values(&a),
+        mask_wall_values(&b),
+        "/metrics differs across two servers over the same store"
+    );
+
+    let structure = metrics_structure(&a);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &structure).expect("write golden");
+    } else {
+        let expected = std::fs::read_to_string(GOLDEN_PATH).expect(
+            "missing tests/golden/metrics_structure.txt — run with UPDATE_GOLDEN=1 to generate",
+        );
+        assert_eq!(
+            structure, expected,
+            "/metrics structure drifted from the golden; dashboards pin these \
+             series — rerun with UPDATE_GOLDEN=1 and review the diff"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_endpoint_returns_span_structure() {
+    let dir = std::env::temp_dir().join(format!("originscan-introspect-tr-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let (server, _hub) = start_server(&store_path(&dir));
+    let addr = server.local_addr();
+
+    // An empty ring is a valid response.
+    let r = get(addr, "/trace");
+    assert_eq!(status_of(&r), 200, "{r}");
+    assert!(
+        body_of(&r).starts_with("{\"count\":0,\"traces\":[]}"),
+        "{r}"
+    );
+
+    drive(addr);
+    // A request's trace is pushed into the ring *after* its response is
+    // written, so the drive() sequence's own `GET /trace` entry can land
+    // a beat behind the response the client saw. Poll briefly for it.
+    let mut response = get(addr, "/trace?n=3");
+    for _ in 0..100 {
+        if body_of(&response).contains("\"kind\":\"trace\"") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        response = get(addr, "/trace?n=3");
+    }
+    assert_eq!(status_of(&response), 200, "{response}");
+    let body = body_of(&response);
+    assert!(body.starts_with("{\"count\":3,"), "{body}");
+    // Structure only, never timestamps: wall-clocked request traces with
+    // a "request" root and the read/write phases beneath it.
+    assert!(body.contains("\"clock\":\"wall\""), "{body}");
+    assert!(!body.contains("\"clock\":\"sim\""), "{body}");
+    assert!(body.contains("\"name\":\"request\""), "{body}");
+    assert!(body.contains("\"name\":\"read\""), "{body}");
+    assert!(body.contains("\"name\":\"write\""), "{body}");
+    // The drive() sequence ends with /stats + /trace, which are the last
+    // three ring entries together with the /trace GET above.
+    assert!(body.contains("\"kind\":\"stats\""), "{body}");
+    assert!(body.contains("\"kind\":\"trace\""), "{body}");
+
+    // A query trace carries the execute phase with parse/plan beneath.
+    let r = get(addr, "/trace?n=100");
+    let body = body_of(&r);
+    assert!(body.contains("\"kind\":\"coverage\""), "{body}");
+    assert!(body.contains("\"name\":\"execute\""), "{body}");
+    assert!(body.contains("\"name\":\"parse\""), "{body}");
+    assert!(body.contains("\"name\":\"plan\""), "{body}");
+    assert!(body.contains("\"kind\":\"invalid\""), "{body}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_reports_trace_count_and_latency_histograms() {
+    let dir = std::env::temp_dir().join(format!("originscan-introspect-st-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let (server, _hub) = start_server(&store_path(&dir));
+    let addr = server.local_addr();
+    drive(addr);
+
+    // Latency observations land after each response is written; poll
+    // until the last driven request (the invalid query) is visible.
+    let mut r = get(addr, "/stats");
+    for _ in 0..100 {
+        if body_of(&r).contains("\"invalid\":{\"count\":1,") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        r = get(addr, "/stats");
+    }
+    assert_eq!(status_of(&r), 200, "{r}");
+    let body = body_of(&r);
+    assert!(body.contains("\"queries\":"), "{body}");
+    assert!(body.contains("\"kernel_ops\":"), "{body}");
+    assert!(body.contains("\"traces\":"), "{body}");
+    for kind in ["coverage", "diff", "rank", "member", "invalid"] {
+        assert!(
+            body.contains(&format!("\"{kind}\":{{\"count\":1,")),
+            "{body}"
+        );
+    }
+    assert!(body.contains("\"p50_us\":"), "{body}");
+    assert!(body.contains("\"p99_us\":"), "{body}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

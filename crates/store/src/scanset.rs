@@ -119,6 +119,18 @@ impl ScanSet {
         self.chunks.len()
     }
 
+    /// Machine words (8 bytes) of compressed container payload across
+    /// all chunks. This is the set-operation kernels' work-unit cost
+    /// model: a kernel over this set walks at most this many words, so
+    /// callers (the serve engine's `store.kernel_words` counter) can
+    /// charge deterministic work units without timing anything.
+    pub fn word_count(&self) -> u64 {
+        self.chunks
+            .iter()
+            .map(|(_, c)| (c.payload_bytes() as u64).div_ceil(8))
+            .sum()
+    }
+
     /// Iterate the `(key, container)` chunks in key order.
     pub fn chunks(&self) -> impl Iterator<Item = (u16, &Container)> {
         self.chunks.iter().map(|(k, c)| (*k, c))
@@ -427,6 +439,21 @@ mod tests {
             out.push((z >> 33) as u32 % space);
         }
         out
+    }
+
+    #[test]
+    fn word_count_matches_payload_bytes() {
+        assert_eq!(ScanSet::new().word_count(), 0);
+        let s = ScanSet::from_unsorted(sample(7, 5_000, 1 << 22));
+        let by_hand: u64 = s
+            .chunks()
+            .map(|(_, c)| (c.payload_bytes() as u64).div_ceil(8))
+            .sum();
+        assert_eq!(s.word_count(), by_hand);
+        assert!(s.word_count() > 0);
+        // A 3-member array chunk costs 6 payload bytes → 1 word.
+        let tiny = ScanSet::from_unsorted(vec![1, 2, 3]);
+        assert_eq!(tiny.word_count(), 1);
     }
 
     #[test]

@@ -46,12 +46,18 @@
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod progress;
+pub mod prom;
 pub mod schema;
+pub mod span;
 
 pub use event::{Event, EventKind, Scope};
 pub use metrics::{Histogram, HistogramEntry, MetricEntry};
+pub use profile::Profile;
+pub use span::{SpanGuard, SpanRecord, TimeSource, Trace, Tracer};
 
+use json::JsonObj;
 use metrics::Registry;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -77,6 +83,8 @@ struct Inner {
     /// Scopes currently inside an injected outage window (drives the
     /// started/ended transition events).
     in_outage: BTreeSet<Scope>,
+    traces: Vec<TraceEntry>,
+    trace_seqs: std::collections::BTreeMap<Scope, u32>,
 }
 
 impl Telemetry {
@@ -160,6 +168,34 @@ impl Telemetry {
         });
     }
 
+    /// Record a finished span [`Trace`] under `scope`, assigning it the
+    /// scope's next sequential trace ID (one scope = one scan = one
+    /// thread, so per-scope trace order is deterministic). Also bumps
+    /// the `trace.*` counters so trace volume shows up in metrics.
+    pub fn record_trace(&self, scope: Scope, trace: Trace) {
+        self.with_inner(|inner| {
+            let seq = inner.trace_seqs.entry(scope).or_insert(0);
+            let trace_id = *seq;
+            *seq += 1;
+            inner.registry.add(scope, metrics::names::TRACE_TRACES, 1);
+            inner
+                .registry
+                .add(scope, metrics::names::TRACE_SPANS, trace.spans.len() as u64);
+            if trace.dropped > 0 {
+                inner.registry.add(
+                    scope,
+                    metrics::names::TRACE_SPANS_DROPPED,
+                    u64::from(trace.dropped),
+                );
+            }
+            inner.traces.push(TraceEntry {
+                scope,
+                trace_id,
+                trace,
+            });
+        });
+    }
+
     /// Merge a locally-accumulated [`MetricBatch`] into the registry in a
     /// single lock acquisition. This is the hot-path contract: a scan
     /// accumulates into plain locals, builds one batch, and flushes once.
@@ -206,8 +242,14 @@ impl Telemetry {
                         name,
                         bounds: h.bounds,
                         counts: h.counts.clone(),
+                        sum: h.sum,
                     })
                     .collect(),
+                traces: {
+                    let mut traces = inner.traces.clone();
+                    traces.sort_by_key(|t| (t.scope, t.trace_id));
+                    traces
+                },
             }
         })
     }
@@ -252,6 +294,37 @@ impl MetricBatch {
     }
 }
 
+/// One recorded trace with its scope and per-scope sequential ID.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// The (protocol, trial, origin) the trace belongs to.
+    pub scope: Scope,
+    /// Per-scope sequential trace ID (record order).
+    pub trace_id: u32,
+    /// The span tree.
+    pub trace: Trace,
+}
+
+impl TraceEntry {
+    /// One JSONL line per span (trailing newline after every line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.trace.spans {
+            let mut o = JsonObj::new();
+            o.field_str("type", "span");
+            o.field_str("proto", self.scope.proto);
+            o.field_u64("trial", u64::from(self.scope.trial));
+            o.field_u64("origin", u64::from(self.scope.origin));
+            o.field_u64("trace", u64::from(self.trace_id));
+            o.field_str("clock", self.trace.clock);
+            s.fields_into(&mut o);
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        out
+    }
+}
+
 /// An immutable, deterministic view of everything recorded: the in-memory
 /// timeline sink. Embedded in `ExperimentResults` so two runs with the
 /// same seed carry byte-identical telemetry.
@@ -265,6 +338,8 @@ pub struct TelemetrySnapshot {
     pub gauges: Vec<MetricEntry<f64>>,
     /// All histograms, in `(scope, name)` order.
     pub histograms: Vec<HistogramEntry>,
+    /// All span traces, sorted by `(scope, trace_id)`.
+    pub traces: Vec<TraceEntry>,
 }
 
 impl TelemetrySnapshot {
@@ -297,11 +372,31 @@ impl TelemetrySnapshot {
         out
     }
 
-    /// Full JSONL export: events first, then metrics.
+    /// The span traces as JSONL (one span per line).
+    pub fn spans_jsonl(&self) -> String {
+        let mut out = String::new();
+        for t in &self.traces {
+            out.push_str(&t.to_jsonl());
+        }
+        out
+    }
+
+    /// Full JSONL export: events, then spans, then metrics.
     pub fn to_jsonl(&self) -> String {
         let mut out = self.events_jsonl();
+        out.push_str(&self.spans_jsonl());
         out.push_str(&self.metrics_jsonl());
         out
+    }
+
+    /// The merged flame-tree profile over every recorded trace.
+    pub fn profile(&self) -> Profile {
+        Profile::from_traces(self.traces.iter().map(|t| &t.trace))
+    }
+
+    /// Traces belonging to one scope, in trace-ID order.
+    pub fn traces_for(&self, scope: Scope) -> impl Iterator<Item = &TraceEntry> {
+        self.traces.iter().filter(move |t| t.scope == scope)
     }
 
     /// Look up a counter (0 when never touched).
@@ -331,6 +426,7 @@ impl TelemetrySnapshot {
         set.extend(self.counters.iter().map(|c| c.scope));
         set.extend(self.gauges.iter().map(|g| g.scope));
         set.extend(self.histograms.iter().map(|h| h.scope));
+        set.extend(self.traces.iter().map(|t| t.scope));
         set.into_iter().collect()
     }
 
@@ -478,6 +574,49 @@ mod tests {
         assert_eq!(s.gauge(sc(0), names::DURATION_SECONDS), Some(3.5));
         assert_eq!(s.histograms.len(), 1);
         assert_eq!(s.histograms[0].counts.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn traces_get_per_scope_ids_and_sorted_snapshots() {
+        let build = |interleave: bool| {
+            let t = Telemetry::new();
+            let mk = |name| {
+                let tr = Tracer::sim();
+                tr.set_time(1.0);
+                tr.instant(name);
+                tr.finish()
+            };
+            if interleave {
+                t.record_trace(sc(1), mk("b"));
+                t.record_trace(sc(0), mk("a"));
+            } else {
+                t.record_trace(sc(0), mk("a"));
+                t.record_trace(sc(1), mk("b"));
+            }
+            t.record_trace(sc(0), mk("c"));
+            t.snapshot()
+        };
+        let s1 = build(false);
+        let s2 = build(true);
+        // Cross-scope interleaving is erased by per-scope IDs + sorting.
+        assert_eq!(s1, s2);
+        assert_eq!(s1.spans_jsonl(), s2.spans_jsonl());
+        let ids: Vec<(u16, u32)> = s1
+            .traces
+            .iter()
+            .map(|t| (t.scope.origin, t.trace_id))
+            .collect();
+        assert_eq!(ids, vec![(0, 0), (0, 1), (1, 0)]);
+        assert_eq!(s1.counter(sc(0), names::TRACE_TRACES), 2);
+        assert_eq!(s1.counter(sc(0), names::TRACE_SPANS), 2);
+        let line = s1.spans_jsonl();
+        assert!(
+            line.starts_with(
+                "{\"type\":\"span\",\"proto\":\"HTTP\",\"trial\":0,\"origin\":0,\
+                 \"trace\":0,\"clock\":\"sim\",\"span\":0,\"name\":\"a\",\"start\":1.0,\"end\":1.0}"
+            ),
+            "{line}"
+        );
     }
 
     #[test]

@@ -132,6 +132,17 @@ pub mod names {
     pub const ADAPT_DEFERRED_ADDRESSES: &str = "adapt.deferred_addresses";
     /// Final rate multiplier when the scan completed (gauge).
     pub const ADAPT_RATE_MULT: &str = "adapt.rate_mult";
+    /// Span traces recorded into the hub (counter).
+    pub const TRACE_TRACES: &str = "trace.traces";
+    /// Spans across all recorded traces (counter).
+    pub const TRACE_SPANS: &str = "trace.spans";
+    /// Spans discarded after the per-trace cap (counter).
+    pub const TRACE_SPANS_DROPPED: &str = "trace.spans_dropped";
+    /// Bitmap kernel invocations charged by the serve engine (counter).
+    pub const STORE_KERNEL_OPS: &str = "store.kernel_ops";
+    /// Machine words of compressed container payload walked by those
+    /// kernels — the engine's work-unit cost model (counter).
+    pub const STORE_KERNEL_WORDS: &str = "store.kernel_words";
 
     /// The full catalogue as (name, record type) pairs, in serialization
     /// order. Pinned by the schema golden test.
@@ -184,6 +195,11 @@ pub mod names {
         (ADAPT_ROTATIONS, "counter"),
         (ADAPT_DEFERRED_ADDRESSES, "counter"),
         (ADAPT_RATE_MULT, "gauge"),
+        (TRACE_TRACES, "counter"),
+        (TRACE_SPANS, "counter"),
+        (TRACE_SPANS_DROPPED, "counter"),
+        (STORE_KERNEL_OPS, "counter"),
+        (STORE_KERNEL_WORDS, "counter"),
     ];
 }
 
@@ -197,6 +213,8 @@ pub struct Histogram {
     pub bounds: &'static [f64],
     /// Per-bucket observation counts (`bounds.len() + 1` entries).
     pub counts: Vec<u64>,
+    /// Sum of all observed values (Prometheus `_sum`).
+    pub sum: f64,
 }
 
 impl Histogram {
@@ -205,22 +223,61 @@ impl Histogram {
         Self {
             bounds,
             counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
         }
     }
 
-    /// Record one observation.
+    /// Record one observation. Values at or past the last bound (and
+    /// non-finite values) saturate into the overflow bucket.
     pub fn observe(&mut self, value: f64) {
         let idx = self
             .bounds
             .iter()
             .position(|&b| value < b)
             .unwrap_or(self.bounds.len());
-        self.counts[idx] += 1;
+        if let Some(slot) = self.counts.get_mut(idx) {
+            *slot = slot.saturating_add(1);
+        }
+        self.sum += value;
     }
 
     /// Total observations recorded.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
+    }
+
+    /// Estimate the `p`-quantile (`0.0..=1.0`) from the fixed buckets by
+    /// linear interpolation inside the bucket holding the target rank.
+    /// The underflow bucket interpolates from 0; the overflow bucket
+    /// saturates at the last bound (the buckets carry no upper limit).
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            let before = cum;
+            cum += count;
+            if cum < target || count == 0 {
+                continue;
+            }
+            if i == self.bounds.len() {
+                // Overflow bucket: no upper bound to interpolate toward.
+                return self.bounds.last().copied().unwrap_or(0.0);
+            }
+            let lower = if i == 0 {
+                0.0
+            } else {
+                self.bounds.get(i - 1).copied().unwrap_or(0.0)
+            };
+            let upper = self.bounds.get(i).copied().unwrap_or(lower);
+            let into = (target - before) as f64 / count as f64;
+            return lower + (upper - lower) * into;
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
     }
 }
 
@@ -296,6 +353,8 @@ pub struct HistogramEntry {
     pub bounds: &'static [f64],
     /// Per-bucket counts (`bounds.len() + 1` entries).
     pub counts: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: f64,
 }
 
 impl HistogramEntry {
@@ -304,6 +363,7 @@ impl HistogramEntry {
         let mut o = scoped_obj("histogram", self.scope, self.name);
         o.field_f64_array("bounds", self.bounds);
         o.field_u64_array("counts", &self.counts);
+        o.field_f64("sum", self.sum);
         o.finish()
     }
 }
@@ -366,12 +426,80 @@ mod tests {
             name: names::L7_ATTEMPTS,
             bounds: &[1.5],
             counts: vec![4, 0],
+            sum: 4.0,
         };
         assert_eq!(
             h.to_json(),
             "{\"type\":\"histogram\",\"proto\":\"HTTP\",\"trial\":0,\"origin\":1,\
-             \"name\":\"scan.l7_attempts\",\"bounds\":[1.5],\"counts\":[4,0]}"
+             \"name\":\"scan.l7_attempts\",\"bounds\":[1.5],\"counts\":[4,0],\"sum\":4.0}"
         );
+    }
+
+    #[test]
+    fn histogram_values_exactly_on_bounds_go_right() {
+        // Buckets are left-closed on the boundary: an observation equal
+        // to bounds[i] lands in bucket i+1, for every boundary.
+        let mut h = Histogram::new(&[10.0, 20.0, 30.0]);
+        h.observe(10.0);
+        h.observe(20.0);
+        h.observe(30.0);
+        assert_eq!(h.counts, vec![0, 1, 1, 1]);
+        assert_eq!(h.sum, 60.0);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_saturates() {
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(1.0); // on the last bound → overflow
+        h.observe(1e300); // far past it → overflow
+        h.observe(f64::INFINITY); // non-finite → overflow
+        h.observe(f64::NAN); // NaN compares false on `<` → overflow
+        assert_eq!(h.counts, vec![0, 4]);
+        // A saturated overflow count stays at u64::MAX instead of
+        // wrapping.
+        h.counts[1] = u64::MAX;
+        h.observe(2.0);
+        assert_eq!(h.counts[1], u64::MAX);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_buckets() {
+        let mut h = Histogram::new(&[100.0, 200.0]);
+        for _ in 0..10 {
+            h.observe(150.0); // all ten in (100, 200]
+        }
+        // Rank math: p50 → 5th of 10 in a bucket spanning 100..200.
+        assert_eq!(h.percentile(0.5), 150.0);
+        assert_eq!(h.percentile(1.0), 200.0);
+        assert_eq!(h.percentile(0.0), 110.0, "rank clamps to 1");
+    }
+
+    #[test]
+    fn percentile_edges() {
+        let empty = Histogram::new(&[1.0, 2.0]);
+        assert_eq!(empty.percentile(0.5), 0.0);
+
+        // Everything in the overflow bucket saturates to the last bound.
+        let mut over = Histogram::new(&[1.0, 2.0]);
+        over.observe(50.0);
+        assert_eq!(over.percentile(0.5), 2.0);
+        assert_eq!(over.percentile(0.99), 2.0);
+
+        // Underflow bucket interpolates from zero.
+        let mut under = Histogram::new(&[8.0]);
+        under.observe(0.1);
+        under.observe(0.2);
+        assert_eq!(under.percentile(0.5), 4.0);
+
+        // Mixed: 9 fast, 1 slow — p50 in the first bucket, p99 in the
+        // overflow.
+        let mut mixed = Histogram::new(&[10.0]);
+        for _ in 0..9 {
+            mixed.observe(1.0);
+        }
+        mixed.observe(100.0);
+        assert!(mixed.percentile(0.5) < 10.0);
+        assert_eq!(mixed.percentile(0.99), 10.0);
     }
 
     #[test]

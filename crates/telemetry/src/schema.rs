@@ -47,6 +47,19 @@ pub fn describe() -> String {
         let _ = writeln!(out, "{line}");
     }
     let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "span trace:u64 clock:str span:u64 parent?:u64 name:str start:f64 end:f64"
+    );
+    let _ = writeln!(
+        out,
+        "profile path:str name:str count:u64 total:f64 self:f64"
+    );
+    let _ = writeln!(
+        out,
+        "histogram-extra bounds:[f64] counts:[u64] sum:f64 (counts has bounds+1 entries; last is overflow)"
+    );
+    let _ = writeln!(out);
     for (name, ty) in metrics::names::ALL {
         let _ = writeln!(out, "metric {ty} {name}");
     }

@@ -15,9 +15,13 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Results accumulated by [`run_benchmark`] for the process-end record.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 /// Throughput declaration for a benchmark group.
 #[derive(Debug, Clone, Copy)]
@@ -178,6 +182,79 @@ fn run_benchmark(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(
         line.push_str(&format!("  thrpt: {} {unit}", format_count(per_sec)));
     }
     println!("{line}");
+    if let Ok(mut results) = RESULTS.lock() {
+        results.push((label.to_string(), b.ns_per_iter));
+    }
+}
+
+/// Write `BENCH_<name>.json` (bench-record schema v1) into the working
+/// directory, summarizing every benchmark run so far in this process.
+///
+/// Called by `criterion_main!` after all groups finish. The record name
+/// comes from the executable file stem with cargo's trailing `-<hash>`
+/// stripped; labels become `<label>_ns` metrics with `dir: lower` and a
+/// generous 1.0 tolerance (raw nanosecond timings are the noisiest
+/// numbers CI produces). Write failures are reported, not fatal: the
+/// record is an artifact, the timings already went to stdout.
+pub fn write_bench_record() {
+    let results = match RESULTS.lock() {
+        Ok(results) => results.clone(),
+        Err(_) => return,
+    };
+    if results.is_empty() {
+        return;
+    }
+    let name = bench_name();
+    let mut json = format!("{{\"schema\":1,\"name\":{name:?},\"params\":{{}},\"metrics\":{{");
+    for (i, (label, ns)) in results.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let metric = format!("{}_ns", sanitize_label(label));
+        json.push_str(&format!(
+            "{metric:?}:{{\"value\":{ns:?},\"dir\":\"lower\",\"tol\":1.0}}"
+        ));
+    }
+    json.push_str("},\"profile\":[]}\n");
+    let path = format!("BENCH_{name}.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("criterion shim: could not write {path}: {e}");
+    }
+}
+
+/// The record name: executable file stem minus cargo's `-<hex>` suffix.
+fn bench_name() -> String {
+    let stem = std::env::args()
+        .next()
+        .map(|argv0| {
+            std::path::Path::new(&argv0)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default()
+        })
+        .unwrap_or_default();
+    strip_hash(&stem)
+}
+
+fn strip_hash(stem: &str) -> String {
+    match stem.rsplit_once('-') {
+        Some((base, hash))
+            if !base.is_empty()
+                && !hash.is_empty()
+                && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            base.to_string()
+        }
+        _ if stem.is_empty() => "unknown".to_string(),
+        _ => stem.to_string(),
+    }
+}
+
+fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 fn format_ns(ns: f64) -> String {
@@ -221,6 +298,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_bench_record();
         }
     };
 }
@@ -242,5 +320,14 @@ mod tests {
     fn ids_render() {
         assert_eq!(BenchmarkId::from_parameter(65536).to_string(), "65536");
         assert_eq!(BenchmarkId::new("perm", 16).to_string(), "perm/16");
+    }
+
+    #[test]
+    fn record_names_drop_cargo_hashes() {
+        assert_eq!(strip_hash("perf_scan-0a1b2c3d4e5f6789"), "perf_scan");
+        assert_eq!(strip_hash("perf_scan"), "perf_scan");
+        assert_eq!(strip_hash("perf-scan"), "perf-scan");
+        assert_eq!(strip_hash(""), "unknown");
+        assert_eq!(sanitize_label("group/case 16"), "group_case_16");
     }
 }
