@@ -6,7 +6,8 @@
 use originscan_bench::{bench_world, header, paper_says, run_main};
 use originscan_core::coverage::mean_coverage;
 use originscan_core::report::{pct, Table};
-use originscan_netmodel::{OriginId, Protocol};
+use originscan_netmodel::OriginId;
+use originscan_scanner::probe::PAPER_PROTOCOLS;
 
 fn main() {
     header(
@@ -19,17 +20,17 @@ fn main() {
         "no origin exceeds 98% HTTP / 99% HTTPS / 92% SSH in any trial",
     ]);
     let world = bench_world();
-    let results = run_main(world, &Protocol::ALL);
+    let results = run_main(world, &PAPER_PROTOCOLS);
     let mut t = Table::new(
         ["origin"]
             .into_iter()
             .map(String::from)
-            .chain(Protocol::ALL.iter().map(|p| p.to_string())),
+            .chain(PAPER_PROTOCOLS.iter().map(|p| p.to_string())),
     );
     for &o in &OriginId::MAIN {
         t.row(
             [o.to_string()].into_iter().chain(
-                Protocol::ALL
+                PAPER_PROTOCOLS
                     .iter()
                     .map(|&p| pct(mean_coverage(&results, p, o))),
             ),

@@ -6,7 +6,8 @@ use originscan_bench::{bench_world, header, paper_says, run_main};
 use originscan_core::bursts::burst_share;
 use originscan_core::classify::{class_counts, host_network_split, trial_breakdown, Class};
 use originscan_core::report::{count, pct, Table};
-use originscan_netmodel::{OriginId, Protocol};
+use originscan_netmodel::OriginId;
+use originscan_scanner::probe::PAPER_PROTOCOLS;
 
 fn main() {
     header("Figure 2", "breakdown of missing hosts by origin and trial");
@@ -18,8 +19,8 @@ fn main() {
         "14-36% of transient loss coincides with a burst outage (§5.3)",
     ]);
     let world = bench_world();
-    let results = run_main(world, &Protocol::ALL);
-    for &proto in &Protocol::ALL {
+    let results = run_main(world, &PAPER_PROTOCOLS);
+    for &proto in &PAPER_PROTOCOLS {
         let panel = results.panel(proto);
         let mut t = Table::new([
             "origin",

@@ -5,7 +5,7 @@ use originscan_bench::{bench_world, header, paper_says, run_main};
 use originscan_core::classify::Class;
 use originscan_core::exclusivity::miss_overlap_histogram;
 use originscan_core::report::{count, pct, Table};
-use originscan_netmodel::Protocol;
+use originscan_scanner::probe::PAPER_PROTOCOLS;
 
 fn main() {
     header(
@@ -18,7 +18,7 @@ fn main() {
         "(MaxStartups hits everyone scanning concurrently)",
     ]);
     let world = bench_world();
-    let results = run_main(world, &Protocol::ALL);
+    let results = run_main(world, &PAPER_PROTOCOLS);
     let mut t = Table::new([
         "protocol",
         "1",
@@ -30,7 +30,7 @@ fn main() {
         "7",
         "1-origin share",
     ]);
-    for &proto in &Protocol::ALL {
+    for &proto in &PAPER_PROTOCOLS {
         let panel = results.panel(proto);
         let hist = miss_overlap_histogram(&panel, Class::Transient);
         let total: usize = hist.iter().sum();

@@ -4,7 +4,7 @@
 use originscan_bench::{bench_world, header, paper_says, run_main};
 use originscan_core::report::Table;
 use originscan_core::transient::{rate_spread_distribution, transient_by_as};
-use originscan_netmodel::Protocol;
+use originscan_scanner::probe::PAPER_PROTOCOLS;
 use originscan_stats::descriptive::Ecdf;
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
         "for ~40% of ASes the spread exceeds 1%, for 16-25% it exceeds 10%",
     ]);
     let world = bench_world();
-    let results = run_main(world, &Protocol::ALL);
+    let results = run_main(world, &PAPER_PROTOCOLS);
     let mut t = Table::new([
         "protocol",
         "P(spread=0)",
@@ -25,7 +25,7 @@ fn main() {
         "P(>10%)",
         "P(>10%) host-weighted",
     ]);
-    for &proto in &Protocol::ALL {
+    for &proto in &PAPER_PROTOCOLS {
         let panel = results.panel(proto);
         let spread = rate_spread_distribution(&transient_by_as(world, &panel));
         let deltas: Vec<f64> = spread.iter().map(|&(d, _)| d).collect();

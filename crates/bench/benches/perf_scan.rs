@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use originscan_core::experiment::TRIAL_DURATION_S;
 use originscan_netmodel::{OriginId, Protocol, SimNet, WorldConfig};
 use originscan_scanner::engine::{run_scan, ScanConfig};
+use originscan_scanner::probe::PAPER_PROTOCOLS;
 
 fn bench_scan(c: &mut Criterion) {
     let world = WorldConfig::tiny(7).build();
@@ -12,7 +13,7 @@ fn bench_scan(c: &mut Criterion) {
     let net = SimNet::new(&world, &origins, TRIAL_DURATION_S);
     let mut g = c.benchmark_group("scan");
     g.throughput(Throughput::Elements(world.space() * 2));
-    for proto in Protocol::ALL {
+    for proto in PAPER_PROTOCOLS {
         g.bench_function(format!("2probe_{proto}"), |b| {
             b.iter(|| {
                 let cfg = ScanConfig::new(world.space(), proto, 99);

@@ -5,7 +5,7 @@
 use originscan_bench::{bench_world, header, paper_says, run_main};
 use originscan_core::coverage::mcnemar_all_pairs;
 use originscan_core::report::Table;
-use originscan_netmodel::Protocol;
+use originscan_scanner::probe::PAPER_PROTOCOLS;
 
 fn main() {
     header(
@@ -17,9 +17,9 @@ fn main() {
         "pairs of scan origins in all trials, for every protocol",
     ]);
     let world = bench_world();
-    let results = run_main(world, &Protocol::ALL);
+    let results = run_main(world, &PAPER_PROTOCOLS);
     let mut t = Table::new(["protocol", "tests", "significant", "corrected α", "max p"]);
-    for &proto in &Protocol::ALL {
+    for &proto in &PAPER_PROTOCOLS {
         let (tests, alpha) = mcnemar_all_pairs(&results, proto, 0.001);
         let sig = tests.iter().filter(|x| x.result.p_value < alpha).count();
         let max_p = tests.iter().map(|x| x.result.p_value).fold(0.0, f64::max);

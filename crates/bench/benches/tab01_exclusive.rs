@@ -4,7 +4,8 @@
 use originscan_bench::{bench_world, header, paper_says, run_main};
 use originscan_core::exclusivity::exclusive_counts;
 use originscan_core::report::Table;
-use originscan_netmodel::{OriginId, Protocol};
+use originscan_netmodel::OriginId;
+use originscan_scanner::probe::PAPER_PROTOCOLS;
 
 fn main() {
     header(
@@ -16,14 +17,14 @@ fn main() {
         "Censys has the most exclusively inaccessible hosts (83.4% HTTP)",
     ]);
     let world = bench_world();
-    let results = run_main(world, &Protocol::ALL);
+    let results = run_main(world, &PAPER_PROTOCOLS);
     let mut t = Table::new(
         ["row"]
             .into_iter()
             .map(String::from)
             .chain(OriginId::MAIN.iter().map(|o| o.to_string())),
     );
-    for &proto in &Protocol::ALL {
+    for &proto in &PAPER_PROTOCOLS {
         let panel = results.panel(proto);
         let (acc, inacc) = exclusive_counts(&panel).percentages();
         t.row(

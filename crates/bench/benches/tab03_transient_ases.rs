@@ -4,7 +4,7 @@
 use originscan_bench::{bench_world, header, paper_says, run_main};
 use originscan_core::report::{count, Table};
 use originscan_core::transient::{largest_spread_ases, transient_by_as};
-use originscan_netmodel::Protocol;
+use originscan_scanner::probe::PAPER_PROTOCOLS;
 
 fn main() {
     header(
@@ -17,8 +17,8 @@ fn main() {
         "China Telecom; ABCDE Group leads HTTP with Δ62.1%",
     ]);
     let world = bench_world();
-    let results = run_main(world, &Protocol::ALL);
-    for &proto in &Protocol::ALL {
+    let results = run_main(world, &PAPER_PROTOCOLS);
+    for &proto in &PAPER_PROTOCOLS {
         let panel = results.panel(proto);
         let top = largest_spread_ases(transient_by_as(world, &panel), 100, 6);
         let mut t = Table::new(["AS", "Δ(%)", "Diff", "Ratio"]);

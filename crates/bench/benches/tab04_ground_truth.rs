@@ -5,7 +5,8 @@
 use originscan_bench::{bench_world, header, paper_says, run_main};
 use originscan_core::coverage::coverage_table;
 use originscan_core::report::{count, pct, Table};
-use originscan_netmodel::{OriginId, Protocol};
+use originscan_netmodel::OriginId;
+use originscan_scanner::probe::PAPER_PROTOCOLS;
 
 fn main() {
     header(
@@ -18,8 +19,8 @@ fn main() {
         "SSH means 83.8-90.5% (US64 highest), ∩ 70.6%",
     ]);
     let world = bench_world();
-    let results = run_main(world, &Protocol::ALL);
-    for &proto in &Protocol::ALL {
+    let results = run_main(world, &PAPER_PROTOCOLS);
+    for &proto in &PAPER_PROTOCOLS {
         let mut t = Table::new(
             ["trial"]
                 .into_iter()

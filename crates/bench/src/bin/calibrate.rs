@@ -12,7 +12,8 @@
 use originscan_core::experiment::{Experiment, ExperimentConfig, TRIAL_DURATION_S};
 use originscan_core::report::Table;
 use originscan_netmodel::policy::{self, Block};
-use originscan_netmodel::{burst, path, OriginId, Protocol, WorldConfig};
+use originscan_netmodel::{burst, path, OriginId, WorldConfig};
+use originscan_scanner::probe::PAPER_PROTOCOLS;
 
 fn main() {
     let scale = std::env::args().nth(1).unwrap_or_else(|| "tiny".into());
@@ -23,12 +24,12 @@ fn main() {
     };
     let cfg = ExperimentConfig {
         origins: OriginId::MAIN.to_vec(),
-        protocols: Protocol::ALL.to_vec(),
+        protocols: PAPER_PROTOCOLS.to_vec(),
         trials: 3,
         ..Default::default()
     };
     let r = Experiment::new(&world, cfg).run().unwrap();
-    for proto in Protocol::ALL {
+    for proto in PAPER_PROTOCOLS {
         let m = r.matrix(proto, 0);
         println!("\n{proto} ground truth (trial 1): {} hosts", m.len());
         let mut t = Table::new([

@@ -249,7 +249,7 @@ impl Default for ExperimentConfig {
     fn default() -> Self {
         Self {
             origins: OriginId::MAIN.to_vec(),
-            protocols: Protocol::ALL.to_vec(),
+            protocols: originscan_scanner::probe::PAPER_PROTOCOLS.to_vec(),
             trials: 3,
             probes: 2,
             l7_retries: 0,
@@ -301,8 +301,8 @@ impl ExperimentConfig {
 /// simulated death time where the engine reports one (injected kills);
 /// otherwise with the accumulated backoff clock (panics unwind past the
 /// pacer, so no scan clock survives them).
-pub fn supervise_scan<N: Network + ?Sized>(
-    net: &N,
+pub fn supervise_scan(
+    net: &dyn Network,
     cfg: &ScanConfig,
     hook: Option<&dyn FaultHook>,
     policy: &SupervisorPolicy,

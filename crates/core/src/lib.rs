@@ -22,6 +22,8 @@
 //!   (Figs 12/13/14).
 //! * [`multiorigin`] — §7 multi-origin/multi-probe coverage
 //!   (Figs 15/17/18).
+//! * [`modules`] — per-probe-module sweeps keyed by module name
+//!   (ICMP echo, DNS-over-UDP, and the TCP trio side by side).
 //! * [`report`] — plain-text table rendering for the bench harness.
 //! * [`summary`] — the one-call full report over an experiment's results.
 //! * [`diff`] — first-class diffing of two archived scans.
@@ -40,6 +42,7 @@ pub mod diff;
 pub mod exclusivity;
 pub mod experiment;
 pub mod matrix;
+pub mod modules;
 pub mod multiorigin;
 pub mod outcome;
 pub mod packetloss;

@@ -197,7 +197,7 @@ mod tests {
         let mut with_event = 0;
         let n = w.ases.len() as u32;
         for a in 0..n {
-            let any = Protocol::ALL
+            let any = originscan_scanner::probe::PAPER_PROTOCOLS
                 .iter()
                 .any(|&p| (0..3).any(|t| !events_for(&w, a, p, t).is_empty()));
             if any {

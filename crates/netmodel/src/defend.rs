@@ -27,12 +27,19 @@
 //! real blocklist entries straddle scan days.
 
 use crate::world::World;
-use originscan_scanner::target::{CloseKind, L7Ctx, L7Reply, Network, ProbeCtx, SynReply};
+use originscan_scanner::target::{
+    CloseKind, IcmpReply, L7Ctx, L7Reply, Network, ProbeCtx, SynReply, UdpReply,
+};
 use originscan_telemetry::metrics::names;
 use originscan_telemetry::{EventKind, MetricBatch, Scope, Telemetry};
+use originscan_wire::icmp::IcmpEcho;
 use originscan_wire::tcp::TcpHeader;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
+
+/// ICMP destination-unreachable code for "communication administratively
+/// prohibited" — what a visible defender sends for non-TCP probes.
+const CODE_ADMIN_PROHIBITED: u8 = 13;
 
 /// How hard the defender swarm pushes back. One profile governs every
 /// AS-level detector plus the shared reputation store.
@@ -291,6 +298,80 @@ impl<'a, N: Network + ?Sized> DefenderNet<'a, N> {
             .get(&(src_ip, as_index))
             .is_some_and(|d| g < d.blocked_until)
     }
+
+    /// Run one probe through the detector swarm, advancing windows,
+    /// block state, and the reputation store. Probe-flavour-agnostic: an
+    /// ICMP echo or a UDP datagram trips an IDS exactly like a SYN, so
+    /// every [`Network`] probe method shares this state machine and the
+    /// caller only renders `true` (blocked) into its own wire type.
+    fn gate_blocks_probe(&self, ctx: &ProbeCtx) -> bool {
+        let p = &self.profile;
+        let as_index = self.world.as_index_of(ctx.dst);
+        let g = f64::from(ctx.trial) * self.duration_s + ctx.time_s;
+        let scope = Scope::new(ctx.protocol.name(), ctx.trial, ctx.origin);
+        let mut st = self.lock();
+        if st.listed.contains(&ctx.origin) {
+            st.pending.reputation_drops += 1;
+            st.total.reputation_drops += 1;
+            return true;
+        }
+        let det = st.detectors.entry((ctx.src_ip, as_index)).or_default();
+        if g < det.blocked_until {
+            st.pending.blocked_probes += 1;
+            st.total.blocked_probes += 1;
+            return true;
+        }
+        if det.in_block {
+            det.in_block = false;
+            if let Some(hub) = self.telemetry {
+                hub.emit(scope, ctx.time_s, EventKind::BlockEnded { as_index });
+            }
+        }
+        if g - det.window_start >= p.window_s {
+            det.window_start = g;
+            det.window_count = 0;
+        }
+        det.window_count += 1;
+        if det.window_count > p.window_probes {
+            det.level = (det.level + 1).min(p.max_level);
+            let exp = (det.level - 1).min(30) as i32;
+            let block_s = p.block_base_s * p.escalation.powi(exp);
+            det.blocked_until = g + block_s;
+            det.in_block = true;
+            det.window_count = 0;
+            let level = det.level;
+            st.pending.detections += 1;
+            st.total.detections += 1;
+            st.pending.blocked_probes += 1;
+            st.total.blocked_probes += 1;
+            let n = st.origin_detections.entry(ctx.origin).or_insert(0);
+            *n += 1;
+            let n = *n;
+            let mut listed_now = false;
+            if p.listing_threshold > 0 && n >= p.listing_threshold && st.listed.insert(ctx.origin) {
+                st.pending.listings += 1;
+                st.total.listings += 1;
+                listed_now = true;
+            }
+            if let Some(hub) = self.telemetry {
+                hub.emit(
+                    scope,
+                    ctx.time_s,
+                    EventKind::ScanDetected { as_index, level },
+                );
+                hub.emit(
+                    scope,
+                    ctx.time_s,
+                    EventKind::BlockStarted { as_index, block_s },
+                );
+                if listed_now {
+                    hub.emit(scope, ctx.time_s, EventKind::OriginListed { detections: n });
+                }
+            }
+            return true;
+        }
+        false
+    }
 }
 
 impl<N: Network + ?Sized> Network for DefenderNet<'_, N> {
@@ -300,76 +381,44 @@ impl<N: Network + ?Sized> Network for DefenderNet<'_, N> {
             // Defense off: zero locks, byte-identical to the inner model.
             return self.inner.syn(ctx, probe);
         }
-        let as_index = self.world.as_index_of(ctx.dst);
-        let g = f64::from(ctx.trial) * self.duration_s + ctx.time_s;
-        let scope = Scope::new(ctx.protocol.name(), ctx.trial, ctx.origin);
-        {
-            let mut st = self.lock();
-            if st.listed.contains(&ctx.origin) {
-                st.pending.reputation_drops += 1;
-                st.total.reputation_drops += 1;
-                return self.blocked_reply(probe);
-            }
-            let det = st.detectors.entry((ctx.src_ip, as_index)).or_default();
-            if g < det.blocked_until {
-                st.pending.blocked_probes += 1;
-                st.total.blocked_probes += 1;
-                return self.blocked_reply(probe);
-            }
-            if det.in_block {
-                det.in_block = false;
-                if let Some(hub) = self.telemetry {
-                    hub.emit(scope, ctx.time_s, EventKind::BlockEnded { as_index });
-                }
-            }
-            if g - det.window_start >= p.window_s {
-                det.window_start = g;
-                det.window_count = 0;
-            }
-            det.window_count += 1;
-            if det.window_count > p.window_probes {
-                det.level = (det.level + 1).min(p.max_level);
-                let exp = (det.level - 1).min(30) as i32;
-                let block_s = p.block_base_s * p.escalation.powi(exp);
-                det.blocked_until = g + block_s;
-                det.in_block = true;
-                det.window_count = 0;
-                let level = det.level;
-                st.pending.detections += 1;
-                st.total.detections += 1;
-                st.pending.blocked_probes += 1;
-                st.total.blocked_probes += 1;
-                let n = st.origin_detections.entry(ctx.origin).or_insert(0);
-                *n += 1;
-                let n = *n;
-                let mut listed_now = false;
-                if p.listing_threshold > 0
-                    && n >= p.listing_threshold
-                    && st.listed.insert(ctx.origin)
-                {
-                    st.pending.listings += 1;
-                    st.total.listings += 1;
-                    listed_now = true;
-                }
-                if let Some(hub) = self.telemetry {
-                    hub.emit(
-                        scope,
-                        ctx.time_s,
-                        EventKind::ScanDetected { as_index, level },
-                    );
-                    hub.emit(
-                        scope,
-                        ctx.time_s,
-                        EventKind::BlockStarted { as_index, block_s },
-                    );
-                    if listed_now {
-                        hub.emit(scope, ctx.time_s, EventKind::OriginListed { detections: n });
-                    }
-                }
-                return self.blocked_reply(probe);
-            }
+        if self.gate_blocks_probe(ctx) {
+            return self.blocked_reply(probe);
         }
         self.inner.syn(ctx, probe)
+    }
+
+    fn icmp(&self, ctx: &ProbeCtx, probe: &IcmpEcho) -> IcmpReply {
+        let p = &self.profile;
+        if p.window_probes == 0 && p.listing_threshold == 0 {
+            return self.inner.icmp(ctx, probe);
+        }
+        if self.gate_blocks_probe(ctx) {
+            // A visible defender refuses with an administratively-
+            // prohibited unreachable; a silent one just drops.
+            return if p.rst_on_block {
+                IcmpReply::Unreachable {
+                    code: CODE_ADMIN_PROHIBITED,
+                }
+            } else {
+                IcmpReply::Silent
+            };
+        }
+        self.inner.icmp(ctx, probe)
+    }
+
+    fn udp(&self, ctx: &ProbeCtx, payload: &[u8]) -> UdpReply {
+        let p = &self.profile;
+        if p.window_probes == 0 && p.listing_threshold == 0 {
+            return self.inner.udp(ctx, payload);
+        }
+        if self.gate_blocks_probe(ctx) {
+            return if p.rst_on_block {
+                UdpReply::PortUnreachable
+            } else {
+                UdpReply::Silent
+            };
+        }
+        self.inner.udp(ctx, payload)
     }
 
     fn l7(&self, ctx: &L7Ctx, request: &[u8]) -> L7Reply {
@@ -557,6 +606,41 @@ mod tests {
         ctx.src_ip = 0x0a00_0002;
         let _ = defended.syn(&ctx, &probe);
         assert_eq!(defended.stats().blocked_probes, before);
+    }
+
+    #[test]
+    fn detectors_count_every_probe_flavour() {
+        let world = WorldConfig::tiny(5).build();
+        let net = SimNet::new(&world, ORIGINS, DUR);
+        let mut prof = AggressionProfile::aggressive();
+        prof.listing_threshold = 0;
+        let defended = DefenderNet::new(&net, &world, prof, DUR);
+        let echo = IcmpEcho::request(1, 2);
+        // Mixed ICMP and DNS probes into one AS share one detector: an
+        // IDS counts packets, not TCP flags.
+        for i in 0..prof.window_probes + 1 {
+            let mut ctx = probe_ctx(i % 200, f64::from(i), 0, 0x0a00_0001);
+            if i % 2 == 0 {
+                ctx.protocol = Protocol::Icmp;
+                let _ = defended.icmp(&ctx, &echo);
+            } else {
+                ctx.protocol = Protocol::Dns;
+                let _ = defended.udp(&ctx, &[0u8; 12]);
+            }
+        }
+        assert_eq!(defended.stats().detections, 1);
+        // During the block, a visible defender refuses each flavour in
+        // its own wire vocabulary.
+        let mut ctx = probe_ctx(5, 120.0, 0, 0x0a00_0001);
+        ctx.protocol = Protocol::Icmp;
+        assert_eq!(
+            defended.icmp(&ctx, &echo),
+            IcmpReply::Unreachable {
+                code: CODE_ADMIN_PROHIBITED
+            }
+        );
+        ctx.protocol = Protocol::Dns;
+        assert_eq!(defended.udp(&ctx, &[0u8; 12]), UdpReply::PortUnreachable);
     }
 
     #[test]

@@ -33,9 +33,12 @@
 
 use crate::rng::{Det, Tag};
 use originscan_scanner::engine::{FaultAction, FaultCtx, FaultHook};
-use originscan_scanner::target::{L7Ctx, L7Reply, Network, ProbeCtx, SynReply};
+use originscan_scanner::target::{
+    IcmpReply, L7Ctx, L7Reply, Network, ProbeCtx, SynReply, UdpReply,
+};
 use originscan_telemetry::metrics::names;
 use originscan_telemetry::{EventKind, Scope, Telemetry};
+use originscan_wire::icmp::IcmpEcho;
 use originscan_wire::tcp::TcpHeader;
 
 /// A window of an origin's scan during which its network is unreachable.
@@ -337,6 +340,61 @@ impl<'a, N: Network + ?Sized> FaultyNet<'a, N> {
     pub fn plan(&self) -> &'a FaultPlan {
         self.plan
     }
+
+    /// Outage check shared by every probe flavour: updates outage
+    /// telemetry (only for origins the plan touches) and returns whether
+    /// this probe falls inside a dark window.
+    fn probe_outage(&self, ctx: &ProbeCtx) -> bool {
+        let dark = self
+            .plan
+            .in_outage(ctx.origin, ctx.trial, ctx.time_s / self.duration_s);
+        if let Some(hub) = self.telemetry {
+            if self.plan.has_outage(ctx.origin, ctx.trial) {
+                let scope = Scope::new(ctx.protocol.name(), ctx.trial, ctx.origin);
+                hub.outage_update(scope, ctx.time_s, dark);
+                if dark {
+                    hub.add(scope, names::FAULT_OUTAGE_SILENCED, 1);
+                }
+            }
+        }
+        dark
+    }
+
+    /// Duplication draw shared by every probe flavour: returns the
+    /// effective context (probe `i` may be re-asked as probe `i − 1`,
+    /// which *is* the earlier reply since the inner network is pure).
+    fn duplicated_ctx(&self, det: &Det, key: &[u64], t: &Tamper, ctx: &ProbeCtx) -> ProbeCtx {
+        let mut eff = *ctx;
+        if t.duplicate_p > 0.0
+            && ctx.probe_idx > 0
+            && det.bernoulli(Tag::FaultDuplicate, key, t.duplicate_p)
+        {
+            eff.probe_idx -= 1;
+            if let Some(hub) = self.telemetry {
+                let scope = Scope::new(ctx.protocol.name(), ctx.trial, ctx.origin);
+                hub.emit(
+                    scope,
+                    ctx.time_s,
+                    EventKind::ReplyDuplicated { addr: ctx.dst },
+                );
+                hub.add(scope, names::FAULT_REPLIES_DUPLICATED, 1);
+            }
+        }
+        eff
+    }
+
+    /// Record a reply the plan mangled (the scanner will reject it).
+    fn note_corruption(&self, ctx: &ProbeCtx) {
+        if let Some(hub) = self.telemetry {
+            let scope = Scope::new(ctx.protocol.name(), ctx.trial, ctx.origin);
+            hub.emit(
+                scope,
+                ctx.time_s,
+                EventKind::ReplyCorrupted { addr: ctx.dst },
+            );
+            hub.add(scope, names::FAULT_REPLIES_CORRUPTED, 1);
+        }
+    }
 }
 
 /// Mangle a validated reply so the scanner's stateless MAC check fails.
@@ -354,69 +412,86 @@ fn corrupt_reply(reply: SynReply) -> SynReply {
     }
 }
 
+/// Tamper-draw key for one probe.
+fn tamper_key(ctx: &ProbeCtx) -> [u64; 4] {
+    [
+        u64::from(ctx.dst),
+        u64::from(ctx.origin),
+        u64::from(ctx.trial),
+        u64::from(ctx.probe_idx),
+    ]
+}
+
 impl<N: Network + ?Sized> Network for FaultyNet<'_, N> {
     fn syn(&self, ctx: &ProbeCtx, probe: &TcpHeader) -> SynReply {
-        let dark = self
-            .plan
-            .in_outage(ctx.origin, ctx.trial, ctx.time_s / self.duration_s);
-        if let Some(hub) = self.telemetry {
-            if self.plan.has_outage(ctx.origin, ctx.trial) {
-                let scope = Scope::new(ctx.protocol.name(), ctx.trial, ctx.origin);
-                hub.outage_update(scope, ctx.time_s, dark);
-                if dark {
-                    hub.add(scope, names::FAULT_OUTAGE_SILENCED, 1);
-                }
-            }
-        }
-        if dark {
+        if self.probe_outage(ctx) {
             return SynReply::Silent;
         }
         let Some(t) = self.plan.tamper_for(ctx.origin, ctx.trial) else {
             return self.inner.syn(ctx, probe);
         };
         let det = Det::new(self.plan.seed);
-        let key = [
-            u64::from(ctx.dst),
-            u64::from(ctx.origin),
-            u64::from(ctx.trial),
-            u64::from(ctx.probe_idx),
-        ];
-        let mut eff = *ctx;
-        if t.duplicate_p > 0.0
-            && ctx.probe_idx > 0
-            && det.bernoulli(Tag::FaultDuplicate, &key, t.duplicate_p)
-        {
-            // Deliver a duplicate of the previous probe's reply instead:
-            // the inner network is a pure function of its context, so
-            // re-asking with probe_idx - 1 *is* that earlier reply.
-            eff.probe_idx -= 1;
-            if let Some(hub) = self.telemetry {
-                let scope = Scope::new(ctx.protocol.name(), ctx.trial, ctx.origin);
-                hub.emit(
-                    scope,
-                    ctx.time_s,
-                    EventKind::ReplyDuplicated { addr: ctx.dst },
-                );
-                hub.add(scope, names::FAULT_REPLIES_DUPLICATED, 1);
-            }
-        }
+        let key = tamper_key(ctx);
+        let eff = self.duplicated_ctx(&det, &key, t, ctx);
         let reply = self.inner.syn(&eff, probe);
         if t.corrupt_p > 0.0 && det.bernoulli(Tag::FaultCorrupt, &key, t.corrupt_p) {
             // Corrupting silence is a no-op; only record faults that
             // mangled an actual reply (each of which the scanner's
             // validation will reject).
             if !matches!(reply, SynReply::Silent) {
-                if let Some(hub) = self.telemetry {
-                    let scope = Scope::new(ctx.protocol.name(), ctx.trial, ctx.origin);
-                    hub.emit(
-                        scope,
-                        ctx.time_s,
-                        EventKind::ReplyCorrupted { addr: ctx.dst },
-                    );
-                    hub.add(scope, names::FAULT_REPLIES_CORRUPTED, 1);
-                }
+                self.note_corruption(ctx);
             }
             return corrupt_reply(reply);
+        }
+        reply
+    }
+
+    fn icmp(&self, ctx: &ProbeCtx, probe: &IcmpEcho) -> IcmpReply {
+        if self.probe_outage(ctx) {
+            return IcmpReply::Silent;
+        }
+        let Some(t) = self.plan.tamper_for(ctx.origin, ctx.trial) else {
+            return self.inner.icmp(ctx, probe);
+        };
+        let det = Det::new(self.plan.seed);
+        let key = tamper_key(ctx);
+        let eff = self.duplicated_ctx(&det, &key, t, ctx);
+        let reply = self.inner.icmp(&eff, probe);
+        if t.corrupt_p > 0.0 && det.bernoulli(Tag::FaultCorrupt, &key, t.corrupt_p) {
+            // Mangle the echoed identifier: the module's ident/seq
+            // validation rejects the reply.
+            if let IcmpReply::EchoReply { ident, seq } = reply {
+                self.note_corruption(ctx);
+                return IcmpReply::EchoReply {
+                    ident: ident.wrapping_add(0x5A5A),
+                    seq,
+                };
+            }
+        }
+        reply
+    }
+
+    fn udp(&self, ctx: &ProbeCtx, payload: &[u8]) -> UdpReply {
+        if self.probe_outage(ctx) {
+            return UdpReply::Silent;
+        }
+        let Some(t) = self.plan.tamper_for(ctx.origin, ctx.trial) else {
+            return self.inner.udp(ctx, payload);
+        };
+        let det = Det::new(self.plan.seed);
+        let key = tamper_key(ctx);
+        let eff = self.duplicated_ctx(&det, &key, t, ctx);
+        let reply = self.inner.udp(&eff, payload);
+        if t.corrupt_p > 0.0 && det.bernoulli(Tag::FaultCorrupt, &key, t.corrupt_p) {
+            // Flip the transaction id in the response header: the
+            // module's txid validation rejects the reply.
+            if let UdpReply::Data(mut bytes) = reply {
+                if let Some(b) = bytes.get_mut(0) {
+                    *b ^= 0x5A;
+                }
+                self.note_corruption(ctx);
+                return UdpReply::Data(bytes);
+            }
         }
         reply
     }
@@ -448,14 +523,18 @@ mod tests {
     const ORIGINS: &[OriginId] = &[OriginId::Us1, OriginId::Germany];
     const DUR: f64 = 75_600.0;
 
-    fn cfg(w: &crate::world::World, origin: u16) -> ScanConfig {
-        let mut c = ScanConfig::new(w.space(), Protocol::Http, 4242);
+    fn cfg_for(w: &crate::world::World, origin: u16, proto: Protocol) -> ScanConfig {
+        let mut c = ScanConfig::new(w.space(), proto, 4242);
         c.origin = origin;
         c.concurrent_origins = ORIGINS.len() as u8;
         // Pace so the whole scan (2 probes/address) spans exactly DUR —
         // outage fractions then line up with response timestamps.
         c.rate_pps = originscan_scanner::rate::rate_for_duration(w.space() * 2, DUR);
         c
+    }
+
+    fn cfg(w: &crate::world::World, origin: u16) -> ScanConfig {
+        cfg_for(w, origin, Protocol::Http)
     }
 
     #[test]
@@ -550,6 +629,35 @@ mod tests {
                 .map(|r| (r.addr, r.synack_mask))
                 .collect::<Vec<_>>(),
         );
+    }
+
+    #[test]
+    fn faults_strike_stateless_modules_too() {
+        let w = WorldConfig::tiny(7).build();
+        let net = SimNet::new(&w, ORIGINS, DUR);
+        let plan = FaultPlan::new(11)
+            .outage(0, 0, 0.25, 0.75)
+            .corrupt_replies(1, 0, 0.4);
+        let faulty = FaultyNet::new(&net, &plan, DUR);
+        // An outage window silences ICMP echo replies like SYN-ACKs.
+        let clean = run_scan(&net, &cfg_for(&w, 0, Protocol::Icmp)).unwrap();
+        let dark = run_scan(&faulty, &cfg_for(&w, 0, Protocol::Icmp)).unwrap();
+        assert!(dark.summary.l7_successes < clean.summary.l7_successes);
+        let (lo, hi) = (
+            0.25 * clean.summary.duration_s,
+            0.75 * clean.summary.duration_s,
+        );
+        assert!(dark
+            .records
+            .iter()
+            .all(|r| r.response_time_s < lo || r.response_time_s >= hi));
+        // Corrupted DNS responses fail txid validation instead of
+        // inventing resolvers.
+        let clean_dns = run_scan(&net, &cfg_for(&w, 1, Protocol::Dns)).unwrap();
+        let mangled = run_scan(&faulty, &cfg_for(&w, 1, Protocol::Dns)).unwrap();
+        assert_eq!(clean_dns.summary.validation_failures, 0);
+        assert!(mangled.summary.validation_failures > 0);
+        assert!(mangled.summary.l7_successes < clean_dns.summary.l7_successes);
     }
 
     #[test]

@@ -17,6 +17,8 @@ pub fn proto_key(p: Protocol) -> u64 {
         Protocol::Http => 80,
         Protocol::Https => 443,
         Protocol::Ssh => 22,
+        Protocol::Icmp => 1,
+        Protocol::Dns => 53,
     }
 }
 

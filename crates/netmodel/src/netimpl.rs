@@ -18,7 +18,11 @@ use crate::policy::defender::{self, DefenseQuery, Verdict};
 use crate::policy::{geo_restrict, maxstartups};
 use crate::rng::Tag;
 use crate::world::World;
-use originscan_scanner::target::{CloseKind, L7Ctx, L7Reply, Network, ProbeCtx, SynReply};
+use originscan_scanner::target::{
+    CloseKind, IcmpReply, L7Ctx, L7Reply, Network, ProbeCtx, SynReply, UdpReply,
+};
+use originscan_wire::dns;
+use originscan_wire::icmp::IcmpEcho;
 use originscan_wire::tcp::TcpHeader;
 
 /// The simulated network an experiment scans.
@@ -34,6 +38,13 @@ pub struct SimNet<'w> {
 /// Probability that an address hosting a *different* protocol's service
 /// answers this port with a RST (machine up, port closed).
 const CLOSED_PORT_RST_P: f64 = 0.20;
+
+/// Probability the last-hop router answers an ICMP echo to a missing
+/// machine with a host-unreachable message (most absences are silent).
+const ROUTER_UNREACHABLE_P: f64 = 0.15;
+
+/// ICMP destination-unreachable code for "host unreachable".
+const CODE_HOST_UNREACHABLE: u8 = 1;
 
 impl<'w> SimNet<'w> {
     /// Wrap a world for scanning by the given origin roster.
@@ -74,7 +85,9 @@ impl<'w> SimNet<'w> {
         let w = self.world;
         if !w.is_host(proto, addr) {
             // Machine may still exist running another service: closed port.
-            let other_service = Protocol::ALL
+            // Deliberately checks the paper's TCP trio only (the keyed
+            // draws below feed the byte-reproducible trio scans).
+            let other_service = originscan_scanner::probe::PAPER_PROTOCOLS
                 .into_iter()
                 .any(|p| p != proto && w.is_host(p, addr) && w.alive(p, addr, trial));
             if other_service
@@ -180,6 +193,138 @@ impl Network for SimNet<'_> {
         }
     }
 
+    fn icmp(&self, ctx: &ProbeCtx, probe: &IcmpEcho) -> IcmpReply {
+        let o = self.origin(ctx.origin);
+        let state = self.host_state(o, ctx.dst, Protocol::Icmp, ctx.trial, ctx.time_s);
+        match state {
+            HostState::Absent | HostState::ClosedPort => {
+                // The last-hop router answers for a fraction of missing
+                // machines; the rest time out silently.
+                if self.world.det().bernoulli(
+                    Tag::ClosedPort,
+                    &[2, u64::from(ctx.dst), host::proto_key(Protocol::Icmp)],
+                    ROUTER_UNREACHABLE_P,
+                ) {
+                    IcmpReply::Unreachable {
+                        code: CODE_HOST_UNREACHABLE,
+                    }
+                } else {
+                    IcmpReply::Silent
+                }
+            }
+            HostState::SilentlyFiltered | HostState::TransientlyDown => IcmpReply::Silent,
+            // An L7 filter acts above the transport: the machine still
+            // answers ping, just like it still completes TCP handshakes.
+            HostState::L7Filtered | HostState::Reachable { .. } => {
+                let drop_p = match state {
+                    HostState::Reachable { drop_p, .. } => drop_p,
+                    _ => 0.0,
+                };
+                // Stateless probes lose packets on both legs: the echo
+                // request and, independently, the echo reply.
+                if path::probe_drops(
+                    self.world,
+                    o,
+                    ctx.dst,
+                    Protocol::Icmp,
+                    ctx.trial,
+                    ctx.probe_idx,
+                    drop_p,
+                ) || path::stateless_reply_drops(
+                    self.world,
+                    o,
+                    ctx.dst,
+                    Protocol::Icmp,
+                    ctx.trial,
+                    ctx.probe_idx,
+                    drop_p,
+                ) {
+                    return IcmpReply::Silent;
+                }
+                IcmpReply::EchoReply {
+                    ident: probe.ident,
+                    seq: probe.seq,
+                }
+            }
+        }
+    }
+
+    fn udp(&self, ctx: &ProbeCtx, payload: &[u8]) -> UdpReply {
+        let w = self.world;
+        let o = self.origin(ctx.origin);
+        let state = self.host_state(o, ctx.dst, Protocol::Dns, ctx.trial, ctx.time_s);
+        match state {
+            HostState::Absent => UdpReply::Silent,
+            // Machine up, nothing bound to UDP/53: kernel sends ICMP
+            // port unreachable.
+            HostState::ClosedPort => UdpReply::PortUnreachable,
+            HostState::SilentlyFiltered | HostState::TransientlyDown | HostState::L7Filtered => {
+                UdpReply::Silent
+            }
+            HostState::Reachable { drop_p, .. } => {
+                if path::probe_drops(
+                    w,
+                    o,
+                    ctx.dst,
+                    Protocol::Dns,
+                    ctx.trial,
+                    ctx.probe_idx,
+                    drop_p,
+                ) {
+                    return UdpReply::Silent;
+                }
+                // A resolver ignores datagrams that do not parse as a
+                // single-question query.
+                if dns::parse_query(payload).is_err() {
+                    return UdpReply::Silent;
+                }
+                // UDP has no retransmission: the response leg is its own
+                // independent, origin-biased loss channel.
+                if path::stateless_reply_drops(
+                    w,
+                    o,
+                    ctx.dst,
+                    Protocol::Dns,
+                    ctx.trial,
+                    ctx.probe_idx,
+                    drop_p,
+                ) {
+                    return UdpReply::Silent;
+                }
+                // Resolver behaviour is a per-host attribute: most answer
+                // the A query, some return NXDOMAIN, closed resolvers
+                // refuse outside their client networks.
+                let u = w
+                    .det()
+                    .uniform(Tag::ServerAttr, &[u64::from(ctx.dst), 53, 0]);
+                let answers: Vec<u32>;
+                let rcode = if u < 0.70 {
+                    let n = 1 + w
+                        .det()
+                        .below(Tag::ServerAttr, &[u64::from(ctx.dst), 53, 1], 2);
+                    answers = (0..n)
+                        .map(|i| {
+                            w.det()
+                                .hash(Tag::ServerAttr, &[u64::from(ctx.dst), 53, 2 + i])
+                                as u32
+                        })
+                        .collect();
+                    dns::RCODE_NOERROR
+                } else if u < 0.85 {
+                    answers = Vec::new();
+                    dns::RCODE_NXDOMAIN
+                } else {
+                    answers = Vec::new();
+                    dns::RCODE_REFUSED
+                };
+                match dns::build_response(payload, rcode, &answers) {
+                    Ok(resp) => UdpReply::Data(resp),
+                    Err(_) => UdpReply::Silent,
+                }
+            }
+        }
+    }
+
     fn l7(&self, ctx: &L7Ctx, _request: &[u8]) -> L7Reply {
         let w = self.world;
         let o = self.origin(ctx.origin);
@@ -277,6 +422,9 @@ impl Network for SimNet<'_> {
                         L7Reply::Data(sh.emit(u64::from(addr)))
                     }
                     Protocol::Ssh => L7Reply::Data(host::ssh_banner(host::ssh_impl(w.det(), addr))),
+                    // Stateless modules terminate at the probe reply; the
+                    // engine never opens an L7 connection for them.
+                    Protocol::Icmp | Protocol::Dns => L7Reply::Timeout,
                 }
             }
         }
@@ -370,6 +518,74 @@ mod tests {
             .filter(|r| r.got_rst && !r.l4_responsive())
             .count();
         assert!(rst_only > 0, "expected some closed-port RSTs");
+    }
+
+    #[test]
+    fn icmp_scan_sees_most_ping_hosts_without_zgrab() {
+        let w = world();
+        let out = scan(&w, 4, Protocol::Icmp, 0); // US1
+        let deployed_alive = w
+            .hosts(Protocol::Icmp)
+            .iter()
+            .filter(|&&h| w.alive(Protocol::Icmp, h, 0))
+            .count();
+        let seen = out.records.iter().filter(|r| r.l7_success()).count();
+        let frac = seen as f64 / deployed_alive as f64;
+        assert!(frac > 0.80, "US1 pinged only {frac} of live ICMP hosts");
+        assert!(frac < 1.0, "some loss must occur");
+        // Stateless module: the positive probe reply is terminal, no
+        // ZGrab connection ever runs.
+        assert!(out.records.iter().all(|r| r.l7_attempts == 0));
+        // Router unreachables surface as validated negatives.
+        let negatives = out
+            .records
+            .iter()
+            .filter(|r| r.got_rst && !r.l4_responsive())
+            .count();
+        assert!(negatives > 0, "expected some host-unreachable answers");
+    }
+
+    #[test]
+    fn dns_scan_validated_and_deterministic() {
+        let w = world();
+        let a = scan(&w, 3, Protocol::Dns, 1); // Japan
+        let ok = a.records.iter().filter(|r| r.l7_success()).count();
+        assert!(ok > 0, "no validated DNS responses");
+        let live = w
+            .hosts(Protocol::Dns)
+            .iter()
+            .filter(|&&h| w.alive(Protocol::Dns, h, 1))
+            .count();
+        assert!(ok <= live);
+        assert!(a.records.iter().all(|r| r.l7_attempts == 0));
+        let b = scan(&w, 3, Protocol::Dns, 1);
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn stateless_scans_are_origin_biased_too() {
+        // Germany's broken Telecom Italia path (§4.2) extends to the
+        // stateless modules: persistent unreachability and heavy drop
+        // kill ICMP probes just like SYNs, while Brazil's clean path
+        // (TIM Brasil is a TI subsidiary) recovers nearly everything.
+        let w = world();
+        let ti = w.as_by_name("Telecom Italia").unwrap();
+        let lo = ti.first_slash24 * 256;
+        let hi = lo + ti.n_slash24 * 256;
+        let in_ti = |origin_idx: u16, trial: u8| {
+            scan(&w, origin_idx, Protocol::Icmp, trial)
+                .records
+                .iter()
+                .filter(|r| r.l7_success() && (lo..hi).contains(&r.addr))
+                .count()
+        };
+        let de: usize = (0..3).map(|t| in_ti(2, t)).sum();
+        let br: usize = (0..3).map(|t| in_ti(1, t)).sum();
+        assert!(br > 0, "Telecom Italia range has no pingable hosts");
+        assert!(
+            de < br,
+            "DE {de} should trail BR {br} inside Telecom Italia"
+        );
     }
 
     #[test]

@@ -230,6 +230,37 @@ pub fn probe_drops(
     )
 }
 
+/// Does the *reply* to a stateless UDP/ICMP probe drop on the way back?
+///
+/// Stateless probes have no retransmission, so the reply leg is a second
+/// independent loss channel on top of [`probe_drops`]. The rate is
+/// origin-biased: reply loss rides the same congested return paths that
+/// make an origin's forward drop high, so we scale the path's `drop_p` by
+/// a fixed factor rather than drawing an unrelated rate. Keyed with lead
+/// constant 3 to stay disjoint from the forward-drop stream (lead 2).
+pub fn stateless_reply_drops(
+    world: &World,
+    origin: OriginId,
+    addr: u32,
+    proto: Protocol,
+    trial: u8,
+    probe_idx: u8,
+    drop_p: f64,
+) -> bool {
+    world.det().bernoulli(
+        Tag::ProbeDrop,
+        &[
+            3,
+            origin.key(),
+            u64::from(addr),
+            proto_key(proto),
+            u64::from(trial),
+            u64::from(probe_idx),
+        ],
+        (drop_p * 0.6).min(0.5),
+    )
+}
+
 /// L7-only transient failure: the TCP handshake completes but the
 /// application exchange stalls or is torn down. §6 reports 70 % of
 /// transiently missed HTTP(S) hosts drop silently while 57 % of missed
@@ -379,6 +410,23 @@ mod tests {
             .map(|a| host_persistent_unreachable(&w, OriginId::Japan, a, 0.3))
             .collect();
         assert_ne!(au, jp);
+    }
+
+    #[test]
+    fn stateless_reply_loss_is_its_own_channel() {
+        let w = world();
+        // Same key material, different lead constant: the reply-leg draw
+        // must not mirror the forward-drop draw.
+        let fwd: Vec<bool> = (0..5000u32)
+            .map(|a| probe_drops(&w, OriginId::Us1, a, Protocol::Dns, 0, 0, 0.5))
+            .collect();
+        let rep: Vec<bool> = (0..5000u32)
+            .map(|a| stateless_reply_drops(&w, OriginId::Us1, a, Protocol::Dns, 0, 0, 0.5))
+            .collect();
+        assert_ne!(fwd, rep);
+        // Rate tracks drop_p * 0.6.
+        let rate = rep.iter().filter(|&&x| x).count() as f64 / 5000.0;
+        assert!((rate - 0.3).abs() < 0.03, "{rate}");
     }
 
     #[test]

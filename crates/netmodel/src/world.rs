@@ -28,6 +28,12 @@ pub struct WorldConfig {
     pub churn_alive_prob: f64,
     /// Global multiplier on per-category service densities.
     pub density_scale: f64,
+    /// Probability an address outside the TCP-trio union additionally
+    /// answers ICMP echo (every trio host always pings; this adds the
+    /// firewalled-but-pingable tail).
+    pub icmp_extra_density: f64,
+    /// Per-address density of DNS resolvers listening on UDP/53.
+    pub dns_density: f64,
     /// Ablation: replace correlated per-host transient loss with an
     /// equivalent i.i.d. per-probe drop (the assumption the original ZMap
     /// coverage estimate made, which §7 refutes).
@@ -42,6 +48,8 @@ impl WorldConfig {
             stable_host_fraction: 0.92,
             churn_alive_prob: 0.55,
             density_scale: 1.0,
+            icmp_extra_density: 0.02,
+            dns_density: 0.006,
             uniform_loss: false,
         }
     }
@@ -84,10 +92,11 @@ pub struct World {
     /// Geolocated country per /24 (includes multi-country mixes and
     /// anycast geolocation noise).
     slash24_country: Vec<Country>,
-    /// Sorted deployed addresses per protocol (HTTP, HTTPS, SSH).
-    hosts: [Vec<u32>; 3],
+    /// Sorted deployed addresses per protocol
+    /// (HTTP, HTTPS, SSH, ICMP, DNS).
+    hosts: [Vec<u32>; 5],
     /// Presence bitmaps per protocol, 1 bit per address.
-    bitmaps: [Vec<u64>; 3],
+    bitmaps: [Vec<u64>; 5],
     /// The deterministic hash stream.
     det: Det,
 }
@@ -97,6 +106,8 @@ fn proto_slot(p: Protocol) -> usize {
         Protocol::Http => 0,
         Protocol::Https => 1,
         Protocol::Ssh => 2,
+        Protocol::Icmp => 3,
+        Protocol::Dns => 4,
     }
 }
 
@@ -188,8 +199,8 @@ impl World {
 
         // --- Service deployment ------------------------------------------
         let space = u64::from(total) * 256;
-        let mut hosts: [Vec<u32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-        let mut bitmaps: [Vec<u64>; 3] =
+        let mut hosts: [Vec<u32>; 5] = std::array::from_fn(|_| Vec::new());
+        let mut bitmaps: [Vec<u64>; 5] =
             std::array::from_fn(|_| vec![0u64; space.div_ceil(64) as usize]);
         for s24 in 0..total {
             let a = &ases[slash24_as[s24 as usize] as usize];
@@ -201,6 +212,7 @@ impl World {
             ];
             for off in 0..256u32 {
                 let addr = s24 * 256 + off;
+                let mut any_tcp = false;
                 for (slot, p) in [Protocol::Http, Protocol::Https, Protocol::Ssh]
                     .into_iter()
                     .enumerate()
@@ -212,7 +224,34 @@ impl World {
                     ) {
                         hosts[slot].push(addr);
                         bitmaps[slot][(addr / 64) as usize] |= 1 << (addr % 64);
+                        any_tcp = true;
                     }
+                }
+                // ICMP echo: every machine that serves the TCP trio also
+                // answers ping, plus a firewalled-but-pingable tail.
+                // DNS/UDP resolvers are an independent (sparser) roster.
+                // Keyed draws (proto keys 1 and 53) cannot collide with
+                // the trio's 80/443/22, so the trio byte stream above is
+                // untouched by these additions.
+                let icmp = any_tcp
+                    || det.bernoulli(
+                        Tag::HostExists,
+                        &[u64::from(addr), host::proto_key(Protocol::Icmp)],
+                        config.icmp_extra_density,
+                    );
+                if icmp {
+                    let slot = proto_slot(Protocol::Icmp);
+                    hosts[slot].push(addr);
+                    bitmaps[slot][(addr / 64) as usize] |= 1 << (addr % 64);
+                }
+                if det.bernoulli(
+                    Tag::HostExists,
+                    &[u64::from(addr), host::proto_key(Protocol::Dns)],
+                    config.dns_density * config.density_scale,
+                ) {
+                    let slot = proto_slot(Protocol::Dns);
+                    hosts[slot].push(addr);
+                    bitmaps[slot][(addr / 64) as usize] |= 1 << (addr % 64);
                 }
             }
         }
@@ -298,7 +337,7 @@ impl World {
     /// with ordinary command-line tools.
     pub fn inventory_tsv(&self) -> String {
         let mut out = String::from(
-            "asn\tname\tcountry\tcategory\tslash24s\tgenerated\ttags\thttp\thttps\tssh\n",
+            "asn\tname\tcountry\tcategory\tslash24s\tgenerated\ttags\thttp\thttps\tssh\ticmp\tdns\n",
         );
         for a in &self.ases {
             let lo = a.first_slash24 * 256;
@@ -311,7 +350,7 @@ impl World {
             use std::fmt::Write as _;
             let _ = writeln!(
                 out,
-                "{}\t{}\t{}\t{:?}\t{}\t{}\t{:#06x}\t{}\t{}\t{}",
+                "{}\t{}\t{}\t{:?}\t{}\t{}\t{:#06x}\t{}\t{}\t{}\t{}\t{}",
                 a.asn,
                 a.name,
                 a.country,
@@ -322,6 +361,8 @@ impl World {
                 in_range(&self.hosts[0]),
                 in_range(&self.hosts[1]),
                 in_range(&self.hosts[2]),
+                in_range(&self.hosts[3]),
+                in_range(&self.hosts[4]),
             );
         }
         out
@@ -423,7 +464,12 @@ mod tests {
     #[test]
     fn host_lists_match_bitmaps() {
         let w = WorldConfig::tiny(3).build();
-        for p in Protocol::ALL {
+        // Registry-driven: covers every probe module's protocol, so a
+        // future module cannot silently miss world-generation coverage.
+        for p in originscan_scanner::probe::modules()
+            .iter()
+            .map(|m| m.protocol())
+        {
             let hosts = w.hosts(p);
             assert!(!hosts.is_empty(), "{p}: no hosts at tiny scale");
             assert!(hosts.windows(2).all(|w2| w2[0] < w2[1]), "sorted, unique");
@@ -505,17 +551,49 @@ mod tests {
         assert_eq!(lines.len(), w.ases.len() + 1);
         assert!(lines[0].starts_with("asn\tname"));
         // Per-AS host counts sum to the global totals.
-        let mut sums = [0usize; 3];
+        let mut sums = [0usize; 5];
         for l in &lines[1..] {
             let f: Vec<&str> = l.split('\t').collect();
-            assert_eq!(f.len(), 10, "{l}");
-            for (i, field) in f[7..10].iter().enumerate() {
+            assert_eq!(f.len(), 12, "{l}");
+            for (i, field) in f[7..12].iter().enumerate() {
                 sums[i] += field.parse::<usize>().unwrap();
             }
         }
         assert_eq!(sums[0], w.host_count(Protocol::Http));
         assert_eq!(sums[1], w.host_count(Protocol::Https));
         assert_eq!(sums[2], w.host_count(Protocol::Ssh));
+        assert_eq!(sums[3], w.host_count(Protocol::Icmp));
+        assert_eq!(sums[4], w.host_count(Protocol::Dns));
+    }
+
+    #[test]
+    fn icmp_population_supersets_the_tcp_trio() {
+        let w = WorldConfig::tiny(6).build();
+        for p in [Protocol::Http, Protocol::Https, Protocol::Ssh] {
+            for &h in w.hosts(p) {
+                assert!(w.is_host(Protocol::Icmp, h), "{h} serves {p} but no ping");
+            }
+        }
+        // The firewalled-but-pingable tail makes ICMP a strict superset.
+        let trio: std::collections::HashSet<u32> = [Protocol::Http, Protocol::Https, Protocol::Ssh]
+            .into_iter()
+            .flat_map(|p| w.hosts(p).iter().copied())
+            .collect();
+        assert!(
+            w.host_count(Protocol::Icmp) > trio.len(),
+            "no ping-only hosts generated"
+        );
+    }
+
+    #[test]
+    fn dns_population_present_and_sparse() {
+        let w = WorldConfig::tiny(8).build();
+        let dns = w.host_count(Protocol::Dns);
+        assert!(dns > 0, "no DNS resolvers at tiny scale");
+        assert!(
+            dns < w.host_count(Protocol::Http),
+            "resolvers should be sparser than web servers"
+        );
     }
 
     #[test]

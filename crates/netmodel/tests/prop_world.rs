@@ -26,7 +26,7 @@ proptest! {
     #[test]
     fn host_lists_well_formed(seed: u64) {
         let w = WorldConfig::tiny(seed).build();
-        for p in Protocol::ALL {
+        for p in originscan_scanner::probe::modules().iter().map(|m| m.protocol()) {
             let hosts = w.hosts(p);
             prop_assert!(hosts.windows(2).all(|x| x[0] < x[1]));
             prop_assert!(hosts.iter().all(|&h| u64::from(h) < w.space()));

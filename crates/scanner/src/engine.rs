@@ -28,14 +28,13 @@
 use crate::blocklist::Blocklist;
 use crate::cyclic::Cycle;
 use crate::error::{ConfigError, ScanError};
+use crate::probe::{module_for, ProbeModule, ProbeShot, ProbeVerdict};
 use crate::rate::{Pacer, PacerSnapshot};
 use crate::resilience::{AdaptivePolicy, Controller, ControllerState, Reaction};
-use crate::target::{L7Ctx, Network, ProbeCtx, Protocol, SynReply};
+use crate::target::{L7Ctx, Network, ProbeCtx, Protocol};
 use crate::zgrab::{self, L7Outcome};
 use originscan_telemetry::metrics::{self, names};
 use originscan_telemetry::{EventKind, MetricBatch, Scope, Telemetry, Tracer};
-use originscan_wire::ipv4::Ipv4Header;
-use originscan_wire::tcp::TcpHeader;
 use originscan_wire::validation::Validator;
 use std::sync::Mutex;
 
@@ -388,7 +387,7 @@ impl std::fmt::Debug for ScanSession<'_> {
 /// Execute one scan against `net` with no supervision: no fault hook, no
 /// checkpoints. Equivalent to [`run_scan_session`] with a default
 /// session.
-pub fn run_scan<N: Network + ?Sized>(net: &N, cfg: &ScanConfig) -> Result<ScanOutput, ScanError> {
+pub fn run_scan(net: &dyn Network, cfg: &ScanConfig) -> Result<ScanOutput, ScanError> {
     run_scan_session(net, cfg, ScanSession::default())
 }
 
@@ -466,14 +465,16 @@ struct AddrOutcome {
     last_t: f64,
 }
 
-/// Probe one address end to end: pace and send every SYN, validate
-/// replies, run the ZGrab follow-up, and append to `out`. Extracted from
-/// the main loop so the adaptive tail pass probes deferred addresses
-/// through the exact same path.
+/// Probe one address end to end: pace and send every probe through the
+/// scan's [`ProbeModule`], fold the module's verdicts into the record,
+/// run the ZGrab follow-up for stateful modules, and append to `out`.
+/// Extracted from the main loop so the adaptive tail pass probes
+/// deferred addresses through the exact same path.
 #[allow(clippy::too_many_arguments)]
-fn probe_address<N: Network + ?Sized>(
-    net: &N,
+fn probe_address(
+    net: &dyn Network,
     cfg: &ScanConfig,
+    module: &dyn ProbeModule,
     validator: &Validator,
     pacer: &mut Pacer,
     stall_s: f64,
@@ -483,7 +484,7 @@ fn probe_address<N: Network + ?Sized>(
     tracer: Option<&Tracer>,
 ) -> Result<AddrOutcome, ScanError> {
     out.summary.addresses_probed += 1;
-    let dport = cfg.protocol.port();
+    let dport = module.port();
     // ZMap spreads flows over source IPs/ports by address hash; an
     // adaptive scan pins the source to the controller's active one.
     let mix = (addr ^ (addr >> 16)).wrapping_mul(0x9E37_79B9);
@@ -499,15 +500,17 @@ fn probe_address<N: Network + ?Sized>(
     let mut got_rst = false;
     let mut response_time = 0.0f64;
     let mut last_t = 0.0f64;
-    let seq = validator.probe_seq(src_ip, addr, sport, dport);
+    let mut detail = None;
+    let shot = ProbeShot {
+        validator,
+        sport,
+        dport,
+        wire_check: cfg.wire_check,
+    };
     for probe_idx in 0..cfg.probes {
         let t = pacer.next_send_time() + stall_s + f64::from(probe_idx) * cfg.probe_delay_s;
         last_t = t;
         out.summary.probes_sent += 1;
-        let probe = TcpHeader::syn_probe(sport, dport, seq);
-        if cfg.wire_check && !wire_roundtrip(&probe, src_ip, addr) {
-            return Err(ScanError::WireCheck { addr });
-        }
         let ctx = ProbeCtx {
             origin: cfg.origin,
             src_ip,
@@ -517,55 +520,55 @@ fn probe_address<N: Network + ?Sized>(
             probe_idx,
             trial: cfg.trial,
         };
-        match net.syn(&ctx, &probe) {
-            SynReply::SynAck(h) => {
-                if validator.check_reply(&h, src_ip, addr) {
-                    if synack_mask == 0 && !got_rst {
-                        response_time = t;
-                    }
-                    synack_mask |= 1 << probe_idx;
-                    if cfg.wire_check && !wire_roundtrip(&h, addr, src_ip) {
-                        return Err(ScanError::WireCheck { addr });
-                    }
-                } else {
-                    out.summary.validation_failures += 1;
-                    if let Some(tr) = tracer {
-                        tr.instant_at("validate", t);
-                    }
+        match module.deliver(net, &shot, &ctx)? {
+            ProbeVerdict::Positive(d) => {
+                if synack_mask == 0 && !got_rst {
+                    response_time = t;
+                }
+                synack_mask |= 1 << probe_idx;
+                if detail.is_none() {
+                    detail = d;
                 }
             }
-            SynReply::Rst(h) => {
-                if validator.check_reply(&h, src_ip, addr) {
-                    if synack_mask == 0 && !got_rst {
-                        response_time = t;
-                    }
-                    got_rst = true;
-                } else {
-                    out.summary.validation_failures += 1;
-                    if let Some(tr) = tracer {
-                        tr.instant_at("validate", t);
-                    }
+            ProbeVerdict::Negative => {
+                if synack_mask == 0 && !got_rst {
+                    response_time = t;
+                }
+                got_rst = true;
+            }
+            ProbeVerdict::Invalid => {
+                out.summary.validation_failures += 1;
+                if let Some(tr) = tracer {
+                    tr.instant_at("validate", t);
                 }
             }
-            SynReply::Silent => {}
+            ProbeVerdict::Silent => {}
         }
     }
 
     if synack_mask != 0 {
         out.summary.synacks += u64::from(u32::from(synack_mask).count_ones());
-        // ZGrab follows up immediately on L4-responsive hosts.
-        let l7ctx = L7Ctx {
-            origin: cfg.origin,
-            src_ip,
-            dst: addr,
-            protocol: cfg.protocol,
-            time_s: response_time,
-            trial: cfg.trial,
-            attempt: 0,
-            concurrent_origins: cfg.concurrent_origins,
+        let (l7, l7_attempts) = match detail {
+            // Stateless module: the validated probe reply is already the
+            // terminal application result; no follow-up connection.
+            Some(d) => (L7Outcome::Success(d), 0),
+            None => {
+                // ZGrab follows up immediately on L4-responsive hosts.
+                let l7ctx = L7Ctx {
+                    origin: cfg.origin,
+                    src_ip,
+                    dst: addr,
+                    protocol: cfg.protocol,
+                    time_s: response_time,
+                    trial: cfg.trial,
+                    attempt: 0,
+                    concurrent_origins: cfg.concurrent_origins,
+                };
+                let grab = zgrab::grab(net, l7ctx, cfg.l7_retries);
+                (grab.outcome, grab.attempts)
+            }
         };
-        let grab = zgrab::grab(net, l7ctx, cfg.l7_retries);
-        if grab.outcome.is_success() {
+        if l7.is_success() {
             out.summary.l7_successes += 1;
         }
         out.records.push(HostScanRecord {
@@ -573,8 +576,8 @@ fn probe_address<N: Network + ?Sized>(
             synack_mask,
             got_rst,
             response_time_s: response_time,
-            l7: grab.outcome,
-            l7_attempts: grab.attempts,
+            l7,
+            l7_attempts,
         });
     } else if got_rst {
         out.records.push(HostScanRecord {
@@ -631,15 +634,18 @@ fn apply_reaction(
 /// Execute one scan against `net` under supervision: consult the fault
 /// hook before every address, periodically checkpoint resumable state,
 /// and optionally resume from a prior checkpoint.
-pub fn run_scan_session<N: Network + ?Sized>(
-    net: &N,
+pub fn run_scan_session(
+    net: &dyn Network,
     cfg: &ScanConfig,
     session: ScanSession<'_>,
 ) -> Result<ScanOutput, ScanError> {
     cfg.validate()?;
+    // The probe module is resolved once per scan; everything below is
+    // scenario-agnostic and threads the module through to delivery.
+    let module = module_for(cfg.protocol);
     let tele = Tele {
         hub: session.telemetry,
-        scope: Scope::new(cfg.protocol.name(), cfg.trial, cfg.origin),
+        scope: Scope::new(module.name(), cfg.trial, cfg.origin),
     };
     let cycle = Cycle::new(cfg.space, cfg.seed);
     let validator = Validator::from_seed(cfg.seed);
@@ -696,6 +702,9 @@ pub fn run_scan_session<N: Network + ?Sized>(
         // Permutation + validator setup (and any checkpoint
         // fast-forward) happened between scan start and the first send.
         tr.instant("permute");
+        // Mark which wire module drives this scan so traces from
+        // different scenarios are tellable apart at a glance.
+        tr.instant(module.wire_name());
     }
     let probe_guard = tracer.as_ref().map(|t| t.span("probe"));
 
@@ -794,6 +803,7 @@ pub fn run_scan_session<N: Network + ?Sized>(
                 probe_address(
                     net,
                     cfg,
+                    module,
                     &validator,
                     &mut pacer,
                     stall_s,
@@ -812,6 +822,7 @@ pub fn run_scan_session<N: Network + ?Sized>(
                 let o = probe_address(
                     net,
                     cfg,
+                    module,
                     &validator,
                     &mut pacer,
                     stall_s,
@@ -846,6 +857,7 @@ pub fn run_scan_session<N: Network + ?Sized>(
             probe_address(
                 net,
                 cfg,
+                module,
                 &validator,
                 &mut pacer,
                 stall_s,
@@ -897,25 +909,11 @@ pub fn run_scan_session<N: Network + ?Sized>(
     Ok(out)
 }
 
-/// Round-trip a TCP header through its byte encoding as a codec
-/// self-check; `false` means the encoding was lossy.
-fn wire_roundtrip(h: &TcpHeader, src: u32, dst: u32) -> bool {
-    let ip = Ipv4Header::for_tcp(src, dst, h.wire_len());
-    let ip_bytes = ip.emit();
-    let Ok(reparsed_ip) = Ipv4Header::parse(&ip_bytes) else {
-        return false;
-    };
-    if reparsed_ip != ip {
-        return false;
-    }
-    let tcp_bytes = h.emit(&ip);
-    matches!(TcpHeader::parse(&tcp_bytes, &ip), Ok(reparsed) if &reparsed == h)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::target::{CloseKind, L7Reply};
+    use crate::target::{CloseKind, L7Reply, SynReply};
+    use originscan_wire::tcp::TcpHeader;
 
     /// A toy network: addresses divisible by `live_mod` run the service;
     /// addresses divisible by `closed_mod` RST; everything else silent.
@@ -945,6 +943,8 @@ mod tests {
                     .emit(3),
                 ),
                 Protocol::Ssh => L7Reply::ConnClosed(CloseKind::FinAck),
+                // Stateless modules never open L7 connections.
+                Protocol::Icmp | Protocol::Dns => L7Reply::Timeout,
             }
         }
     }

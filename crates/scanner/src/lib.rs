@@ -16,7 +16,10 @@
 //! * [`target`] — the [`target::Network`] trait the scanner probes
 //!   through (implemented by `originscan-netmodel` for the simulated
 //!   Internet), plus probe/reply types.
-//! * [`engine`] — the scan loop: stateless validation-tagged SYNs,
+//! * [`probe`] — the probe-module plugin layer: a [`probe::ProbeModule`]
+//!   per scan scenario (TCP SYN for the paper's trio, ICMP echo, DNS
+//!   over UDP) with a registry, all sharing the permutation/pacing core.
+//! * [`engine`] — the scan loop: stateless validation-tagged probes,
 //!   validated-reply collection, L7 follow-up; plus supervised execution
 //!   with fault hooks and mid-permutation checkpoint/resume.
 //! * [`error`] — typed configuration and scan errors, so supervisors can
@@ -34,6 +37,7 @@ pub mod cyclic;
 pub mod engine;
 pub mod error;
 pub mod output;
+pub mod probe;
 pub mod rate;
 pub mod resilience;
 pub mod target;
@@ -47,5 +51,8 @@ pub use engine::{
 };
 pub use error::{ConfigError, ScanError};
 pub use output::OutputError;
-pub use target::{CloseKind, L7Ctx, L7Reply, Network, ProbeCtx, Protocol, SynReply};
+pub use probe::{ProbeModule, ProbeShot, ProbeVerdict, PAPER_PROTOCOLS};
+pub use target::{
+    CloseKind, IcmpReply, L7Ctx, L7Reply, Network, ProbeCtx, Protocol, SynReply, UdpReply,
+};
 pub use zgrab::{GrabResult, L7Detail, L7Outcome, SshSoftware};

@@ -32,6 +32,10 @@ pub fn to_csv(r: &HostScanRecord) -> String {
                 }
             ),
         ),
+        L7Outcome::Success(L7Detail::Icmp) => ("success", "icmp:echo".to_string()),
+        L7Outcome::Success(L7Detail::Dns { rcode, answers }) => {
+            ("success", format!("dns:{rcode}:{answers}"))
+        }
         L7Outcome::ConnClosed(CloseKind::Rst) => ("closed-rst", String::new()),
         L7Outcome::ConnClosed(CloseKind::FinAck) => ("closed-fin", String::new()),
         L7Outcome::Timeout => ("timeout", String::new()),
@@ -97,6 +101,19 @@ pub fn from_csv(line: &str) -> Option<HostScanRecord> {
                         _ => SshSoftware::Other,
                     },
                 }),
+                "icmp" => {
+                    if rest != "echo" {
+                        return None;
+                    }
+                    L7Outcome::Success(L7Detail::Icmp)
+                }
+                "dns" => {
+                    let (rcode, answers) = rest.split_once(':')?;
+                    L7Outcome::Success(L7Detail::Dns {
+                        rcode: rcode.parse().ok()?,
+                        answers: answers.parse().ok()?,
+                    })
+                }
                 _ => return None,
             }
         }
@@ -308,6 +325,25 @@ mod tests {
                 }),
                 l7_attempts: 2,
             },
+            HostScanRecord {
+                addr: 4,
+                synack_mask: 0b01,
+                got_rst: false,
+                response_time_s: 0.5,
+                l7: L7Outcome::Success(L7Detail::Icmp),
+                l7_attempts: 0,
+            },
+            HostScanRecord {
+                addr: 5,
+                synack_mask: 0b10,
+                got_rst: false,
+                response_time_s: 0.75,
+                l7: L7Outcome::Success(L7Detail::Dns {
+                    rcode: 0,
+                    answers: 2,
+                }),
+                l7_attempts: 0,
+            },
         ]
     }
 
@@ -343,9 +379,9 @@ mod tests {
             l7_attempts: 1,
         });
         let set = to_scan_set(&records);
-        assert_eq!(set.to_vec(), vec![2, 3, 0x0a000001, 0xc0a80101]);
+        assert_eq!(set.to_vec(), vec![2, 3, 4, 5, 0x0a000001, 0xc0a80101]);
         let one = to_scan_set_one_probe(&records);
-        assert_eq!(one.to_vec(), vec![2, 0x0a000001, 0xc0a80101]);
+        assert_eq!(one.to_vec(), vec![2, 4, 0x0a000001, 0xc0a80101]);
         assert_eq!(one.andnot_cardinality(&set), 0, "one-probe ⊆ two-probe");
     }
 
@@ -402,5 +438,8 @@ mod tests {
         assert!(from_csv("1.2.3.4,3,2,1.0,success,http:200,1").is_none());
         assert!(from_csv("1.2.3.4,3,0,1.0,success,ftp:21,1").is_none());
         assert!(from_csv("1.2.3.4,3,0,1.0,success,http:200,1,extra").is_none());
+        assert!(from_csv("1.2.3.4,3,0,1.0,success,icmp:ping,0").is_none());
+        assert!(from_csv("1.2.3.4,3,0,1.0,success,dns:0,0").is_none());
+        assert!(from_csv("1.2.3.4,3,0,1.0,success,dns:0:many,0").is_none());
     }
 }

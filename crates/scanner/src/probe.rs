@@ -1,0 +1,552 @@
+//! The probe-module plugin layer.
+//!
+//! Real ZMap is a table of pluggable probe modules — TCP SYN, ICMP
+//! echo, DNS, raw UDP payloads — sharing one permutation/pacing core.
+//! This module reproduces that shape: a [`ProbeModule`] owns probe
+//! construction, reply classification, and stateless validation for one
+//! scan scenario, while the engine keeps everything scenario-agnostic
+//! (address permutation, pacing, counters, checkpointing, the adaptive
+//! controller).
+//!
+//! # Determinism obligations
+//!
+//! A module's [`deliver`](ProbeModule::deliver) must be a pure function
+//! of the probe context and the network: no interior state, no clocks,
+//! no randomness of its own. All validation state is derived from the
+//! engine-owned [`Validator`] (ZMap's stateless MAC scheme), so a module
+//! never needs per-target memory. This is what keeps whole experiments
+//! byte-reproducible under the same seed.
+//!
+//! # Adding a module
+//!
+//! Implement [`ProbeModule`] on a unit struct, give it a stable
+//! [`name`](ProbeModule::name) (the store/telemetry protocol key) and
+//! [`wire_name`](ProbeModule::wire_name) (the ZMap-style module id),
+//! add a [`Protocol`] variant, and register the instance in
+//! [`modules`]. Everything downstream — per-module sweeps in `core`,
+//! store keys, `serve` queries, telemetry scopes — picks the module up
+//! from the registry.
+
+use crate::error::ScanError;
+use crate::target::{IcmpReply, Network, ProbeCtx, Protocol, SynReply, UdpReply};
+use crate::zgrab::L7Detail;
+use originscan_wire::icmp::IcmpEcho;
+use originscan_wire::ipv4::{PROTO_ICMP, PROTO_UDP};
+use originscan_wire::validation::Validator;
+use originscan_wire::{dns, udp, Ipv4Header, TcpHeader};
+
+/// The qname every DNS probe asks for (an A record, recursion desired).
+pub const DNS_PROBE_QNAME: &str = "origin-scan.example.com";
+
+/// The protocols of the paper's study: the TCP trio whose origin-bias
+/// results the reproduction targets. Use this where the *paper's
+/// roster* is really meant; iterate [`modules`] for every registered
+/// probe module.
+pub const PAPER_PROTOCOLS: [Protocol; 3] = [Protocol::Http, Protocol::Https, Protocol::Ssh];
+
+/// How a probe module classified one delivered probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeVerdict {
+    /// A validated positive reply (SYN-ACK, echo reply, DNS response).
+    /// Stateless modules attach the terminal application detail here;
+    /// stateful modules return `None` and let the ZGrab follow-up run.
+    Positive(Option<L7Detail>),
+    /// A validated negative reply (RST, ICMP unreachable): something is
+    /// there, but not the scanned service.
+    Negative,
+    /// A reply arrived but failed stateless validation (spoofed or
+    /// corrupted) — counted, never recorded.
+    Invalid,
+    /// No reply.
+    Silent,
+}
+
+/// Engine-owned state for one probe delivery: the validator plus the
+/// flow metadata the engine derived from the address hash.
+#[derive(Debug)]
+pub struct ProbeShot<'a> {
+    /// The scan's stateless validator (seeded per scan).
+    pub validator: &'a Validator,
+    /// Source port chosen for this flow.
+    pub sport: u16,
+    /// Destination port (the module's [`ProbeModule::port`]).
+    pub dport: u16,
+    /// Whether to round-trip probe/reply bytes through the wire codecs
+    /// as a self-check.
+    pub wire_check: bool,
+}
+
+/// One pluggable scan scenario: probe construction, reply
+/// classification, and wire metadata.
+pub trait ProbeModule: Sync + std::fmt::Debug {
+    /// Stable display name — the store/telemetry/serve protocol key
+    /// ("HTTP", "ICMP", ...).
+    fn name(&self) -> &'static str;
+
+    /// ZMap-style wire module id ("tcp_synscan", "icmp_echoscan", ...),
+    /// used as the span marker in traces.
+    fn wire_name(&self) -> &'static str;
+
+    /// The protocol this module scans.
+    fn protocol(&self) -> Protocol;
+
+    /// Destination port probed (0 where the protocol has none).
+    fn port(&self) -> u16;
+
+    /// True when a positive probe reply is already the terminal
+    /// application result (no ZGrab follow-up connection).
+    fn stateless(&self) -> bool;
+
+    /// Build this module's probe for `ctx`, deliver it to `net`, and
+    /// classify the reply.
+    fn deliver(
+        &self,
+        net: &dyn Network,
+        shot: &ProbeShot<'_>,
+        ctx: &ProbeCtx,
+    ) -> Result<ProbeVerdict, ScanError>;
+}
+
+/// Round-trip a TCP header through its byte encoding as a codec
+/// self-check; `false` means the encoding was lossy.
+pub(crate) fn tcp_wire_roundtrip(h: &TcpHeader, src: u32, dst: u32) -> bool {
+    let ip = Ipv4Header::for_tcp(src, dst, h.wire_len());
+    let ip_bytes = ip.emit();
+    let Ok(reparsed_ip) = Ipv4Header::parse(&ip_bytes) else {
+        return false;
+    };
+    if reparsed_ip != ip {
+        return false;
+    }
+    let tcp_bytes = h.emit(&ip);
+    matches!(TcpHeader::parse(&tcp_bytes, &ip), Ok(reparsed) if &reparsed == h)
+}
+
+/// The TCP SYN module backing the paper's HTTP/HTTPS/SSH scans.
+#[derive(Debug)]
+struct TcpSynModule {
+    name: &'static str,
+    protocol: Protocol,
+    port: u16,
+}
+
+impl ProbeModule for TcpSynModule {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn wire_name(&self) -> &'static str {
+        "tcp_synscan"
+    }
+    fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+    fn port(&self) -> u16 {
+        self.port
+    }
+    fn stateless(&self) -> bool {
+        false
+    }
+
+    fn deliver(
+        &self,
+        net: &dyn Network,
+        shot: &ProbeShot<'_>,
+        ctx: &ProbeCtx,
+    ) -> Result<ProbeVerdict, ScanError> {
+        let seq = shot
+            .validator
+            .probe_seq(ctx.src_ip, ctx.dst, shot.sport, shot.dport);
+        let probe = TcpHeader::syn_probe(shot.sport, shot.dport, seq);
+        if shot.wire_check && !tcp_wire_roundtrip(&probe, ctx.src_ip, ctx.dst) {
+            return Err(ScanError::WireCheck { addr: ctx.dst });
+        }
+        Ok(match net.syn(ctx, &probe) {
+            SynReply::SynAck(h) => {
+                if shot.validator.check_reply(&h, ctx.src_ip, ctx.dst) {
+                    if shot.wire_check && !tcp_wire_roundtrip(&h, ctx.dst, ctx.src_ip) {
+                        return Err(ScanError::WireCheck { addr: ctx.dst });
+                    }
+                    ProbeVerdict::Positive(None)
+                } else {
+                    ProbeVerdict::Invalid
+                }
+            }
+            SynReply::Rst(h) => {
+                if shot.validator.check_reply(&h, ctx.src_ip, ctx.dst) {
+                    ProbeVerdict::Negative
+                } else {
+                    ProbeVerdict::Invalid
+                }
+            }
+            SynReply::Silent => ProbeVerdict::Silent,
+        })
+    }
+}
+
+/// ICMP echo (ping): the validation MAC rides in identifier/sequence
+/// and the reply must mirror both.
+#[derive(Debug)]
+struct IcmpEchoModule;
+
+impl ProbeModule for IcmpEchoModule {
+    fn name(&self) -> &'static str {
+        "ICMP"
+    }
+    fn wire_name(&self) -> &'static str {
+        "icmp_echoscan"
+    }
+    fn protocol(&self) -> Protocol {
+        Protocol::Icmp
+    }
+    fn port(&self) -> u16 {
+        0
+    }
+    fn stateless(&self) -> bool {
+        true
+    }
+
+    fn deliver(
+        &self,
+        net: &dyn Network,
+        shot: &ProbeShot<'_>,
+        ctx: &ProbeCtx,
+    ) -> Result<ProbeVerdict, ScanError> {
+        // No ports on ICMP: the MAC binds only the address pair, split
+        // across the two 16-bit echo fields.
+        let mac = shot.validator.probe_seq(ctx.src_ip, ctx.dst, 0, 0);
+        let (ident, seq) = ((mac >> 16) as u16, mac as u16);
+        let probe = IcmpEcho::request(ident, seq);
+        if shot.wire_check && !icmp_wire_roundtrip(&probe, ctx.src_ip, ctx.dst) {
+            return Err(ScanError::WireCheck { addr: ctx.dst });
+        }
+        Ok(match net.icmp(ctx, &probe) {
+            IcmpReply::EchoReply { ident: ri, seq: rs } => {
+                if (ri, rs) == (ident, seq) {
+                    ProbeVerdict::Positive(Some(L7Detail::Icmp))
+                } else {
+                    ProbeVerdict::Invalid
+                }
+            }
+            IcmpReply::Unreachable { .. } => ProbeVerdict::Negative,
+            IcmpReply::Silent => ProbeVerdict::Silent,
+        })
+    }
+}
+
+/// Round-trip an ICMP echo message (and its IP header) through the wire
+/// codecs.
+fn icmp_wire_roundtrip(probe: &IcmpEcho, src: u32, dst: u32) -> bool {
+    let bytes = probe.emit();
+    let ip = Ipv4Header::for_proto(PROTO_ICMP, src, dst, bytes.len());
+    let Ok(reparsed_ip) = Ipv4Header::parse(&ip.emit()) else {
+        return false;
+    };
+    if reparsed_ip != ip {
+        return false;
+    }
+    matches!(IcmpEcho::parse(&bytes), Ok(reparsed) if &reparsed == probe)
+}
+
+/// DNS A-query over UDP/53: the validation MAC rides in the transaction
+/// id and the response must mirror it.
+#[derive(Debug)]
+struct DnsUdpModule;
+
+impl ProbeModule for DnsUdpModule {
+    fn name(&self) -> &'static str {
+        "DNS"
+    }
+    fn wire_name(&self) -> &'static str {
+        "dns_udpscan"
+    }
+    fn protocol(&self) -> Protocol {
+        Protocol::Dns
+    }
+    fn port(&self) -> u16 {
+        53
+    }
+    fn stateless(&self) -> bool {
+        true
+    }
+
+    fn deliver(
+        &self,
+        net: &dyn Network,
+        shot: &ProbeShot<'_>,
+        ctx: &ProbeCtx,
+    ) -> Result<ProbeVerdict, ScanError> {
+        let txid = shot
+            .validator
+            .probe_seq(ctx.src_ip, ctx.dst, shot.sport, shot.dport) as u16;
+        let Ok(query) = dns::a_query(txid, DNS_PROBE_QNAME) else {
+            // The fixed probe qname always encodes; treat a failure like
+            // any other codec self-check violation.
+            return Err(ScanError::WireCheck { addr: ctx.dst });
+        };
+        if shot.wire_check && !udp_wire_roundtrip(&query, shot, ctx) {
+            return Err(ScanError::WireCheck { addr: ctx.dst });
+        }
+        Ok(match net.udp(ctx, &query) {
+            UdpReply::Data(bytes) => match dns::parse_response(&bytes) {
+                Ok(r) if r.txid == txid => ProbeVerdict::Positive(Some(L7Detail::Dns {
+                    rcode: r.rcode,
+                    answers: u8::try_from(r.answers).unwrap_or(u8::MAX),
+                })),
+                _ => ProbeVerdict::Invalid,
+            },
+            UdpReply::PortUnreachable => ProbeVerdict::Negative,
+            UdpReply::Silent => ProbeVerdict::Silent,
+        })
+    }
+}
+
+/// Round-trip a UDP-encapsulated payload through the wire codecs.
+fn udp_wire_roundtrip(payload: &[u8], shot: &ProbeShot<'_>, ctx: &ProbeCtx) -> bool {
+    let ip = Ipv4Header::for_proto(
+        PROTO_UDP,
+        ctx.src_ip,
+        ctx.dst,
+        udp::HEADER_LEN + payload.len(),
+    );
+    let Ok(reparsed_ip) = Ipv4Header::parse(&ip.emit()) else {
+        return false;
+    };
+    if reparsed_ip != ip {
+        return false;
+    }
+    let datagram = udp::emit_datagram(shot.sport, shot.dport, payload, &ip);
+    match udp::parse_datagram(&datagram, &ip) {
+        Ok((h, body)) => (h.src_port, h.dst_port) == (shot.sport, shot.dport) && body == payload,
+        Err(_) => false,
+    }
+}
+
+static HTTP_MODULE: TcpSynModule = TcpSynModule {
+    name: "HTTP",
+    protocol: Protocol::Http,
+    port: 80,
+};
+static HTTPS_MODULE: TcpSynModule = TcpSynModule {
+    name: "HTTPS",
+    protocol: Protocol::Https,
+    port: 443,
+};
+static SSH_MODULE: TcpSynModule = TcpSynModule {
+    name: "SSH",
+    protocol: Protocol::Ssh,
+    port: 22,
+};
+static ICMP_MODULE: IcmpEchoModule = IcmpEchoModule;
+static DNS_MODULE: DnsUdpModule = DnsUdpModule;
+
+static MODULES: [&dyn ProbeModule; 5] = [
+    &HTTP_MODULE,
+    &HTTPS_MODULE,
+    &SSH_MODULE,
+    &ICMP_MODULE,
+    &DNS_MODULE,
+];
+
+/// Every registered probe module, paper protocols first.
+pub fn modules() -> &'static [&'static dyn ProbeModule] {
+    &MODULES
+}
+
+/// The module scanning `protocol`.
+pub fn module_for(protocol: Protocol) -> &'static dyn ProbeModule {
+    match protocol {
+        Protocol::Http => &HTTP_MODULE,
+        Protocol::Https => &HTTPS_MODULE,
+        Protocol::Ssh => &SSH_MODULE,
+        Protocol::Icmp => &ICMP_MODULE,
+        Protocol::Dns => &DNS_MODULE,
+    }
+}
+
+/// Look a module up by its stable name ("HTTP", "ICMP", ...); `None`
+/// for unregistered names.
+pub fn by_name(name: &str) -> Option<&'static dyn ProbeModule> {
+    modules().iter().copied().find(|m| m.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_consistent() {
+        let names: Vec<&str> = modules().iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["HTTP", "HTTPS", "SSH", "ICMP", "DNS"]);
+        for m in modules() {
+            assert_eq!(module_for(m.protocol()).name(), m.name());
+            assert_eq!(by_name(m.name()).map(|x| x.name()), Some(m.name()));
+            assert_eq!(m.protocol().name(), m.name());
+        }
+        assert!(by_name("GOPHER").is_none());
+        assert!(by_name("http").is_none(), "names are case-sensitive keys");
+    }
+
+    #[test]
+    fn paper_roster_is_the_stateful_tcp_trio() {
+        for p in PAPER_PROTOCOLS {
+            let m = module_for(p);
+            assert!(!m.stateless());
+            assert_eq!(m.wire_name(), "tcp_synscan");
+        }
+        assert!(module_for(Protocol::Icmp).stateless());
+        assert!(module_for(Protocol::Dns).stateless());
+    }
+
+    #[test]
+    fn wire_names_are_zmap_style() {
+        let wire: Vec<&str> = modules().iter().map(|m| m.wire_name()).collect();
+        assert_eq!(
+            wire,
+            vec![
+                "tcp_synscan",
+                "tcp_synscan",
+                "tcp_synscan",
+                "icmp_echoscan",
+                "dns_udpscan"
+            ]
+        );
+    }
+
+    /// A network answering every module positively with validated
+    /// replies, so module delivery can be exercised end to end.
+    #[derive(Debug)]
+    struct EchoAllNet;
+
+    impl Network for EchoAllNet {
+        fn syn(&self, _ctx: &ProbeCtx, probe: &TcpHeader) -> SynReply {
+            SynReply::SynAck(TcpHeader::syn_ack_reply(probe, 7))
+        }
+        fn l7(&self, _ctx: &crate::target::L7Ctx, _request: &[u8]) -> crate::target::L7Reply {
+            crate::target::L7Reply::Timeout
+        }
+        fn icmp(&self, _ctx: &ProbeCtx, probe: &IcmpEcho) -> IcmpReply {
+            IcmpReply::EchoReply {
+                ident: probe.ident,
+                seq: probe.seq,
+            }
+        }
+        fn udp(&self, _ctx: &ProbeCtx, payload: &[u8]) -> UdpReply {
+            match dns::build_response(payload, dns::RCODE_NOERROR, &[0x01010101]) {
+                Ok(resp) => UdpReply::Data(resp),
+                Err(_) => UdpReply::Silent,
+            }
+        }
+    }
+
+    fn shot<'a>(validator: &'a Validator, m: &dyn ProbeModule) -> ProbeShot<'a> {
+        ProbeShot {
+            validator,
+            sport: 40000,
+            dport: m.port(),
+            wire_check: true,
+        }
+    }
+
+    fn ctx(m: &dyn ProbeModule) -> ProbeCtx {
+        ProbeCtx {
+            origin: 0,
+            src_ip: 0x0a000001,
+            dst: 0x08080808,
+            protocol: m.protocol(),
+            time_s: 1.0,
+            probe_idx: 0,
+            trial: 0,
+        }
+    }
+
+    #[test]
+    fn every_module_delivers_a_validated_positive() {
+        let validator = Validator::from_seed(42);
+        let net = EchoAllNet;
+        for m in modules() {
+            let verdict = m
+                .deliver(&net, &shot(&validator, *m), &ctx(*m))
+                .unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+            match verdict {
+                ProbeVerdict::Positive(detail) => {
+                    assert_eq!(detail.is_some(), m.stateless(), "{}", m.name());
+                }
+                v => panic!("{}: expected positive, got {v:?}", m.name()),
+            }
+        }
+    }
+
+    /// A network that mirrors *wrong* validation state back.
+    #[derive(Debug)]
+    struct SpoofNet;
+
+    impl Network for SpoofNet {
+        fn syn(&self, _ctx: &ProbeCtx, probe: &TcpHeader) -> SynReply {
+            let mut h = TcpHeader::syn_ack_reply(probe, 7);
+            h.ack = h.ack.wrapping_add(1); // no longer seq+1
+            SynReply::SynAck(h)
+        }
+        fn l7(&self, _ctx: &crate::target::L7Ctx, _request: &[u8]) -> crate::target::L7Reply {
+            crate::target::L7Reply::Timeout
+        }
+        fn icmp(&self, _ctx: &ProbeCtx, probe: &IcmpEcho) -> IcmpReply {
+            IcmpReply::EchoReply {
+                ident: probe.ident.wrapping_add(1),
+                seq: probe.seq,
+            }
+        }
+        fn udp(&self, _ctx: &ProbeCtx, payload: &[u8]) -> UdpReply {
+            let Ok(mut q) = dns::parse_query(payload) else {
+                return UdpReply::Silent;
+            };
+            q.txid = q.txid.wrapping_add(1);
+            let Ok(spoofed) = dns::a_query(q.txid, &q.qname) else {
+                return UdpReply::Silent;
+            };
+            match dns::build_response(&spoofed, 0, &[]) {
+                Ok(resp) => UdpReply::Data(resp),
+                Err(_) => UdpReply::Silent,
+            }
+        }
+    }
+
+    #[test]
+    fn spoofed_replies_are_invalid_for_every_module() {
+        let validator = Validator::from_seed(7);
+        for m in modules() {
+            let verdict = m
+                .deliver(&SpoofNet, &shot(&validator, *m), &ctx(*m))
+                .unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+            assert_eq!(verdict, ProbeVerdict::Invalid, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn negative_replies_classify_as_negative() {
+        #[derive(Debug)]
+        struct RefuseNet;
+        impl Network for RefuseNet {
+            fn syn(&self, _ctx: &ProbeCtx, probe: &TcpHeader) -> SynReply {
+                SynReply::Rst(TcpHeader::rst_reply(probe))
+            }
+            fn l7(&self, _ctx: &crate::target::L7Ctx, _r: &[u8]) -> crate::target::L7Reply {
+                crate::target::L7Reply::Timeout
+            }
+            fn icmp(&self, _ctx: &ProbeCtx, _probe: &IcmpEcho) -> IcmpReply {
+                IcmpReply::Unreachable {
+                    code: originscan_wire::icmp::CODE_PORT_UNREACHABLE,
+                }
+            }
+            fn udp(&self, _ctx: &ProbeCtx, _payload: &[u8]) -> UdpReply {
+                UdpReply::PortUnreachable
+            }
+        }
+        let validator = Validator::from_seed(9);
+        for m in modules() {
+            let verdict = m
+                .deliver(&RefuseNet, &shot(&validator, *m), &ctx(*m))
+                .unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+            assert_eq!(verdict, ProbeVerdict::Negative, "{}", m.name());
+        }
+    }
+}

@@ -7,9 +7,10 @@
 //! which is what makes whole experiments reproducible and trivially
 //! parallelizable.
 
+use originscan_wire::icmp::IcmpEcho;
 use originscan_wire::tcp::TcpHeader;
 
-/// Scanned application protocols, with their well-known ports.
+/// Scanned protocols, one per registered probe module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Protocol {
     /// HTTP on TCP/80 (`GET /`).
@@ -18,27 +19,43 @@ pub enum Protocol {
     Https,
     /// SSH on TCP/22 (identification-string exchange).
     Ssh,
+    /// ICMP echo (ping); no port.
+    Icmp,
+    /// DNS A-query over UDP/53.
+    Dns,
 }
 
 impl Protocol {
     /// The destination port probed for this protocol.
+    #[deprecated(note = "ports are probe-module metadata now; use \
+                `probe::module_for(protocol).port()` so analyses do not \
+                hardcode wire assumptions")]
     pub fn port(self) -> u16 {
         match self {
             Protocol::Http => 80,
             Protocol::Https => 443,
             Protocol::Ssh => 22,
+            Protocol::Icmp => 0,
+            Protocol::Dns => 53,
         }
     }
 
     /// All protocols the study scans, in the paper's order.
+    #[deprecated(note = "hardcodes the paper's 3-protocol TCP roster; iterate \
+                `probe::modules()` for every registered module, or use \
+                `probe::PAPER_PROTOCOLS` where the paper's TCP trio is \
+                really meant")]
     pub const ALL: [Protocol; 3] = [Protocol::Http, Protocol::Https, Protocol::Ssh];
 
-    /// Short display name as used in the paper's tables.
+    /// Short display name as used in the paper's tables (and as the
+    /// store/telemetry protocol key).
     pub fn name(self) -> &'static str {
         match self {
             Protocol::Http => "HTTP",
             Protocol::Https => "HTTPS",
             Protocol::Ssh => "SSH",
+            Protocol::Icmp => "ICMP",
+            Protocol::Dns => "DNS",
         }
     }
 }
@@ -122,13 +139,57 @@ pub enum L7Reply {
     Timeout,
 }
 
-/// A probed network: answers SYNs and application handshakes.
+/// What came back in answer to an ICMP echo request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpReply {
+    /// An echo reply (the module validates ident/seq).
+    EchoReply {
+        /// Identifier mirrored from the request.
+        ident: u16,
+        /// Sequence mirrored from the request.
+        seq: u16,
+    },
+    /// A destination-unreachable message from the host or a router.
+    Unreachable {
+        /// ICMP unreachable code.
+        code: u8,
+    },
+    /// Nothing: host absent, probe or reply dropped, or filtered.
+    Silent,
+}
+
+/// What came back in answer to a UDP probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UdpReply {
+    /// Application payload bytes (e.g. a DNS response).
+    Data(Vec<u8>),
+    /// ICMP port unreachable: nothing listens on the port.
+    PortUnreachable,
+    /// Nothing: host absent, probe or reply dropped, or filtered.
+    Silent,
+}
+
+/// A probed network: answers probes and application handshakes.
+///
+/// ICMP and UDP delivery have `Silent` defaults so TCP-only networks
+/// (and test doubles) keep compiling unchanged; a network that models
+/// those probe modules overrides them.
 pub trait Network: Sync {
     /// Deliver `probe` (a SYN built by the engine) and return the reply.
     fn syn(&self, ctx: &ProbeCtx, probe: &TcpHeader) -> SynReply;
 
     /// Open a connection and send `request`; returns the server's answer.
     fn l7(&self, ctx: &L7Ctx, request: &[u8]) -> L7Reply;
+
+    /// Deliver an ICMP echo request and return the reply.
+    fn icmp(&self, _ctx: &ProbeCtx, _probe: &IcmpEcho) -> IcmpReply {
+        IcmpReply::Silent
+    }
+
+    /// Deliver a UDP payload and return the reply.
+    fn udp(&self, _ctx: &ProbeCtx, _payload: &[u8]) -> UdpReply {
+        UdpReply::Silent
+    }
 }
 
 #[cfg(test)]
@@ -137,15 +198,30 @@ mod tests {
 
     #[test]
     fn ports_match_paper() {
-        assert_eq!(Protocol::Http.port(), 80);
-        assert_eq!(Protocol::Https.port(), 443);
-        assert_eq!(Protocol::Ssh.port(), 22);
+        assert_eq!(crate::probe::module_for(Protocol::Http).port(), 80);
+        assert_eq!(crate::probe::module_for(Protocol::Https).port(), 443);
+        assert_eq!(crate::probe::module_for(Protocol::Ssh).port(), 22);
+        // The deprecated inherent port table must keep agreeing with the
+        // registry for as long as it exists.
+        #[allow(deprecated)]
+        for m in crate::probe::modules() {
+            assert_eq!(m.protocol().port(), m.port());
+        }
     }
 
     #[test]
     fn names_and_order() {
-        let names: Vec<&str> = Protocol::ALL.iter().map(|p| p.name()).collect();
+        let names: Vec<&str> = crate::probe::PAPER_PROTOCOLS
+            .iter()
+            .map(|p| p.name())
+            .collect();
         assert_eq!(names, vec!["HTTP", "HTTPS", "SSH"]);
+        #[allow(deprecated)]
+        {
+            assert_eq!(Protocol::ALL, crate::probe::PAPER_PROTOCOLS);
+        }
         assert_eq!(Protocol::Https.to_string(), "HTTPS");
+        assert_eq!(Protocol::Icmp.to_string(), "ICMP");
+        assert_eq!(Protocol::Dns.to_string(), "DNS");
     }
 }

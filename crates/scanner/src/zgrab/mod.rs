@@ -35,6 +35,16 @@ pub enum L7Detail {
         /// Coarse software classification.
         software: SshSoftware,
     },
+    /// ICMP echo reply (stateless module: the probe reply *is* the
+    /// terminal result; no follow-up connection exists).
+    Icmp,
+    /// DNS response facts (stateless module, like [`L7Detail::Icmp`]).
+    Dns {
+        /// Response code from the header.
+        rcode: u8,
+        /// Answer-record count (saturated at 255).
+        answers: u8,
+    },
 }
 
 /// Coarse classification of SSH server software (kept allocation-free;
@@ -115,6 +125,10 @@ fn dispatch<N: Network + ?Sized>(net: &N, ctx: &L7Ctx) -> L7Reply {
         Protocol::Http => http::request(ctx),
         Protocol::Https => tls::request(ctx),
         Protocol::Ssh => ssh::request(),
+        // Stateless probe modules never reach the ZGrab phase (their
+        // positive reply is already terminal); a stray call sends
+        // nothing rather than panicking.
+        Protocol::Icmp | Protocol::Dns => Vec::new(),
     };
     net.l7(ctx, &request)
 }
@@ -128,6 +142,9 @@ fn parse_reply(protocol: Protocol, reply: L7Reply) -> L7Outcome {
             Protocol::Http => http::parse(&bytes),
             Protocol::Https => tls::parse(&bytes),
             Protocol::Ssh => ssh::parse(&bytes),
+            // See dispatch(): unreachable for stateless modules, and
+            // any data here cannot be a valid connection-oriented reply.
+            Protocol::Icmp | Protocol::Dns => L7Outcome::ProtocolError,
         },
     }
 }
@@ -164,6 +181,8 @@ mod tests {
                         };
                         L7Reply::Data(sh.emit(1))
                     }
+                    // Stateless modules never open L7 connections.
+                    Protocol::Icmp | Protocol::Dns => L7Reply::Timeout,
                 }
             }
         }
@@ -200,7 +219,7 @@ mod tests {
 
     #[test]
     fn all_protocols_succeed_without_refusals() {
-        for p in Protocol::ALL {
+        for p in crate::probe::PAPER_PROTOCOLS {
             let net = FlakyNet {
                 refusals: 0,
                 calls: AtomicU8::new(0),

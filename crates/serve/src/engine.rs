@@ -329,6 +329,15 @@ impl QueryEngine {
         canonical: &str,
         tracer: Option<&Tracer>,
     ) -> Result<String, QueryError> {
+        // Protocol labels are the probe-module registry's namespace: a
+        // name no module owns is a client error, never a silently empty
+        // result. Registered modules with nothing stored still fall
+        // through to their 404s below.
+        if originscan_scanner::probe::by_name(q.proto()).is_none() {
+            return Err(QueryError::UnknownProtocol {
+                name: q.proto().to_string(),
+            });
+        }
         let mut o = JsonObj::new();
         o.field_str("query", q.kind());
         match q {

@@ -35,6 +35,14 @@ pub enum QueryError {
         /// What was wrong with its value.
         detail: String,
     },
+    /// The `proto=` label names no registered probe module. Distinct
+    /// from [`QueryError::NoOrigins`]: an unknown *name* is a client
+    /// error (400), while a known module with an empty store is an
+    /// empty *result* (404).
+    UnknownProtocol {
+        /// The unrecognized protocol label.
+        name: String,
+    },
     /// The store holds no entry for the requested key.
     KeyNotFound {
         /// Display form of the missing `(protocol, trial, origin)`.
@@ -67,6 +75,7 @@ impl QueryError {
             QueryError::UnknownQuery { .. } => "unknown-query",
             QueryError::MissingField { .. } => "missing-field",
             QueryError::BadField { .. } => "bad-field",
+            QueryError::UnknownProtocol { .. } => "unknown-protocol",
             QueryError::KeyNotFound { .. } => "key-not-found",
             QueryError::NoOrigins { .. } => "no-origins",
             QueryError::BadK { .. } => "bad-k",
@@ -83,6 +92,7 @@ impl QueryError {
             | QueryError::UnknownQuery { .. }
             | QueryError::MissingField { .. }
             | QueryError::BadField { .. }
+            | QueryError::UnknownProtocol { .. }
             | QueryError::BadK { .. } => 400,
             QueryError::KeyNotFound { .. } | QueryError::NoOrigins { .. } => 404,
             QueryError::Store(_) => 500,
@@ -97,6 +107,9 @@ impl fmt::Display for QueryError {
             QueryError::UnknownQuery { name } => write!(f, "unknown query kind `{name}`"),
             QueryError::MissingField { field } => write!(f, "missing required field `{field}`"),
             QueryError::BadField { field, detail } => write!(f, "bad field `{field}`: {detail}"),
+            QueryError::UnknownProtocol { name } => {
+                write!(f, "unknown protocol `{name}`: no registered probe module")
+            }
             QueryError::KeyNotFound { key } => write!(f, "no stored scan set for {key}"),
             QueryError::NoOrigins { proto, trial } => {
                 write!(f, "no origins stored for {proto}/trial{trial}")
@@ -161,6 +174,13 @@ mod tests {
                     detail: "not a number".into(),
                 },
                 "bad-field",
+                400,
+            ),
+            (
+                QueryError::UnknownProtocol {
+                    name: "GOPHER".into(),
+                },
+                "unknown-protocol",
                 400,
             ),
             (

@@ -297,6 +297,20 @@ impl Query {
         }
     }
 
+    /// The protocol label this query targets — a probe-module name,
+    /// checked against the registry before any store lookup.
+    pub fn proto(&self) -> &str {
+        match self {
+            Query::Coverage { proto, .. }
+            | Query::Union { proto, .. }
+            | Query::Diff { proto, .. }
+            | Query::Exclusive { proto, .. }
+            | Query::BestK { proto, .. }
+            | Query::Rank { proto, .. }
+            | Query::Member { proto, .. } => proto,
+        }
+    }
+
     /// The canonical spelling: fixed field order, origins sorted and
     /// de-duplicated. Two spellings of the same plan canonicalize
     /// identically, so they share one memo slot.

@@ -122,6 +122,42 @@ fn routes_and_statuses() {
 }
 
 #[test]
+fn unknown_protocol_is_a_400_not_an_empty_answer() {
+    let server =
+        Server::start(test_engine("unknown-proto"), None, ServerConfig::default()).expect("start");
+    let addr = server.local_addr();
+
+    // A label no probe module owns is a client error with its own typed
+    // kind, over both transports.
+    for q in [
+        "coverage proto=GOPHER trial=0 origins=0",
+        "member proto=http trial=0 origin=0 addr=1", // names are case-sensitive keys
+    ] {
+        let r = post_query(addr, q);
+        assert_eq!(status_of(&r), 400, "{q}: {r}");
+        assert!(
+            body_of(&r).contains("\"error\":\"unknown-protocol\""),
+            "{q}: {r}"
+        );
+    }
+    let r = get(addr, "/query?q=best-k+proto%3DGOPHER+trial%3D0+k%3D2");
+    assert_eq!(status_of(&r), 400, "{r}");
+    assert!(
+        body_of(&r).contains("\"error\":\"unknown-protocol\""),
+        "{r}"
+    );
+
+    // Registered modules with an empty store stay 404s: the new ICMP
+    // and DNS names are queryable, not client errors.
+    for proto in ["ICMP", "DNS"] {
+        let r = post_query(addr, &format!("coverage proto={proto} trial=0 origins=0"));
+        assert_eq!(status_of(&r), 404, "{proto}: {r}");
+        assert!(body_of(&r).contains("\"error\":\"no-origins\""), "{r}");
+    }
+    server.shutdown();
+}
+
+#[test]
 fn oversized_requests_get_413() {
     let cfg = ServerConfig {
         max_request_bytes: 512,

@@ -54,6 +54,7 @@ const QUERIES: &[&str] = &[
     "frobnicate proto=HTTP trial=0",
     "member proto=HTTP trial=0 origin=9 addr=1",
     "union proto=DNS trial=0 origins=0",
+    "coverage proto=GOPHER trial=0 origins=0",
     "best-k proto=HTTP trial=0 k=99",
 ];
 

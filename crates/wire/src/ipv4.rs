@@ -1,9 +1,10 @@
 //! IPv4 header construction and parsing.
 //!
-//! Only the fields a TCP SYN scanner touches are modelled; options are
-//! intentionally unsupported (ZMap never sends them, and the simulated
-//! network never generates them).
+//! Only the fields the scanner's probe modules touch are modelled;
+//! options are intentionally unsupported (ZMap never sends them, and
+//! the simulated network never generates them).
 
+use crate::bytes::{be16, be32, byte};
 use crate::checksum::{self, Accumulator};
 use crate::ParseError;
 
@@ -13,8 +14,14 @@ pub const HEADER_LEN: usize = 20;
 /// Default TTL used by the scanner (matches ZMap's default of 255).
 pub const DEFAULT_TTL: u8 = 255;
 
+/// Protocol number for ICMP.
+pub const PROTO_ICMP: u8 = 1;
+
 /// Protocol number for TCP.
 pub const PROTO_TCP: u8 = 6;
+
+/// Protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
 
 /// A parsed or to-be-serialized IPv4 header (no options).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,16 +41,22 @@ pub struct Ipv4Header {
 }
 
 impl Ipv4Header {
-    /// Build a header for a TCP datagram carrying `payload_len` bytes.
-    pub fn for_tcp(src: u32, dst: u32, payload_len: usize) -> Self {
+    /// Build a header for a datagram of `protocol` carrying
+    /// `payload_len` bytes.
+    pub fn for_proto(protocol: u8, src: u32, dst: u32, payload_len: usize) -> Self {
         Self {
             total_len: (HEADER_LEN + payload_len) as u16,
             ident: 0,
             ttl: DEFAULT_TTL,
-            protocol: PROTO_TCP,
+            protocol,
             src,
             dst,
         }
+    }
+
+    /// Build a header for a TCP datagram carrying `payload_len` bytes.
+    pub fn for_tcp(src: u32, dst: u32, payload_len: usize) -> Self {
+        Self::for_proto(PROTO_TCP, src, dst, payload_len)
     }
 
     /// Serialize into exactly [`HEADER_LEN`] bytes with a valid checksum.
@@ -66,27 +79,26 @@ impl Ipv4Header {
 
     /// Parse and checksum-verify a header from the front of `buf`.
     pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
-        if buf.len() < HEADER_LEN {
-            return Err(ParseError::Truncated);
-        }
-        if buf[0] >> 4 != 4 {
+        let header = buf.get(..HEADER_LEN).ok_or(ParseError::Truncated)?;
+        let version_ihl = byte(header, 0)?;
+        if version_ihl >> 4 != 4 {
             return Err(ParseError::Malformed);
         }
-        let ihl = usize::from(buf[0] & 0x0f) * 4;
+        let ihl = usize::from(version_ihl & 0x0f) * 4;
         if ihl != HEADER_LEN {
             // Options unsupported by design.
             return Err(ParseError::Malformed);
         }
-        if !checksum::verify(&buf[..HEADER_LEN]) {
+        if !checksum::verify(header) {
             return Err(ParseError::BadChecksum);
         }
         Ok(Self {
-            total_len: u16::from_be_bytes([buf[2], buf[3]]),
-            ident: u16::from_be_bytes([buf[4], buf[5]]),
-            ttl: buf[8],
-            protocol: buf[9],
-            src: u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]),
-            dst: u32::from_be_bytes([buf[16], buf[17], buf[18], buf[19]]),
+            total_len: be16(header, 2)?,
+            ident: be16(header, 4)?,
+            ttl: byte(header, 8)?,
+            protocol: byte(header, 9)?,
+            src: be32(header, 12)?,
+            dst: be32(header, 16)?,
         })
     }
 
@@ -160,6 +172,19 @@ mod tests {
         let mut bytes = Ipv4Header::for_tcp(1, 2, 0).emit();
         bytes[0] = 0x65;
         assert_eq!(Ipv4Header::parse(&bytes), Err(ParseError::Malformed));
+    }
+
+    #[test]
+    fn proto_constructors_agree() {
+        assert_eq!(
+            Ipv4Header::for_tcp(1, 2, 8),
+            Ipv4Header::for_proto(PROTO_TCP, 1, 2, 8)
+        );
+        for proto in [PROTO_ICMP, PROTO_UDP] {
+            let h = Ipv4Header::for_proto(proto, 0x0a000001, 0x08080808, 8);
+            assert_eq!(h.protocol, proto);
+            assert_eq!(Ipv4Header::parse(&h.emit()).unwrap(), h);
+        }
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! * [`tcp`] — TCP header construction and parsing, including the SYN
 //!   probes ZMap emits (MSS option) and the checksum over the IPv4
 //!   pseudo-header.
+//! * [`icmp`] — ICMP echo request/reply and destination-unreachable
+//!   messages, with the validation MAC carried in identifier/sequence.
+//! * [`udp`] — UDP datagrams with the pseudo-header checksum, carrying
+//!   the DNS probe payloads.
+//! * [`dns`] — a minimal DNS codec: the A-record query the DNS probe
+//!   module sends (transaction id as validation MAC) and response
+//!   parsing/construction.
 //! * [`validation`] — ZMap's stateless *validation* scheme: the scanner
 //!   keeps no per-target state, so it encodes a MAC of the flow 4-tuple in
 //!   the SYN's sequence number and verifies `ack = seq + 1` on the
@@ -32,16 +39,21 @@
 #![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
+mod bytes;
 pub mod checksum;
+pub mod dns;
 pub mod http;
+pub mod icmp;
 pub mod ipv4;
 pub mod pcap;
 pub mod siphash;
 pub mod ssh;
 pub mod tcp;
 pub mod tls;
+pub mod udp;
 pub mod validation;
 
+pub use icmp::IcmpEcho;
 pub use ipv4::Ipv4Header;
 pub use tcp::{TcpFlags, TcpHeader};
 pub use validation::Validator;

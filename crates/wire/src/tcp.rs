@@ -4,6 +4,7 @@
 //! option (as ZMap sends), and parsing of SYN-ACK / RST / FIN-ACK replies,
 //! with checksums computed over the IPv4 pseudo-header.
 
+use crate::bytes::{be16, be32, byte};
 use crate::ipv4::Ipv4Header;
 use crate::ParseError;
 
@@ -144,24 +145,27 @@ impl TcpHeader {
     /// Serialize, computing the checksum over `ip`'s pseudo-header.
     pub fn emit(&self, ip: &Ipv4Header) -> Vec<u8> {
         let len = self.wire_len();
-        let mut b = vec![0u8; len];
-        b[0..2].copy_from_slice(&self.src_port.to_be_bytes());
-        b[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
-        b[4..8].copy_from_slice(&self.seq.to_be_bytes());
-        b[8..12].copy_from_slice(&self.ack.to_be_bytes());
-        b[12] = ((len / 4) as u8) << 4;
-        b[13] = self.flags.0;
-        b[14..16].copy_from_slice(&self.window.to_be_bytes());
-        // checksum at [16..18]
+        let mut b = Vec::with_capacity(len);
+        b.extend_from_slice(&self.src_port.to_be_bytes());
+        b.extend_from_slice(&self.dst_port.to_be_bytes());
+        b.extend_from_slice(&self.seq.to_be_bytes());
+        b.extend_from_slice(&self.ack.to_be_bytes());
+        b.push(((len / 4) as u8) << 4);
+        b.push(self.flags.0);
+        b.extend_from_slice(&self.window.to_be_bytes());
+        b.extend_from_slice(&[0, 0]); // checksum, patched below
+        b.extend_from_slice(&[0, 0]); // urgent pointer
         if let Some(mss) = self.mss {
-            b[20] = 2; // kind: MSS
-            b[21] = 4; // length
-            b[22..24].copy_from_slice(&mss.to_be_bytes());
+            b.push(2); // kind: MSS
+            b.push(4); // length
+            b.extend_from_slice(&mss.to_be_bytes());
         }
         let mut acc = ip.pseudo_header_sum(len as u16);
         acc.add_bytes(&b);
         let csum = acc.finish();
-        b[16..18].copy_from_slice(&csum.to_be_bytes());
+        if let Some(field) = b.get_mut(16..18) {
+            field.copy_from_slice(&csum.to_be_bytes());
+        }
         b
     }
 
@@ -170,7 +174,7 @@ impl TcpHeader {
         if buf.len() < HEADER_LEN {
             return Err(ParseError::Truncated);
         }
-        let data_off = usize::from(buf[12] >> 4) * 4;
+        let data_off = usize::from(byte(buf, 12)? >> 4) * 4;
         if data_off < HEADER_LEN || data_off > buf.len() {
             return Err(ParseError::Malformed);
         }
@@ -185,38 +189,34 @@ impl TcpHeader {
             return Err(ParseError::BadChecksum);
         }
         let mut mss = None;
-        let mut opts = &buf[HEADER_LEN..data_off];
-        while !opts.is_empty() {
-            match opts[0] {
-                0 => break,             // end of options
-                1 => opts = &opts[1..], // NOP
-                2 => {
-                    if opts.len() < 4 || opts[1] != 4 {
-                        return Err(ParseError::Malformed);
-                    }
-                    mss = Some(u16::from_be_bytes([opts[2], opts[3]]));
-                    opts = &opts[4..];
+        let mut opts = buf.get(HEADER_LEN..data_off).ok_or(ParseError::Malformed)?;
+        loop {
+            match *opts {
+                [] | [0, ..] => break,             // done / end-of-options
+                [1, ref rest @ ..] => opts = rest, // NOP
+                [2, 4, hi, lo, ref rest @ ..] => {
+                    mss = Some(u16::from_be_bytes([hi, lo]));
+                    opts = rest;
                 }
-                _ => {
+                [2, ..] => return Err(ParseError::Malformed),
+                [_, l, ref rest @ ..] => {
                     // Unknown option: skip by its length byte.
-                    if opts.len() < 2 {
+                    let skip = usize::from(l);
+                    if skip < 2 {
                         return Err(ParseError::Malformed);
                     }
-                    let l = usize::from(opts[1]);
-                    if l < 2 || l > opts.len() {
-                        return Err(ParseError::Malformed);
-                    }
-                    opts = &opts[l..];
+                    opts = rest.get(skip - 2..).ok_or(ParseError::Malformed)?;
                 }
+                [_] => return Err(ParseError::Malformed),
             }
         }
         Ok(Self {
-            src_port: u16::from_be_bytes([buf[0], buf[1]]),
-            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
-            seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
-            ack: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
-            flags: TcpFlags(buf[13]),
-            window: u16::from_be_bytes([buf[14], buf[15]]),
+            src_port: be16(buf, 0)?,
+            dst_port: be16(buf, 2)?,
+            seq: be32(buf, 4)?,
+            ack: be32(buf, 8)?,
+            flags: TcpFlags(byte(buf, 13)?),
+            window: be16(buf, 14)?,
             mss,
         })
     }

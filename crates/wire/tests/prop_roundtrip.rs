@@ -5,11 +5,13 @@
 #![cfg(feature = "proptest")]
 
 use originscan_wire::http::StatusLine;
-use originscan_wire::ipv4::Ipv4Header;
+use originscan_wire::icmp::{IcmpEcho, IcmpUnreachable};
+use originscan_wire::ipv4::{Ipv4Header, PROTO_UDP};
 use originscan_wire::ssh::ServerIdent;
 use originscan_wire::tcp::{TcpFlags, TcpHeader};
 use originscan_wire::tls::{ServerHello, CHROME_TLS12_SUITES, VERSION_TLS12};
 use originscan_wire::validation::Validator;
+use originscan_wire::{dns, udp};
 use proptest::prelude::*;
 
 proptest! {
@@ -110,6 +112,104 @@ proptest! {
     }
 
     #[test]
+    fn icmp_echo_roundtrip(ident: u16, seq: u16, reply: bool) {
+        let m = IcmpEcho { reply, ident, seq };
+        prop_assert_eq!(IcmpEcho::parse(&m.emit()).unwrap(), m);
+    }
+
+    #[test]
+    fn icmp_single_bit_corruption_detected(ident: u16, seq: u16, bit in 0usize..64) {
+        // The one's-complement checksum (or a structural check, for
+        // flips in the type/code bytes) must reject every single-bit
+        // flip in the 8-byte echo message.
+        let mut bytes = IcmpEcho::request(ident, seq).emit();
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(IcmpEcho::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn icmp_unreachable_roundtrip(
+        code in 0u8..16,
+        quoted in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let m = IcmpUnreachable::new(code, &quoted);
+        prop_assert_eq!(IcmpUnreachable::parse(&m.emit()).unwrap(), m);
+    }
+
+    #[test]
+    fn udp_datagram_roundtrip(
+        src: u32, dst: u32,
+        sport: u16, dport: u16,
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let ip = Ipv4Header::for_proto(PROTO_UDP, src, dst, udp::HEADER_LEN + payload.len());
+        let bytes = udp::emit_datagram(sport, dport, &payload, &ip);
+        let (h, body) = udp::parse_datagram(&bytes, &ip).unwrap();
+        prop_assert_eq!((h.src_port, h.dst_port), (sport, dport));
+        prop_assert_eq!(usize::from(h.len), bytes.len());
+        prop_assert_eq!(body, &payload[..]);
+    }
+
+    #[test]
+    fn udp_single_bit_corruption_detected(
+        sport: u16,
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        bit_seed: u32,
+    ) {
+        // The pseudo-header checksum covers ports, length, and payload:
+        // any single-bit flip anywhere in the datagram must be rejected
+        // (a flip in the length field additionally trips the structural
+        // truncation checks).
+        let ip = Ipv4Header::for_proto(PROTO_UDP, 1, 2, udp::HEADER_LEN + payload.len());
+        let mut bytes = udp::emit_datagram(sport, 53, &payload, &ip);
+        let bit = (bit_seed as usize) % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(udp::parse_datagram(&bytes, &ip).is_err());
+    }
+
+    #[test]
+    fn dns_query_roundtrip(txid: u16, label in "[a-z0-9-]{1,20}") {
+        let name = format!("{label}.example.com");
+        let q = dns::a_query(txid, &name).unwrap();
+        let parsed = dns::parse_query(&q).unwrap();
+        prop_assert_eq!(parsed.txid, txid);
+        prop_assert_eq!(parsed.qname, name);
+        prop_assert_eq!(parsed.qtype, dns::QTYPE_A);
+    }
+
+    #[test]
+    fn dns_response_roundtrip_validates_txid(
+        txid: u16,
+        rcode in 0u8..16,
+        answers in proptest::collection::vec(any::<u32>(), 0..8),
+        delta in 1u16..=u16::MAX,
+    ) {
+        // ZMap-style stateless validation: the response mirrors the
+        // query's txid exactly; any other txid must be distinguishable.
+        let q = dns::a_query(txid, "origin-scan.example.com").unwrap();
+        let resp = dns::build_response(&q, rcode, &answers).unwrap();
+        let parsed = dns::parse_response(&resp).unwrap();
+        prop_assert_eq!(parsed.txid, txid);
+        prop_assert_eq!(parsed.rcode, rcode & 0x0f);
+        prop_assert_eq!(usize::from(parsed.answers), answers.len());
+        prop_assert_ne!(parsed.txid, txid.wrapping_add(delta));
+    }
+
+    #[test]
+    fn dns_truncated_responses_never_panic(
+        answers in proptest::collection::vec(any::<u32>(), 0..4),
+        cut in 0usize..64,
+    ) {
+        // Chopping a valid response anywhere must yield a clean error
+        // (or a shorter-but-structurally-valid parse), never a panic.
+        let q = dns::a_query(7, "origin-scan.example.com").unwrap();
+        let resp = dns::build_response(&q, dns::RCODE_NOERROR, &answers).unwrap();
+        let cut = cut.min(resp.len());
+        let _ = dns::parse_response(&resp[..cut]);
+        let _ = dns::parse_query(&resp[..cut]);
+    }
+
+    #[test]
     fn truncated_buffers_never_panic(data in proptest::collection::vec(any::<u8>(), 0..64)) {
         // Parsers must reject or accept, never panic, on arbitrary bytes.
         let _ = Ipv4Header::parse(&data);
@@ -118,5 +218,11 @@ proptest! {
         let _ = ServerHello::parse(&data);
         let ip = Ipv4Header::for_tcp(1, 2, data.len());
         let _ = TcpHeader::parse(&data, &ip);
+        let _ = IcmpEcho::parse(&data);
+        let _ = IcmpUnreachable::parse(&data);
+        let udp_ip = Ipv4Header::for_proto(PROTO_UDP, 1, 2, data.len());
+        let _ = udp::parse_datagram(&data, &udp_ip);
+        let _ = dns::parse_query(&data);
+        let _ = dns::parse_response(&data);
     }
 }

@@ -8,7 +8,7 @@
 
 use originscan::core::summary::full_report;
 use originscan::core::{Experiment, ExperimentConfig};
-use originscan::netmodel::{OriginId, Protocol, WorldConfig};
+use originscan::netmodel::{OriginId, WorldConfig};
 
 fn main() {
     let scale = std::env::args().nth(1).unwrap_or_else(|| "tiny".into());
@@ -19,7 +19,7 @@ fn main() {
     };
     let cfg = ExperimentConfig {
         origins: OriginId::MAIN.to_vec(),
-        protocols: Protocol::ALL.to_vec(),
+        protocols: originscan::scanner::probe::PAPER_PROTOCOLS.to_vec(),
         trials: 3,
         ..ExperimentConfig::default()
     };

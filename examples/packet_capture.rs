@@ -32,7 +32,7 @@ fn main() -> std::io::Result<()> {
     let validator = Validator::from_seed(seed);
     let cycle = Cycle::new(world.space(), seed);
     let src_ip = 0x0a00_0001u32;
-    let dport = Protocol::Http.port();
+    let dport = originscan::scanner::probe::module_for(Protocol::Http).port();
 
     let mut pcap = PcapWriter::new(BufWriter::new(File::create(&path)?))?;
     let mut time = 0.0f64;

@@ -62,7 +62,7 @@ impl Default for RunArgs {
             scale: Scale::Tiny,
             seed: 2020,
             origins: OriginId::MAIN.to_vec(),
-            protocols: Protocol::ALL.to_vec(),
+            protocols: crate::scanner::probe::PAPER_PROTOCOLS.to_vec(),
             trials: 3,
             probes: 2,
             probe_delay_s: 0.0,
@@ -111,7 +111,7 @@ FLAGS:
   --scale tiny|small|medium|full   world size            [default: tiny]
   --seed N                         world seed            [default: 2020]
   --origins AU,JP,...              origin labels         [default: all 7]
-  --protocols http,https,ssh      protocols             [default: all 3]
+  --protocols http,https,ssh,icmp,dns  probe modules    [default: paper trio]
   --trials N                       trials                [default: 3]
   --probes N                       SYNs per host         [default: 2]
   --probe-delay SECONDS            delay between probes  [default: 0]
@@ -136,14 +136,14 @@ pub fn parse_origin(s: &str) -> Option<OriginId> {
     all.into_iter().find(|o| o.label().eq_ignore_ascii_case(s))
 }
 
-/// Parse a protocol name.
+/// Parse a protocol name against the probe-module registry, so every
+/// registered module (ICMP, DNS, ...) is CLI-reachable without a
+/// hardcoded roster here.
 pub fn parse_protocol(s: &str) -> Option<Protocol> {
-    match s.to_ascii_lowercase().as_str() {
-        "http" => Some(Protocol::Http),
-        "https" => Some(Protocol::Https),
-        "ssh" => Some(Protocol::Ssh),
-        _ => None,
-    }
+    crate::scanner::probe::modules()
+        .iter()
+        .find(|m| m.name().eq_ignore_ascii_case(s))
+        .map(|m| m.protocol())
 }
 
 fn parse_scale(s: &str) -> Option<Scale> {
@@ -300,6 +300,23 @@ mod tests {
         );
         assert_eq!(parse(&[]).unwrap(), Command::Help);
         assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn protocol_names_come_from_the_module_registry() {
+        // Every registered probe module is CLI-reachable by its name,
+        // case-insensitively; unregistered names stay rejected.
+        for m in crate::scanner::probe::modules() {
+            assert_eq!(
+                parse_protocol(&m.name().to_ascii_lowercase()),
+                Some(m.protocol()),
+                "{}",
+                m.name()
+            );
+        }
+        assert_eq!(parse_protocol("icmp"), Some(Protocol::Icmp));
+        assert_eq!(parse_protocol("DNS"), Some(Protocol::Dns));
+        assert_eq!(parse_protocol("ftp"), None);
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn headline_results_reproduce() {
     let world = WorldConfig::small(2020).build();
     let cfg = ExperimentConfig {
         origins: OriginId::MAIN.to_vec(),
-        protocols: Protocol::ALL.to_vec(),
+        protocols: originscan::scanner::probe::PAPER_PROTOCOLS.to_vec(),
         trials: 3,
         probes: 2,
         ..ExperimentConfig::default()
