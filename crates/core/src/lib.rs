@@ -24,6 +24,8 @@
 //!   (Figs 15/17/18).
 //! * [`modules`] — per-probe-module sweeps keyed by module name
 //!   (ICMP echo, DNS-over-UDP, and the TCP trio side by side).
+//! * [`frontier`] — the probes-vs-coverage frontier of topology-aware
+//!   target plans (full sweep vs density/churn/hybrid strategies).
 //! * [`report`] — plain-text table rendering for the bench harness.
 //! * [`summary`] — the one-call full report over an experiment's results.
 //! * [`diff`] — first-class diffing of two archived scans.
@@ -41,6 +43,7 @@ pub mod coverage;
 pub mod diff;
 pub mod exclusivity;
 pub mod experiment;
+pub mod frontier;
 pub mod matrix;
 pub mod modules;
 pub mod multiorigin;

@@ -19,6 +19,9 @@ const DET_SCOPE: &[&str] = &[
     "crates/telemetry/src/",
     "crates/store/src/",
     "crates/serve/src/",
+    // Plans are byte-compared artifacts too: same-seed builds must emit
+    // identical `.osplan` files.
+    "crates/plan/src/",
 ];
 
 /// Crates whose library code must not panic: wire codecs and the scan
@@ -33,6 +36,9 @@ const PANIC_SCOPE: &[&str] = &[
     "crates/telemetry/src/",
     "crates/store/src/",
     "crates/serve/src/",
+    // The plan crate decodes untrusted (possibly corrupted) plan files
+    // and its `allows()` check sits on every probe of a planned scan.
+    "crates/plan/src/",
     // The adversarial co-simulation runs inside the same supervised
     // sessions: the defender sits on the probe path of every scan and
     // the sweep harness drives parallel cells whose panics would tear
@@ -110,6 +116,9 @@ pub(crate) fn check_file_tokens(path: &str, toks: &[Tok], allows: &mut Allows) -
         // output goes through the telemetry sinks, not bare stdio.
         obs_print(path, &code, &mut found);
         obs_dbg(path, &code, &mut found);
+        // Registry-bypass rules cover every library crate too: the
+        // probe-module registry is the one source of protocol truth.
+        reg_protocol_all(path, &code, &mut found);
         for v in found {
             if !allows.suppresses(v.rule, v.line) {
                 out.push(v);
@@ -605,6 +614,25 @@ fn panic_macro(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
                 t.line,
                 "panic-macro",
                 format!("`{name}!` aborts the scan instead of surfacing a typed error"),
+            ));
+        }
+    }
+}
+
+fn reg_protocol_all(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("Protocol")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("ALL"))
+        {
+            out.push(violation(
+                path,
+                t.line,
+                "reg-protocol-all",
+                "`Protocol::ALL` hardcodes the paper's TCP trio instead of consulting \
+                 the probe-module registry"
+                    .to_string(),
             ));
         }
     }

@@ -1,0 +1,5 @@
+//! Fixture: library code iterating the deprecated hardcoded roster.
+
+pub fn roster() -> Vec<String> {
+    Protocol::ALL.iter().map(|p| p.to_string()).collect()
+}

@@ -1,0 +1,9 @@
+//! Fixture: library code consulting the probe-module registry instead.
+
+pub fn roster() -> Vec<String> {
+    modules().iter().map(|m| m.protocol().to_string()).collect()
+}
+
+pub fn paper_trio() -> [Protocol; 3] {
+    PAPER_PROTOCOLS
+}

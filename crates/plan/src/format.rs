@@ -1,0 +1,482 @@
+//! The versioned on-disk target-plan format: little-endian, checksummed,
+//! deterministic — a sibling of the store's (`originscan-store`) format.
+//!
+//! A plan file is laid out as:
+//!
+//! ```text
+//! header   magic "OSPL" | version u16 | flags u16 | space u64 | seed u64
+//!          | strategy_len u8 | strategy bytes | entry_count u32
+//!          | entries_crc u32
+//! entries  entry_count × { s24 u32, score u32 }   (crc32 = entries_crc)
+//! ```
+//!
+//! Entries are sorted by `s24` strictly ascending (the /24 index, i.e.
+//! `addr >> 8`), so a plan's bytes are a pure function of its contents
+//! and same-seed builds serialize byte-identically. Every checksum is
+//! CRC-32 (IEEE, reflected — the store's [`crc32`]). All corruption
+//! surfaces as a typed [`PlanError`], never a panic.
+
+use crate::plan::{PlanEntry, TargetPlan};
+pub use originscan_store::format::crc32;
+use originscan_store::StoreError;
+
+/// File magic: "Origin Scan PLan".
+pub const MAGIC: [u8; 4] = *b"OSPL";
+
+/// Current plan-format version.
+pub const VERSION: u16 = 1;
+
+/// Byte length of one serialized plan entry (`s24 u32 | score u32`).
+pub const ENTRY_LEN: usize = 8;
+
+/// Byte length of the fixed header prefix before the variable-length
+/// strategy string (`magic | version | flags | space | seed`).
+pub const HEADER_PREFIX_LEN: usize = 24;
+
+/// Everything that can go wrong building, reading, or writing a plan.
+#[derive(Debug)]
+pub enum PlanError {
+    /// An underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The file's version is newer than this reader understands.
+    UnsupportedVersion {
+        /// The version actually found.
+        found: u16,
+    },
+    /// A section is shorter than its declared length.
+    Truncated {
+        /// Which section came up short.
+        section: &'static str,
+        /// Bytes the section required.
+        needed: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// A section's checksum does not match its contents.
+    ChecksumMismatch {
+        /// Which section failed verification.
+        section: &'static str,
+        /// The checksum stored in the file.
+        stored: u32,
+        /// The checksum computed over the bytes read.
+        computed: u32,
+    },
+    /// A structurally invalid section (unsorted entries, a /24 outside
+    /// the declared space, non-UTF-8 strategy, ...).
+    Corrupt {
+        /// Which section is malformed.
+        section: &'static str,
+        /// What invariant it violates.
+        detail: &'static str,
+    },
+    /// A value exceeds what the format can represent.
+    TooLarge {
+        /// Which field overflowed.
+        section: &'static str,
+    },
+    /// A builder input violates the planner's preconditions.
+    InvalidInput {
+        /// What was wrong with the input.
+        what: &'static str,
+    },
+    /// Reading prior observations out of a scan-set store failed.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Io(e) => write!(f, "plan I/O error: {e}"),
+            PlanError::BadMagic { found } => {
+                write!(f, "bad plan magic {found:02x?} (expected {MAGIC:02x?})")
+            }
+            PlanError::UnsupportedVersion { found } => {
+                write!(f, "unsupported plan version {found} (reader supports {VERSION})")
+            }
+            PlanError::Truncated {
+                section,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated plan: section `{section}` needs {needed} bytes, {available} available"
+            ),
+            PlanError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch in plan section `{section}`: stored {stored:08x}, computed {computed:08x}"
+            ),
+            PlanError::Corrupt { section, detail } => {
+                write!(f, "corrupt plan section `{section}`: {detail}")
+            }
+            PlanError::TooLarge { section } => {
+                write!(f, "value too large for plan format in `{section}`")
+            }
+            PlanError::InvalidInput { what } => write!(f, "invalid planner input: {what}"),
+            PlanError::Store(e) => write!(f, "plan observation store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Io(e) => Some(e),
+            PlanError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PlanError {
+    fn from(e: std::io::Error) -> Self {
+        PlanError::Io(e)
+    }
+}
+
+impl From<StoreError> for PlanError {
+    fn from(e: StoreError) -> Self {
+        PlanError::Store(e)
+    }
+}
+
+/// A bounds-checked little-endian cursor over a byte slice.
+#[derive(Debug, Clone, Copy)]
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8], section: &'static str) -> Cursor<'a> {
+        Cursor {
+            data,
+            pos: 0,
+            section,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PlanError> {
+        let end = self.pos.checked_add(n).ok_or(PlanError::TooLarge {
+            section: self.section,
+        })?;
+        match self.data.get(self.pos..end) {
+            Some(slice) => {
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(PlanError::Truncated {
+                section: self.section,
+                needed: end as u64,
+                available: self.data.len() as u64,
+            }),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, PlanError> {
+        let b = self.take(1)?;
+        Ok(b.first().copied().unwrap_or_default())
+    }
+
+    fn u16(&mut self) -> Result<u16, PlanError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes(b.try_into().unwrap_or_default()))
+    }
+
+    fn u32(&mut self) -> Result<u32, PlanError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap_or_default()))
+    }
+
+    fn u64(&mut self) -> Result<u64, PlanError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap_or_default()))
+    }
+
+    fn rest(&self) -> &'a [u8] {
+        self.data.get(self.pos..).unwrap_or(&[])
+    }
+}
+
+/// Serialize a plan to its canonical byte form.
+pub fn encode_plan(plan: &TargetPlan) -> Result<Vec<u8>, PlanError> {
+    let strategy = plan.strategy().as_bytes();
+    let strategy_len = u8::try_from(strategy.len()).map_err(|_| PlanError::TooLarge {
+        section: "strategy",
+    })?;
+    let entry_count = u32::try_from(plan.entries().len()).map_err(|_| PlanError::TooLarge {
+        section: "entry_count",
+    })?;
+    let mut entries = Vec::with_capacity(plan.entries().len() * ENTRY_LEN);
+    for e in plan.entries() {
+        entries.extend_from_slice(&e.s24.to_le_bytes());
+        entries.extend_from_slice(&e.score.to_le_bytes());
+    }
+    let mut out = Vec::with_capacity(HEADER_PREFIX_LEN + 1 + strategy.len() + 8 + entries.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // flags, reserved
+    out.extend_from_slice(&plan.space().to_le_bytes());
+    out.extend_from_slice(&plan.seed().to_le_bytes());
+    out.push(strategy_len);
+    out.extend_from_slice(strategy);
+    out.extend_from_slice(&entry_count.to_le_bytes());
+    out.extend_from_slice(&crc32(&entries).to_le_bytes());
+    out.extend_from_slice(&entries);
+    Ok(out)
+}
+
+/// Decode and fully validate a plan from its byte form.
+pub fn decode_plan(bytes: &[u8]) -> Result<TargetPlan, PlanError> {
+    let mut cur = Cursor::new(bytes, "plan header");
+    let magic = cur.take(4)?;
+    if magic != MAGIC {
+        let found = magic.try_into().unwrap_or_default();
+        return Err(PlanError::BadMagic { found });
+    }
+    // Exact match, not `>`: no version below the current one ever
+    // existed, so anything else is corruption or a future format.
+    let version = cur.u16()?;
+    if version != VERSION {
+        return Err(PlanError::UnsupportedVersion { found: version });
+    }
+    // Version 1 defines no flags; a set bit is either corruption or a
+    // future feature this reader cannot honor — reject, don't ignore.
+    let flags = cur.u16()?;
+    if flags != 0 {
+        return Err(PlanError::Corrupt {
+            section: "plan header",
+            detail: "unknown flag bits set (version 1 defines none)",
+        });
+    }
+    let space = cur.u64()?;
+    let seed = cur.u64()?;
+    let strategy_len = cur.u8()? as usize;
+    let strategy_bytes = cur.take(strategy_len)?;
+    let strategy = std::str::from_utf8(strategy_bytes)
+        .map_err(|_| PlanError::Corrupt {
+            section: "plan header",
+            detail: "strategy is not valid UTF-8",
+        })?
+        .to_string();
+    let entry_count = cur.u32()? as usize;
+    let entries_crc = cur.u32()?;
+    let entries_len = entry_count
+        .checked_mul(ENTRY_LEN)
+        .ok_or(PlanError::TooLarge {
+            section: "entry_count",
+        })?;
+    let mut cur = Cursor::new(cur.rest(), "plan entries");
+    let entry_bytes = cur.take(entries_len)?;
+    if !cur.rest().is_empty() {
+        return Err(PlanError::Corrupt {
+            section: "plan entries",
+            detail: "trailing bytes after the last entry",
+        });
+    }
+    let computed = crc32(entry_bytes);
+    if computed != entries_crc {
+        return Err(PlanError::ChecksumMismatch {
+            section: "plan entries",
+            stored: entries_crc,
+            computed,
+        });
+    }
+    let mut entries = Vec::with_capacity(entry_count);
+    for rec in entry_bytes.chunks_exact(ENTRY_LEN) {
+        let s24 = u32::from_le_bytes(
+            rec.get(..4)
+                .unwrap_or_default()
+                .try_into()
+                .unwrap_or_default(),
+        );
+        let score = u32::from_le_bytes(
+            rec.get(4..)
+                .unwrap_or_default()
+                .try_into()
+                .unwrap_or_default(),
+        );
+        entries.push(PlanEntry { s24, score });
+    }
+    TargetPlan::from_entries(space, seed, &strategy, entries)
+}
+
+/// Human-readable description of the on-disk plan format, derived from
+/// the same constants the serializers use. Pinned by the plan-format
+/// golden test: any layout change shows up as a golden-file diff.
+pub fn describe() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "originscan-plan on-disk format");
+    let _ = writeln!(out, "==============================");
+    let _ = writeln!(
+        out,
+        "magic: {:?} | version: {VERSION} | endianness: little",
+        std::str::from_utf8(&MAGIC).unwrap_or("OSPL"),
+    );
+    let _ = writeln!(
+        out,
+        "checksum: CRC-32 IEEE (reflected, poly 0xEDB88320), empty = {:08x}",
+        crc32(&[]),
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "header (variable, {HEADER_PREFIX_LEN}-byte fixed prefix):"
+    );
+    let _ = writeln!(out, "  magic[4] version:u16 flags:u16 space:u64 seed:u64");
+    let _ = writeln!(
+        out,
+        "  strategy_len:u8 strategy[strategy_len] entry_count:u32 entries_crc:u32"
+    );
+    let _ = writeln!(out, "entry record ({ENTRY_LEN} bytes):");
+    let _ = writeln!(out, "  s24:u32 score:u32");
+    let _ = writeln!(
+        out,
+        "  ordered by s24 strictly ascending; s24 = addr >> 8 (the /24 index)"
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "score: fixed-point priority (strategy-specific, integer-only); the"
+    );
+    let _ = writeln!(
+        out,
+        "  allowlist semantics ignore it — membership alone decides probing"
+    );
+    let _ = writeln!(
+        out,
+        "composition: scan probes exactly plan ∩ ¬blocklist, sharded by the"
+    );
+    let _ = writeln!(
+        out,
+        "  cyclic permutation (plan membership tested per address)"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TargetPlan {
+        let entries = vec![
+            PlanEntry { s24: 0, score: 11 },
+            PlanEntry { s24: 3, score: 980 },
+            PlanEntry {
+                s24: 200,
+                score: 42,
+            },
+        ];
+        TargetPlan::from_entries(65_536, 7, "observed", entries).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let plan = sample();
+        let bytes = encode_plan(&plan).unwrap();
+        let back = decode_plan(&bytes).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(encode_plan(&back).unwrap(), bytes);
+    }
+
+    #[test]
+    fn empty_plan_roundtrips() {
+        let plan = TargetPlan::from_entries(65_536, 9, "full", Vec::new()).unwrap();
+        let bytes = encode_plan(&plan).unwrap();
+        let back = decode_plan(&bytes).unwrap();
+        assert_eq!(back.planned_s24s(), 0);
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = encode_plan(&sample()).unwrap();
+        bytes[0] = b'X';
+        match decode_plan(&bytes) {
+            Err(PlanError::BadMagic { found }) => assert_eq!(found[0], b'X'),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_version_is_typed() {
+        let mut bytes = encode_plan(&sample()).unwrap();
+        bytes[4] = 0xFF;
+        assert!(matches!(
+            decode_plan(&bytes),
+            Err(PlanError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_typed() {
+        let bytes = encode_plan(&sample()).unwrap();
+        for cut in [0, 3, 4, 6, 8, 16, 24, 25, 30, bytes.len() - 1] {
+            match decode_plan(&bytes[..cut]) {
+                Err(PlanError::Truncated { .. } | PlanError::BadMagic { .. }) => {}
+                other => panic!("cut at {cut}: expected typed error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_entry_byte_is_checksum_mismatch() {
+        let mut bytes = encode_plan(&sample()).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        match decode_plan(&bytes) {
+            Err(PlanError::ChecksumMismatch { section, .. }) => {
+                assert_eq!(section, "plan entries")
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_corrupt() {
+        let mut bytes = encode_plan(&sample()).unwrap();
+        bytes.push(0);
+        assert!(matches!(
+            decode_plan(&bytes),
+            Err(PlanError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn unsorted_entries_rejected_after_crc_fixup() {
+        // Swap two entries and re-sign the CRC so the structural check
+        // (not the checksum) has to catch it.
+        let plan = sample();
+        let mut bytes = encode_plan(&plan).unwrap();
+        let body = bytes.len() - 3 * ENTRY_LEN;
+        let (head, tail) = bytes.split_at_mut(body + ENTRY_LEN);
+        head[body..body + ENTRY_LEN].swap_with_slice(&mut tail[..ENTRY_LEN]);
+        let crc = crc32(&bytes[body..]);
+        let crc_at = body - 4;
+        bytes[crc_at..body].copy_from_slice(&crc.to_le_bytes());
+        match decode_plan(&bytes) {
+            Err(PlanError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("ascending"), "{detail}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn describe_mentions_every_section() {
+        let d = describe();
+        for needle in ["magic", "entry record", "s24:u32", "CRC-32", "blocklist"] {
+            assert!(d.contains(needle), "describe() missing {needle}");
+        }
+    }
+}

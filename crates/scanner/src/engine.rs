@@ -33,6 +33,7 @@ use crate::rate::{Pacer, PacerSnapshot};
 use crate::resilience::{AdaptivePolicy, Controller, ControllerState, Reaction};
 use crate::target::{L7Ctx, Network, ProbeCtx, Protocol};
 use crate::zgrab::{self, L7Outcome};
+use originscan_plan::TargetPlan;
 use originscan_telemetry::metrics::{self, names};
 use originscan_telemetry::{EventKind, MetricBatch, Scope, Telemetry, Tracer};
 use originscan_wire::validation::Validator;
@@ -92,6 +93,13 @@ pub struct ScanConfig {
     /// [`ScanConfig::source_ips`], and deferral of suspect /24s to an
     /// end-of-scan tail pass.
     pub adapt: Option<AdaptivePolicy>,
+    /// Optional target plan (None: probe the whole space, byte-identical
+    /// to builds before the planner existed). When set, addresses outside
+    /// the plan's /24 allowlist are skipped before probing, composing
+    /// with the blocklist and sharding: each shard probes exactly its
+    /// slice of `plan ∩ ¬blocklist`. The permutation still walks the full
+    /// space, so planned scans stay synchronized across origins.
+    pub plan: Option<TargetPlan>,
 }
 
 impl ScanConfig {
@@ -119,6 +127,7 @@ impl ScanConfig {
             concurrent_origins: 1,
             wire_check: false,
             adapt: None,
+            plan: None,
         }
     }
 
@@ -158,6 +167,14 @@ impl ScanConfig {
                 || !(adapt.backoff_factor > 0.0 && adapt.backoff_factor < 1.0)
             {
                 return Err(ConfigError::BadAdaptivePolicy);
+            }
+        }
+        if let Some(plan) = &self.plan {
+            if plan.space() != self.space {
+                return Err(ConfigError::PlanSpaceMismatch {
+                    plan_space: plan.space(),
+                    space: self.space,
+                });
             }
         }
         Ok(())
@@ -207,6 +224,8 @@ pub struct ScanSummary {
     pub addresses_probed: u64,
     /// Addresses skipped by the blocklist.
     pub blocked: u64,
+    /// Addresses skipped because they fall outside the target plan.
+    pub plan_skipped: u64,
     /// Validated SYN-ACKs received.
     pub synacks: u64,
     /// Replies that failed stateless validation (spoofed/stale).
@@ -705,6 +724,11 @@ pub fn run_scan_session(
         // Mark which wire module drives this scan so traces from
         // different scenarios are tellable apart at a glance.
         tr.instant(module.wire_name());
+        // Planned scans get a marker too, so a reduced-footprint trace
+        // is distinguishable from a full sweep.
+        if cfg.plan.is_some() {
+            tr.instant("plan");
+        }
     }
     let probe_guard = tracer.as_ref().map(|t| t.span("probe"));
 
@@ -794,6 +818,12 @@ pub fn run_scan_session(
         let Some(addr64) = iter.next() else { break };
         since_checkpoint += 1;
         let addr = addr64 as u32;
+        if let Some(plan) = &cfg.plan {
+            if !plan.allows(addr) {
+                out.summary.plan_skipped += 1;
+                continue;
+            }
+        }
         if cfg.blocklist.contains(addr) {
             out.summary.blocked += 1;
             continue;
@@ -888,6 +918,18 @@ pub fn run_scan_session(
     );
     if let Some(hub) = tele.hub {
         hub.flush(tele.scope, scan_metrics(&out, stall_s, checkpoint_writes));
+        // Plan counters flush only for planned scans, so plan-free runs
+        // keep their pre-planner telemetry byte-identical.
+        if let Some(plan) = &cfg.plan {
+            let mut b = MetricBatch::new();
+            b.add(names::PLAN_SKIPS, out.summary.plan_skipped);
+            b.set_gauge(names::PLAN_PLANNED_S24S, plan.planned_s24s() as f64);
+            b.set_gauge(
+                names::PLAN_PLANNED_ADDRESSES,
+                plan.planned_addresses() as f64,
+            );
+            hub.flush(tele.scope, b);
+        }
         if let Some(c) = &ctrl {
             let st = c.state();
             let mut b = MetricBatch::new();
@@ -1012,6 +1054,83 @@ mod tests {
         assert_eq!(out.summary.blocked, 128);
         assert_eq!(out.summary.addresses_probed, 128);
         assert!(out.records.iter().all(|r| r.addr >= 128));
+    }
+
+    #[test]
+    fn plan_restricts_probing_to_planned_s24s() {
+        let net = ToyNet {
+            live_mod: 1,
+            closed_mod: 1,
+        }; // everything live
+        let mut c = cfg(1024); // 4 /24s
+        c.plan = Some(
+            TargetPlan::from_entries(
+                1024,
+                99,
+                "observed",
+                vec![
+                    originscan_plan::PlanEntry { s24: 1, score: 10 },
+                    originscan_plan::PlanEntry { s24: 3, score: 5 },
+                ],
+            )
+            .unwrap(),
+        );
+        let out = run_scan(&net, &c).unwrap();
+        assert_eq!(out.summary.plan_skipped, 512);
+        assert_eq!(out.summary.addresses_probed, 512);
+        assert!(out.records.iter().all(|r| { matches!(r.addr >> 8, 1 | 3) }));
+    }
+
+    #[test]
+    fn plan_composes_with_blocklist() {
+        let net = ToyNet {
+            live_mod: 1,
+            closed_mod: 1,
+        };
+        let mut c = cfg(1024);
+        c.plan = Some(
+            TargetPlan::from_entries(
+                1024,
+                99,
+                "observed",
+                vec![originscan_plan::PlanEntry { s24: 0, score: 1 }],
+            )
+            .unwrap(),
+        );
+        // Block the lower half of the planned /24: probed = plan ∩ ¬block.
+        c.blocklist = Blocklist::parse("0.0.0.0/25").unwrap();
+        let out = run_scan(&net, &c).unwrap();
+        assert_eq!(out.summary.plan_skipped, 768);
+        assert_eq!(out.summary.blocked, 128);
+        assert_eq!(out.summary.addresses_probed, 128);
+        assert!(out.records.iter().all(|r| (128..256).contains(&r.addr)));
+    }
+
+    #[test]
+    fn plan_space_mismatch_is_rejected() {
+        let mut c = cfg(1024);
+        c.plan = Some(TargetPlan::from_entries(512, 99, "full", Vec::new()).unwrap());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::PlanSpaceMismatch {
+                plan_space: 512,
+                space: 1024,
+            })
+        );
+    }
+
+    #[test]
+    fn empty_plan_probes_nothing() {
+        let net = ToyNet {
+            live_mod: 1,
+            closed_mod: 1,
+        };
+        let mut c = cfg(256);
+        c.plan = Some(TargetPlan::from_entries(256, 99, "observed", Vec::new()).unwrap());
+        let out = run_scan(&net, &c).unwrap();
+        assert_eq!(out.summary.addresses_probed, 0);
+        assert_eq!(out.summary.plan_skipped, 256);
+        assert!(out.records.is_empty());
     }
 
     #[test]

@@ -36,6 +36,14 @@ pub enum ConfigError {
     /// The adaptive policy is malformed (zero window, or a backoff factor
     /// outside `(0, 1)`).
     BadAdaptivePolicy,
+    /// The attached target plan was built for a different address space
+    /// than the scan targets, so its /24 indices would not line up.
+    PlanSpaceMismatch {
+        /// The space the plan was built for.
+        plan_space: u64,
+        /// The space this scan targets.
+        space: u64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -61,6 +69,10 @@ impl fmt::Display for ConfigError {
             ConfigError::BadAdaptivePolicy => write!(
                 f,
                 "adaptive policy needs a positive window and a backoff factor in (0, 1)"
+            ),
+            ConfigError::PlanSpaceMismatch { plan_space, space } => write!(
+                f,
+                "target plan covers space {plan_space} but the scan targets space {space}"
             ),
         }
     }
@@ -144,5 +156,11 @@ mod tests {
         assert!(ConfigError::TooManyProbes { probes: 9 }
             .to_string()
             .contains('9'));
+        let e = ConfigError::PlanSpaceMismatch {
+            plan_space: 1024,
+            space: 65_536,
+        };
+        assert!(e.to_string().contains("1024"));
+        assert!(e.to_string().contains("65536"));
     }
 }

@@ -203,7 +203,7 @@ mod tests {
         assert_eq!(crate::probe::module_for(Protocol::Ssh).port(), 22);
         // The deprecated inherent port table must keep agreeing with the
         // registry for as long as it exists.
-        #[allow(deprecated)]
+        #[allow(deprecated, clippy::disallowed_methods)]
         for m in crate::probe::modules() {
             assert_eq!(m.protocol().port(), m.port());
         }

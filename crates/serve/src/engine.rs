@@ -20,6 +20,7 @@ use crate::cache::{CacheStats, ShardedLru};
 use crate::error::QueryError;
 use crate::query::Query;
 use originscan_core::multiorigin::best_k_union;
+use originscan_plan::TargetPlan;
 use originscan_store::{ScanSet, StoreError, StoreKey, StoreReader};
 use originscan_telemetry::json::JsonObj;
 use originscan_telemetry::metrics::{names, SERVE_LATENCY_BOUNDS};
@@ -62,6 +63,10 @@ pub struct QueryEngine {
     /// Which reader holds each stored key. Later stores shadow earlier
     /// ones on key collision, deterministically (open order decides).
     index: BTreeMap<StoreKey, usize>,
+    /// Registered target plans by name, for `recall` queries. Populated
+    /// before serving starts (registration is `&mut self`), so memoized
+    /// responses can never go stale.
+    target_plans: BTreeMap<String, Arc<TargetPlan>>,
     sets: ShardedLru<Arc<ScanSet>>,
     plans: ShardedLru<Arc<str>>,
     queries: AtomicU64,
@@ -91,6 +96,7 @@ impl QueryEngine {
         QueryEngine {
             readers: readers.into_iter().map(Mutex::new).collect(),
             index,
+            target_plans: BTreeMap::new(),
             sets: ShardedLru::new(CACHE_SHARDS, CACHE_CAPACITY_PER_SHARD),
             plans: ShardedLru::new(CACHE_SHARDS, CACHE_CAPACITY_PER_SHARD),
             queries: AtomicU64::new(0),
@@ -103,6 +109,19 @@ impl QueryEngine {
     /// Number of keys served across all stores.
     pub fn key_count(&self) -> usize {
         self.index.len()
+    }
+
+    /// Register a target plan under `name` so `recall` queries can
+    /// measure it against stored scan sets. Re-registering a name
+    /// replaces the plan (call before serving starts — memoized `recall`
+    /// responses are keyed by query text only).
+    pub fn register_plan(&mut self, name: &str, plan: TargetPlan) {
+        self.target_plans.insert(name.to_string(), Arc::new(plan));
+    }
+
+    /// Names of the registered target plans, ascending.
+    pub fn plan_names(&self) -> Vec<&str> {
+        self.target_plans.keys().map(String::as_str).collect()
     }
 
     /// Parse and execute one query text.
@@ -534,6 +553,44 @@ impl QueryEngine {
                 o.field_u64("addr", u64::from(*addr));
                 o.field_str("member", if member { "true" } else { "false" });
             }
+            Query::Recall {
+                proto,
+                trial,
+                origins,
+                plan,
+            } => {
+                let target = self
+                    .target_plans
+                    .get(plan)
+                    .cloned()
+                    .ok_or_else(|| QueryError::UnknownPlan { name: plan.clone() })?;
+                let sets = self.sets_for(proto, *trial, origins, tracer)?;
+                let refs: Vec<&ScanSet> = sets.iter().map(Arc::as_ref).collect();
+                let union = self.kernel(tracer, "kernel.union", Self::words(&refs), || {
+                    ScanSet::union_many(&refs)
+                });
+                let universe = union.cardinality();
+                let covered = self.kernel(tracer, "kernel.recall", union.word_count(), || {
+                    union.iter().filter(|&a| target.allows(a)).count() as u64
+                });
+                o.field_str("proto", proto);
+                o.field_u64("trial", u64::from(*trial));
+                o.field_u64_array(
+                    "origins",
+                    &origins.iter().map(|&x| u64::from(x)).collect::<Vec<_>>(),
+                );
+                o.field_str("name", plan);
+                o.field_str("strategy", target.strategy());
+                o.field_u64("planned_s24s", target.planned_s24s() as u64);
+                o.field_u64("covered", covered);
+                o.field_u64("universe", universe);
+                let frac = if universe == 0 {
+                    1.0
+                } else {
+                    covered as f64 / universe as f64
+                };
+                o.field_f64("recall", frac);
+            }
         }
         let hash = crate::query::fnv1a64(canonical.as_bytes());
         o.field_str("plan", &format!("{hash:016x}"));
@@ -706,6 +763,37 @@ mod tests {
             let qb = b.execute_text(q).unwrap();
             assert_eq!(qa, qb, "{q}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recall_measures_a_registered_plan() {
+        use originscan_plan::PlanEntry;
+        let dir = tmpdir("recall");
+        let mut e = test_engine(&dir);
+        // Plan covers only /24 index 0, i.e. addresses 0..256.
+        let plan =
+            TargetPlan::from_entries(1 << 20, 7, "observed", vec![PlanEntry { s24: 0, score: 1 }])
+                .unwrap();
+        e.register_plan("front", plan);
+        assert_eq!(e.plan_names(), vec!["front"]);
+        // Union of origins 0,1 = {1,2,3,4,100000}; the plan admits the
+        // four low addresses but not 100000 → recall 4/5.
+        let body = e
+            .execute_text("recall proto=HTTP trial=0 origins=0,1 plan=front")
+            .unwrap();
+        assert!(body.contains("\"name\":\"front\""), "{body}");
+        assert!(body.contains("\"strategy\":\"observed\""), "{body}");
+        assert!(body.contains("\"planned_s24s\":1"), "{body}");
+        assert!(body.contains("\"covered\":4"), "{body}");
+        assert!(body.contains("\"universe\":5"), "{body}");
+        assert!(body.contains("\"recall\":0.8"), "{body}");
+
+        let err = e
+            .execute_text("recall proto=HTTP trial=0 origins=0,1 plan=ghost")
+            .unwrap_err();
+        assert_eq!(err.kind(), "unknown-plan");
+        assert_eq!(err.http_status(), 404);
         std::fs::remove_dir_all(&dir).ok();
     }
 

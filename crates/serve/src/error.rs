@@ -62,6 +62,11 @@ pub enum QueryError {
         /// Origins available for the `(protocol, trial)`.
         available: usize,
     },
+    /// `recall` named a target plan the engine has not registered.
+    UnknownPlan {
+        /// The unrecognized plan name.
+        name: String,
+    },
     /// The store itself failed (corruption, truncation, I/O).
     Store(StoreError),
 }
@@ -79,6 +84,7 @@ impl QueryError {
             QueryError::KeyNotFound { .. } => "key-not-found",
             QueryError::NoOrigins { .. } => "no-origins",
             QueryError::BadK { .. } => "bad-k",
+            QueryError::UnknownPlan { .. } => "unknown-plan",
             QueryError::Store(_) => "store",
         }
     }
@@ -94,7 +100,9 @@ impl QueryError {
             | QueryError::BadField { .. }
             | QueryError::UnknownProtocol { .. }
             | QueryError::BadK { .. } => 400,
-            QueryError::KeyNotFound { .. } | QueryError::NoOrigins { .. } => 404,
+            QueryError::KeyNotFound { .. }
+            | QueryError::NoOrigins { .. }
+            | QueryError::UnknownPlan { .. } => 404,
             QueryError::Store(_) => 500,
         }
     }
@@ -116,6 +124,9 @@ impl fmt::Display for QueryError {
             }
             QueryError::BadK { k, available } => {
                 write!(f, "best-k of {k} exceeds the {available} stored origins")
+            }
+            QueryError::UnknownPlan { name } => {
+                write!(f, "unknown plan `{name}`: no target plan registered")
             }
             QueryError::Store(e) => write!(f, "store error: {e}"),
         }
@@ -199,6 +210,13 @@ mod tests {
                 404,
             ),
             (QueryError::BadK { k: 9, available: 4 }, "bad-k", 400),
+            (
+                QueryError::UnknownPlan {
+                    name: "observed".into(),
+                },
+                "unknown-plan",
+                404,
+            ),
             (
                 QueryError::Store(StoreError::UnsupportedVersion { found: 7 }),
                 "store",

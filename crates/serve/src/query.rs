@@ -98,6 +98,19 @@ pub enum Query {
         /// The address to test.
         addr: u32,
     },
+    /// Recall of a registered target plan against the union of a set of
+    /// origins: what fraction of the stored responsive population the
+    /// plan's /24 allowlist still admits.
+    Recall {
+        /// Protocol label.
+        proto: String,
+        /// Trial index.
+        trial: u8,
+        /// Origin indices (canonicalized: sorted, de-duplicated).
+        origins: Vec<u16>,
+        /// Name of a plan registered with the engine.
+        plan: String,
+    },
 }
 
 /// A parsed `key=value` field list with consume-tracking, so unknown
@@ -181,6 +194,20 @@ fn parse_origins(v: &str) -> Result<Vec<u16>, QueryError> {
     out.sort_unstable();
     out.dedup();
     Ok(out)
+}
+
+fn parse_plan_name(v: &str) -> Result<String, QueryError> {
+    if v.len() > 255
+        || !v
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+    {
+        return Err(QueryError::BadField {
+            field: "plan",
+            detail: format!("`{v}` is not a plan name (alphanumeric/-/_, ≤255 bytes)"),
+        });
+    }
+    Ok(v.to_string())
 }
 
 fn parse_proto(v: &str) -> Result<String, QueryError> {
@@ -274,6 +301,12 @@ impl Query {
                     }
                 }
             }
+            "recall" => Query::Recall {
+                proto: parse_proto(f.take("proto")?)?,
+                trial: parse_u8("trial", f.take("trial")?)?,
+                origins: parse_origins(f.take("origins")?)?,
+                plan: parse_plan_name(f.take("plan")?)?,
+            },
             other => {
                 return Err(QueryError::UnknownQuery {
                     name: other.to_string(),
@@ -294,6 +327,7 @@ impl Query {
             Query::BestK { .. } => "best-k",
             Query::Rank { .. } => "rank",
             Query::Member { .. } => "member",
+            Query::Recall { .. } => "recall",
         }
     }
 
@@ -307,7 +341,8 @@ impl Query {
             | Query::Exclusive { proto, .. }
             | Query::BestK { proto, .. }
             | Query::Rank { proto, .. }
-            | Query::Member { proto, .. } => proto,
+            | Query::Member { proto, .. }
+            | Query::Recall { proto, .. } => proto,
         }
     }
 
@@ -371,6 +406,21 @@ impl Query {
                     "member proto={proto} trial={trial} origin={origin} addr={addr}"
                 );
             }
+            Query::Recall {
+                proto,
+                trial,
+                origins,
+                plan,
+            } => {
+                let _ = write!(s, "recall proto={proto} trial={trial} origins=");
+                for (i, o) in origins.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{o}");
+                }
+                let _ = write!(s, " plan={plan}");
+            }
         }
         s
     }
@@ -407,6 +457,7 @@ mod tests {
             "best-k proto=HTTP trial=0 k=2",
             "rank proto=HTTP trial=0 origin=1 addr=65536",
             "member proto=HTTP trial=0 origin=1 addr=65536",
+            "recall proto=HTTP trial=0 origins=0,1 plan=observed",
         ];
         for c in cases {
             let q = Query::parse(c).unwrap_or_else(|e| panic!("{c}: {e}"));
@@ -442,6 +493,8 @@ mod tests {
             ("best-k proto=HTTP trial=0 k=0", "bad-field"),
             ("rank proto=HTTP trial=0 origin=0 addr=nope", "bad-field"),
             ("member proto=HTTP trial=0 origin=0", "missing-field"),
+            ("recall proto=HTTP trial=0 origins=0", "missing-field"),
+            ("recall proto=HTTP trial=0 origins=0 plan=a/b", "bad-field"),
         ];
         for (text, kind) in bad {
             let e = Query::parse(text).expect_err(text);

@@ -8,6 +8,7 @@
 //! UPDATE_GOLDEN=1 cargo test -p originscan-serve --test query_golden
 //! ```
 
+use originscan_plan::{PlanEntry, TargetPlan};
 use originscan_serve::engine::error_body;
 use originscan_serve::QueryEngine;
 use originscan_store::{ScanSet, ScanSetStore, StoreKey, StoreReader};
@@ -37,7 +38,21 @@ fn canonical_engine(dir: &Path) -> QueryEngine {
     store.insert(StoreKey::new("SSH", 1, 0), ScanSet::from_sorted(&[7, 9]));
     let path = dir.join("golden.oscs");
     store.write_to(&path).expect("write store");
-    QueryEngine::from_readers(vec![StoreReader::open(&path).expect("open store")])
+    let mut engine = QueryEngine::from_readers(vec![StoreReader::open(&path).expect("open store")]);
+    // A fixed target plan covering /24s 0 and 390 (addresses 0..256 and
+    // 99840..100096), for the `recall` query.
+    let plan = TargetPlan::from_entries(
+        1 << 17,
+        7,
+        "density_top_k250000",
+        vec![
+            PlanEntry { s24: 0, score: 9 },
+            PlanEntry { s24: 390, score: 4 },
+        ],
+    )
+    .expect("build plan");
+    engine.register_plan("frontier", plan);
+    engine
 }
 
 /// One query text per response shape the server can emit.
@@ -49,6 +64,7 @@ const QUERIES: &[&str] = &[
     "best-k proto=HTTP trial=0 k=2",
     "rank proto=SSH trial=1 origin=0 addr=8",
     "member proto=HTTP trial=0 origin=0 addr=100000",
+    "recall proto=HTTP trial=0 origins=0,1 plan=frontier",
     // Error bodies, one per class the engine can hit at query time.
     "coverage proto=HTTP",
     "frobnicate proto=HTTP trial=0",
@@ -56,6 +72,7 @@ const QUERIES: &[&str] = &[
     "union proto=DNS trial=0 origins=0",
     "coverage proto=GOPHER trial=0 origins=0",
     "best-k proto=HTTP trial=0 k=99",
+    "recall proto=HTTP trial=0 origins=0,1 plan=unregistered",
 ];
 
 fn render() -> String {

@@ -143,6 +143,13 @@ pub mod names {
     /// Machine words of compressed container payload walked by those
     /// kernels — the engine's work-unit cost model (counter).
     pub const STORE_KERNEL_WORDS: &str = "store.kernel_words";
+    /// Addresses skipped because they fall outside the target plan
+    /// (counter).
+    pub const PLAN_SKIPS: &str = "plan.skips";
+    /// /24s admitted by the scan's target plan (gauge).
+    pub const PLAN_PLANNED_S24S: &str = "plan.planned_s24s";
+    /// Addresses admitted by the scan's target plan (gauge).
+    pub const PLAN_PLANNED_ADDRESSES: &str = "plan.planned_addresses";
 
     /// The full catalogue as (name, record type) pairs, in serialization
     /// order. Pinned by the schema golden test.
@@ -200,6 +207,9 @@ pub mod names {
         (TRACE_SPANS_DROPPED, "counter"),
         (STORE_KERNEL_OPS, "counter"),
         (STORE_KERNEL_WORDS, "counter"),
+        (PLAN_SKIPS, "counter"),
+        (PLAN_PLANNED_S24S, "gauge"),
+        (PLAN_PLANNED_ADDRESSES, "gauge"),
     ];
 }
 

@@ -15,21 +15,22 @@ pub struct SipHash13 {
 }
 
 #[inline]
-fn sipround(v: &mut [u64; 4]) {
-    v[0] = v[0].wrapping_add(v[1]);
-    v[1] = v[1].rotate_left(13);
-    v[1] ^= v[0];
-    v[0] = v[0].rotate_left(32);
-    v[2] = v[2].wrapping_add(v[3]);
-    v[3] = v[3].rotate_left(16);
-    v[3] ^= v[2];
-    v[0] = v[0].wrapping_add(v[3]);
-    v[3] = v[3].rotate_left(21);
-    v[3] ^= v[0];
-    v[2] = v[2].wrapping_add(v[1]);
-    v[1] = v[1].rotate_left(17);
-    v[1] ^= v[2];
-    v[2] = v[2].rotate_left(32);
+fn sipround(v0: u64, v1: u64, v2: u64, v3: u64) -> (u64, u64, u64, u64) {
+    let mut v0 = v0.wrapping_add(v1);
+    let mut v1 = v1.rotate_left(13);
+    v1 ^= v0;
+    v0 = v0.rotate_left(32);
+    let mut v2 = v2.wrapping_add(v3);
+    let mut v3 = v3.rotate_left(16);
+    v3 ^= v2;
+    v0 = v0.wrapping_add(v3);
+    v3 = v3.rotate_left(21);
+    v3 ^= v0;
+    v2 = v2.wrapping_add(v1);
+    v1 = v1.rotate_left(17);
+    v1 ^= v2;
+    v2 = v2.rotate_left(32);
+    (v0, v1, v2, v3)
 }
 
 impl SipHash13 {
@@ -40,36 +41,34 @@ impl SipHash13 {
 
     /// Hash a message, returning a 64-bit tag.
     pub fn hash(&self, msg: &[u8]) -> u64 {
-        let mut v = [
-            self.k0 ^ 0x736f_6d65_7073_6575,
-            self.k1 ^ 0x646f_7261_6e64_6f6d,
-            self.k0 ^ 0x6c79_6765_6e65_7261,
-            self.k1 ^ 0x7465_6462_7974_6573,
-        ];
+        let mut v0 = self.k0 ^ 0x736f_6d65_7073_6575;
+        let mut v1 = self.k1 ^ 0x646f_7261_6e64_6f6d;
+        let mut v2 = self.k0 ^ 0x6c79_6765_6e65_7261;
+        let mut v3 = self.k1 ^ 0x7465_6462_7974_6573;
         let mut chunks = msg.chunks_exact(8);
         for c in &mut chunks {
-            // chunks_exact(8) guarantees 8 bytes; indexing is infallible.
-            let m = u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
-            v[3] ^= m;
-            sipround(&mut v); // c = 1 compression round
-            v[0] ^= m;
+            // chunks_exact(8) guarantees the conversion succeeds.
+            let m = u64::from_le_bytes(c.try_into().unwrap_or_default());
+            v3 ^= m;
+            (v0, v1, v2, v3) = sipround(v0, v1, v2, v3); // c = 1 compression round
+            v0 ^= m;
         }
-        // Final block: remaining bytes plus the length in the top byte.
-        let rem = chunks.remainder();
-        let mut last = [0u8; 8];
-        last[..rem.len()].copy_from_slice(rem);
-        // lint:allow(panic-lossy-cast) reason= SipHash's final word carries `len mod 256` by spec
-        last[7] = msg.len() as u8;
-        let m = u64::from_le_bytes(last);
-        v[3] ^= m;
-        sipround(&mut v);
-        v[0] ^= m;
+        // Final block: remaining bytes in the low positions plus
+        // `len mod 256` in the top byte, per spec. The shift by 56 keeps
+        // exactly the low 8 bits of the length — no narrowing cast needed.
+        let mut m = (msg.len() as u64) << 56;
+        for (i, &b) in chunks.remainder().iter().enumerate() {
+            m |= u64::from(b) << (8 * i);
+        }
+        v3 ^= m;
+        (v0, v1, v2, v3) = sipround(v0, v1, v2, v3);
+        v0 ^= m;
 
-        v[2] ^= 0xff;
-        sipround(&mut v); // d = 3 finalization rounds
-        sipround(&mut v);
-        sipround(&mut v);
-        v[0] ^ v[1] ^ v[2] ^ v[3]
+        v2 ^= 0xff;
+        (v0, v1, v2, v3) = sipround(v0, v1, v2, v3); // d = 3 finalization rounds
+        (v0, v1, v2, v3) = sipround(v0, v1, v2, v3);
+        (v0, v1, v2, v3) = sipround(v0, v1, v2, v3);
+        v0 ^ v1 ^ v2 ^ v3
     }
 
     /// Hash a sequence of 64-bit words (convenience for fixed tuples).

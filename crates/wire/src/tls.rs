@@ -77,7 +77,8 @@ fn frame_handshake(hs_type: u8, body: &[u8]) -> Vec<u8> {
     );
     // lint:allow(panic-lossy-cast) reason= guarded: hello bodies are built here and stay tiny
     let len = body.len() as u32;
-    hs.extend_from_slice(&len.to_be_bytes()[1..]); // 24-bit length
+    let [_, l0, l1, l2] = len.to_be_bytes();
+    hs.extend_from_slice(&[l0, l1, l2]); // 24-bit length
     hs.extend_from_slice(body);
 
     let mut rec = Vec::with_capacity(hs.len() + 5);
@@ -119,33 +120,43 @@ impl ServerHello {
 
     /// Parse a ServerHello from a record buffer.
     pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
-        if buf.len() < 5 {
+        // record: type(1) version(2) length(2) payload…
+        let [content, _, _, len_hi, len_lo, rest @ ..] = buf else {
             return Err(ParseError::Truncated);
-        }
-        if buf[0] == CONTENT_ALERT {
+        };
+        if *content == CONTENT_ALERT {
             return Err(ParseError::Malformed); // alert instead of hello
         }
-        if buf[0] != CONTENT_HANDSHAKE {
+        if *content != CONTENT_HANDSHAKE {
             return Err(ParseError::Malformed);
         }
-        let rec_len = usize::from(u16::from_be_bytes([buf[3], buf[4]]));
-        let rec = buf.get(5..5 + rec_len).ok_or(ParseError::Truncated)?;
-        if rec.len() < 4 || rec[0] != HS_SERVER_HELLO {
+        let rec_len = usize::from(u16::from_be_bytes([*len_hi, *len_lo]));
+        let rec = rest.get(..rec_len).ok_or(ParseError::Truncated)?;
+        // handshake: type(1) length(3) body…
+        let [hs_type, hl0, hl1, hl2, hs_rest @ ..] = rec else {
+            return Err(ParseError::Malformed);
+        };
+        if *hs_type != HS_SERVER_HELLO {
             return Err(ParseError::Malformed);
         }
-        let hs_len = usize::from(rec[1]) << 16 | usize::from(rec[2]) << 8 | usize::from(rec[3]);
-        let body = rec.get(4..4 + hs_len).ok_or(ParseError::Truncated)?;
-        // version(2) random(32) sid_len(1) ...
-        if body.len() < 35 {
+        let hs_len = usize::from(*hl0) << 16 | usize::from(*hl1) << 8 | usize::from(*hl2);
+        let body = hs_rest.get(..hs_len).ok_or(ParseError::Truncated)?;
+        // body: version(2) random(32) sid_len(1) sid(sid_len) suite(2) …
+        let [ver_hi, ver_lo, after_version @ ..] = body else {
             return Err(ParseError::Truncated);
-        }
-        let version = u16::from_be_bytes([body[0], body[1]]);
-        let sid_len = usize::from(body[34]);
-        let after_sid = body.get(35 + sid_len..).ok_or(ParseError::Truncated)?;
-        if after_sid.len() < 3 {
+        };
+        let version = u16::from_be_bytes([*ver_hi, *ver_lo]);
+        let after_random = after_version.get(32..).ok_or(ParseError::Truncated)?;
+        let [sid_len, after_sid_len @ ..] = after_random else {
             return Err(ParseError::Truncated);
-        }
-        let cipher_suite = u16::from_be_bytes([after_sid[0], after_sid[1]]);
+        };
+        let after_sid = after_sid_len
+            .get(usize::from(*sid_len)..)
+            .ok_or(ParseError::Truncated)?;
+        let [cs_hi, cs_lo, _compression, ..] = after_sid else {
+            return Err(ParseError::Truncated);
+        };
+        let cipher_suite = u16::from_be_bytes([*cs_hi, *cs_lo]);
         Ok(Self {
             version,
             cipher_suite,

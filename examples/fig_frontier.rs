@@ -1,0 +1,86 @@
+//! The planner frontier, end to end: learn a topology-aware target plan
+//! from *stored* scan sets, persist the plan in its own checksummed
+//! format, reopen it cold, and measure the probes-vs-coverage frontier
+//! every strategy sits on.
+//!
+//! ```sh
+//! cargo run --release --example fig_frontier
+//! ```
+//!
+//! The world is deliberately sparse (most /24s never deployed) — the
+//! regime Internet-wide scanning actually lives in, and the one where a
+//! planner that remembers observed deployment pays off: the observed
+//! plan reaches nearly full recall at a fraction of the probes. Run it
+//! twice: the plan file and the frontier table are byte-identical.
+
+use originscan::core::frontier::{as_spans, sweep_frontier, FrontierConfig};
+use originscan::core::{Experiment, ExperimentConfig};
+use originscan::netmodel::{OriginId, Protocol, WorldConfig};
+use originscan::plan::{PlanBuilder, Strategy, TargetPlan};
+use originscan::store::StoreReader;
+
+fn main() {
+    // A sparse 2^16-address world: low deployment density leaves most
+    // /24s empty, deterministic from the seed.
+    let mut wc = WorldConfig::tiny(2026);
+    wc.density_scale = 0.1;
+    let world = wc.build();
+    let origins = vec![OriginId::Us1, OriginId::Germany];
+
+    // Prior knowledge: a 2-trial HTTP experiment, persisted as a scan-set
+    // store — the artifact a real campaign would have lying around.
+    let cfg = ExperimentConfig {
+        origins: origins.clone(),
+        protocols: vec![Protocol::Http],
+        trials: 2,
+        ..ExperimentConfig::default()
+    };
+    let results = Experiment::new(&world, cfg).run().unwrap();
+    let mut store_path = std::env::temp_dir();
+    store_path.push(format!("originscan_frontier_{}.oscs", std::process::id()));
+    results.scan_set_store().write_to(&store_path).unwrap();
+
+    // Learn a plan straight from the store file: per-trial cross-origin
+    // unions become the builder's observations.
+    let reader = StoreReader::open(&store_path).unwrap();
+    let mut builder = PlanBuilder::new(world.space(), 2026)
+        .unwrap()
+        .with_topology(as_spans(&world));
+    builder.observe_reader(&reader, "HTTP").unwrap();
+    println!("learned from {} stored trials", builder.observed_trials());
+
+    // Persist the observed-deployment plan in its own format and reopen
+    // it cold — byte-identical across runs.
+    let plan = builder.build(&Strategy::Observed).unwrap();
+    let mut plan_path = std::env::temp_dir();
+    plan_path.push(format!("originscan_frontier_{}.osplan", std::process::id()));
+    let bytes = plan.write_to(&plan_path).unwrap();
+    let reopened = TargetPlan::open(&plan_path).unwrap();
+    println!(
+        "plan '{}': {} /24s, {} addresses, {} bytes on disk",
+        reopened.strategy(),
+        reopened.planned_s24s(),
+        reopened.planned_addresses(),
+        bytes,
+    );
+
+    // The frontier: full sweep vs the learned strategies on a held-out
+    // trial, probes against recall.
+    let fc = FrontierConfig {
+        origins,
+        seed: 2026,
+        ..FrontierConfig::default()
+    };
+    let sweep = sweep_frontier(&world, &fc).unwrap();
+    println!("\n{}", sweep.render());
+    if let Some(p) = sweep.cheapest_with_recall(0.95) {
+        println!(
+            "cheapest ≥95% recall: '{}' at {:.1}% of the full sweep's probes",
+            p.strategy,
+            100.0 * p.probes_frac,
+        );
+    }
+
+    std::fs::remove_file(&store_path).ok();
+    std::fs::remove_file(&plan_path).ok();
+}

@@ -11,8 +11,10 @@
 //! whatever the cache state. The closing telemetry dump shows the
 //! engine's cache counters and the server's request metrics.
 
+use originscan::core::frontier::as_spans;
 use originscan::core::{Experiment, ExperimentConfig};
 use originscan::netmodel::{OriginId, Protocol, WorldConfig};
+use originscan::plan::{PlanBuilder, Strategy};
 use originscan::serve::{QueryEngine, Server, ServerConfig};
 use originscan::store::StoreReader;
 use originscan::telemetry::{Scope, Telemetry};
@@ -70,10 +72,16 @@ fn main() {
     println!("== store ==");
     println!("wrote {bytes} bytes to {}", path.display());
 
-    // Open the store, start the server on an ephemeral loopback port.
-    let engine = Arc::new(QueryEngine::from_readers(vec![
-        StoreReader::open(&path).unwrap()
-    ]));
+    // Open the store, learn a target plan from it, start the server on
+    // an ephemeral loopback port.
+    let mut engine = QueryEngine::from_readers(vec![StoreReader::open(&path).unwrap()]);
+    let plan_reader = StoreReader::open(&path).unwrap();
+    let mut builder = PlanBuilder::new(world.space(), 2020)
+        .unwrap()
+        .with_topology(as_spans(&world));
+    builder.observe_reader(&plan_reader, "HTTP").unwrap();
+    engine.register_plan("frontier", builder.build(&Strategy::Observed).unwrap());
+    let engine = Arc::new(engine);
     let hub = Arc::new(Telemetry::new());
     let server = Server::start(
         Arc::clone(&engine),
@@ -94,6 +102,7 @@ fn main() {
         "exclusive proto=HTTP trial=0 origin=1",
         "best-k proto=HTTP trial=0 k=2",
         "member proto=HTTP trial=0 origin=0 addr=4242",
+        "recall proto=HTTP trial=0 origins=0,1,2,3 plan=frontier",
     ];
     for q in queries {
         let (status, body) = http(addr, q);

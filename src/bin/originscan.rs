@@ -6,6 +6,7 @@ use originscan::core::diff::{diff_records, render};
 use originscan::core::experiment::{Experiment, ExperimentConfig};
 use originscan::core::summary::full_report;
 use originscan::netmodel::{SimNet, World};
+use originscan::plan::TargetPlan;
 use originscan::scanner::engine::{run_scan, ScanConfig};
 use originscan::scanner::output::from_csv_all;
 use originscan::scanner::output::to_csv_all;
@@ -37,8 +38,18 @@ fn main() -> ExitCode {
             }
         }
         Ok(Command::Scan(run)) => {
+            let plan = match &run.plan {
+                None => None,
+                Some(path) => match TargetPlan::open(std::path::Path::new(path)) {
+                    Ok(p) => Some(p),
+                    Err(e) => {
+                        eprintln!("error: cannot load plan {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
             let world = run.scale.config(run.seed).build();
-            match scan_to_csv(&world, &run) {
+            match scan_to_csv(&world, &run, plan) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -82,19 +93,25 @@ fn experiment_config(run: &RunArgs) -> ExperimentConfig {
 }
 
 /// Scan each requested protocol once from the first origin and emit CSV.
-fn scan_to_csv(world: &World, run: &RunArgs) -> Result<(), originscan::scanner::error::ScanError> {
+fn scan_to_csv(
+    world: &World,
+    run: &RunArgs,
+    plan: Option<TargetPlan>,
+) -> Result<(), originscan::scanner::error::ScanError> {
     let net = SimNet::new(world, &run.origins, 21.0 * 3600.0);
     for &proto in &run.protocols {
         let mut cfg = ScanConfig::new(world.space(), proto, run.seed);
         cfg.probes = run.probes;
         cfg.probe_delay_s = run.probe_delay_s;
         cfg.concurrent_origins = run.origins.len() as u8;
+        cfg.plan = plan.clone();
         let out = run_scan(&net, &cfg)?;
         eprintln!(
-            "# {} {proto}: {} probes sent, {} responsive, {} completed L7",
+            "# {} {proto}: {} probes sent, {} responsive ({} plan-skipped), {} completed L7",
             run.origins[0],
             out.summary.probes_sent,
             out.records.len(),
+            out.summary.plan_skipped,
             out.summary.l7_successes
         );
         print!("{}", to_csv_all(&out.records));

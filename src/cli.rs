@@ -54,6 +54,9 @@ pub struct RunArgs {
     pub probes: u8,
     /// Inter-probe delay in seconds.
     pub probe_delay_s: f64,
+    /// Optional target-plan file: every scan probes only the plan's /24
+    /// allowlist (composed with the blocklist and sharding).
+    pub plan: Option<String>,
 }
 
 impl Default for RunArgs {
@@ -66,6 +69,7 @@ impl Default for RunArgs {
             trials: 3,
             probes: 2,
             probe_delay_s: 0.0,
+            plan: None,
         }
     }
 }
@@ -115,6 +119,8 @@ FLAGS:
   --trials N                       trials                [default: 3]
   --probes N                       SYNs per host         [default: 2]
   --probe-delay SECONDS            delay between probes  [default: 0]
+  --plan PATH                      target-plan file: scan only the plan's
+                                   /24 allowlist (scan subcommand only)
 ";
 
 /// Parse an origin label as printed in the paper's tables.
@@ -223,11 +229,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     return Err("--probe-delay must be non-negative".into());
                 }
             }
+            "--plan" => {
+                run.plan = Some(value()?.to_string());
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
     match sub {
-        "report" => Ok(Command::Report(run)),
+        "report" => {
+            if run.plan.is_some() {
+                return Err("--plan only applies to the scan subcommand".into());
+            }
+            Ok(Command::Report(run))
+        }
         "scan" => Ok(Command::Scan(run)),
         "inventory" => Ok(Command::Inventory {
             scale: run.scale,
@@ -272,7 +286,7 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let cmd = parse(&argv(
-            "scan --scale small --seed 99 --origins JP,US64 --protocols ssh --trials 2 --probes 1 --probe-delay 3600",
+            "scan --scale small --seed 99 --origins JP,US64 --protocols ssh --trials 2 --probes 1 --probe-delay 3600 --plan targets.osplan",
         ))
         .unwrap();
         match cmd {
@@ -284,7 +298,18 @@ mod tests {
                 assert_eq!(r.trials, 2);
                 assert_eq!(r.probes, 1);
                 assert_eq!(r.probe_delay_s, 3600.0);
+                assert_eq!(r.plan.as_deref(), Some("targets.osplan"));
             }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_flag_is_scan_only() {
+        let err = parse(&argv("report --plan targets.osplan")).unwrap_err();
+        assert!(err.contains("--plan"), "{err}");
+        match parse(&argv("scan")).unwrap() {
+            Command::Scan(r) => assert_eq!(r.plan, None),
             other => panic!("{other:?}"),
         }
     }

@@ -26,6 +26,11 @@
 //!   persisted per `(protocol, trial, origin)` in a versioned,
 //!   checksummed, byte-deterministic format with a lazy chunk-granular
 //!   reader.
+//! * [`plan`] — the topology-aware target planner: learns a compressed
+//!   /24-granular allowlist ([`plan::TargetPlan`]) from prior scan-set
+//!   stores plus the announced-prefix/AS structure, scoring prefixes by
+//!   observed density and cross-trial churn so later scans probe a
+//!   fraction of the space at near-identical coverage.
 //! * [`serve`] — a sharded query engine and hand-rolled HTTP/1.1 server
 //!   over stored scan sets: typed queries (`coverage`, `diff`,
 //!   `exclusive`, `best-k`, point lookups) behind LRU caches, with
@@ -61,6 +66,7 @@ pub mod cli;
 
 pub use originscan_core as core;
 pub use originscan_netmodel as netmodel;
+pub use originscan_plan as plan;
 pub use originscan_scanner as scanner;
 pub use originscan_serve as serve;
 pub use originscan_stats as stats;
